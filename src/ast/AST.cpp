@@ -1,0 +1,338 @@
+//===- ast/AST.cpp - AST lookups and printing ------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace p;
+
+const char *p::unaryOpName(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Not:
+    return "!";
+  case UnaryOp::Neg:
+    return "-";
+  }
+  return "?";
+}
+
+const char *p::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+int MachineDecl::findState(const std::string &N) const {
+  for (size_t I = 0; I != States.size(); ++I)
+    if (States[I].Name == N)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int MachineDecl::findVar(const std::string &N) const {
+  for (size_t I = 0; I != Vars.size(); ++I)
+    if (Vars[I].Name == N)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int MachineDecl::findAction(const std::string &N) const {
+  for (size_t I = 0; I != Actions.size(); ++I)
+    if (Actions[I].Name == N)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int MachineDecl::findFun(const std::string &N) const {
+  for (size_t I = 0; I != Funs.size(); ++I)
+    if (Funs[I].Name == N)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Program::findEvent(const std::string &N) const {
+  for (size_t I = 0; I != Events.size(); ++I)
+    if (Events[I].Name == N)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Program::findMachine(const std::string &N) const {
+  for (size_t I = 0; I != Machines.size(); ++I)
+    if (Machines[I].Name == N)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Program::mainMachine() const {
+  for (size_t I = 0; I != Machines.size(); ++I)
+    if (Machines[I].Main)
+      return static_cast<int>(I);
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string p::toString(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::NullLit:
+    return "null";
+  case Expr::Kind::BoolLit:
+    return cast<BoolLitExpr>(&E)->Value ? "true" : "false";
+  case Expr::Kind::IntLit:
+    return std::to_string(cast<IntLitExpr>(&E)->Value);
+  case Expr::Kind::EventLit:
+    return cast<EventLitExpr>(&E)->Name;
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(&E)->Name;
+  case Expr::Kind::This:
+    return "this";
+  case Expr::Kind::Msg:
+    return "msg";
+  case Expr::Kind::Arg:
+    return "arg";
+  case Expr::Kind::Nondet:
+    return "*";
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    return std::string(unaryOpName(U->Op)) + "(" + toString(*U->Operand) +
+           ")";
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    return "(" + toString(*B->LHS) + " " + binaryOpName(B->Op) + " " +
+           toString(*B->RHS) + ")";
+  }
+  case Expr::Kind::ForeignCall: {
+    const auto *C = cast<ForeignCallExpr>(&E);
+    std::string Out = C->Callee + "(";
+    for (size_t I = 0; I != C->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += toString(*C->Args[I]);
+    }
+    return Out + ")";
+  }
+  }
+  return "<expr>";
+}
+
+static std::string pad(unsigned Indent) { return std::string(Indent, ' '); }
+
+std::string p::toString(const Stmt &S, unsigned Indent) {
+  const std::string P = pad(Indent);
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    return P + "skip;";
+  case Stmt::Kind::Block: {
+    const auto *B = cast<BlockStmt>(&S);
+    std::string Out = P + "{\n";
+    for (const StmtPtr &Sub : B->Stmts) {
+      Out += toString(*Sub, Indent + 2);
+      Out += '\n';
+    }
+    return Out + P + "}";
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    return P + A->Target + " = " + toString(*A->Value) + ";";
+  }
+  case Stmt::Kind::New: {
+    const auto *N = cast<NewStmt>(&S);
+    std::string Out = P;
+    if (!N->Target.empty())
+      Out += N->Target + " = ";
+    Out += "new " + N->MachineName + "(";
+    for (size_t I = 0; I != N->Inits.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += N->Inits[I].Field + " = " + toString(*N->Inits[I].Value);
+    }
+    return Out + ");";
+  }
+  case Stmt::Kind::Delete:
+    return P + "delete;";
+  case Stmt::Kind::Send: {
+    const auto *Snd = cast<SendStmt>(&S);
+    std::string Out = P + "send(" + toString(*Snd->Target) + ", " +
+                      toString(*Snd->Event);
+    if (Snd->Payload)
+      Out += ", " + toString(*Snd->Payload);
+    return Out + ");";
+  }
+  case Stmt::Kind::Raise: {
+    const auto *R = cast<RaiseStmt>(&S);
+    std::string Out = P + "raise(" + toString(*R->Event);
+    if (R->Payload)
+      Out += ", " + toString(*R->Payload);
+    return Out + ");";
+  }
+  case Stmt::Kind::Leave:
+    return P + "leave;";
+  case Stmt::Kind::Return:
+    return P + "return;";
+  case Stmt::Kind::Assert:
+    return P + "assert(" + toString(*cast<AssertStmt>(&S)->Cond) + ");";
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    std::string Out = P + "if (" + toString(*I->Cond) + ")\n" +
+                      toString(*I->Then, Indent + 2);
+    if (I->Else) {
+      Out += '\n';
+      Out += P + "else\n" + toString(*I->Else, Indent + 2);
+    }
+    return Out;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    return P + "while (" + toString(*W->Cond) + ")\n" +
+           toString(*W->Body, Indent + 2);
+  }
+  case Stmt::Kind::CallState:
+    return P + "call " + cast<CallStateStmt>(&S)->StateName + ";";
+  case Stmt::Kind::ExprStmt:
+    return P + toString(*cast<ExprStmt>(&S)->E) + ";";
+  }
+  return P + "<stmt>";
+}
+
+static void printBody(std::string &Out, const char *Label, const Stmt *Body,
+                      unsigned Indent) {
+  if (!Body)
+    return;
+  Out += pad(Indent) + Label + " ";
+  if (Body->getKind() == Stmt::Kind::Block) {
+    std::string Text = toString(*Body, Indent);
+    // Strip the leading pad so the block brace sits after the label.
+    Out += Text.substr(Indent);
+  } else {
+    Out += "{\n" + toString(*Body, Indent + 2) + "\n" + pad(Indent) + "}";
+  }
+  Out += '\n';
+}
+
+static void printNameList(std::string &Out, const char *Label,
+                          const std::vector<std::string> &Names,
+                          unsigned Indent) {
+  if (Names.empty())
+    return;
+  Out += pad(Indent) + Label + " ";
+  for (size_t I = 0; I != Names.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Names[I];
+  }
+  Out += ";\n";
+}
+
+std::string p::toString(const Program &Prog) {
+  std::string Out;
+  for (const EventDecl &E : Prog.Events) {
+    if (E.Ghost)
+      Out += "ghost ";
+    Out += "event " + E.Name;
+    if (E.PayloadType != TypeKind::Void)
+      Out += std::string("(") + typeName(E.PayloadType) + ")";
+    Out += ";\n";
+  }
+  for (const MachineDecl &M : Prog.Machines) {
+    Out += '\n';
+    if (M.Ghost)
+      Out += "ghost ";
+    if (M.Main)
+      Out += "main ";
+    Out += "machine " + M.Name + " {\n";
+    for (const VarDecl &V : M.Vars) {
+      Out += "  ";
+      if (V.Ghost)
+        Out += "ghost ";
+      Out += "var " + V.Name + ": " + typeName(V.Type) + ";\n";
+    }
+    for (const ForeignFunDecl &F : M.Funs) {
+      Out += "  foreign fun " + F.Name + "(";
+      for (size_t I = 0; I != F.Params.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += F.Params[I].Name + ": " + typeName(F.Params[I].Type);
+      }
+      Out += std::string("): ") + typeName(F.ReturnType);
+      if (F.ModelBody) {
+        Out += " model ";
+        std::string Text = toString(*F.ModelBody, 2);
+        if (F.ModelBody->getKind() == Stmt::Kind::Block)
+          Out += Text.substr(2);
+        else
+          Out += "{\n" + toString(*F.ModelBody, 4) + "\n  }";
+        Out += '\n';
+      } else {
+        Out += ";\n";
+      }
+    }
+    for (const StateDecl &St : M.States) {
+      Out += "  state " + St.Name + " {\n";
+      printNameList(Out, "defer", St.Deferred, 4);
+      printNameList(Out, "postpone", St.Postponed, 4);
+      printBody(Out, "entry", St.Entry.get(), 4);
+      printBody(Out, "exit", St.Exit.get(), 4);
+      for (const HandlerDecl &H : St.Handlers) {
+        Out += "    on " + H.EventName + " ";
+        switch (H.Kind) {
+        case HandlerKind::Step:
+          Out += "goto ";
+          break;
+        case HandlerKind::Call:
+          Out += "push ";
+          break;
+        case HandlerKind::Do:
+          Out += "do ";
+          break;
+        }
+        Out += H.Target + ";\n";
+      }
+      Out += "  }\n";
+    }
+    for (const ActionDecl &A : M.Actions) {
+      Out += "  action " + A.Name + " ";
+      std::string Text = toString(*A.Body, 2);
+      if (A.Body->getKind() == Stmt::Kind::Block)
+        Out += Text.substr(2);
+      else
+        Out += "{\n" + toString(*A.Body, 4) + "\n  }";
+      Out += '\n';
+    }
+    Out += "}\n";
+  }
+  return Out;
+}

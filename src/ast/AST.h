@@ -1,0 +1,540 @@
+//===- ast/AST.h - Abstract syntax of the P language -----------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the P language: the core calculus of the paper's Figure 3 plus
+/// the surface conveniences of Section 2 (named action bindings per state,
+/// `call` statements, `postpone` liveness annotations, foreign functions
+/// with optional erasable model bodies).
+///
+/// Ownership: a Program owns its machines, machines own their declarations,
+/// statements own their sub-statements and expressions (std::unique_ptr
+/// throughout). Semantic analysis annotates nodes in place (resolved
+/// indices, types, ghostness) rather than building a parallel tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_AST_AST_H
+#define P_AST_AST_H
+
+#include "ast/Types.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace p {
+
+class Expr;
+class Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Unary operators of the core calculus.
+enum class UnaryOp { Not, Neg };
+
+/// Binary operators of the core calculus.
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  And,
+  Or,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+};
+
+/// Returns the surface spelling of \p Op.
+const char *unaryOpName(UnaryOp Op);
+/// Returns the surface spelling of \p Op.
+const char *binaryOpName(BinaryOp Op);
+
+/// Base class of all P expressions.
+class Expr {
+public:
+  enum class Kind {
+    NullLit,     ///< ⊥ — the undefined value.
+    BoolLit,     ///< true / false.
+    IntLit,      ///< Integer constant.
+    EventLit,    ///< An event name used as a first-class value.
+    VarRef,      ///< A machine-local variable.
+    This,        ///< Identifier of the executing machine.
+    Msg,         ///< Event last dequeued/raised (special variable `msg`).
+    Arg,         ///< Payload of the last event (special variable `arg`).
+    Nondet,      ///< `*` — nondeterministic bool (ghost machines only).
+    Unary,       ///< Unary operator application.
+    Binary,      ///< Binary operator application.
+    ForeignCall, ///< Call of a declared foreign function.
+  };
+
+  virtual ~Expr() = default;
+
+  Kind getKind() const { return K; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Resolved type; filled in by Sema.
+  TypeKind Ty = TypeKind::Void;
+  /// True when the expression's value depends on ghost state (ghost
+  /// variables, nondeterminism, or ghost machine ids); filled in by Sema.
+  bool Ghost = false;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+
+  SourceLoc Loc;
+
+private:
+  const Kind K;
+};
+
+/// The literal ⊥ value (spelled `null`).
+class NullLitExpr : public Expr {
+public:
+  explicit NullLitExpr(SourceLoc Loc) : Expr(Kind::NullLit, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::NullLit; }
+};
+
+/// Boolean literal.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+  bool Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::BoolLit; }
+};
+
+/// Integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+};
+
+/// An event name used as a value of type `event`.
+class EventLitExpr : public Expr {
+public:
+  EventLitExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::EventLit, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  /// Resolved event index; filled in by Sema.
+  int EventId = -1;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::EventLit; }
+};
+
+/// Reference to a machine-local variable.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  /// Index into the owning machine's variable list; filled in by Sema.
+  int VarIndex = -1;
+  /// Inside a foreign-function model body the name may instead resolve to
+  /// a parameter; filled in by Sema.
+  int ParamIndex = -1;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+};
+
+/// The special constant `this`.
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(SourceLoc Loc) : Expr(Kind::This, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::This; }
+};
+
+/// The special variable `msg` (last received event).
+class MsgExpr : public Expr {
+public:
+  explicit MsgExpr(SourceLoc Loc) : Expr(Kind::Msg, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Msg; }
+};
+
+/// The special variable `arg` (payload of the last event).
+class ArgExpr : public Expr {
+public:
+  explicit ArgExpr(SourceLoc Loc) : Expr(Kind::Arg, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Arg; }
+};
+
+/// `*` — nondeterministic boolean choice, permitted in ghost machines only.
+class NondetExpr : public Expr {
+public:
+  explicit NondetExpr(SourceLoc Loc) : Expr(Kind::Nondet, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Nondet; }
+};
+
+/// Unary operator application.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp Op;
+  ExprPtr Operand;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+};
+
+/// Binary operator application.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+};
+
+/// Call of a foreign function in expression position.
+class ForeignCallExpr : public Expr {
+public:
+  ForeignCallExpr(std::string Callee, std::vector<ExprPtr> Args,
+                  SourceLoc Loc)
+      : Expr(Kind::ForeignCall, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  /// Index into the owning machine's foreign-function list; set by Sema.
+  int FunIndex = -1;
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::ForeignCall;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all P statements.
+class Stmt {
+public:
+  enum class Kind {
+    Skip,
+    Block,     ///< Sequential composition `s1; s2; ...`.
+    Assign,    ///< `x = e;`
+    New,       ///< `x = new M(field = e, ...);`
+    Delete,    ///< `delete;` — terminate the executing machine.
+    Send,      ///< `send(target, e, payload?);`
+    Raise,     ///< `raise(e, payload?);`
+    Leave,     ///< `leave;` — jump to end of entry function.
+    Return,    ///< `return;` — pop the call stack.
+    Assert,    ///< `assert(e);`
+    If,        ///< `if (e) s1 else s2`.
+    While,     ///< `while (e) s`.
+    CallState, ///< `call S;` — push state S with a saved continuation.
+    ExprStmt,  ///< Foreign call in statement position.
+  };
+
+  virtual ~Stmt() = default;
+
+  Kind getKind() const { return K; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+
+  SourceLoc Loc;
+
+private:
+  const Kind K;
+};
+
+/// `skip;` — does nothing.
+class SkipStmt : public Stmt {
+public:
+  explicit SkipStmt(SourceLoc Loc) : Stmt(Kind::Skip, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Skip; }
+};
+
+/// A `{ s1 s2 ... }` sequence.
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+  std::vector<StmtPtr> Stmts;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Block; }
+};
+
+/// `x = e;`
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::string Target, ExprPtr Value, SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  std::string Target;
+  ExprPtr Value;
+  /// Resolved variable index; set by Sema.
+  int VarIndex = -1;
+  /// True when this assigns the pseudo-variable `result` inside a
+  /// foreign-function model body (the model's return value).
+  bool IsResult = false;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+};
+
+/// One `field = expr` initializer in a `new` statement.
+struct Initializer {
+  std::string Field;
+  ExprPtr Value;
+  SourceLoc Loc;
+  /// Resolved index of Field in the created machine; set by Sema.
+  int VarIndex = -1;
+};
+
+/// `x = new M(inits);` — creates a machine and stores its id into x.
+/// The target is optional: `new M();` discards the id.
+class NewStmt : public Stmt {
+public:
+  NewStmt(std::string Target, std::string MachineName,
+          std::vector<Initializer> Inits, SourceLoc Loc)
+      : Stmt(Kind::New, Loc), Target(std::move(Target)),
+        MachineName(std::move(MachineName)), Inits(std::move(Inits)) {}
+  std::string Target; ///< Empty when the id is discarded.
+  std::string MachineName;
+  std::vector<Initializer> Inits;
+  /// Resolved target-variable index (or -1); set by Sema.
+  int VarIndex = -1;
+  /// Resolved machine index; set by Sema.
+  int MachineIndex = -1;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::New; }
+};
+
+/// `delete;` — the executing machine halts and frees its resources.
+class DeleteStmt : public Stmt {
+public:
+  explicit DeleteStmt(SourceLoc Loc) : Stmt(Kind::Delete, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Delete; }
+};
+
+/// `send(target, event, payload?);`
+class SendStmt : public Stmt {
+public:
+  SendStmt(ExprPtr Target, ExprPtr Event, ExprPtr Payload, SourceLoc Loc)
+      : Stmt(Kind::Send, Loc), Target(std::move(Target)),
+        Event(std::move(Event)), Payload(std::move(Payload)) {}
+  ExprPtr Target;
+  ExprPtr Event;
+  ExprPtr Payload; ///< May be null (defaults to ⊥).
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Send; }
+};
+
+/// `raise(event, payload?);` — aborts the current body and raises locally.
+class RaiseStmt : public Stmt {
+public:
+  RaiseStmt(ExprPtr Event, ExprPtr Payload, SourceLoc Loc)
+      : Stmt(Kind::Raise, Loc), Event(std::move(Event)),
+        Payload(std::move(Payload)) {}
+  ExprPtr Event;
+  ExprPtr Payload; ///< May be null (defaults to ⊥).
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Raise; }
+};
+
+/// `leave;` — finish the entry function and wait for the next event.
+class LeaveStmt : public Stmt {
+public:
+  explicit LeaveStmt(SourceLoc Loc) : Stmt(Kind::Leave, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Leave; }
+};
+
+/// `return;` — run the current state's exit statement and pop it.
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(SourceLoc Loc) : Stmt(Kind::Return, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+};
+
+/// `assert(e);`
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(ExprPtr Cond, SourceLoc Loc)
+      : Stmt(Kind::Assert, Loc), Cond(std::move(Cond)) {}
+  ExprPtr Cond;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assert; }
+};
+
+/// `if (e) s1 else s2`.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+};
+
+/// `while (e) s`.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+};
+
+/// `call S;` — push state S like a call transition, but save the current
+/// body's continuation so execution resumes after S is popped (Section 3).
+class CallStateStmt : public Stmt {
+public:
+  CallStateStmt(std::string StateName, SourceLoc Loc)
+      : Stmt(Kind::CallState, Loc), StateName(std::move(StateName)) {}
+  std::string StateName;
+  /// Resolved state index; set by Sema.
+  int StateIndex = -1;
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::CallState;
+  }
+};
+
+/// A foreign call evaluated for its side effects.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc) : Stmt(Kind::ExprStmt, Loc),
+                                       E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::ExprStmt; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// `event E;` or `event E(int);` with optional `ghost` prefix.
+struct EventDecl {
+  std::string Name;
+  TypeKind PayloadType = TypeKind::Void;
+  bool Ghost = false;
+  SourceLoc Loc;
+};
+
+/// `var x: t;` with optional `ghost` prefix.
+struct VarDecl {
+  std::string Name;
+  TypeKind Type = TypeKind::Int;
+  bool Ghost = false;
+  SourceLoc Loc;
+};
+
+/// `action A { stmt }`.
+struct ActionDecl {
+  std::string Name;
+  StmtPtr Body;
+  SourceLoc Loc;
+};
+
+/// The kind of handler a state binds to an event.
+enum class HandlerKind {
+  Step, ///< `on e goto S;` — step transition.
+  Call, ///< `on e push S;` — call transition.
+  Do,   ///< `on e do A;`   — action binding.
+};
+
+/// One `on <event> goto/push/do <target>;` clause.
+struct HandlerDecl {
+  HandlerKind Kind;
+  std::string EventName;
+  std::string Target; ///< State name (Step/Call) or action name (Do).
+  SourceLoc Loc;
+  /// Resolved indices; set by Sema.
+  int EventId = -1;
+  int TargetIndex = -1;
+};
+
+/// `state S { defer ...; postpone ...; entry {..} exit {..} on ... }`.
+struct StateDecl {
+  std::string Name;
+  std::vector<std::string> Deferred;
+  std::vector<std::string> Postponed; ///< Liveness annotation (Section 3.2).
+  StmtPtr Entry;                      ///< Null means `skip`.
+  StmtPtr Exit;                       ///< Null means `skip`.
+  std::vector<HandlerDecl> Handlers;
+  SourceLoc Loc;
+  /// Resolved deferred/postponed event ids; set by Sema.
+  std::vector<int> DeferredIds;
+  std::vector<int> PostponedIds;
+};
+
+/// One parameter of a foreign function.
+struct ParamDecl {
+  std::string Name;
+  TypeKind Type = TypeKind::Int;
+  SourceLoc Loc;
+};
+
+/// `foreign fun f(x: int): bool [model { stmt }];` — an external C function
+/// callable from P code. The optional model body (erasable, ghost-only
+/// effects) is what the verifier executes (Section 3, "Other features").
+struct ForeignFunDecl {
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  TypeKind ReturnType = TypeKind::Void;
+  StmtPtr ModelBody; ///< Null when no model is given.
+  SourceLoc Loc;
+};
+
+/// A machine declaration.
+struct MachineDecl {
+  std::string Name;
+  bool Ghost = false;
+  bool Main = false; ///< Marks the machine created by the init statement.
+  std::vector<VarDecl> Vars;
+  std::vector<ActionDecl> Actions;
+  std::vector<StateDecl> States;
+  std::vector<ForeignFunDecl> Funs;
+  SourceLoc Loc;
+
+  /// Finds a state by name; returns -1 if absent.
+  int findState(const std::string &Name) const;
+  /// Finds a variable by name; returns -1 if absent.
+  int findVar(const std::string &Name) const;
+  /// Finds an action by name; returns -1 if absent.
+  int findAction(const std::string &Name) const;
+  /// Finds a foreign function by name; returns -1 if absent.
+  int findFun(const std::string &Name) const;
+};
+
+/// A whole P program: events, machines, and the initialization statement
+/// (the machine instantiated first; identified by the `main` keyword).
+struct Program {
+  std::vector<EventDecl> Events;
+  std::vector<MachineDecl> Machines;
+
+  /// Finds an event by name; returns -1 if absent.
+  int findEvent(const std::string &Name) const;
+  /// Finds a machine by name; returns -1 if absent.
+  int findMachine(const std::string &Name) const;
+  /// Index of the `main` machine; returns -1 if none is marked.
+  int mainMachine() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Printing (round-trippable surface form; used in tests/tools)
+//===----------------------------------------------------------------------===//
+
+/// Renders \p E in surface syntax.
+std::string toString(const Expr &E);
+/// Renders \p S in surface syntax, indented by \p Indent spaces.
+std::string toString(const Stmt &S, unsigned Indent = 0);
+/// Renders a whole program in surface syntax.
+std::string toString(const Program &P);
+
+} // namespace p
+
+#endif // P_AST_AST_H

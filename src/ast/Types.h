@@ -1,0 +1,49 @@
+//===- ast/Types.h - The P type system ------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The P core calculus has five value types (paper, Figure 3):
+/// `void | bool | int | event | id`. `id` is the type of machine
+/// references produced by `new`. Every type is nullable: the special
+/// value ⊥ ("null" in the surface syntax) inhabits all of them and
+/// propagates through operators (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_AST_TYPES_H
+#define P_AST_TYPES_H
+
+namespace p {
+
+/// The five types of the P core calculus.
+enum class TypeKind {
+  Void,  ///< No value; payload type of events without data.
+  Bool,  ///< Booleans.
+  Int,   ///< Machine integers.
+  Event, ///< First-class event names.
+  Id,    ///< Machine identifiers (references created by `new`).
+};
+
+/// Returns the surface-syntax spelling of \p T.
+inline const char *typeName(TypeKind T) {
+  switch (T) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Event:
+    return "event";
+  case TypeKind::Id:
+    return "id";
+  }
+  return "<invalid>";
+}
+
+} // namespace p
+
+#endif // P_AST_TYPES_H

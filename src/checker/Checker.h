@@ -1,0 +1,156 @@
+//===- checker/Checker.h - Systematic testing of P programs ----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The systematic-testing verifier of Section 5 (the paper interprets
+/// the semantics inside the Zing model checker; this is our from-scratch
+/// equivalent). Both sources of nondeterminism are enumerated: explicit
+/// `*` choices in ghost machines and the implicit scheduling choice, at
+/// the reduced set of scheduling points (after `send` and `new`).
+///
+/// Two strategies:
+///
+///  * DelayBounded — the paper's novel delaying scheduler. A stack S of
+///    machine ids; the top of S always runs; `new` pushes the child on
+///    top; a send to a machine outside S pushes it on top (so the
+///    receiver of an event runs next — the causal order of events);
+///    blocked or terminated machines pop. A *delay* moves the top to the
+///    bottom of S at a cost of 1 against the delay budget d. With d = 0
+///    the explored real execution is exactly the one the runtime
+///    produces (Section 5's claim, verified by our tests); as d → ∞ all
+///    schedules are covered.
+///
+///  * DepthBounded — plain DFS over all enabled machines at every
+///    scheduling point, cut off at a depth bound (the classical approach
+///    the paper compares against).
+///
+/// Errors detected: the four error transitions of Figure 6 (assertion
+/// failure, send to ⊥, send to a deleted machine, unhandled event) plus
+/// the documented extension kinds in runtime/Errors.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_CHECKER_CHECKER_H
+#define P_CHECKER_CHECKER_H
+
+#include "pir/Program.h"
+#include "runtime/Errors.h"
+#include "runtime/Executor.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p {
+
+/// Exploration strategy.
+enum class SearchStrategy {
+  DelayBounded,
+  DepthBounded,
+};
+
+/// Options controlling one check() run.
+struct CheckOptions {
+  SearchStrategy Strategy = SearchStrategy::DelayBounded;
+  /// Delay budget d (DelayBounded).
+  int DelayBound = 0;
+  /// Maximum scheduled slices along a path (DepthBounded); also a
+  /// safety cap for DelayBounded paths.
+  int DepthBound = 100000;
+  /// Stop after this many search nodes (0 = unlimited).
+  uint64_t MaxNodes = 0;
+  /// Execute foreign-function model bodies (the verification build).
+  bool UseModelBodies = true;
+  /// Stop at the first error (otherwise keep exploring and count).
+  bool StopOnFirstError = true;
+  /// Key the visited set on full serializations instead of 64-bit
+  /// fingerprints (exact, but more memory).
+  bool ExactStates = false;
+  /// Micro-step budget per slice before the divergence error fires.
+  uint64_t MaxStepsPerSlice = 100000;
+  /// Record the fingerprints of quiescent (terminal) configurations in
+  /// CheckResult::TerminalHashes; used by the d = 0 ≡ runtime tests.
+  bool CollectTerminals = false;
+  /// Collect structural coverage (which P states were reached and which
+  /// (state, event) dispatches fired) into CheckResult::Coverage.
+  bool TrackCoverage = false;
+};
+
+/// One scheduling decision of an explored path. A sequence of these is
+/// a *schedule*: deterministic, machine-replayable evidence (see
+/// checker/Replay.h). Counterexamples carry their schedule so a failure
+/// can be re-executed and debugged outside the search.
+struct SchedDecision {
+  enum class Kind : uint8_t {
+    Run,    ///< Run Machine for one slice.
+    Delay,  ///< Spend one delay (move the top of S to the bottom).
+    Choose, ///< Resolve the pending `*` of the last-run machine.
+  };
+  Kind K = Kind::Run;
+  int32_t Machine = -1; ///< Run.
+  bool Choice = false;  ///< Choose.
+};
+
+/// Structural coverage of one exploration: how much of each machine's
+/// static state/transition structure the schedules exercised. A low
+/// transition percentage after an exhaustive search usually means dead
+/// handlers (events that can never arrive in that state).
+struct CoverageReport {
+  struct MachineCoverage {
+    /// States that appeared on some reachable call stack.
+    std::set<int32_t> StatesVisited;
+    /// (state, event) pairs dispatched with a Step/Call/Action
+    /// resolution.
+    std::set<std::pair<int32_t, int32_t>> TransitionsFired;
+  };
+  std::vector<MachineCoverage> Machines; ///< Indexed by machine type.
+
+  /// Renders a per-machine "states X/Y, transitions A/B" table.
+  std::string str(const CompiledProgram &Prog) const;
+};
+
+/// Counters reported by a check() run.
+struct CheckStats {
+  uint64_t DistinctStates = 0; ///< Distinct global configurations seen.
+  uint64_t NodesExplored = 0;  ///< Search nodes expanded.
+  uint64_t Slices = 0;         ///< Scheduled run-to-scheduling-point slices.
+  uint64_t Terminals = 0;      ///< Quiescent configurations reached.
+  uint64_t ErrorsFound = 0;
+  int MaxDepth = 0;
+  bool Exhausted = true; ///< False when a node/depth cap cut the search.
+  double Seconds = 0;
+  uint64_t VisitedBytes = 0; ///< Approximate visited-set footprint.
+};
+
+/// Result of a check() run.
+struct CheckResult {
+  bool ErrorFound = false;
+  ErrorKind Error = ErrorKind::None;
+  std::string ErrorMessage;
+  /// Human-readable counterexample: one line per scheduling decision.
+  std::vector<std::string> Trace;
+  /// The counterexample as a replayable schedule (see checker/Replay.h).
+  std::vector<SchedDecision> Schedule;
+  /// Delays spent on the erroring path (DelayBounded), else -1.
+  int DelaysUsedOnError = -1;
+  /// Fingerprints of quiescent configurations (CollectTerminals).
+  std::vector<uint64_t> TerminalHashes;
+  /// Structural coverage (TrackCoverage).
+  CoverageReport Coverage;
+  CheckStats Stats;
+};
+
+/// Explores \p Prog from its initial configuration under \p Opts.
+/// \p Exec supplies foreign functions; pass nullptr to use a fresh
+/// executor with model bodies only.
+CheckResult check(const CompiledProgram &Prog, const CheckOptions &Opts,
+                  Executor *Exec = nullptr);
+
+} // namespace p
+
+#endif // P_CHECKER_CHECKER_H

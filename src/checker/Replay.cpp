@@ -1,0 +1,69 @@
+//===- checker/Replay.cpp ------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Replay.h"
+
+#include "runtime/Executor.h"
+
+using namespace p;
+
+ReplayResult p::replaySchedule(const CompiledProgram &Prog,
+                               const std::vector<SchedDecision> &Schedule,
+                               bool UseModelBodies) {
+  Executor::Options EO;
+  EO.UseModelBodies = UseModelBodies;
+  Executor Exec(Prog, EO);
+
+  ReplayResult Result;
+  Result.Final = Exec.makeInitialConfig();
+
+  int32_t LastRun = -1;
+  for (const SchedDecision &D : Schedule) {
+    switch (D.K) {
+    case SchedDecision::Kind::Delay:
+      // Pure scheduler bookkeeping; no configuration effect.
+      Result.Steps.push_back("delay");
+      continue;
+    case SchedDecision::Kind::Choose:
+      if (LastRun >= 0 &&
+          LastRun < static_cast<int32_t>(Result.Final.Machines.size()))
+        Result.Final.Machines[LastRun].InjectedChoice = D.Choice;
+      Result.Steps.push_back(D.Choice ? "choose true" : "choose false");
+      continue;
+    case SchedDecision::Kind::Run: {
+      LastRun = D.Machine;
+      std::string Desc = "run " + Exec.describeMachine(Result.Final,
+                                                       D.Machine);
+      Executor::StepResult R = Exec.step(Result.Final, D.Machine);
+      switch (R.Outcome) {
+      case Executor::StepOutcome::Error:
+        Result.ErrorReached = true;
+        Result.Error = Result.Final.Error;
+        Result.ErrorMessage = Result.Final.ErrorMessage;
+        Result.Steps.push_back(Desc + " -> error: " +
+                               Result.Final.ErrorMessage);
+        return Result;
+      case Executor::StepOutcome::SchedulingPoint:
+        Result.Steps.push_back(Desc + (R.Created ? " -> created "
+                                                 : " -> sent to ") +
+                               std::to_string(R.Other));
+        continue;
+      case Executor::StepOutcome::ChoicePoint:
+        Result.Steps.push_back(Desc + " -> choice");
+        continue;
+      case Executor::StepOutcome::Blocked:
+        Result.Steps.push_back(Desc + " -> blocked");
+        continue;
+      case Executor::StepOutcome::Halted:
+        Result.Steps.push_back(Desc + " -> halted");
+        continue;
+      }
+      continue;
+    }
+    }
+  }
+  return Result;
+}

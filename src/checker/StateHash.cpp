@@ -1,0 +1,103 @@
+//===- checker/StateHash.cpp -------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/StateHash.h"
+
+#include "support/Hashing.h"
+
+using namespace p;
+
+namespace {
+
+/// Little-endian append helpers over a std::string buffer.
+class ByteSink {
+public:
+  explicit ByteSink(std::string &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void value(const Value &V) {
+    u8(static_cast<uint8_t>(V.Kind));
+    u64(static_cast<uint64_t>(V.Data));
+  }
+
+private:
+  std::string &Out;
+};
+
+void serializeExecFrame(ByteSink &Sink, const ExecFrame &F) {
+  Sink.i32(F.Body);
+  Sink.i32(F.PC);
+  Sink.u8(static_cast<uint8_t>(F.Kind));
+  Sink.u32(static_cast<uint32_t>(F.Operands.size()));
+  for (const Value &V : F.Operands)
+    Sink.value(V);
+  Sink.u32(static_cast<uint32_t>(F.Params.size()));
+  for (const Value &V : F.Params)
+    Sink.value(V);
+  Sink.value(F.Result);
+}
+
+void serializeStateFrame(ByteSink &Sink, const StateFrame &F) {
+  Sink.i32(F.State);
+  Sink.u32(static_cast<uint32_t>(F.Inherit.size()));
+  for (int32_t H : F.Inherit)
+    Sink.i32(H);
+  Sink.u32(static_cast<uint32_t>(F.SavedCont.size()));
+  for (const ExecFrame &E : F.SavedCont)
+    serializeExecFrame(Sink, E);
+}
+
+} // namespace
+
+void p::serializeConfig(const Config &Cfg, std::string &Out) {
+  ByteSink Sink(Out);
+  Sink.u8(static_cast<uint8_t>(Cfg.Error));
+  Sink.u32(static_cast<uint32_t>(Cfg.Machines.size()));
+  for (const MachineState &M : Cfg.Machines) {
+    Sink.i32(M.MachineIndex);
+    Sink.u8(M.Alive ? 1 : 0);
+    if (!M.Alive)
+      continue;
+    Sink.u32(static_cast<uint32_t>(M.Frames.size()));
+    for (const StateFrame &F : M.Frames)
+      serializeStateFrame(Sink, F);
+    Sink.u32(static_cast<uint32_t>(M.Exec.size()));
+    for (const ExecFrame &F : M.Exec)
+      serializeExecFrame(Sink, F);
+    Sink.u32(static_cast<uint32_t>(M.Vars.size()));
+    for (const Value &V : M.Vars)
+      Sink.value(V);
+    Sink.value(M.Msg);
+    Sink.value(M.Arg);
+    Sink.u8(M.HasRaise ? 1 : 0);
+    Sink.i32(M.RaiseEvent);
+    Sink.value(M.RaiseArg);
+    Sink.u8(static_cast<uint8_t>(M.Transfer));
+    Sink.i32(M.TransferTarget);
+    Sink.u32(static_cast<uint32_t>(M.Queue.size()));
+    for (const auto &[E, V] : M.Queue) {
+      Sink.i32(E);
+      Sink.value(V);
+    }
+    Sink.u8(M.InjectedChoice ? (*M.InjectedChoice ? 2 : 1) : 0);
+  }
+}
+
+uint64_t p::hashConfig(const Config &Cfg) {
+  std::string Bytes;
+  Bytes.reserve(256);
+  serializeConfig(Cfg, Bytes);
+  return hashBytes(Bytes.data(), Bytes.size());
+}

@@ -1,0 +1,37 @@
+//===- checker/StateHash.h - Canonical state fingerprints ------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical byte serialization of global configurations, and 64-bit
+/// fingerprints derived from it. The serialization covers every
+/// semantically relevant component (call stacks with inherited handler
+/// maps and saved continuations, resumable exec frames with operand
+/// stacks, variable stores, msg/arg, pending raise/transfer, queues),
+/// so two configs serialize equally iff they are semantically equal —
+/// the explorer's visited set is exact modulo 64-bit hash collisions
+/// (or fully exact in ExactStates mode, which keys on the bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_CHECKER_STATEHASH_H
+#define P_CHECKER_STATEHASH_H
+
+#include "runtime/Config.h"
+
+#include <cstdint>
+#include <string>
+
+namespace p {
+
+/// Appends the canonical serialization of \p Cfg to \p Out.
+void serializeConfig(const Config &Cfg, std::string &Out);
+
+/// 64-bit fingerprint of \p Cfg's canonical serialization.
+uint64_t hashConfig(const Config &Cfg);
+
+} // namespace p
+
+#endif // P_CHECKER_STATEHASH_H

@@ -1,0 +1,539 @@
+//===- codegen/CCodeGen.cpp ---------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CCodeGen.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+#ifndef PLANG_SOURCE_DIR
+#define PLANG_SOURCE_DIR "."
+#endif
+
+using namespace p;
+
+std::string p::cRuntimeDir() {
+  return std::string(PLANG_SOURCE_DIR) + "/src/codegen/c";
+}
+
+namespace {
+
+class CWriter {
+public:
+  CWriter(const Program &Prog, const CodegenOptions &Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  CodegenResult run();
+
+private:
+  void emitHeader();
+  void emitTables();
+  void emitMachineBodies(const MachineDecl &M);
+  void emitBodyFn(const MachineDecl &M, const std::string &FnName,
+                  const Stmt *Body);
+  void emitStmt(const MachineDecl &M, const Stmt &S, unsigned Indent,
+                bool IsLastTopLevel);
+  std::string emitExpr(const MachineDecl &M, const Expr &E);
+
+  /// True when \p S is erased during compilation (ghost statement in a
+  /// real machine).
+  bool erased(const MachineDecl &M, const Stmt &S) const;
+
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Result.Errors.push_back(Loc.str() + ": " + Msg);
+  }
+
+  void line(std::string Text) {
+    Src += Text;
+    Src += '\n';
+  }
+  static std::string pad(unsigned Indent) { return std::string(Indent, ' '); }
+
+  const Program &Prog;
+  const CodegenOptions &Opts;
+  CodegenResult Result;
+  std::string Src; ///< Accumulates the .c file.
+};
+
+} // namespace
+
+bool CWriter::erased(const MachineDecl &M, const Stmt &S) const {
+  if (M.Ghost)
+    return false; // Ghost machines are skipped wholesale elsewhere.
+  switch (S.getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto &A = *cast<AssignStmt>(&S);
+    return A.VarIndex >= 0 && M.Vars[A.VarIndex].Ghost;
+  }
+  case Stmt::Kind::New: {
+    const auto &N = *cast<NewStmt>(&S);
+    return N.MachineIndex >= 0 && Prog.Machines[N.MachineIndex].Ghost;
+  }
+  case Stmt::Kind::Send:
+    return cast<SendStmt>(&S)->Target->Ghost;
+  case Stmt::Kind::Assert:
+    return cast<AssertStmt>(&S)->Cond->Ghost;
+  default:
+    return false;
+  }
+}
+
+std::string CWriter::emitExpr(const MachineDecl &M, const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::NullLit:
+    return "prt_null()";
+  case Expr::Kind::BoolLit:
+    return cast<BoolLitExpr>(&E)->Value ? "prt_bool(1)" : "prt_bool(0)";
+  case Expr::Kind::IntLit:
+    return "prt_int(" + std::to_string(cast<IntLitExpr>(&E)->Value) + ")";
+  case Expr::Kind::EventLit:
+    return "prt_event(PEV_" + cast<EventLitExpr>(&E)->Name + ")";
+  case Expr::Kind::VarRef: {
+    const auto &Ref = *cast<VarRefExpr>(&E);
+    assert(Ref.VarIndex >= 0 && "model bodies are not compiled to C");
+    return "self->vars[" + std::to_string(Ref.VarIndex) + "]";
+  }
+  case Expr::Kind::This:
+    return "prt_mid(self->id)";
+  case Expr::Kind::Msg:
+    return "self->msg";
+  case Expr::Kind::Arg:
+    return "self->arg";
+  case Expr::Kind::Nondet:
+    error(E.getLoc(), "'*' cannot be compiled to C (verification only)");
+    return "prt_null()";
+  case Expr::Kind::Unary: {
+    const auto &U = *cast<UnaryExpr>(&E);
+    const char *Fn = U.Op == UnaryOp::Not ? "prt_op_not" : "prt_op_neg";
+    return std::string(Fn) + "(" + emitExpr(M, *U.Operand) + ")";
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = *cast<BinaryExpr>(&E);
+    const char *Fn = "prt_op_add";
+    switch (B.Op) {
+    case BinaryOp::Add:
+      Fn = "prt_op_add";
+      break;
+    case BinaryOp::Sub:
+      Fn = "prt_op_sub";
+      break;
+    case BinaryOp::Mul:
+      Fn = "prt_op_mul";
+      break;
+    case BinaryOp::Div:
+      Fn = "prt_op_div";
+      break;
+    case BinaryOp::And:
+      Fn = "prt_op_and";
+      break;
+    case BinaryOp::Or:
+      Fn = "prt_op_or";
+      break;
+    case BinaryOp::Eq:
+      Fn = "prt_op_eq";
+      break;
+    case BinaryOp::Ne:
+      Fn = "prt_op_ne";
+      break;
+    case BinaryOp::Lt:
+      Fn = "prt_op_lt";
+      break;
+    case BinaryOp::Le:
+      Fn = "prt_op_le";
+      break;
+    case BinaryOp::Gt:
+      Fn = "prt_op_gt";
+      break;
+    case BinaryOp::Ge:
+      Fn = "prt_op_ge";
+      break;
+    }
+    return std::string(Fn) + "(" + emitExpr(M, *B.LHS) + ", " +
+           emitExpr(M, *B.RHS) + ")";
+  }
+  case Expr::Kind::ForeignCall: {
+    const auto &C = *cast<ForeignCallExpr>(&E);
+    std::string Out = M.Name + "_" + C.Callee + "(rt, self";
+    for (const ExprPtr &Arg : C.Args)
+      Out += ", " + emitExpr(M, *Arg);
+    return Out + ")";
+  }
+  }
+  return "prt_null()";
+}
+
+void CWriter::emitStmt(const MachineDecl &M, const Stmt &S, unsigned Indent,
+                       bool IsLastTopLevel) {
+  if (erased(M, S))
+    return;
+  const std::string P = pad(Indent);
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Block: {
+    const auto &B = *cast<BlockStmt>(&S);
+    for (size_t I = 0; I != B.Stmts.size(); ++I)
+      emitStmt(M, *B.Stmts[I], Indent,
+               IsLastTopLevel && I + 1 == B.Stmts.size());
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    const auto &A = *cast<AssignStmt>(&S);
+    line(P + "self->vars[" + std::to_string(A.VarIndex) +
+         "] = " + emitExpr(M, *A.Value) + ";");
+    line(P + "if (rt->has_error || self->ctl) return;");
+    return;
+  }
+  case Stmt::Kind::New: {
+    const auto &N = *cast<NewStmt>(&S);
+    line(P + "{");
+    size_t K = N.Inits.size();
+    if (K != 0) {
+      std::string Idx = P + "  static const int p_idx[] = {";
+      std::string Vals = P + "  PrtValue p_vals[] = {";
+      for (size_t I = 0; I != K; ++I) {
+        if (I) {
+          Idx += ", ";
+          Vals += ", ";
+        }
+        Idx += std::to_string(N.Inits[I].VarIndex);
+        Vals += emitExpr(M, *N.Inits[I].Value);
+      }
+      line(Idx + "};");
+      line(Vals + "};");
+      line(P + "  PrtValue p_new_id = prt_new(rt, self, PMT_" +
+           N.MachineName + ", " + std::to_string(K) +
+           ", p_idx, p_vals);");
+    } else {
+      line(P + "  PrtValue p_new_id = prt_new(rt, self, PMT_" +
+           N.MachineName + ", 0, (const int *)0, (const PrtValue *)0);");
+    }
+    line(P + "  if (rt->has_error || self->ctl) return;");
+    if (N.VarIndex >= 0)
+      line(P + "  self->vars[" + std::to_string(N.VarIndex) +
+           "] = p_new_id;");
+    else
+      line(P + "  (void)p_new_id;");
+    line(P + "}");
+    return;
+  }
+  case Stmt::Kind::Delete:
+    line(P + "prt_delete(rt, self);");
+    line(P + "return;");
+    return;
+  case Stmt::Kind::Send: {
+    const auto &Snd = *cast<SendStmt>(&S);
+    std::string Payload =
+        Snd.Payload ? emitExpr(M, *Snd.Payload) : std::string("prt_null()");
+    line(P + "prt_send(rt, self, " + emitExpr(M, *Snd.Target) + ", " +
+         emitExpr(M, *Snd.Event) + ", " + Payload + ");");
+    line(P + "if (rt->has_error || self->ctl) return;");
+    return;
+  }
+  case Stmt::Kind::Raise: {
+    const auto &R = *cast<RaiseStmt>(&S);
+    std::string Payload =
+        R.Payload ? emitExpr(M, *R.Payload) : std::string("prt_null()");
+    line(P + "prt_raise(rt, self, " + emitExpr(M, *R.Event) + ", " +
+         Payload + ");");
+    line(P + "return;");
+    return;
+  }
+  case Stmt::Kind::Leave:
+    line(P + "prt_leave(self);");
+    line(P + "return;");
+    return;
+  case Stmt::Kind::Return:
+    line(P + "prt_return(rt, self);");
+    line(P + "return;");
+    return;
+  case Stmt::Kind::Assert: {
+    const auto &A = *cast<AssertStmt>(&S);
+    line(P + "prt_assert(rt, self, " + emitExpr(M, *A.Cond) + ", \"" +
+         A.getLoc().str() + "\");");
+    line(P + "if (rt->has_error) return;");
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto &I = *cast<IfStmt>(&S);
+    line(P + "{");
+    line(P + "  int p_c = prt_cond(rt, self, " + emitExpr(M, *I.Cond) +
+         ", \"" + I.getLoc().str() + "\");");
+    line(P + "  if (rt->has_error) return;");
+    line(P + "  if (p_c) {");
+    emitStmt(M, *I.Then, Indent + 4, false);
+    if (I.Else) {
+      line(P + "  } else {");
+      emitStmt(M, *I.Else, Indent + 4, false);
+    }
+    line(P + "  }");
+    line(P + "}");
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto &W = *cast<WhileStmt>(&S);
+    line(P + "for (;;) {");
+    line(P + "  int p_c = prt_cond(rt, self, " + emitExpr(M, *W.Cond) +
+         ", \"" + W.getLoc().str() + "\");");
+    line(P + "  if (rt->has_error) return;");
+    line(P + "  if (!p_c) break;");
+    emitStmt(M, *W.Body, Indent + 2, false);
+    line(P + "}");
+    return;
+  }
+  case Stmt::Kind::CallState: {
+    const auto &C = *cast<CallStateStmt>(&S);
+    if (!IsLastTopLevel) {
+      error(S.getLoc(),
+            "the C backend supports 'call' statements only in tail "
+            "position (the interpreter supports full continuations)");
+      return;
+    }
+    line(P + "prt_call_state(rt, self, " + std::to_string(C.StateIndex) +
+         ");");
+    line(P + "return;");
+    return;
+  }
+  case Stmt::Kind::ExprStmt: {
+    const auto &E = *cast<ExprStmt>(&S);
+    line(P + "(void)" + emitExpr(M, *E.E) + ";");
+    line(P + "if (rt->has_error || self->ctl) return;");
+    return;
+  }
+  }
+}
+
+void CWriter::emitBodyFn(const MachineDecl &M, const std::string &FnName,
+                         const Stmt *Body) {
+  line("static void " + FnName +
+       "(PrtRuntime *rt, PrtMachine *self) {");
+  line("  (void)rt; (void)self;");
+  if (Body)
+    emitStmt(M, *Body, 2, true);
+  line("}");
+  line("");
+}
+
+void CWriter::emitMachineBodies(const MachineDecl &M) {
+  for (const StateDecl &St : M.States) {
+    if (St.Entry)
+      emitBodyFn(M, "p_" + M.Name + "_" + St.Name + "_entry",
+                 St.Entry.get());
+    if (St.Exit)
+      emitBodyFn(M, "p_" + M.Name + "_" + St.Name + "_exit", St.Exit.get());
+  }
+  for (const ActionDecl &A : M.Actions)
+    emitBodyFn(M, "p_" + M.Name + "_" + A.Name + "_action", A.Body.get());
+}
+
+void CWriter::emitHeader() {
+  std::string &H = Result.Header;
+  std::string Guard = "PGEN_" + Opts.BaseName + "_H";
+  H += "/* Generated by the P compiler (PLDI'13 reproduction). Do not "
+       "edit. */\n";
+  H += "#ifndef " + Guard + "\n#define " + Guard + "\n\n";
+  H += "#include \"prt_runtime.h\"\n\n";
+  H += "#ifdef __cplusplus\nextern \"C\" {\n#endif\n\n";
+
+  H += "/* Events. */\nenum {\n";
+  for (size_t I = 0; I != Prog.Events.size(); ++I)
+    H += "  PEV_" + Prog.Events[I].Name + " = " + std::to_string(I) + ",\n";
+  H += "  PEV__COUNT = " + std::to_string(Prog.Events.size()) + "\n};\n\n";
+
+  H += "/* Machine types (ghost machines keep their slot but have no "
+       "code). */\nenum {\n";
+  for (size_t I = 0; I != Prog.Machines.size(); ++I)
+    H += "  PMT_" + Prog.Machines[I].Name + " = " + std::to_string(I) +
+         ",\n";
+  H += "  PMT__COUNT = " + std::to_string(Prog.Machines.size()) + "\n};\n\n";
+
+  for (const MachineDecl &M : Prog.Machines) {
+    if (M.Ghost)
+      continue;
+    H += "/* Variables of machine " + M.Name + ". */\nenum {\n";
+    for (size_t I = 0; I != M.Vars.size(); ++I)
+      H += "  PVAR_" + M.Name + "_" + M.Vars[I].Name + " = " +
+           std::to_string(I) + ",\n";
+    H += "  PVAR_" + M.Name + "__COUNT = " + std::to_string(M.Vars.size()) +
+         "\n};\n\n";
+  }
+
+  // Foreign function externs (real machines only).
+  bool AnyForeign = false;
+  for (const MachineDecl &M : Prog.Machines) {
+    if (M.Ghost)
+      continue;
+    for (const ForeignFunDecl &F : M.Funs) {
+      if (!AnyForeign) {
+        H += "/* Foreign functions to be provided by the driver author "
+             "(Section 4). */\n";
+        AnyForeign = true;
+      }
+      H += "extern PrtValue " + M.Name + "_" + F.Name +
+           "(PrtRuntime *rt, PrtMachine *self";
+      for (size_t I = 0; I != F.Params.size(); ++I)
+        H += ", PrtValue " + F.Params[I].Name;
+      H += ");\n";
+    }
+  }
+  if (AnyForeign)
+    H += "\n";
+
+  H += "extern const PrtProgramDecl " + Opts.BaseName + "_program;\n";
+  int Main = Prog.mainMachine();
+  bool MainErased = Main >= 0 && Prog.Machines[Main].Ghost;
+  H += "/* Main machine index, or -1 when the verification-time main was "
+       "a ghost. */\n";
+  H += "#define " + Opts.BaseName + "_MAIN_MACHINE " +
+       std::to_string(MainErased ? -1 : Main) + "\n\n";
+  H += "#ifdef __cplusplus\n}\n#endif\n\n#endif\n";
+}
+
+void CWriter::emitTables() {
+  const size_t NE = Prog.Events.size();
+
+  line("/* Event table. */");
+  {
+    std::string Names = "static const char *const p_event_names[] = {";
+    for (size_t I = 0; I != NE; ++I) {
+      if (I)
+        Names += ", ";
+      Names += "\"" + Prog.Events[I].Name + "\"";
+    }
+    Names += "};";
+    line(Names);
+  }
+  line("");
+
+  for (const MachineDecl &M : Prog.Machines) {
+    const bool Code = !M.Ghost;
+    line("/* ---- machine " + M.Name + (M.Ghost ? " (ghost) */" : " */"));
+    if (Code)
+      emitMachineBodies(M);
+
+    if (!M.Vars.empty()) {
+      std::string Vars =
+          "static const char *const p_" + M.Name + "_vars[] = {";
+      for (size_t I = 0; I != M.Vars.size(); ++I) {
+        if (I)
+          Vars += ", ";
+        Vars += "\"" + M.Vars[I].Name + "\"";
+      }
+      line(Vars + "};");
+    }
+
+    for (const StateDecl &St : M.States) {
+      // Deferred set.
+      std::vector<char> Deferred(NE, 0);
+      for (int Id : St.DeferredIds)
+        Deferred[Id] = 1;
+      std::string D = "static const unsigned char p_" + M.Name + "_" +
+                      St.Name + "_deferred[] = {";
+      for (size_t I = 0; I != NE; ++I) {
+        if (I)
+          D += ", ";
+        D += Deferred[I] ? '1' : '0';
+      }
+      line(D + "};");
+
+      // Transition table.
+      std::vector<std::pair<int, int>> Slots(NE, {0, -1});
+      for (const HandlerDecl &H : St.Handlers) {
+        if (H.EventId < 0 || H.TargetIndex < 0)
+          continue;
+        int Kind = H.Kind == HandlerKind::Step   ? 1
+                   : H.Kind == HandlerKind::Call ? 2
+                                                 : 3;
+        // A transition beats an action on the same event.
+        if (Kind == 3 && Slots[H.EventId].first != 0)
+          continue;
+        Slots[H.EventId] = {Kind, H.TargetIndex};
+      }
+      std::string T = "static const PrtTransition p_" + M.Name + "_" +
+                      St.Name + "_trans[] = {";
+      for (size_t I = 0; I != NE; ++I) {
+        if (I)
+          T += ", ";
+        T += "{" + std::to_string(Slots[I].first) + ", " +
+             std::to_string(Slots[I].second) + "}";
+      }
+      line(T + "};");
+    }
+
+    {
+      std::string States =
+          "static const PrtStateDecl p_" + M.Name + "_states[] = {";
+      for (size_t I = 0; I != M.States.size(); ++I) {
+        const StateDecl &St = M.States[I];
+        if (I)
+          States += ",";
+        States += "\n  {\"" + St.Name + "\", p_" + M.Name + "_" + St.Name +
+                  "_deferred, p_" + M.Name + "_" + St.Name + "_trans, ";
+        States += (Code && St.Entry)
+                      ? "p_" + M.Name + "_" + St.Name + "_entry, "
+                      : "0, ";
+        States +=
+            (Code && St.Exit) ? "p_" + M.Name + "_" + St.Name + "_exit}"
+                              : "0}";
+      }
+      line(States + "\n};");
+    }
+
+    if (!M.Actions.empty()) {
+      std::string Actions =
+          "static const PrtActionDecl p_" + M.Name + "_actions[] = {";
+      for (size_t I = 0; I != M.Actions.size(); ++I) {
+        if (I)
+          Actions += ", ";
+        Actions += "{\"" + M.Actions[I].Name + "\", ";
+        Actions += Code ? "p_" + M.Name + "_" + M.Actions[I].Name + "_action}"
+                        : "0}";
+      }
+      line(Actions + "};");
+    }
+    line("");
+  }
+
+  line("/* Machine-type table. */");
+  line("static const PrtMachineDecl p_machines[] = {");
+  for (size_t I = 0; I != Prog.Machines.size(); ++I) {
+    const MachineDecl &M = Prog.Machines[I];
+    std::string Row = "  {\"" + M.Name + "\", " +
+                      std::to_string(M.Vars.size()) + ", " +
+                      (M.Vars.empty() ? "0" : "p_" + M.Name + "_vars") +
+                      ", " + std::to_string(M.States.size()) + ", p_" +
+                      M.Name + "_states, " +
+                      std::to_string(M.Actions.size()) + ", " +
+                      (M.Actions.empty() ? "0" : "p_" + M.Name + "_actions") +
+                      "}";
+    if (I + 1 != Prog.Machines.size())
+      Row += ",";
+    line(Row);
+  }
+  line("};");
+  line("");
+  line("const PrtProgramDecl " + Opts.BaseName + "_program = {");
+  line("  " + std::to_string(Prog.Events.size()) + ", p_event_names,");
+  line("  " + std::to_string(Prog.Machines.size()) + ", p_machines");
+  line("};");
+}
+
+CodegenResult CWriter::run() {
+  emitHeader();
+  line("/* Generated by the P compiler (PLDI'13 reproduction). Do not "
+       "edit. */");
+  line("#include \"" + Opts.BaseName + ".h\"");
+  line("");
+  emitTables();
+  Result.Source = std::move(Src);
+  return std::move(Result);
+}
+
+CodegenResult p::generateC(const Program &Prog, const CodegenOptions &Opts) {
+  CWriter Writer(Prog, Opts);
+  return Writer.run();
+}

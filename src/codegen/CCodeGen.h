@@ -1,0 +1,67 @@
+//===- codegen/CCodeGen.h - C code generation (Section 4) ------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The P compiler's C backend. From a Sema-checked AST it emits the
+/// generated-code layer of Section 4: a header with event/machine/
+/// variable enumerations and a source file containing the statically
+/// allocated table structures (transition, deferred-event and action
+/// tables per state; entry/exit/action functions as C code) that the
+/// portable C runtime (src/codegen/c/prt_runtime.{h,c}) interprets.
+///
+/// Ghost machines, variables, events and statements are erased exactly
+/// as in the verification build's erasing lowering; machine and event
+/// indices are preserved so the two builds agree on identities.
+///
+/// Restrictions of the C backend (documented, diagnosed):
+///  * `call S;` statements must be in tail position (the last statement
+///    of their body) — C has no first-class continuations; call
+///    *transitions* are unrestricted;
+///  * `*` cannot appear (Sema already bans it outside ghost code).
+///
+/// Foreign functions become extern declarations
+/// `PrtValue <Machine>_<fun>(PrtRuntime*, PrtMachine*, PrtValue...)`;
+/// the PrtMachine* gives the callee access to its external memory (the
+/// paper's void* argument) via self->context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_CODEGEN_CCODEGEN_H
+#define P_CODEGEN_CCODEGEN_H
+
+#include "ast/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace p {
+
+/// Options for C code generation.
+struct CodegenOptions {
+  /// Base name used for the program symbol (`<Base>_program`) and in
+  /// the generated file banner.
+  std::string BaseName = "pgen";
+};
+
+/// Result of C code generation.
+struct CodegenResult {
+  std::string Header; ///< Contents of <base>.h.
+  std::string Source; ///< Contents of <base>.c.
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Generates C code for \p Prog (which must have passed Sema).
+CodegenResult generateC(const Program &Prog, const CodegenOptions &Opts);
+
+/// Absolute path of the directory holding prt_runtime.{h,c}; generated
+/// code compiles with `-I` this directory plus prt_runtime.c.
+std::string cRuntimeDir();
+
+} // namespace p
+
+#endif // P_CODEGEN_CCODEGEN_H

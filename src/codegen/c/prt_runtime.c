@@ -1,0 +1,605 @@
+/*===- codegen/c/prt_runtime.c - C runtime for generated P code -----------===
+ *
+ * Part of the P-language reproduction. MIT license.
+ *
+ * Implements the operational semantics of Figures 4-6 for ghost-erased
+ * programs: deterministic code, table dispatch, run-to-completion
+ * scheduling. This file intentionally mirrors runtime/Executor.cpp in
+ * the C++ library; the verification build and the execution build must
+ * agree on every rule (the erasure theorem tests compare them).
+ *
+ *===----------------------------------------------------------------------===*/
+
+#include "prt_runtime.h"
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ------------------------------------------------------------ values --- */
+
+PrtValue prt_null(void) {
+  PrtValue v;
+  v.kind = PRT_VAL_NULL;
+  v.data = 0;
+  return v;
+}
+PrtValue prt_bool(int b) {
+  PrtValue v;
+  v.kind = PRT_VAL_BOOL;
+  v.data = b ? 1 : 0;
+  return v;
+}
+PrtValue prt_int(long long i) {
+  PrtValue v;
+  v.kind = PRT_VAL_INT;
+  v.data = i;
+  return v;
+}
+PrtValue prt_event(int e) {
+  PrtValue v;
+  v.kind = PRT_VAL_EVENT;
+  v.data = e;
+  return v;
+}
+PrtValue prt_mid(int id) {
+  PrtValue v;
+  v.kind = PRT_VAL_MACHINE;
+  v.data = id;
+  return v;
+}
+
+static int prt_value_eq(PrtValue a, PrtValue b) {
+  return a.kind == b.kind && a.data == b.data;
+}
+
+PrtValue prt_op_not(PrtValue v) {
+  if (v.kind != PRT_VAL_BOOL)
+    return prt_null();
+  return prt_bool(!v.data);
+}
+PrtValue prt_op_neg(PrtValue v) {
+  if (v.kind != PRT_VAL_INT)
+    return prt_null();
+  return prt_int(-v.data);
+}
+
+#define PRT_ARITH(name, expr)                                                \
+  PrtValue name(PrtValue a, PrtValue b) {                                    \
+    if (a.kind != PRT_VAL_INT || b.kind != PRT_VAL_INT)                      \
+      return prt_null();                                                     \
+    return prt_int(expr);                                                    \
+  }
+
+PRT_ARITH(prt_op_add, a.data + b.data)
+PRT_ARITH(prt_op_sub, a.data - b.data)
+PRT_ARITH(prt_op_mul, a.data *b.data)
+
+PrtValue prt_op_div(PrtValue a, PrtValue b) {
+  if (a.kind != PRT_VAL_INT || b.kind != PRT_VAL_INT || b.data == 0)
+    return prt_null();
+  return prt_int(a.data / b.data);
+}
+
+PrtValue prt_op_and(PrtValue a, PrtValue b) {
+  if (a.kind != PRT_VAL_BOOL || b.kind != PRT_VAL_BOOL)
+    return prt_null();
+  return prt_bool(a.data && b.data);
+}
+PrtValue prt_op_or(PrtValue a, PrtValue b) {
+  if (a.kind != PRT_VAL_BOOL || b.kind != PRT_VAL_BOOL)
+    return prt_null();
+  return prt_bool(a.data || b.data);
+}
+PrtValue prt_op_eq(PrtValue a, PrtValue b) {
+  if (a.kind == PRT_VAL_NULL || b.kind == PRT_VAL_NULL)
+    return prt_null(); /* ⊥ propagates through every operator. */
+  return prt_bool(prt_value_eq(a, b));
+}
+PrtValue prt_op_ne(PrtValue a, PrtValue b) {
+  if (a.kind == PRT_VAL_NULL || b.kind == PRT_VAL_NULL)
+    return prt_null();
+  return prt_bool(!prt_value_eq(a, b));
+}
+
+#define PRT_CMP(name, op)                                                    \
+  PrtValue name(PrtValue a, PrtValue b) {                                    \
+    if (a.kind != PRT_VAL_INT || b.kind != PRT_VAL_INT)                      \
+      return prt_null();                                                     \
+    return prt_bool(a.data op b.data);                                       \
+  }
+
+PRT_CMP(prt_op_lt, <)
+PRT_CMP(prt_op_le, <=)
+PRT_CMP(prt_op_gt, >)
+PRT_CMP(prt_op_ge, >=)
+
+/* ------------------------------------------------------------ errors --- */
+
+static void prt_error(PrtRuntime *rt, int machine_id, const char *kind,
+                      const char *msg) {
+  rt->has_error = 1;
+  if (rt->error_fn)
+    rt->error_fn(rt, machine_id, kind, msg);
+}
+
+/* -------------------------------------------------------- lifecycle ---- */
+
+PrtRuntime *PrtCreateRuntime(const PrtProgramDecl *prog, PrtErrorFn on_error) {
+  PrtRuntime *rt = (PrtRuntime *)calloc(1, sizeof(PrtRuntime));
+  rt->prog = prog;
+  rt->error_fn = on_error;
+  rt->max_steps = 10000000ULL;
+  return rt;
+}
+
+static void prt_free_machine(PrtMachine *m) {
+  int i;
+  if (!m)
+    return;
+  for (i = 0; i < m->nframes; ++i)
+    free(m->frames[i].inherit);
+  free(m->frames);
+  free(m->queue);
+  free(m->vars);
+  free(m);
+}
+
+void PrtDestroyRuntime(PrtRuntime *rt) {
+  int i;
+  if (!rt)
+    return;
+  for (i = 0; i < rt->num_machines; ++i)
+    prt_free_machine(rt->machines[i]);
+  free(rt->machines);
+  free(rt);
+}
+
+/* --------------------------------------------------------- call stack -- */
+
+static void prt_push_frame(PrtRuntime *rt, PrtMachine *m, int state,
+                           const int *inherit) {
+  int e, ne = rt->prog->num_events;
+  PrtFrame f;
+  if (m->nframes == m->fcap) {
+    m->fcap = m->fcap ? m->fcap * 2 : 4;
+    m->frames = (PrtFrame *)realloc(m->frames, m->fcap * sizeof(PrtFrame));
+  }
+  f.state = state;
+  f.inherit = (int *)malloc(ne * sizeof(int));
+  for (e = 0; e < ne; ++e)
+    f.inherit[e] = inherit ? inherit[e] : PRT_INHERIT_NONE;
+  m->frames[m->nframes++] = f;
+}
+
+static const PrtStateDecl *prt_top_state(PrtRuntime *rt, PrtMachine *m) {
+  const PrtMachineDecl *md = &rt->prog->machines[m->mtype];
+  return &md->states[m->frames[m->nframes - 1].state];
+}
+
+/* The a' map of the CALL rule. */
+static int *prt_compute_call_inherit(PrtRuntime *rt, PrtMachine *m) {
+  int e, ne = rt->prog->num_events;
+  const PrtFrame *top = &m->frames[m->nframes - 1];
+  const PrtStateDecl *st = prt_top_state(rt, m);
+  int *out = (int *)malloc(ne * sizeof(int));
+  for (e = 0; e < ne; ++e) {
+    switch (st->on_event[e].kind) {
+    case PRT_TRANS_STEP:
+    case PRT_TRANS_CALL:
+      out[e] = PRT_INHERIT_NONE;
+      break;
+    case PRT_TRANS_ACTION:
+      out[e] = st->on_event[e].target;
+      break;
+    default:
+      out[e] = st->deferred[e] ? PRT_INHERIT_DEFERRED : top->inherit[e];
+      break;
+    }
+  }
+  return out;
+}
+
+/* ------------------------------------------------------------- queue --- */
+
+static void prt_enqueue(PrtRuntime *rt, PrtMachine *m, int event,
+                        PrtValue arg) {
+  int i;
+  (void)rt;
+  /* ⊎: identical (event, payload) pairs are not duplicated. */
+  for (i = 0; i < m->qlen; ++i)
+    if (m->queue[i].event == event && prt_value_eq(m->queue[i].arg, arg))
+      return;
+  if (m->qlen == m->qcap) {
+    m->qcap = m->qcap ? m->qcap * 2 : 8;
+    m->queue =
+        (PrtQueueEntry *)realloc(m->queue, m->qcap * sizeof(PrtQueueEntry));
+  }
+  m->queue[m->qlen].event = event;
+  m->queue[m->qlen].arg = arg;
+  ++m->qlen;
+}
+
+/* DEQUEUE's scan: first entry outside the effective deferred set. */
+static int prt_find_eligible(PrtRuntime *rt, PrtMachine *m) {
+  int i;
+  const PrtFrame *top;
+  const PrtStateDecl *st;
+  if (m->nframes == 0)
+    return -1;
+  top = &m->frames[m->nframes - 1];
+  st = prt_top_state(rt, m);
+  for (i = 0; i < m->qlen; ++i) {
+    int e = m->queue[i].event;
+    if (st->on_event[e].kind != PRT_TRANS_NONE)
+      return i;
+    if (top->inherit[e] != PRT_INHERIT_DEFERRED && !st->deferred[e])
+      return i;
+  }
+  return -1;
+}
+
+/* ------------------------------------------------------ body helpers --- */
+
+void prt_raise(PrtRuntime *rt, PrtMachine *self, PrtValue event,
+               PrtValue arg) {
+  if (event.kind != PRT_VAL_EVENT) {
+    prt_error(rt, self->id, "undefined-event", "raise with a non-event");
+    return;
+  }
+  self->msg = event;
+  self->arg = arg;
+  self->has_raise = 1;
+  self->raise_event = (int)event.data;
+  self->raise_arg = arg;
+  self->ctl = PRT_CTL_RAISE;
+}
+
+void prt_leave(PrtMachine *self) { self->ctl = PRT_CTL_LEAVE; }
+
+void prt_return(PrtRuntime *rt, PrtMachine *self) {
+  (void)rt;
+  self->ctl = PRT_CTL_RETURN;
+}
+
+void prt_delete(PrtRuntime *rt, PrtMachine *self) {
+  int i;
+  (void)rt;
+  self->alive = 0;
+  self->ctl = PRT_CTL_DELETE;
+  for (i = 0; i < self->nframes; ++i)
+    free(self->frames[i].inherit);
+  self->nframes = 0;
+  self->qlen = 0;
+  self->has_raise = 0;
+}
+
+void prt_assert(PrtRuntime *rt, PrtMachine *self, PrtValue cond,
+                const char *where) {
+  /* ASSERT-FAIL only on false; an undefined condition behaves like
+   * skip, as in the paper. */
+  if (cond.kind == PRT_VAL_BOOL && !cond.data)
+    prt_error(rt, self->id, "assert-failed", where);
+}
+
+int prt_cond(PrtRuntime *rt, PrtMachine *self, PrtValue v,
+             const char *where) {
+  if (v.kind != PRT_VAL_BOOL) {
+    prt_error(rt, self->id, "undefined-branch", where);
+    return 0;
+  }
+  return (int)v.data;
+}
+
+static int prt_alloc_machine(PrtRuntime *rt, int mtype, int ninit,
+                             const int *var_indices, const PrtValue *values) {
+  const PrtMachineDecl *md = &rt->prog->machines[mtype];
+  PrtMachine *m = (PrtMachine *)calloc(1, sizeof(PrtMachine));
+  int i;
+  if (rt->num_machines == rt->cap_machines) {
+    rt->cap_machines = rt->cap_machines ? rt->cap_machines * 2 : 8;
+    rt->machines = (PrtMachine **)realloc(
+        rt->machines, rt->cap_machines * sizeof(PrtMachine *));
+  }
+  m->id = rt->num_machines;
+  m->mtype = mtype;
+  m->alive = 1;
+  m->vars = (PrtValue *)malloc((md->num_vars ? md->num_vars : 1) *
+                               sizeof(PrtValue));
+  for (i = 0; i < md->num_vars; ++i)
+    m->vars[i] = prt_null();
+  for (i = 0; i < ninit; ++i)
+    m->vars[var_indices[i]] = values[i];
+  m->msg = prt_null();
+  m->arg = prt_null();
+  rt->machines[rt->num_machines++] = m;
+  prt_push_frame(rt, m, 0, NULL);
+  return m->id;
+}
+
+/* Runs one body function and folds its control effect into the machine
+ * state; returns the resulting PRT_CTL_* value. */
+static int prt_run_body(PrtRuntime *rt, PrtMachine *m, PrtBodyFn fn) {
+  int ctl;
+  if (!fn)
+    return PRT_CTL_NONE;
+  m->ctl = PRT_CTL_NONE;
+  fn(rt, m);
+  ctl = m->ctl;
+  m->ctl = PRT_CTL_NONE;
+  return ctl;
+}
+
+static void prt_run_machine(PrtRuntime *rt, PrtMachine *m);
+
+PrtValue prt_new(PrtRuntime *rt, PrtMachine *self, int mtype, int ninit,
+                 const int *var_indices, const PrtValue *values) {
+  int id = prt_alloc_machine(rt, mtype, ninit, var_indices, values);
+  PrtMachine *child = rt->machines[id];
+  const PrtMachineDecl *md = &rt->prog->machines[mtype];
+  (void)self;
+  /* Run the child's initial entry to completion (run-to-completion on
+   * the calling thread, as in the KMDF host). */
+  {
+    int ctl = prt_run_body(rt, child, md->states[0].entry);
+    (void)ctl; /* Any raise/return is handled by the machine loop. */
+  }
+  prt_run_machine(rt, child);
+  return prt_mid(id);
+}
+
+void prt_send(PrtRuntime *rt, PrtMachine *self, PrtValue target,
+              PrtValue event, PrtValue arg) {
+  int to;
+  if (event.kind != PRT_VAL_EVENT) {
+    prt_error(rt, self->id, "undefined-event", "send with a non-event");
+    return;
+  }
+  if (target.kind == PRT_VAL_NULL) {
+    prt_error(rt, self->id, "send-to-null", "send target is null");
+    return;
+  }
+  if (target.kind != PRT_VAL_MACHINE) {
+    prt_error(rt, self->id, "send-to-null", "send target is not a machine");
+    return;
+  }
+  to = (int)target.data;
+  if (to < 0 || to >= rt->num_machines || !rt->machines[to]->alive) {
+    prt_error(rt, self->id, "send-to-deleted",
+              "send to a deleted or uninitialized machine");
+    return;
+  }
+  prt_enqueue(rt, rt->machines[to], (int)event.data, arg);
+}
+
+void prt_call_state(PrtRuntime *rt, PrtMachine *self, int state) {
+  const PrtMachineDecl *md = &rt->prog->machines[self->mtype];
+  int *inherit = prt_compute_call_inherit(rt, self);
+  prt_push_frame(rt, self, state, inherit);
+  free(inherit);
+  {
+    int ctl = prt_run_body(rt, self, md->states[state].entry);
+    /* The caller body resumes after this returns only when the pushed
+     * state has already popped without control effects; any pending
+     * raise/return is finished by the machine loop. The code generator
+     * restricts `call` statements to tail position, so the caller body
+     * returns immediately afterwards either way. */
+    if (ctl == PRT_CTL_RAISE)
+      self->ctl = PRT_CTL_RAISE;
+    else if (ctl == PRT_CTL_RETURN)
+      self->ctl = PRT_CTL_RETURN;
+    else if (ctl == PRT_CTL_DELETE)
+      self->ctl = PRT_CTL_DELETE;
+    else
+      self->ctl = PRT_CTL_LEAVE; /* Wait for events in the pushed state. */
+  }
+}
+
+/* ----------------------------------------------------- event dispatch -- */
+
+/* Handles the pending raise of machine m (rules STEP/CALL/ACTION/POP1). */
+static void prt_dispatch(PrtRuntime *rt, PrtMachine *m) {
+  const PrtMachineDecl *md = &rt->prog->machines[m->mtype];
+  int e = m->raise_event;
+  const PrtFrame *top;
+  const PrtStateDecl *st;
+  PrtTransition tr;
+
+  if (m->nframes == 0) {
+    prt_error(rt, m->id, "unhandled-event",
+              "raise with an empty call stack");
+    return;
+  }
+  top = &m->frames[m->nframes - 1];
+  st = &md->states[top->state];
+  tr = st->on_event[e];
+
+  if (tr.kind == PRT_TRANS_STEP) {
+    int ctl;
+    m->has_raise = 0;
+    ctl = prt_run_body(rt, m, st->exit);
+    if (rt->has_error || !m->alive)
+      return;
+    if (ctl == PRT_CTL_RAISE) {
+      /* Exit raised a new event: the transition still fires, then the
+       * new event is dispatched in the target state (documented
+       * implementation choice; the formal rules assume raise-free
+       * exits). */
+    }
+    m->frames[m->nframes - 1].state = tr.target;
+    ctl = prt_run_body(rt, m, md->states[tr.target].entry);
+    (void)ctl; /* Folded into machine state; the loop continues. */
+    if (m->ctl == PRT_CTL_RETURN) {
+      /* An entry ending in `return` is finished by the machine loop. */
+    }
+    return;
+  }
+
+  if (tr.kind == PRT_TRANS_CALL) {
+    int *inherit = prt_compute_call_inherit(rt, m);
+    m->has_raise = 0;
+    prt_push_frame(rt, m, tr.target, inherit);
+    free(inherit);
+    prt_run_body(rt, m, md->states[tr.target].entry);
+    return;
+  }
+
+  if (tr.kind == PRT_TRANS_ACTION) {
+    m->has_raise = 0;
+    prt_run_body(rt, m, md->actions[tr.target].body);
+    return;
+  }
+
+  /* Inherited action? */
+  if (top->inherit[e] >= 0) {
+    int action = top->inherit[e];
+    m->has_raise = 0;
+    prt_run_body(rt, m, md->actions[action].body);
+    return;
+  }
+
+  /* POP1: run the exit statement, pop, keep propagating the event. */
+  prt_run_body(rt, m, st->exit);
+  if (rt->has_error || !m->alive)
+    return;
+  free(m->frames[m->nframes - 1].inherit);
+  --m->nframes;
+  if (m->nframes == 0)
+    prt_error(rt, m->id, "unhandled-event",
+              rt->prog->event_names[e]);
+}
+
+/* Runs machine m until it blocks, halts or errors. */
+static void prt_run_machine(PrtRuntime *rt, PrtMachine *m) {
+  while (m->alive && !rt->has_error) {
+    if (++rt->steps > rt->max_steps) {
+      prt_error(rt, m->id, "divergence",
+                "machine exceeded the step budget");
+      return;
+    }
+    if (m->ctl == PRT_CTL_RETURN) {
+      /* RETURN + POP2: run the exit, pop the frame. */
+      const PrtMachineDecl *md = &rt->prog->machines[m->mtype];
+      const PrtStateDecl *st = &md->states[m->frames[m->nframes - 1].state];
+      m->ctl = PRT_CTL_NONE;
+      prt_run_body(rt, m, st->exit);
+      if (rt->has_error || !m->alive)
+        return;
+      free(m->frames[m->nframes - 1].inherit);
+      --m->nframes;
+      m->has_raise = 0;
+      if (m->nframes == 0) {
+        prt_error(rt, m->id, "pop-from-empty-stack",
+                  "return from the bottom state");
+        return;
+      }
+      continue;
+    }
+    m->ctl = PRT_CTL_NONE;
+    if (m->has_raise) {
+      prt_dispatch(rt, m);
+      if (m->ctl == PRT_CTL_RETURN)
+        continue; /* An entry/action ended in `return`. */
+      if (m->ctl == PRT_CTL_DELETE)
+        return;
+      m->ctl = PRT_CTL_NONE;
+      continue;
+    }
+    {
+      int idx = prt_find_eligible(rt, m);
+      int i;
+      if (idx < 0)
+        return; /* Blocked: wait for events. */
+      m->msg = prt_event(m->queue[idx].event);
+      m->arg = m->queue[idx].arg;
+      m->has_raise = 1;
+      m->raise_event = m->queue[idx].event;
+      m->raise_arg = m->queue[idx].arg;
+      for (i = idx + 1; i < m->qlen; ++i)
+        m->queue[i - 1] = m->queue[i];
+      --m->qlen;
+    }
+  }
+}
+
+/* -------------------------------------------------------- host entry --- */
+
+void PrtRunAll(PrtRuntime *rt) {
+  int progress = 1;
+  rt->steps = 0;
+  while (progress && !rt->has_error) {
+    int i;
+    progress = 0;
+    for (i = 0; i < rt->num_machines; ++i) {
+      PrtMachine *m = rt->machines[i];
+      if (!m->alive)
+        continue;
+      if (m->has_raise || m->ctl != PRT_CTL_NONE ||
+          prt_find_eligible(rt, m) >= 0) {
+        progress = 1;
+        prt_run_machine(rt, m);
+      }
+    }
+  }
+}
+
+int PrtCreateMachine(PrtRuntime *rt, int mtype, int ninit,
+                     const int *var_indices, const PrtValue *values) {
+  int id;
+  const PrtMachineDecl *md;
+  if (mtype < 0 || mtype >= rt->prog->num_machines)
+    return -1;
+  md = &rt->prog->machines[mtype];
+  id = prt_alloc_machine(rt, mtype, ninit, var_indices, values);
+  prt_run_body(rt, rt->machines[id], md->states[0].entry);
+  prt_run_machine(rt, rt->machines[id]);
+  PrtRunAll(rt);
+  return id;
+}
+
+int PrtAddEvent(PrtRuntime *rt, int target, int event, PrtValue arg) {
+  if (target < 0 || target >= rt->num_machines ||
+      !rt->machines[target]->alive) {
+    prt_error(rt, target, "send-to-deleted", "PrtAddEvent to a dead machine");
+    return 1;
+  }
+  if (event < 0 || event >= rt->prog->num_events)
+    return 1;
+  prt_enqueue(rt, rt->machines[target], event, arg);
+  PrtRunAll(rt);
+  return rt->has_error ? 1 : 0;
+}
+
+void *PrtGetContext(PrtRuntime *rt, int id) {
+  if (id < 0 || id >= rt->num_machines)
+    return NULL;
+  return rt->machines[id]->context;
+}
+
+void PrtSetContext(PrtRuntime *rt, int id, void *context) {
+  if (id >= 0 && id < rt->num_machines)
+    rt->machines[id]->context = context;
+}
+
+const char *PrtCurrentStateName(PrtRuntime *rt, int id) {
+  PrtMachine *m;
+  if (id < 0 || id >= rt->num_machines)
+    return "";
+  m = rt->machines[id];
+  if (!m->alive || m->nframes == 0)
+    return "";
+  return rt->prog->machines[m->mtype]
+      .states[m->frames[m->nframes - 1].state]
+      .name;
+}
+
+PrtValue PrtReadVar(PrtRuntime *rt, int id, int var_index) {
+  PrtMachine *m;
+  if (id < 0 || id >= rt->num_machines)
+    return prt_null();
+  m = rt->machines[id];
+  if (!m->alive || var_index < 0 ||
+      var_index >= rt->prog->machines[m->mtype].num_vars)
+    return prt_null();
+  return m->vars[var_index];
+}

@@ -1,0 +1,232 @@
+/*===- codegen/c/prt_runtime.h - C runtime for generated P code -----------===
+ *
+ * Part of the P-language reproduction. MIT license.
+ *
+ *===----------------------------------------------------------------------===
+ *
+ * The runtime library of Section 4: generated C code is a collection of
+ * indexed, statically allocated tables (events, machine types, states
+ * with transition/deferred/action tables, entry/exit functions); this
+ * runtime interprets those tables, providing machine creation, queues
+ * with the ⊎ dedup append, the call stack with inherited handler maps,
+ * deferred-event dequeue, and run-to-completion execution. The three
+ * host-facing calls mirror the paper's API: PrtCreateMachine
+ * (SMCreateMachine), PrtAddEvent (SMAddEvent) and PrtGetContext
+ * (SMGetContext).
+ *
+ * Written in portable C99 so a generated driver builds with any stock C
+ * compiler (the paper's host was KMDF; re-hosting only replaces this
+ * file, not the generated code).
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef PRT_RUNTIME_H
+#define PRT_RUNTIME_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ----------------------------------------------------------- values --- */
+
+typedef enum PrtValueKind {
+  PRT_VAL_NULL = 0,
+  PRT_VAL_BOOL = 1,
+  PRT_VAL_INT = 2,
+  PRT_VAL_EVENT = 3,
+  PRT_VAL_MACHINE = 4
+} PrtValueKind;
+
+typedef struct PrtValue {
+  PrtValueKind kind;
+  long long data;
+} PrtValue;
+
+PrtValue prt_null(void);
+PrtValue prt_bool(int b);
+PrtValue prt_int(long long i);
+PrtValue prt_event(int e);
+PrtValue prt_mid(int id);
+
+/* Operators with the paper's strict-in-⊥ semantics. */
+PrtValue prt_op_not(PrtValue v);
+PrtValue prt_op_neg(PrtValue v);
+PrtValue prt_op_add(PrtValue a, PrtValue b);
+PrtValue prt_op_sub(PrtValue a, PrtValue b);
+PrtValue prt_op_mul(PrtValue a, PrtValue b);
+PrtValue prt_op_div(PrtValue a, PrtValue b);
+PrtValue prt_op_and(PrtValue a, PrtValue b);
+PrtValue prt_op_or(PrtValue a, PrtValue b);
+PrtValue prt_op_eq(PrtValue a, PrtValue b);
+PrtValue prt_op_ne(PrtValue a, PrtValue b);
+PrtValue prt_op_lt(PrtValue a, PrtValue b);
+PrtValue prt_op_le(PrtValue a, PrtValue b);
+PrtValue prt_op_gt(PrtValue a, PrtValue b);
+PrtValue prt_op_ge(PrtValue a, PrtValue b);
+
+/* ----------------------------------------------------- program tables --- */
+
+typedef struct PrtRuntime PrtRuntime;
+typedef struct PrtMachine PrtMachine;
+
+/* Entry/exit/action bodies compiled from P statements. */
+typedef void (*PrtBodyFn)(PrtRuntime *rt, PrtMachine *self);
+
+typedef enum PrtTransKind {
+  PRT_TRANS_NONE = 0,
+  PRT_TRANS_STEP = 1,
+  PRT_TRANS_CALL = 2,
+  PRT_TRANS_ACTION = 3
+} PrtTransKind;
+
+typedef struct PrtTransition {
+  unsigned char kind; /* PrtTransKind */
+  int target;         /* state index (STEP/CALL) or action index */
+} PrtTransition;
+
+typedef struct PrtStateDecl {
+  const char *name;
+  const unsigned char *deferred; /* per event id: 1 = deferred */
+  const PrtTransition *on_event; /* per event id */
+  PrtBodyFn entry;               /* may be NULL (skip) */
+  PrtBodyFn exit;                /* may be NULL (skip) */
+} PrtStateDecl;
+
+typedef struct PrtActionDecl {
+  const char *name;
+  PrtBodyFn body; /* may be NULL (skip) */
+} PrtActionDecl;
+
+typedef struct PrtMachineDecl {
+  const char *name;
+  int num_vars;
+  const char *const *var_names;
+  int num_states;
+  const PrtStateDecl *states; /* states[0] is Init(m) */
+  int num_actions;
+  const PrtActionDecl *actions;
+} PrtMachineDecl;
+
+typedef struct PrtProgramDecl {
+  int num_events;
+  const char *const *event_names;
+  int num_machines;
+  const PrtMachineDecl *machines;
+} PrtProgramDecl;
+
+/* --------------------------------------------------- runtime objects --- */
+
+/* Inherited handler map entries. */
+#define PRT_INHERIT_NONE (-2)
+#define PRT_INHERIT_DEFERRED (-1)
+
+typedef struct PrtFrame {
+  int state;
+  int *inherit; /* per event id */
+} PrtFrame;
+
+typedef struct PrtQueueEntry {
+  int event;
+  PrtValue arg;
+} PrtQueueEntry;
+
+struct PrtMachine {
+  int id;
+  int mtype;
+  int alive;
+  PrtValue *vars;
+  PrtValue msg;
+  PrtValue arg;
+  int has_raise;
+  int raise_event;
+  PrtValue raise_arg;
+  PrtQueueEntry *queue;
+  int qlen, qcap;
+  PrtFrame *frames;
+  int nframes, fcap;
+  void *context; /* external memory for foreign code (PrtGetContext) */
+  int ctl;       /* body control flag, see PRT_CTL_* */
+};
+
+#define PRT_CTL_NONE 0
+#define PRT_CTL_RAISE 1
+#define PRT_CTL_LEAVE 2
+#define PRT_CTL_RETURN 3
+#define PRT_CTL_DELETE 4
+
+/* Error reporting callback: kind is one of "assert-failed",
+ * "send-to-null", "send-to-deleted", "unhandled-event",
+ * "pop-from-empty-stack", "undefined-branch", "undefined-event",
+ * "divergence". */
+typedef void (*PrtErrorFn)(PrtRuntime *rt, int machine_id, const char *kind,
+                           const char *msg);
+
+struct PrtRuntime {
+  const PrtProgramDecl *prog;
+  PrtMachine **machines;
+  int num_machines, cap_machines;
+  PrtErrorFn error_fn;
+  int has_error;
+  unsigned long long steps;
+  unsigned long long max_steps; /* divergence guard per PrtRunAll */
+  void *user;                   /* host cookie */
+};
+
+/* ------------------------------------------------------- host API ------ */
+
+PrtRuntime *PrtCreateRuntime(const PrtProgramDecl *prog, PrtErrorFn on_error);
+void PrtDestroyRuntime(PrtRuntime *rt);
+
+/* SMCreateMachine: creates a machine of type `mtype`, assigns the listed
+ * variables, runs the system to completion; returns the machine id or -1. */
+int PrtCreateMachine(PrtRuntime *rt, int mtype, int ninit,
+                     const int *var_indices, const PrtValue *values);
+
+/* SMAddEvent: enqueues an event from the host and runs to completion.
+ * Returns 0 on success, nonzero on error. */
+int PrtAddEvent(PrtRuntime *rt, int target, int event, PrtValue arg);
+
+/* SMGetContext: the external memory attached to a machine. */
+void *PrtGetContext(PrtRuntime *rt, int id);
+void PrtSetContext(PrtRuntime *rt, int id, void *context);
+
+/* Runs every machine until the system quiesces. */
+void PrtRunAll(PrtRuntime *rt);
+
+/* Name of machine `id`'s current (topmost) state; "" when dead. */
+const char *PrtCurrentStateName(PrtRuntime *rt, int id);
+
+/* Reads variable `var_index` of machine `id` (⊥ when invalid). */
+PrtValue PrtReadVar(PrtRuntime *rt, int id, int var_index);
+
+/* ------------------------------------- helpers for generated bodies --- */
+
+/* All helpers set rt->has_error (and invoke the error callback) on the
+ * error transitions of Figure 6; generated code returns immediately
+ * after any helper when rt->has_error or self->ctl is set. */
+
+PrtValue prt_new(PrtRuntime *rt, PrtMachine *self, int mtype, int ninit,
+                 const int *var_indices, const PrtValue *values);
+void prt_send(PrtRuntime *rt, PrtMachine *self, PrtValue target,
+              PrtValue event, PrtValue arg);
+void prt_raise(PrtRuntime *rt, PrtMachine *self, PrtValue event,
+               PrtValue arg);
+void prt_leave(PrtMachine *self);
+void prt_return(PrtRuntime *rt, PrtMachine *self);
+void prt_delete(PrtRuntime *rt, PrtMachine *self);
+void prt_assert(PrtRuntime *rt, PrtMachine *self, PrtValue cond,
+                const char *where);
+/* `call S;` in tail position: push the state like a call transition and
+ * run its entry. */
+void prt_call_state(PrtRuntime *rt, PrtMachine *self, int state);
+/* Branch condition evaluation; errors on non-bool (undefined branch). */
+int prt_cond(PrtRuntime *rt, PrtMachine *self, PrtValue v,
+             const char *where);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* PRT_RUNTIME_H */

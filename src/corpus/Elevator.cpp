@@ -1,0 +1,273 @@
+//===- corpus/Elevator.cpp - The elevator of Figures 1 and 2 ---------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The elevator example of Section 2. One real Elevator machine; ghost
+// User, Door and Timer machines model the environment and are erased
+// during compilation. The StoppingTimer/WaitingForTimer/ReturnState
+// trio is the call-transition "subroutine" the paper describes, and the
+// stop-vs-fire race is resolved with the acknowledge handshake the
+// verifier forces you to discover (a TimerFired already in flight when
+// the stop request arrives must be drained by WaitingForTimer).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace p;
+
+std::string corpus::elevator(ElevatorBug Bug) {
+  std::string Src = R"(
+// Local control events.
+event unit;
+event StopTimerReturned;
+
+// User -> Elevator.
+event OpenDoor;
+event CloseDoor;
+
+// Door -> Elevator.
+event DoorOpened;
+event DoorClosed;
+event DoorStopped;
+event ObjectDetected;
+
+// Elevator -> Door.
+event SendCommandToOpenDoor;
+event SendCommandToCloseDoor;
+event SendCommandToStopDoor;
+event SendCommandToResetDoor;
+
+// Elevator <-> Timer.
+event StartDoorCloseTimer;
+event StopDoorCloseTimer;
+event AckTimerFired;
+event TimerFired;
+event OperationSuccess;
+event OperationFailure;
+
+machine Elevator {
+  ghost var TimerV: id;
+  ghost var DoorV: id;
+
+  action Ignore { skip; }
+
+  state Init {
+    entry {
+      TimerV = new Timer(Client = this);
+      DoorV = new Door(Client = this);
+      raise(unit);
+    }
+    on unit goto DoorClosed;
+  }
+
+  state DoorClosed {
+    entry { send(DoorV, SendCommandToResetDoor); }
+    on CloseDoor do Ignore;
+    on OpenDoor goto DoorOpening;
+  }
+
+  state DoorOpening {
+)" +
+                    std::string(Bug == ElevatorBug::MissingDeferCloseDoor
+                                    ? ""
+                                    : "    defer CloseDoor;\n") +
+                    R"(    on OpenDoor do Ignore;
+    entry { send(DoorV, SendCommandToOpenDoor); }
+    on DoorOpened goto DoorOpened;
+  }
+
+  state DoorOpened {
+    defer CloseDoor;
+    entry {
+      send(DoorV, SendCommandToResetDoor);
+      send(TimerV, StartDoorCloseTimer);
+    }
+    on TimerFired goto DoorOpenedOkToClose;
+    on StopTimerReturned goto DoorOpening;
+    on OpenDoor push StoppingTimer;
+  }
+
+  state DoorOpenedOkToClose {
+    entry { send(TimerV, AckTimerFired); }
+    on OpenDoor goto DoorOpened;
+    on CloseDoor push StoppingTimer;
+    on StopTimerReturned goto DoorClosing;
+  }
+
+  state DoorClosing {
+    defer CloseDoor;
+    entry { send(DoorV, SendCommandToCloseDoor); }
+    on DoorClosed goto DoorClosed;
+    on DoorOpened goto DoorOpened;
+    on DoorStopped goto DoorOpening;
+    on ObjectDetected goto DoorOpening;
+    on OpenDoor push StoppingDoor;
+  }
+
+  // Subroutine: stop the door mid-close; the Door's reply (DoorClosed,
+  // DoorStopped or ObjectDetected) is deliberately unhandled here so it
+  // pops back (POP1) to DoorClosing, which handles all replies.
+  state StoppingDoor {
+    defer CloseDoor, OpenDoor;
+    entry { send(DoorV, SendCommandToStopDoor); }
+  }
+
+  // Subroutine: stop the door-close timer (called from DoorOpened on
+  // OpenDoor and from DoorOpenedOkToClose on CloseDoor).
+  state StoppingTimer {
+)" +
+                    std::string(Bug == ElevatorBug::MissingDeferTimerFired
+                                    ? "    defer OpenDoor, CloseDoor;\n"
+                                    : "    defer OpenDoor, CloseDoor, "
+                                      "TimerFired;\n") +
+                    R"(    entry { send(TimerV, StopDoorCloseTimer); }
+    on OperationSuccess goto ReturnState;
+    on OperationFailure goto WaitingForTimer;
+  }
+
+  state WaitingForTimer {
+    defer OpenDoor, CloseDoor;
+    entry { }
+    on TimerFired goto ReturnState;
+  }
+
+  state ReturnState {
+    entry { raise(StopTimerReturned); }
+  }
+}
+
+// ----------------------------------------------------------------- ghosts
+
+main ghost machine User {
+  var ElevatorV: id;
+  state UInit {
+    entry {
+      ElevatorV = new Elevator();
+      raise(unit);
+    }
+    on unit goto Loop;
+  }
+  state Loop {
+    entry {
+      if (*) {
+        send(ElevatorV, OpenDoor);
+      } else {
+        send(ElevatorV, CloseDoor);
+      }
+      raise(unit);
+    }
+    on unit goto Loop;
+  }
+}
+
+ghost machine Door {
+  var Client: id;
+
+  action Ignore { skip; }
+
+  state DInit {
+    entry { }
+    on SendCommandToOpenDoor goto OpenDoorState;
+    on SendCommandToCloseDoor goto ConsiderClosingDoor;
+    on SendCommandToStopDoor do Ignore;
+    on SendCommandToResetDoor do Ignore;
+  }
+
+  state OpenDoorState {
+    entry {
+      send(Client, DoorOpened);
+      raise(unit);
+    }
+    on unit goto ResetDoorState;
+  }
+
+  state ConsiderClosingDoor {
+    entry {
+      if (*) {
+        raise(unit);
+      } else {
+        if (*) {
+          send(Client, ObjectDetected);
+          raise(ObjectDetected);
+        }
+      }
+    }
+    on unit goto CloseDoorState;
+    on ObjectDetected goto DInit;
+    on SendCommandToStopDoor goto StoppedState;
+  }
+
+  state CloseDoorState {
+    entry {
+      send(Client, DoorClosed);
+      raise(unit);
+    }
+    on unit goto ResetDoorState;
+  }
+
+  state StoppedState {
+    entry {
+      send(Client, DoorStopped);
+      raise(unit);
+    }
+    on unit goto DInit;
+  }
+
+  state ResetDoorState {
+    entry { }
+    on SendCommandToOpenDoor do Ignore;
+    on SendCommandToCloseDoor do Ignore;
+    on SendCommandToStopDoor do Ignore;
+    on SendCommandToResetDoor goto DInit;
+  }
+}
+
+ghost machine Timer {
+  var Client: id;
+
+  state TInit {
+    entry { }
+    on StartDoorCloseTimer goto TimerStarted;
+    on StopDoorCloseTimer goto SucceedStop;
+  }
+
+  state TimerStarted {
+    entry {
+      if (*) {
+        send(Client, TimerFired);
+        raise(unit);
+      }
+    }
+    on unit goto TimerFiredState;
+    on StopDoorCloseTimer goto SucceedStop;
+  }
+
+  // The timer fired; the TimerFired event may still be in flight.
+  state TimerFiredState {
+    entry { }
+    on StopDoorCloseTimer goto FailStop;
+    on AckTimerFired goto TInit;
+  }
+
+  state SucceedStop {
+    entry {
+      send(Client, OperationSuccess);
+      raise(unit);
+    }
+    on unit goto TInit;
+  }
+
+  state FailStop {
+    entry {
+      send(Client, OperationFailure);
+      raise(unit);
+    }
+    on unit goto TInit;
+  }
+}
+)";
+  return Src;
+}

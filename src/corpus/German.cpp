@@ -1,0 +1,395 @@
+//===- corpus/German.cpp - German's cache coherence protocol ---------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The third Figure 7 benchmark: a software implementation of German's
+// cache coherence protocol. A Home directory serves shared/exclusive
+// requests from N client machines, invalidating the current owner and
+// sharers as needed. The core P calculus has no container types, so the
+// per-client directory state (client ids, sharer bits, invalidation
+// fan-out) is unrolled into individual variables and if-chains — the
+// source is generated for a given N, the way the paper's fixed-size
+// model would be written by hand.
+//
+// Coherence is asserted by a ghost Auditor machine clients notify on
+// every mode change through a synchronous handshake (see the event
+// declarations below for why the handshake is necessary under the
+// queue's ⊎ dedup semantics).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <cassert>
+#include <string>
+
+using namespace p;
+
+namespace {
+
+std::string num(int I) { return std::to_string(I); }
+
+} // namespace
+
+std::string corpus::german(int NumClients, GermanBug Bug) {
+  assert(NumClients >= 1 && NumClients <= 8 && "unsupported client count");
+  const int N = NumClients;
+
+  std::string S;
+  S += R"(
+event unit;
+event waitAcks;
+event grantNow;
+event allAcked;
+event done;
+
+// Client -> Home (payload: requesting client id).
+event ReqShared(id);
+event ReqExcl(id);
+event InvAck(id);
+
+// Home -> Client.
+event Inv;
+event GntShared;
+event GntExcl;
+
+// Ghost environment -> Client.
+event DoReqS;
+event DoReqE;
+
+// Home -> ghost Env (client roster).
+event ClientIntro(id);
+
+// Home -> ghost Auditor (client roster).
+event AudIntro(id);
+
+// Client <-> ghost Auditor: a synchronous-monitor handshake. The client
+// declares its new mode (payload: itself) and waits for AuditAck before
+// taking any further protocol step. The handshake is what makes the
+// oracle exact: at most one notification per client is ever pending, so
+// the queue's dedup operator ⊎ can never drop one (async counting
+// oracles either lose events to ⊎ under a starved auditor or need
+// unbounded counter payloads, blowing up the state space). The price is
+// that this model is verification-only: the erased program parks each
+// client at its first WaitAudit state, like the paper's German
+// benchmark, which was never driver code.
+event NowInvalid(id);
+event NowShared(id);
+event NowExcl(id);
+event AuditAck;
+
+machine Home {
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "  var Client" + num(I) + ": id;\n";
+  for (int I = 1; I <= N; ++I)
+    S += "  var Sharer" + num(I) + ": bool;\n";
+  S += R"(  var ExclOwner: id;
+  var HasOwner: bool;
+  var Pending: id;
+  var AcksNeeded: int;
+  ghost var EnvRef: id;
+  ghost var AudV: id;
+
+  state HInit {
+    entry {
+      AudV = new Auditor();
+      HasOwner = false;
+      AcksNeeded = 0;
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "      Sharer" + num(I) + " = false;\n";
+  for (int I = 1; I <= N; ++I)
+    S += "      Client" + num(I) + " = new Client(Home = this, Aud = AudV);\n";
+  for (int I = 1; I <= N; ++I)
+    S += "      send(AudV, AudIntro, Client" + num(I) + ");\n";
+  for (int I = 1; I <= N; ++I)
+    S += "      send(EnvRef, ClientIntro, Client" + num(I) + ");\n";
+  S += R"(      raise(unit);
+    }
+    on unit goto Idle;
+  }
+
+  state Idle {
+    entry { }
+    on ReqShared goto ServeShared;
+    on ReqExcl goto ServeExcl;
+  }
+
+  // Serve a shared request: invalidate the exclusive owner first.
+  state ServeShared {
+    defer ReqShared, ReqExcl;
+    entry {
+      Pending = arg;
+      if (HasOwner) {
+        send(ExclOwner, Inv);
+        raise(waitAcks);
+      } else {
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "        if (Pending == Client" + num(I) + ") { Sharer" + num(I) +
+         " = true; }\n";
+  S += R"(        send(Pending, GntShared);
+        raise(done);
+      }
+    }
+    on waitAcks goto SharedInvalidating;
+    on done goto Idle;
+  }
+
+  state SharedInvalidating {
+    defer ReqShared, ReqExcl;
+    entry { }
+    on InvAck goto SharedGrant;
+  }
+
+  state SharedGrant {
+    entry {
+      HasOwner = false;
+      ExclOwner = null;
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "      if (Pending == Client" + num(I) + ") { Sharer" + num(I) +
+         " = true; }\n";
+  S += R"(      send(Pending, GntShared);
+      raise(done);
+    }
+    on done goto Idle;
+  }
+
+  // Serve an exclusive request: invalidate the owner and every sharer.
+  state ServeExcl {
+    defer ReqShared, ReqExcl;
+    entry {
+      Pending = arg;
+      AcksNeeded = 0;
+)";
+  if (Bug != GermanBug::SkipOwnerInvalidation)
+    S += R"(      if (HasOwner) {
+        send(ExclOwner, Inv);
+        AcksNeeded = AcksNeeded + 1;
+      }
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "      if (Sharer" + num(I) + ") { send(Client" + num(I) +
+         ", Inv); AcksNeeded = AcksNeeded + 1; }\n";
+  S += R"(      if (AcksNeeded == 0) {
+        raise(grantNow);
+      } else {
+        raise(waitAcks);
+      }
+    }
+    on grantNow goto ExclGrant;
+    on waitAcks goto ExclInvalidating;
+  }
+
+  state ExclInvalidating {
+    defer ReqShared, ReqExcl;
+    entry { }
+    on InvAck do CountAck;
+    on allAcked goto ExclGrant;
+  }
+
+  action CountAck {
+    AcksNeeded = AcksNeeded - 1;
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "    if (arg == Client" + num(I) + ") { Sharer" + num(I) +
+         " = false; }\n";
+  S += R"(    if (HasOwner) {
+      if (arg == ExclOwner) {
+        HasOwner = false;
+        ExclOwner = null;
+      }
+    }
+    if (AcksNeeded == 0) {
+      raise(allAcked);
+    }
+  }
+
+  state ExclGrant {
+    entry {
+      ExclOwner = Pending;
+      HasOwner = true;
+      send(Pending, GntExcl);
+      raise(done);
+    }
+    on done goto Idle;
+  }
+}
+
+machine Client {
+  var Home: id;
+  ghost var Aud: id;
+
+  action Ignore { skip; }
+
+  state Invalid {
+    entry { }
+    on DoReqS goto AskingShared;
+    on DoReqE goto AskingExcl;
+  }
+
+  state AskingShared {
+    defer DoReqS, DoReqE;
+    entry { send(Home, ReqShared, this); }
+    on GntShared goto WaitAuditShared;
+  }
+
+  state WaitAuditShared {
+    defer DoReqS, DoReqE, Inv;
+    entry { send(Aud, NowShared, this); }
+    on AuditAck goto Shared;
+  }
+
+  state AskingExcl {
+    defer DoReqS, DoReqE;
+    entry { send(Home, ReqExcl, this); }
+    on GntExcl goto WaitAuditExcl;
+  }
+
+  state WaitAuditExcl {
+    defer DoReqS, DoReqE, Inv;
+    entry { send(Aud, NowExcl, this); }
+    on AuditAck goto Exclusive;
+  }
+
+  state Shared {
+    entry { }
+    on DoReqS do Ignore;
+    on DoReqE do Ignore;
+    on Inv goto Leaving;
+  }
+
+  state Exclusive {
+    entry { }
+    on DoReqS do Ignore;
+    on DoReqE do Ignore;
+    on Inv goto Leaving;
+  }
+
+  // Declare the downgrade, wait for the auditor, then ack Home. The
+  // InvAck must come after the auditor handshake so the auditor's view
+  // is current before Home can grant the next request.
+  state Leaving {
+    defer DoReqS, DoReqE;
+    entry { send(Aud, NowInvalid, this); }
+    on AuditAck goto AckingHome;
+  }
+
+  state AckingHome {
+    defer DoReqS, DoReqE;
+    entry {
+      send(Home, InvAck, this);
+      raise(unit);
+    }
+    on unit goto Invalid;
+  }
+}
+
+// ----------------------------------------------------------------- ghosts
+
+ghost machine Auditor {
+)";
+  // Roster (AC_i) and per-client mode (0 = invalid, 1 = shared,
+  // 2 = exclusive).
+  for (int I = 1; I <= N; ++I)
+    S += "  var AC" + num(I) + ": id;\n";
+  for (int I = 1; I <= N; ++I)
+    S += "  var Mode" + num(I) + ": int;\n";
+  // Collect the roster Home sends during HInit; FIFO order guarantees
+  // every AudIntro precedes the first mode declaration.
+  for (int I = 0; I < N; ++I) {
+    S += "  state ACollect" + num(I) + " {\n";
+    if (I > 0)
+      S += "    entry { AC" + num(I) + " = arg; Mode" + num(I) +
+           " = 0; }\n";
+    else
+      S += "    entry { }\n";
+    S += "    on AudIntro goto ACollect" + num(I + 1) + ";\n  }\n";
+  }
+  S += "  state ACollect" + num(N) + " {\n";
+  S += "    entry { AC" + num(N) + " = arg; Mode" + num(N) +
+       " = 0; raise(unit); }\n";
+  S += "    on unit goto Track;\n  }\n";
+  S += R"(
+  state Track {
+    entry { }
+    on NowInvalid do SetInvalid;
+    on NowShared do SetShared;
+    on NowExcl do SetExcl;
+  }
+
+  action SetInvalid {
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "    if (arg == AC" + num(I) + ") { Mode" + num(I) + " = 0; }\n";
+  S += R"(    send(arg, AuditAck);
+  }
+
+  action SetShared {
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "    if (arg == AC" + num(I) + ") { Mode" + num(I) + " = 1; }\n";
+  S += "    CheckCoherence();\n    send(arg, AuditAck);\n  }\n\n"
+       "  action SetExcl {\n";
+  for (int I = 1; I <= N; ++I)
+    S += "    if (arg == AC" + num(I) + ") { Mode" + num(I) + " = 2; }\n";
+  S += "    CheckCoherence();\n    send(arg, AuditAck);\n  }\n";
+  S += R"(
+  foreign fun CheckCoherence() : void model {
+)";
+  // An exclusive client excludes every other shared/exclusive client.
+  for (int I = 1; I <= N; ++I)
+    for (int J = 1; J <= N; ++J)
+      if (I != J)
+        S += "    assert(!(Mode" + num(I) + " == 2 && Mode" + num(J) +
+             " >= 1));\n";
+  S += R"(  }
+}
+
+main ghost machine Env {
+  var HomeV: id;
+)";
+  for (int I = 1; I <= N; ++I)
+    S += "  var C" + num(I) + ": id;\n";
+  S += R"(
+  state EInit {
+    entry {
+      HomeV = new Home(EnvRef = this);
+      raise(unit);
+    }
+    on unit goto Collect0;
+  }
+)";
+  // Collect the client roster Home sends back (FIFO order: C1..CN).
+  for (int I = 0; I < N; ++I) {
+    S += "  state Collect" + num(I) + " {\n";
+    if (I > 0)
+      S += "    entry { C" + num(I) + " = arg; }\n";
+    else
+      S += "    entry { }\n";
+    S += "    on ClientIntro goto Collect" + num(I + 1) + ";\n";
+    S += "  }\n";
+  }
+  S += "  state Collect" + num(N) + " {\n";
+  S += "    entry { C" + num(N) + " = arg; raise(unit); }\n";
+  S += "    on unit goto Drive;\n  }\n";
+  S += R"(
+  state Drive {
+    entry {
+)";
+  for (int I = 1; I <= N; ++I) {
+    S += "      if (*) { send(C" + num(I) + ", DoReqS); } else {\n";
+    S += "        if (*) { send(C" + num(I) + ", DoReqE); }\n      }\n";
+  }
+  S += R"(      raise(unit);
+    }
+    on unit goto Drive;
+  }
+}
+)";
+  return S;
+}

@@ -1,0 +1,172 @@
+//===- corpus/SwitchLed.cpp - The Switch-and-LED driver of Section 4.1 -----===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The simple switch-and-LED device of Section 4.1: a real driver machine
+// translating switch toggles into LED commands, with transfer-failure
+// retries; ghost Switch (user) and Led (device) machines close the
+// system. The hand-written baseline this is benchmarked against lives in
+// bench/bench_sec41_overhead.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace p;
+
+std::string corpus::switchLed(SwitchLedBug Bug) {
+  const char *DeferSwitch =
+      Bug == SwitchLedBug::MissingDeferSwitch
+          ? "\n"
+          : "    defer SwitchedOn, SwitchedOff;\n";
+  const char *RetryBound =
+      Bug == SwitchLedBug::WrongRetryAssert ? "2" : "3";
+
+  std::string Src = R"(
+event unit;
+event giveUp;
+
+// Switch -> Driver.
+event SwitchedOn;
+event SwitchedOff;
+
+// Driver -> Led.
+event TurnOnLed;
+event TurnOffLed;
+
+// Led -> Driver.
+event LedOk;
+event LedFailed;
+
+machine SwitchLedDriver {
+  ghost var LedV: id;
+  var Retries: int;
+
+  action Ignore { skip; }
+
+  state Init {
+    entry {
+      Retries = 0;
+      LedV = new Led(Driver = this);
+      raise(unit);
+    }
+    on unit goto Off;
+  }
+
+  state Off {
+    entry { }
+    on SwitchedOff do Ignore;
+    on SwitchedOn goto TurningOn;
+  }
+
+  state TurningOn {
+)" + std::string(DeferSwitch) +
+                    R"(    entry {
+      Retries = 0;
+      send(LedV, TurnOnLed);
+    }
+    on LedOk goto On;
+    on LedFailed goto RetryOn;
+  }
+
+  state RetryOn {
+)" + std::string(DeferSwitch) +
+                    R"(    entry {
+      Retries = Retries + 1;
+      assert(Retries <= )" +
+                    RetryBound + R"();
+      if (Retries == 3) {
+        raise(giveUp);
+      } else {
+        send(LedV, TurnOnLed);
+      }
+    }
+    on LedOk goto On;
+    on LedFailed goto RetryOn;
+    on giveUp goto Off;
+  }
+
+  state On {
+    entry { }
+    on SwitchedOn do Ignore;
+    on SwitchedOff goto TurningOff;
+  }
+
+  state TurningOff {
+)" + std::string(DeferSwitch) +
+                    R"(    entry {
+      Retries = 0;
+      send(LedV, TurnOffLed);
+    }
+    on LedOk goto Off;
+    on LedFailed goto RetryOff;
+  }
+
+  state RetryOff {
+)" + std::string(DeferSwitch) +
+                    R"(    entry {
+      Retries = Retries + 1;
+      assert(Retries <= )" +
+                    RetryBound + R"();
+      if (Retries == 3) {
+        raise(giveUp);
+      } else {
+        send(LedV, TurnOffLed);
+      }
+    }
+    on LedOk goto Off;
+    on LedFailed goto RetryOff;
+    on giveUp goto On;
+  }
+}
+
+// ----------------------------------------------------------------- ghosts
+
+main ghost machine Switch {
+  var DriverV: id;
+  state SInit {
+    entry {
+      DriverV = new SwitchLedDriver();
+      raise(unit);
+    }
+    on unit goto Toggle;
+  }
+  state Toggle {
+    entry {
+      if (*) {
+        send(DriverV, SwitchedOn);
+      } else {
+        send(DriverV, SwitchedOff);
+      }
+      raise(unit);
+    }
+    on unit goto Toggle;
+  }
+}
+
+ghost machine Led {
+  var Driver: id;
+
+  state WaitCommand {
+    entry { }
+    on TurnOnLed goto Transfer;
+    on TurnOffLed goto Transfer;
+  }
+
+  state Transfer {
+    entry {
+      if (*) {
+        send(Driver, LedOk);
+      } else {
+        send(Driver, LedFailed);
+      }
+      raise(unit);
+    }
+    on unit goto WaitCommand;
+  }
+}
+)";
+  return Src;
+}

@@ -1,0 +1,443 @@
+//===- corpus/UsbHub.cpp - A USB-hub-style driver (Figure 8, scaled) -------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Stand-in for the proprietary Windows 8 USB hub driver of Section 6:
+// the same architecture at laptop scale. A real Hub machine (HSM)
+// creates one Port machine (PSM) per port; each port enumerates a
+// Device machine (DSM) when the ghost hardware attaches something.
+// A ghost OS machine drives power management (suspend/resume/stop) and
+// a ghost hardware machine drives attach/detach and transfer outcomes —
+// "a large number of un-coordinated events sent from different sources
+// ... in tricky situations when the system is suspending or powering
+// down" (Section 6).
+//
+// Devices defer DevKill while a control transfer is outstanding so the
+// ghost hardware never replies into a torn-down machine, and a killed
+// device acknowledges with DevDead before parking in its Idle state
+// (device machines are pooled per port; see the Enumerating comment).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <cassert>
+#include <string>
+
+using namespace p;
+
+namespace {
+std::string num(int I) { return std::to_string(I); }
+} // namespace
+
+std::string corpus::usbHub(int NumPorts, UsbHubBug Bug) {
+  assert(NumPorts >= 1 && NumPorts <= 6 && "unsupported port count");
+  const int K = NumPorts;
+
+  std::string S;
+  S += R"(
+event unit;
+event allStopped;
+event enumFail;
+
+// OS -> Hub (power management).
+event SuspendHub;
+event ResumeHub;
+event StopHub;
+
+// Hub -> OS.
+event HubStoppedEvt;
+
+// Hub -> Port.
+event PortSuspend;
+event PortResume;
+event PortStop;
+
+// Port -> Hub.
+event PortStopped(id);
+
+// Hardware -> Port.
+event Attach;
+event Detach;
+
+// Port -> ghost hardware (roster).
+event PortIntro(id);
+
+// Port <-> Device.
+event DevStart;
+event DevKill;
+event DevDead;
+event EnumOk;
+event EnumFailed;
+
+// Device <-> ghost hardware (control transfers).
+event TransferReq(id);
+event TransferOk;
+event TransferFail;
+
+// ------------------------------------------------------------------ HSM
+
+machine Hub {
+)";
+  for (int I = 1; I <= K; ++I)
+    S += "  var Port" + num(I) + ": id;\n";
+  S += R"(  var StoppedCount: int;
+  ghost var OSRef: id;
+  ghost var HWRef: id;
+
+  action Ignore { skip; }
+
+  state HubInit {
+    entry {
+      StoppedCount = 0;
+)";
+  for (int I = 1; I <= K; ++I)
+    S += "      Port" + num(I) + " = new Port(HubV = this, HW = HWRef);\n";
+  S += R"(      raise(unit);
+    }
+    on unit goto Started;
+  }
+
+  state Started {
+    entry { }
+    on SuspendHub goto Suspending;
+    on ResumeHub do Ignore;
+    on StopHub goto Stopping;
+  }
+
+  state Suspending {
+    entry {
+)";
+  for (int I = 1; I <= K; ++I)
+    S += "      send(Port" + num(I) + ", PortSuspend);\n";
+  S += R"(      raise(unit);
+    }
+    on unit goto Suspended;
+  }
+
+  state Suspended {
+    entry { }
+    on SuspendHub do Ignore;
+    on ResumeHub goto Resuming;
+    on StopHub goto Stopping;
+  }
+
+  state Resuming {
+    entry {
+)";
+  for (int I = 1; I <= K; ++I)
+    S += "      send(Port" + num(I) + ", PortResume);\n";
+  S += R"(      raise(unit);
+    }
+    on unit goto Started;
+  }
+
+  state Stopping {
+    defer SuspendHub, ResumeHub, StopHub;
+    entry {
+)";
+  for (int I = 1; I <= K; ++I)
+    S += "      send(Port" + num(I) + ", PortStop);\n";
+  S += R"(    }
+    on PortStopped do CountStopped;
+    on allStopped goto HubStopped;
+  }
+
+  action CountStopped {
+    StoppedCount = StoppedCount + 1;
+    if (StoppedCount == )" +
+       num(K) + R"() {
+      raise(allStopped);
+    }
+  }
+
+  state HubStopped {
+    entry { send(OSRef, HubStoppedEvt); }
+    on SuspendHub do Ignore;
+    on ResumeHub do Ignore;
+    on StopHub do Ignore;
+  }
+}
+
+// ------------------------------------------------------------------ PSM
+
+machine Port {
+  var HubV: id;
+  var DevV: id;
+  var HasDev: bool;
+  ghost var HW: id;
+
+  action Ignore { skip; }
+
+  state PInit {
+    entry {
+      HasDev = false;
+      send(HW, PortIntro, this);
+      raise(unit);
+    }
+    on unit goto Disconnected;
+  }
+
+  state Disconnected {
+    entry { }
+    on Attach goto Enumerating;
+    on Detach do Ignore;
+    on PortSuspend goto SuspendedEmpty;
+    on PortResume do Ignore;
+    on PortStop goto Stopped;
+  }
+
+  // The device machine is created once per port and pooled across
+  // attach cycles: destroying and re-creating it per cycle would grow
+  // the machine table without bound and make the reachable state space
+  // infinite (machine identifiers are never reused; Section 3's manual
+  // memory management is exercised by dedicated runtime tests instead).
+  state Enumerating {
+    defer Attach, PortSuspend, PortResume;
+    entry {
+      if (HasDev) {
+        send(DevV, DevStart);
+      } else {
+        DevV = new Device(PortV = this, HW = HW);
+        HasDev = true;
+      }
+    }
+    on EnumOk goto Operational;
+    on EnumFailed goto CleaningFailed;
+)";
+  if (Bug != UsbHubBug::SurpriseRemoveDuringReset)
+    S += "    on Detach goto RemovingDuringEnum;\n";
+  S += R"(    on PortStop goto StoppingWithDev;
+  }
+
+  // Surprise remove while the device is still enumerating: kill it and
+  // swallow any enumeration result already in flight.
+  state RemovingDuringEnum {
+    defer Attach, PortSuspend, PortResume, PortStop;
+    entry { send(DevV, DevKill); }
+    on EnumOk do Ignore;
+    on EnumFailed do Ignore;
+    on Detach do Ignore;
+    on DevDead goto Disconnected;
+  }
+
+  state CleaningFailed {
+    defer Attach, PortSuspend, PortResume, PortStop;
+    entry { send(DevV, DevKill); }
+    on Detach do Ignore;
+    on DevDead goto Disconnected;
+  }
+
+  state Operational {
+    entry { }
+    on Attach do Ignore;
+    on Detach goto RemovingOperational;
+    on PortSuspend goto SuspendedActive;
+    on PortResume do Ignore;
+    on PortStop goto StoppingWithDev;
+  }
+
+  state RemovingOperational {
+    defer Attach, PortSuspend, PortResume, PortStop;
+    entry { send(DevV, DevKill); }
+    on Detach do Ignore;
+    on DevDead goto Disconnected;
+  }
+
+  state SuspendedEmpty {
+    defer Attach, Detach;
+    entry { }
+    on PortSuspend do Ignore;
+    on PortResume goto Disconnected;
+    on PortStop goto Stopped;
+  }
+
+  state SuspendedActive {
+    defer Attach, Detach;
+    entry { }
+    on PortSuspend do Ignore;
+    on PortResume goto Operational;
+    on PortStop goto StoppingWithDev;
+  }
+
+  state StoppingWithDev {
+    defer Attach, Detach, PortSuspend, PortResume, PortStop;
+    entry { send(DevV, DevKill); }
+    on EnumOk do Ignore;
+    on EnumFailed do Ignore;
+    on DevDead goto Stopped;
+  }
+
+  state Stopped {
+    entry { send(HubV, PortStopped, this); }
+    on Attach do Ignore;
+    on Detach do Ignore;
+    on PortSuspend do Ignore;
+    on PortResume do Ignore;
+    on PortStop do Ignore;
+  }
+}
+
+// ------------------------------------------------------------------ DSM
+
+machine Device {
+  var PortV: id;
+  var Tries: int;
+  ghost var HW: id;
+
+  action IgnoreD { skip; }
+
+  state DevInit {
+    entry {
+      Tries = 0;
+      raise(unit);
+    }
+    on unit goto GettingDescriptor;
+  }
+
+  // Parked between attach cycles (see the Port comment on pooling).
+  state Idle {
+    entry { }
+    on DevStart goto DevInit;
+    on DevKill do IgnoreD;
+  }
+
+  // DevKill is deferred while a transfer is outstanding so the hardware
+  // never replies to a deleted machine.
+  state GettingDescriptor {
+    defer DevKill;
+    entry { send(HW, TransferReq, this); }
+    on TransferOk goto SettingAddress;
+    on TransferFail goto RetryDescriptor;
+  }
+
+  state RetryDescriptor {
+    defer DevKill;
+    entry {
+      Tries = Tries + 1;
+      if (Tries >= 2) {
+        raise(enumFail);
+      } else {
+        send(HW, TransferReq, this);
+      }
+    }
+    on TransferOk goto SettingAddress;
+    on TransferFail goto RetryDescriptor;
+    on enumFail goto Failed;
+  }
+
+  state SettingAddress {
+    defer DevKill;
+    entry {
+      Tries = 0;
+      send(HW, TransferReq, this);
+    }
+    on TransferOk goto Configured;
+    on TransferFail goto Failed;
+  }
+
+  state Configured {
+    entry { send(PortV, EnumOk); }
+    on DevKill goto Dying;
+  }
+
+  state Failed {
+    entry { send(PortV, EnumFailed); }
+    on DevKill goto Dying;
+  }
+
+  state Dying {
+    entry {
+      send(PortV, DevDead);
+      raise(unit);
+    }
+    on unit goto Idle;
+  }
+}
+
+// ----------------------------------------------------------------- ghosts
+
+main ghost machine OsMachine {
+  var HubV: id;
+  var HwV: id;
+
+  state OsInit {
+    entry {
+      HwV = new HwMachine();
+      HubV = new Hub(OSRef = this, HWRef = HwV);
+      raise(unit);
+    }
+    on unit goto Power;
+  }
+
+  state Power {
+    entry {
+      if (*) {
+        send(HubV, SuspendHub);
+        raise(unit);
+      } else {
+        if (*) {
+          send(HubV, ResumeHub);
+          raise(unit);
+        } else {
+          if (*) {
+            send(HubV, StopHub);
+          } else {
+            raise(unit);
+          }
+        }
+      }
+    }
+    on unit goto Power;
+    on HubStoppedEvt goto OsDone;
+  }
+
+  state OsDone {
+    entry { }
+  }
+}
+
+ghost machine HwMachine {
+)";
+  for (int I = 1; I <= K; ++I)
+    S += "  var P" + num(I) + ": id;\n";
+  S += "\n";
+  for (int I = 0; I < K; ++I) {
+    S += "  state Collect" + num(I) + " {\n";
+    S += (I > 0) ? "    entry { P" + num(I) + " = arg; }\n"
+                 : std::string("    entry { }\n");
+    S += "    on PortIntro goto Collect" + num(I + 1) + ";\n  }\n";
+  }
+  S += "  state Collect" + num(K) + " {\n";
+  S += "    entry { P" + num(K) + " = arg; raise(unit); }\n";
+  S += "    on unit goto Drive;\n  }\n";
+  S += R"(
+  state Drive {
+    entry {
+      if (*) {
+)";
+  for (int I = 1; I <= K; ++I) {
+    S += "        if (*) { send(P" + num(I) + ", Attach); } else {\n";
+    S += "          if (*) { send(P" + num(I) + ", Detach); }\n        }\n";
+  }
+  S += R"(        raise(unit);
+      }
+    }
+    on unit goto Drive;
+    on TransferReq do ReplyTransfer;
+  }
+
+  action ReplyTransfer {
+    if (*) {
+      send(arg, TransferOk);
+    } else {
+      send(arg, TransferFail);
+    }
+    raise(unit);
+  }
+}
+)";
+  return S;
+}

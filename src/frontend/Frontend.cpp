@@ -1,0 +1,33 @@
+//===- frontend/Frontend.cpp -------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+#include "sema/Sema.h"
+
+using namespace p;
+
+Program p::parseAndAnalyze(const std::string &Source,
+                           DiagnosticEngine &Diags) {
+  Lexer Lex(Source);
+  Parser P(Lex.lexAll(), Diags);
+  Program Prog = P.parseProgram();
+  if (!Diags.hasErrors())
+    analyze(Prog, Diags);
+  return Prog;
+}
+
+CompileResult p::compileString(const std::string &Source,
+                               const LowerOptions &Opts) {
+  CompileResult Result;
+  Program Prog = parseAndAnalyze(Source, Result.Diags);
+  if (Result.Diags.hasErrors())
+    return Result;
+  Result.Program = lower(Prog, Opts);
+  return Result;
+}

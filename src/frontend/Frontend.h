@@ -1,0 +1,45 @@
+//===- frontend/Frontend.h - One-call compilation pipeline -----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry points: P source text -> lexer -> parser -> Sema ->
+/// lowering. This is the API examples, tests and tools use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_FRONTEND_FRONTEND_H
+#define P_FRONTEND_FRONTEND_H
+
+#include "ast/AST.h"
+#include "pir/Lowering.h"
+#include "pir/Program.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace p {
+
+/// Result of compiling one source buffer.
+struct CompileResult {
+  /// Set on success (no errors in Diags).
+  std::optional<CompiledProgram> Program;
+  DiagnosticEngine Diags;
+
+  bool ok() const { return Program.has_value(); }
+};
+
+/// Parses and analyzes \p Source; returns the annotated AST (even when
+/// partially erroneous) plus diagnostics.
+Program parseAndAnalyze(const std::string &Source, DiagnosticEngine &Diags);
+
+/// Full pipeline: source text to CompiledProgram.
+CompileResult compileString(const std::string &Source,
+                            const LowerOptions &Opts = {});
+
+} // namespace p
+
+#endif // P_FRONTEND_FRONTEND_H

@@ -1,0 +1,148 @@
+//===- host/Host.cpp ----------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The host's event pump deliberately follows the causal discipline of
+// the delaying scheduler with d = 0 (Section 5): a stack of runnable
+// machines where `new` and `send` push the child/receiver on top, so
+// the receiver of an event runs next. This makes the paper's claim —
+// "for d = 0, the real part of schedules explored by the delay bounded
+// scheduler are exactly the same as the one executed by the P runtime"
+// — literally true of this implementation, and our property tests
+// compare the two executions step by step.
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/Host.h"
+
+#include <algorithm>
+
+using namespace p;
+
+Host::Host(const CompiledProgram &Prog, uint64_t Seed)
+    : Prog(Prog), Exec(Prog), Rng(Seed) {
+  Exec.setChoiceProvider([this] { return (Rng() & 1) != 0; });
+}
+
+void Host::registerForeign(const std::string &Machine,
+                           const std::string &Fun, ForeignFn Fn) {
+  Exec.registerForeign(Machine, Fun, std::move(Fn));
+}
+
+void Host::drain() {
+  while (!Cfg.hasError() && !Sched.empty()) {
+    int32_t Id = Sched.front();
+    if (!Exec.isEnabled(Cfg, Id)) {
+      Sched.pop_front();
+      continue;
+    }
+    ++Stats.SlicesRun;
+    Executor::StepResult R = Exec.step(Cfg, Id);
+    Contexts.resize(Cfg.Machines.size(), nullptr);
+    switch (R.Outcome) {
+    case Executor::StepOutcome::SchedulingPoint: {
+      bool InSched =
+          std::find(Sched.begin(), Sched.end(), R.Other) != Sched.end();
+      if (!InSched)
+        Sched.push_front(R.Other);
+      break;
+    }
+    case Executor::StepOutcome::Blocked:
+      Sched.pop_front();
+      break;
+    case Executor::StepOutcome::Halted:
+      Sched.erase(std::remove(Sched.begin(), Sched.end(), Id), Sched.end());
+      break;
+    case Executor::StepOutcome::ChoicePoint:
+      // Unreachable: the host installs a choice provider.
+      break;
+    case Executor::StepOutcome::Error:
+      return;
+    }
+  }
+}
+
+void Host::arm(int32_t Id) {
+  if (std::find(Sched.begin(), Sched.end(), Id) == Sched.end())
+    Sched.push_front(Id);
+}
+
+int32_t Host::createMachine(
+    const std::string &MachineName,
+    const std::vector<std::pair<std::string, Value>> &Inits) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  int MachineIndex = Prog.findMachine(MachineName);
+  if (MachineIndex < 0)
+    return -1;
+  const MachineInfo &Info = Prog.Machines[MachineIndex];
+
+  std::vector<std::pair<int32_t, Value>> Resolved;
+  for (const auto &[Name, V] : Inits) {
+    for (size_t I = 0; I != Info.Vars.size(); ++I)
+      if (Info.Vars[I].Name == Name)
+        Resolved.emplace_back(static_cast<int32_t>(I), V);
+  }
+
+  int32_t Id = Exec.createMachine(Cfg, MachineIndex, Resolved);
+  Contexts.resize(Cfg.Machines.size(), nullptr);
+  ++Stats.MachinesCreated;
+  arm(Id);
+  drain();
+  return Id;
+}
+
+bool Host::addEvent(int32_t Target, const std::string &EventName,
+                    Value Arg) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  int Event = Prog.findEvent(EventName);
+  if (Event < 0)
+    return false;
+  if (!Exec.enqueueEvent(Cfg, Target, Event, Arg))
+    return false;
+  ++Stats.EventsDelivered;
+  arm(Target);
+  drain();
+  return !Cfg.hasError();
+}
+
+bool Host::runToCompletion() {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  for (int32_t Id = static_cast<int32_t>(Cfg.Machines.size()); Id-- > 0;)
+    if (Exec.isEnabled(Cfg, Id))
+      arm(Id);
+  drain();
+  return !Cfg.hasError();
+}
+
+void *Host::getContext(int32_t Id) const {
+  if (Id < 0 || Id >= static_cast<int32_t>(Contexts.size()))
+    return nullptr;
+  return Contexts[Id];
+}
+
+void Host::setContext(int32_t Id, void *Context) {
+  if (Id >= 0 && Id < static_cast<int32_t>(Contexts.size()))
+    Contexts[Id] = Context;
+}
+
+std::string Host::currentStateName(int32_t Id) const {
+  if (!Cfg.isLive(Id))
+    return "";
+  const MachineState &M = Cfg.Machines[Id];
+  if (M.Frames.empty())
+    return "";
+  return Prog.Machines[M.MachineIndex].States[M.Frames.back().State].Name;
+}
+
+Value Host::readVar(int32_t Id, const std::string &VarName) const {
+  if (!Cfg.isLive(Id))
+    return Value::null();
+  const MachineState &M = Cfg.Machines[Id];
+  const MachineInfo &Info = Prog.Machines[M.MachineIndex];
+  for (size_t I = 0; I != Info.Vars.size(); ++I)
+    if (Info.Vars[I].Name == VarName)
+      return M.Vars[I];
+  return Value::null();
+}

@@ -1,0 +1,116 @@
+//===- host/Host.h - Execution host (KMDF interface-code substitute) -------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution host of Section 4. In the paper, generated code runs
+/// inside a Windows KMDF driver: skeletal *interface code* translates OS
+/// callbacks into events on P machine queues through a three-call
+/// runtime API — SMCreateMachine, SMAddEvent, SMGetContext — and the
+/// calling thread runs the target machine to completion under a
+/// per-machine lock. This class is the portable substitute: the same
+/// three-call API, a run-to-completion scheduler, per-machine mutexes
+/// when driven from multiple threads, and a per-machine external-memory
+/// pointer for foreign code.
+///
+/// The host runs the *erased* program: ghost machines do not exist here;
+/// the caller (the "OS") produces the events the ghost environment
+/// produced during verification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_HOST_HOST_H
+#define P_HOST_HOST_H
+
+#include "runtime/Executor.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace p {
+
+/// Statistics of one host run.
+struct HostStats {
+  uint64_t EventsDelivered = 0; ///< SMAddEvent calls accepted.
+  uint64_t SlicesRun = 0;       ///< Run-to-completion slices executed.
+  uint64_t MachinesCreated = 0;
+};
+
+/// Runs a compiled (normally ghost-erased) P program.
+class Host {
+public:
+  /// \p Seed drives any `*` expressions left in the program (there are
+  /// none after erasure of a well-typed program; the provider exists for
+  /// experimentation).
+  explicit Host(const CompiledProgram &Prog, uint64_t Seed = 0);
+
+  /// Registers a native foreign function (Section 4, "Foreign
+  /// functions").
+  void registerForeign(const std::string &Machine, const std::string &Fun,
+                       ForeignFn Fn);
+
+  /// SMCreateMachine: creates an instance of \p MachineName; returns its
+  /// id, or -1 when the machine is unknown. The new machine's entry
+  /// statement runs to completion before this returns.
+  int32_t createMachine(const std::string &MachineName,
+                        const std::vector<std::pair<std::string, Value>>
+                            &Inits = {});
+
+  /// SMAddEvent: enqueues \p EventName on machine \p Target and runs the
+  /// system to completion. Returns false on an invalid target/event or
+  /// when the program entered an error configuration.
+  bool addEvent(int32_t Target, const std::string &EventName,
+                Value Arg = Value::null());
+
+  /// SMGetContext: the external-memory pointer foreign code may attach
+  /// to a machine (the paper's StateMachineContext void*).
+  void *getContext(int32_t Id) const;
+  void setContext(int32_t Id, void *Context);
+
+  /// Runs every enabled machine until the system quiesces. Returns
+  /// false when an error configuration was reached.
+  bool runToCompletion();
+
+  /// True once the configuration entered an error state.
+  bool hasError() const { return Cfg.hasError(); }
+  ErrorKind error() const { return Cfg.Error; }
+  const std::string &errorMessage() const { return Cfg.ErrorMessage; }
+
+  /// Current state name of machine \p Id (top of its call stack), or ""
+  /// when dead; handy for tests and demos.
+  std::string currentStateName(int32_t Id) const;
+
+  /// Reads a machine variable by name (⊥ when unknown).
+  Value readVar(int32_t Id, const std::string &VarName) const;
+
+  const Config &config() const { return Cfg; }
+  const HostStats &stats() const { return Stats; }
+  Executor &executor() { return Exec; }
+
+private:
+  /// Runs the scheduler stack to quiescence (the d = 0 causal
+  /// discipline; see Host.cpp).
+  void drain();
+  /// Puts machine \p Id on top of the scheduler stack if absent.
+  void arm(int32_t Id);
+
+  const CompiledProgram &Prog;
+  Executor Exec;
+  Config Cfg;
+  HostStats Stats;
+  std::vector<void *> Contexts;
+  std::deque<int32_t> Sched; ///< The d = 0 scheduler stack.
+  std::mt19937_64 Rng;
+  mutable std::mutex PumpMutex; ///< Serializes host entry points.
+};
+
+} // namespace p
+
+#endif // P_HOST_HOST_H

@@ -1,0 +1,361 @@
+//===- lexer/Lexer.cpp ------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace p;
+
+const char *p::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwEvent:
+    return "'event'";
+  case TokenKind::KwMachine:
+    return "'machine'";
+  case TokenKind::KwGhost:
+    return "'ghost'";
+  case TokenKind::KwMain:
+    return "'main'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwState:
+    return "'state'";
+  case TokenKind::KwAction:
+    return "'action'";
+  case TokenKind::KwEntry:
+    return "'entry'";
+  case TokenKind::KwExit:
+    return "'exit'";
+  case TokenKind::KwDefer:
+    return "'defer'";
+  case TokenKind::KwPostpone:
+    return "'postpone'";
+  case TokenKind::KwOn:
+    return "'on'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwPush:
+    return "'push'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwDelete:
+    return "'delete'";
+  case TokenKind::KwSend:
+    return "'send'";
+  case TokenKind::KwRaise:
+    return "'raise'";
+  case TokenKind::KwLeave:
+    return "'leave'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwCall:
+    return "'call'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwMsg:
+    return "'msg'";
+  case TokenKind::KwArg:
+    return "'arg'";
+  case TokenKind::KwForeign:
+    return "'foreign'";
+  case TokenKind::KwFun:
+    return "'fun'";
+  case TokenKind::KwModel:
+    return "'model'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwId:
+    return "'id'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::Error:
+    return "lexical error";
+  }
+  return "<token>";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"event", TokenKind::KwEvent},     {"machine", TokenKind::KwMachine},
+      {"ghost", TokenKind::KwGhost},     {"main", TokenKind::KwMain},
+      {"var", TokenKind::KwVar},         {"state", TokenKind::KwState},
+      {"action", TokenKind::KwAction},   {"entry", TokenKind::KwEntry},
+      {"exit", TokenKind::KwExit},       {"defer", TokenKind::KwDefer},
+      {"postpone", TokenKind::KwPostpone}, {"on", TokenKind::KwOn},
+      {"goto", TokenKind::KwGoto},       {"push", TokenKind::KwPush},
+      {"do", TokenKind::KwDo},           {"new", TokenKind::KwNew},
+      {"delete", TokenKind::KwDelete},   {"send", TokenKind::KwSend},
+      {"raise", TokenKind::KwRaise},     {"leave", TokenKind::KwLeave},
+      {"return", TokenKind::KwReturn},   {"assert", TokenKind::KwAssert},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"call", TokenKind::KwCall},
+      {"skip", TokenKind::KwSkip},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"null", TokenKind::KwNull},
+      {"this", TokenKind::KwThis},       {"msg", TokenKind::KwMsg},
+      {"arg", TokenKind::KwArg},         {"foreign", TokenKind::KwForeign},
+      {"fun", TokenKind::KwFun},         {"model", TokenKind::KwModel},
+      {"void", TokenKind::KwVoid},       {"bool", TokenKind::KwBool},
+      {"int", TokenKind::KwInt},         {"id", TokenKind::KwId},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!atEnd()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = loc();
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  Token T = makeToken(TokenKind::Identifier);
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+  const auto &Table = keywordTable();
+  auto It = Table.find(Text);
+  if (It != Table.end()) {
+    T.Kind = It->second;
+    return T;
+  }
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  Token T = makeToken(TokenKind::IntLiteral);
+  int64_t Value = 0;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+    Value = Value * 10 + (advance() - '0');
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  if (atEnd())
+    return makeToken(TokenKind::Eof);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  Token T = makeToken(TokenKind::Error);
+  advance();
+  switch (C) {
+  case '{':
+    T.Kind = TokenKind::LBrace;
+    break;
+  case '}':
+    T.Kind = TokenKind::RBrace;
+    break;
+  case '(':
+    T.Kind = TokenKind::LParen;
+    break;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    break;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    break;
+  case ';':
+    T.Kind = TokenKind::Semi;
+    break;
+  case ':':
+    T.Kind = TokenKind::Colon;
+    break;
+  case '+':
+    T.Kind = TokenKind::Plus;
+    break;
+  case '-':
+    T.Kind = TokenKind::Minus;
+    break;
+  case '*':
+    T.Kind = TokenKind::Star;
+    break;
+  case '/':
+    T.Kind = TokenKind::Slash;
+    break;
+  case '=':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::EqEq;
+    } else {
+      T.Kind = TokenKind::Assign;
+    }
+    break;
+  case '!':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::NotEq;
+    } else {
+      T.Kind = TokenKind::Not;
+    }
+    break;
+  case '<':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::LessEq;
+    } else {
+      T.Kind = TokenKind::Less;
+    }
+    break;
+  case '>':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::GreaterEq;
+    } else {
+      T.Kind = TokenKind::Greater;
+    }
+    break;
+  case '&':
+    if (peek() == '&') {
+      advance();
+      T.Kind = TokenKind::AndAnd;
+    } else {
+      T.Text = "stray '&'; did you mean '&&'?";
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      T.Kind = TokenKind::OrOr;
+    } else {
+      T.Text = "stray '|'; did you mean '||'?";
+    }
+    break;
+  default:
+    T.Text = std::string("unexpected character '") + C + "'";
+    break;
+  }
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,55 @@
+//===- lexer/Lexer.h - Tokenizer for the P language ------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer. Supports `//` line comments and `/* */` block
+/// comments. Produces an Error token (with a message in Text) for
+/// unrecognized characters; the parser reports it through the
+/// DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_LEXER_LEXER_H
+#define P_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace p {
+
+/// Tokenizes one P source buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes and returns the next token (Eof at end of input, repeatedly).
+  Token next();
+
+  /// Lexes the whole buffer; the last element is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  void skipTrivia();
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  Token makeToken(TokenKind Kind);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  std::string Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace p
+
+#endif // P_LEXER_LEXER_H

@@ -1,0 +1,113 @@
+//===- lexer/Token.h - Token definitions for the P language ---------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the lexer. `*` is a single TokenKind (Star);
+/// the parser decides from context whether it is the nondeterministic
+/// choice expression or the multiplication operator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_LEXER_TOKEN_H
+#define P_LEXER_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace p {
+
+/// All token kinds of the surface language.
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwEvent,
+  KwMachine,
+  KwGhost,
+  KwMain,
+  KwVar,
+  KwState,
+  KwAction,
+  KwEntry,
+  KwExit,
+  KwDefer,
+  KwPostpone,
+  KwOn,
+  KwGoto,
+  KwPush,
+  KwDo,
+  KwNew,
+  KwDelete,
+  KwSend,
+  KwRaise,
+  KwLeave,
+  KwReturn,
+  KwAssert,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwCall,
+  KwSkip,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwThis,
+  KwMsg,
+  KwArg,
+  KwForeign,
+  KwFun,
+  KwModel,
+  KwVoid,
+  KwBool,
+  KwInt,
+  KwId,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Colon,
+  Assign,    // =
+  EqEq,      // ==
+  NotEq,     // !=
+  Less,      // <
+  LessEq,    // <=
+  Greater,   // >
+  GreaterEq, // >=
+  Plus,      // +
+  Minus,     // -
+  Star,      // * (mul or nondet, by context)
+  Slash,     // /
+  Not,       // !
+  AndAnd,    // &&
+  OrOr,      // ||
+
+  Error, ///< Lexical error; Text holds the message.
+};
+
+/// Returns a human-readable name for \p Kind (used in parse errors).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;    ///< Identifier spelling or error message.
+  int64_t IntValue = 0; ///< Valid when Kind == IntLiteral.
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace p
+
+#endif // P_LEXER_TOKEN_H

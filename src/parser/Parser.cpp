@@ -1,0 +1,743 @@
+//===- parser/Parser.cpp ----------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include <cassert>
+
+using namespace p;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1;
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (!T.is(TokenKind::Eof))
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::syncToDeclBoundary() {
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwEvent) || check(TokenKind::KwMachine) ||
+        check(TokenKind::KwGhost) || check(TokenKind::KwMain) ||
+        check(TokenKind::KwState) || check(TokenKind::KwVar) ||
+        check(TokenKind::KwAction) || check(TokenKind::RBrace))
+      return;
+    consume();
+  }
+}
+
+void Parser::syncToStmtBoundary() {
+  while (!check(TokenKind::Eof)) {
+    if (match(TokenKind::Semi))
+      return;
+    if (check(TokenKind::RBrace))
+      return;
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+Program Parser::parseProgram() {
+  Program Prog;
+  while (!check(TokenKind::Eof)) {
+    if (current().is(TokenKind::Error)) {
+      Diags.error(current().Loc, current().Text);
+      consume();
+      continue;
+    }
+    bool Ghost = false;
+    bool Main = false;
+    while (check(TokenKind::KwGhost) || check(TokenKind::KwMain)) {
+      if (match(TokenKind::KwGhost))
+        Ghost = true;
+      else if (match(TokenKind::KwMain))
+        Main = true;
+    }
+    if (check(TokenKind::KwEvent)) {
+      if (Main)
+        Diags.error(current().Loc, "'main' cannot qualify an event");
+      parseEventDecl(Prog, Ghost);
+      continue;
+    }
+    if (check(TokenKind::KwMachine)) {
+      parseMachineDecl(Prog, Ghost, Main);
+      continue;
+    }
+    Diags.error(current().Loc,
+                std::string("expected 'event' or 'machine' at top level, "
+                            "found ") +
+                    tokenKindName(current().Kind));
+    consume();
+    syncToDeclBoundary();
+  }
+  return Prog;
+}
+
+void Parser::parseEventDecl(Program &Prog, bool Ghost) {
+  consume(); // 'event'
+  do {
+    EventDecl E;
+    E.Ghost = Ghost;
+    E.Loc = current().Loc;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected event name");
+      syncToStmtBoundary();
+      return;
+    }
+    E.Name = consume().Text;
+    if (match(TokenKind::LParen)) {
+      if (auto T = parseType())
+        E.PayloadType = *T;
+      expect(TokenKind::RParen, "after event payload type");
+    }
+    EventNames.insert(E.Name);
+    Prog.Events.push_back(std::move(E));
+  } while (match(TokenKind::Comma));
+  expect(TokenKind::Semi, "after event declaration");
+}
+
+void Parser::parseMachineDecl(Program &Prog, bool Ghost, bool Main) {
+  consume(); // 'machine'
+  MachineDecl M;
+  M.Ghost = Ghost;
+  M.Main = Main;
+  M.Loc = current().Loc;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected machine name");
+    syncToDeclBoundary();
+    return;
+  }
+  M.Name = consume().Text;
+  if (!expect(TokenKind::LBrace, "to open machine body")) {
+    syncToDeclBoundary();
+    return;
+  }
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    bool VarGhost = false;
+    if (check(TokenKind::KwGhost) && peek(1).is(TokenKind::KwVar)) {
+      consume();
+      VarGhost = true;
+    }
+    if (check(TokenKind::KwVar)) {
+      parseVarDecl(M, VarGhost);
+      continue;
+    }
+    if (check(TokenKind::KwState)) {
+      parseStateDecl(M);
+      continue;
+    }
+    if (check(TokenKind::KwAction)) {
+      parseActionDecl(M);
+      continue;
+    }
+    if (check(TokenKind::KwForeign)) {
+      parseForeignDecl(M);
+      continue;
+    }
+    Diags.error(current().Loc,
+                std::string("expected a var/state/action/foreign "
+                            "declaration in machine body, found ") +
+                    tokenKindName(current().Kind));
+    consume();
+    syncToDeclBoundary();
+  }
+  expect(TokenKind::RBrace, "to close machine body");
+  Prog.Machines.push_back(std::move(M));
+}
+
+void Parser::parseVarDecl(MachineDecl &M, bool Ghost) {
+  consume(); // 'var'
+  do {
+    VarDecl V;
+    V.Ghost = Ghost;
+    V.Loc = current().Loc;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected variable name");
+      syncToStmtBoundary();
+      return;
+    }
+    V.Name = consume().Text;
+    if (expect(TokenKind::Colon, "after variable name")) {
+      if (auto T = parseType())
+        V.Type = *T;
+    }
+    M.Vars.push_back(std::move(V));
+  } while (match(TokenKind::Comma));
+  expect(TokenKind::Semi, "after variable declaration");
+}
+
+std::optional<TypeKind> Parser::parseType() {
+  switch (current().Kind) {
+  case TokenKind::KwVoid:
+    consume();
+    return TypeKind::Void;
+  case TokenKind::KwBool:
+    consume();
+    return TypeKind::Bool;
+  case TokenKind::KwInt:
+    consume();
+    return TypeKind::Int;
+  case TokenKind::KwEvent:
+    consume();
+    return TypeKind::Event;
+  case TokenKind::KwId:
+    consume();
+    return TypeKind::Id;
+  default:
+    Diags.error(current().Loc,
+                std::string("expected a type, found ") +
+                    tokenKindName(current().Kind));
+    return std::nullopt;
+  }
+}
+
+void Parser::parseStateDecl(MachineDecl &M) {
+  consume(); // 'state'
+  StateDecl St;
+  St.Loc = current().Loc;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected state name");
+    syncToDeclBoundary();
+    return;
+  }
+  St.Name = consume().Text;
+  if (!expect(TokenKind::LBrace, "to open state body")) {
+    syncToDeclBoundary();
+    return;
+  }
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (check(TokenKind::KwDefer) || check(TokenKind::KwPostpone)) {
+      bool IsDefer = check(TokenKind::KwDefer);
+      consume();
+      do {
+        if (!check(TokenKind::Identifier)) {
+          Diags.error(current().Loc, "expected event name");
+          break;
+        }
+        std::string Name = consume().Text;
+        if (IsDefer)
+          St.Deferred.push_back(std::move(Name));
+        else
+          St.Postponed.push_back(std::move(Name));
+      } while (match(TokenKind::Comma));
+      expect(TokenKind::Semi, IsDefer ? "after defer clause"
+                                      : "after postpone clause");
+      continue;
+    }
+    if (check(TokenKind::KwEntry)) {
+      SourceLoc Loc = consume().Loc;
+      if (St.Entry)
+        Diags.error(Loc, "state '" + St.Name +
+                             "' has more than one entry statement");
+      St.Entry = parseBlock();
+      continue;
+    }
+    if (check(TokenKind::KwExit)) {
+      SourceLoc Loc = consume().Loc;
+      if (St.Exit)
+        Diags.error(Loc,
+                    "state '" + St.Name + "' has more than one exit statement");
+      St.Exit = parseBlock();
+      continue;
+    }
+    if (check(TokenKind::KwOn)) {
+      HandlerDecl H;
+      H.Loc = consume().Loc;
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected event name after 'on'");
+        syncToStmtBoundary();
+        continue;
+      }
+      H.EventName = consume().Text;
+      if (match(TokenKind::KwGoto)) {
+        H.Kind = HandlerKind::Step;
+      } else if (match(TokenKind::KwPush)) {
+        H.Kind = HandlerKind::Call;
+      } else if (match(TokenKind::KwDo)) {
+        H.Kind = HandlerKind::Do;
+      } else {
+        Diags.error(current().Loc,
+                    "expected 'goto', 'push' or 'do' in handler");
+        syncToStmtBoundary();
+        continue;
+      }
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected handler target name");
+        syncToStmtBoundary();
+        continue;
+      }
+      H.Target = consume().Text;
+      expect(TokenKind::Semi, "after handler");
+      St.Handlers.push_back(std::move(H));
+      continue;
+    }
+    Diags.error(current().Loc,
+                std::string("expected defer/postpone/entry/exit/on in state "
+                            "body, found ") +
+                    tokenKindName(current().Kind));
+    consume();
+    syncToStmtBoundary();
+  }
+  expect(TokenKind::RBrace, "to close state body");
+  M.States.push_back(std::move(St));
+}
+
+void Parser::parseActionDecl(MachineDecl &M) {
+  consume(); // 'action'
+  ActionDecl A;
+  A.Loc = current().Loc;
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected action name");
+    syncToDeclBoundary();
+    return;
+  }
+  A.Name = consume().Text;
+  A.Body = parseBlock();
+  M.Actions.push_back(std::move(A));
+}
+
+void Parser::parseForeignDecl(MachineDecl &M) {
+  consume(); // 'foreign'
+  ForeignFunDecl F;
+  F.Loc = current().Loc;
+  if (!expect(TokenKind::KwFun, "after 'foreign'")) {
+    syncToDeclBoundary();
+    return;
+  }
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected foreign function name");
+    syncToDeclBoundary();
+    return;
+  }
+  F.Name = consume().Text;
+  expect(TokenKind::LParen, "to open parameter list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl Param;
+      Param.Loc = current().Loc;
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected parameter name");
+        break;
+      }
+      Param.Name = consume().Text;
+      if (expect(TokenKind::Colon, "after parameter name")) {
+        if (auto T = parseType())
+          Param.Type = *T;
+      }
+      F.Params.push_back(std::move(Param));
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  if (match(TokenKind::Colon)) {
+    if (auto T = parseType())
+      F.ReturnType = *T;
+  }
+  if (check(TokenKind::KwModel)) {
+    consume();
+    F.ModelBody = parseBlock();
+  } else {
+    expect(TokenKind::Semi, "after foreign function declaration");
+  }
+  M.Funs.push_back(std::move(F));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  if (!expect(TokenKind::LBrace, "to open block")) {
+    syncToStmtBoundary();
+    return std::make_unique<SkipStmt>(Loc);
+  }
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (StmtPtr S = parseStmt())
+      Stmts.push_back(std::move(S));
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::KwSkip:
+    consume();
+    expect(TokenKind::Semi, "after 'skip'");
+    return std::make_unique<SkipStmt>(Loc);
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwDelete:
+    consume();
+    expect(TokenKind::Semi, "after 'delete'");
+    return std::make_unique<DeleteStmt>(Loc);
+  case TokenKind::KwLeave:
+    consume();
+    expect(TokenKind::Semi, "after 'leave'");
+    return std::make_unique<LeaveStmt>(Loc);
+  case TokenKind::KwReturn:
+    consume();
+    expect(TokenKind::Semi, "after 'return'");
+    return std::make_unique<ReturnStmt>(Loc);
+  case TokenKind::KwSend: {
+    consume();
+    expect(TokenKind::LParen, "after 'send'");
+    ExprPtr Target = parseExpr();
+    expect(TokenKind::Comma, "after send target");
+    ExprPtr Event = parseExpr();
+    ExprPtr Payload;
+    if (match(TokenKind::Comma))
+      Payload = parseExpr();
+    expect(TokenKind::RParen, "to close send arguments");
+    expect(TokenKind::Semi, "after 'send' statement");
+    return std::make_unique<SendStmt>(std::move(Target), std::move(Event),
+                                      std::move(Payload), Loc);
+  }
+  case TokenKind::KwRaise: {
+    consume();
+    expect(TokenKind::LParen, "after 'raise'");
+    ExprPtr Event = parseExpr();
+    ExprPtr Payload;
+    if (match(TokenKind::Comma))
+      Payload = parseExpr();
+    expect(TokenKind::RParen, "to close raise arguments");
+    expect(TokenKind::Semi, "after 'raise' statement");
+    return std::make_unique<RaiseStmt>(std::move(Event), std::move(Payload),
+                                       Loc);
+  }
+  case TokenKind::KwAssert: {
+    consume();
+    expect(TokenKind::LParen, "after 'assert'");
+    ExprPtr Cond = parseExpr();
+    expect(TokenKind::RParen, "to close assert condition");
+    expect(TokenKind::Semi, "after 'assert' statement");
+    return std::make_unique<AssertStmt>(std::move(Cond), Loc);
+  }
+  case TokenKind::KwIf: {
+    consume();
+    expect(TokenKind::LParen, "after 'if'");
+    ExprPtr Cond = parseExpr();
+    expect(TokenKind::RParen, "to close if condition");
+    StmtPtr Then = parseStmt();
+    StmtPtr Else;
+    if (match(TokenKind::KwElse))
+      Else = parseStmt();
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Loc);
+  }
+  case TokenKind::KwWhile: {
+    consume();
+    expect(TokenKind::LParen, "after 'while'");
+    ExprPtr Cond = parseExpr();
+    expect(TokenKind::RParen, "to close while condition");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+  }
+  case TokenKind::KwCall: {
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected state name after 'call'");
+      syncToStmtBoundary();
+      return nullptr;
+    }
+    std::string State = consume().Text;
+    expect(TokenKind::Semi, "after 'call' statement");
+    return std::make_unique<CallStateStmt>(std::move(State), Loc);
+  }
+  case TokenKind::KwNew: {
+    // `new M(...);` with the machine id discarded.
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected machine name after 'new'");
+      syncToStmtBoundary();
+      return nullptr;
+    }
+    std::string MachineName = consume().Text;
+    expect(TokenKind::LParen, "after machine name");
+    std::vector<Initializer> Inits = parseInitializers();
+    expect(TokenKind::RParen, "to close initializer list");
+    expect(TokenKind::Semi, "after 'new' statement");
+    return std::make_unique<NewStmt>("", std::move(MachineName),
+                                     std::move(Inits), Loc);
+  }
+  case TokenKind::Identifier:
+    return parseIdentifierStmt();
+  case TokenKind::Error:
+    Diags.error(current().Loc, current().Text);
+    consume();
+    return nullptr;
+  default:
+    Diags.error(Loc, std::string("expected a statement, found ") +
+                         tokenKindName(current().Kind));
+    consume();
+    syncToStmtBoundary();
+    return nullptr;
+  }
+}
+
+StmtPtr Parser::parseIdentifierStmt() {
+  SourceLoc Loc = current().Loc;
+  std::string Name = consume().Text;
+  if (match(TokenKind::Assign)) {
+    if (check(TokenKind::KwNew)) {
+      consume();
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(current().Loc, "expected machine name after 'new'");
+        syncToStmtBoundary();
+        return nullptr;
+      }
+      std::string MachineName = consume().Text;
+      expect(TokenKind::LParen, "after machine name");
+      std::vector<Initializer> Inits = parseInitializers();
+      expect(TokenKind::RParen, "to close initializer list");
+      expect(TokenKind::Semi, "after 'new' statement");
+      return std::make_unique<NewStmt>(std::move(Name),
+                                       std::move(MachineName),
+                                       std::move(Inits), Loc);
+    }
+    ExprPtr Value = parseExpr();
+    expect(TokenKind::Semi, "after assignment");
+    return std::make_unique<AssignStmt>(std::move(Name), std::move(Value),
+                                        Loc);
+  }
+  if (check(TokenKind::LParen)) {
+    std::vector<ExprPtr> Args = parseCallArgs();
+    expect(TokenKind::Semi, "after call statement");
+    auto Call =
+        std::make_unique<ForeignCallExpr>(std::move(Name), std::move(Args),
+                                          Loc);
+    return std::make_unique<ExprStmt>(std::move(Call), Loc);
+  }
+  Diags.error(current().Loc,
+              "expected '=' or '(' after identifier in statement position");
+  syncToStmtBoundary();
+  return nullptr;
+}
+
+std::vector<Initializer> Parser::parseInitializers() {
+  std::vector<Initializer> Inits;
+  if (check(TokenKind::RParen))
+    return Inits;
+  do {
+    Initializer Init;
+    Init.Loc = current().Loc;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected field name in initializer");
+      break;
+    }
+    Init.Field = consume().Text;
+    if (expect(TokenKind::Assign, "in initializer"))
+      Init.Value = parseExpr();
+    if (!Init.Value)
+      Init.Value = std::make_unique<NullLitExpr>(Init.Loc);
+    Inits.push_back(std::move(Init));
+  } while (match(TokenKind::Comma));
+  return Inits;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr LHS = parseAnd();
+  while (check(TokenKind::OrOr)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseAnd();
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr LHS = parseComparison();
+  while (check(TokenKind::AndAnd)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseComparison();
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr LHS = parseAdditive();
+  while (true) {
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::EqEq:
+      Op = BinaryOp::Eq;
+      break;
+    case TokenKind::NotEq:
+      Op = BinaryOp::Ne;
+      break;
+    case TokenKind::Less:
+      Op = BinaryOp::Lt;
+      break;
+    case TokenKind::LessEq:
+      Op = BinaryOp::Le;
+      break;
+    case TokenKind::Greater:
+      Op = BinaryOp::Gt;
+      break;
+    case TokenKind::GreaterEq:
+      Op = BinaryOp::Ge;
+      break;
+    default:
+      return LHS;
+    }
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseAdditive();
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr LHS = parseMultiplicative();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinaryOp Op = check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseMultiplicative();
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr LHS = parseUnary();
+  while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+    BinaryOp Op = check(TokenKind::Star) ? BinaryOp::Mul : BinaryOp::Div;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr RHS = parseUnary();
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Not)) {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  }
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = consume().Loc;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    int64_t Value = consume().IntValue;
+    return std::make_unique<IntLitExpr>(Value, Loc);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return std::make_unique<BoolLitExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    consume();
+    return std::make_unique<BoolLitExpr>(false, Loc);
+  case TokenKind::KwNull:
+    consume();
+    return std::make_unique<NullLitExpr>(Loc);
+  case TokenKind::KwThis:
+    consume();
+    return std::make_unique<ThisExpr>(Loc);
+  case TokenKind::KwMsg:
+    consume();
+    return std::make_unique<MsgExpr>(Loc);
+  case TokenKind::KwArg:
+    consume();
+    return std::make_unique<ArgExpr>(Loc);
+  case TokenKind::Star:
+    // `*` in expression-start position is nondeterministic choice.
+    consume();
+    return std::make_unique<NondetExpr>(Loc);
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr Inner = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+  case TokenKind::Identifier: {
+    std::string Name = consume().Text;
+    if (check(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args = parseCallArgs();
+      return std::make_unique<ForeignCallExpr>(std::move(Name),
+                                               std::move(Args), Loc);
+    }
+    if (EventNames.count(Name))
+      return std::make_unique<EventLitExpr>(std::move(Name), Loc);
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  case TokenKind::Error:
+    Diags.error(Loc, current().Text);
+    consume();
+    return std::make_unique<NullLitExpr>(Loc);
+  default:
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokenKindName(current().Kind));
+    consume();
+    return std::make_unique<NullLitExpr>(Loc);
+  }
+}
+
+std::vector<ExprPtr> Parser::parseCallArgs() {
+  std::vector<ExprPtr> Args;
+  expect(TokenKind::LParen, "to open argument list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      Args.push_back(parseExpr());
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close argument list");
+  return Args;
+}
+
+StmtPtr Parser::parseStandaloneStmt() { return parseStmt(); }
+
+ExprPtr Parser::parseStandaloneExpr() { return parseExpr(); }

@@ -1,0 +1,89 @@
+//===- parser/Parser.h - Recursive-descent parser for P -------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the AST of ast/AST.h. Errors are
+/// reported to a DiagnosticEngine; the parser synchronizes at statement
+/// and declaration boundaries so several errors can be reported per run.
+///
+/// The parser resolves one context-sensitivity: a bare identifier in
+/// expression position becomes an EventLitExpr when it names a declared
+/// event (event declarations lexically precede machines, as in the
+/// paper's grammar), a ForeignCallExpr when followed by `(`, and a
+/// VarRefExpr otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_PARSER_PARSER_H
+#define P_PARSER_PARSER_H
+
+#include "ast/AST.h"
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace p {
+
+/// Parses one P source buffer into a Program.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a whole program. Returns the (possibly partial) program;
+  /// check Diags for errors.
+  Program parseProgram();
+
+  /// Parses a single statement; used by unit tests.
+  StmtPtr parseStandaloneStmt();
+
+  /// Parses a single expression; used by unit tests.
+  ExprPtr parseStandaloneExpr();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &current() const { return peek(); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool match(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void syncToDeclBoundary();
+  void syncToStmtBoundary();
+
+  void parseEventDecl(Program &Prog, bool Ghost);
+  void parseMachineDecl(Program &Prog, bool Ghost, bool Main);
+  void parseVarDecl(MachineDecl &M, bool Ghost);
+  void parseStateDecl(MachineDecl &M);
+  void parseActionDecl(MachineDecl &M);
+  void parseForeignDecl(MachineDecl &M);
+  std::optional<TypeKind> parseType();
+
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseIdentifierStmt();
+  std::vector<Initializer> parseInitializers();
+
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseCallArgs();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  std::set<std::string> EventNames;
+};
+
+} // namespace p
+
+#endif // P_PARSER_PARSER_H

@@ -1,0 +1,94 @@
+//===- pir/Bytecode.h - Compiled body representation ----------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry/exit/action/model bodies are compiled to a tiny stack bytecode.
+/// Lowering to a flat instruction array (rather than interpreting the AST
+/// directly) is what makes machine configurations *values*: the remaining
+/// statement of the operational semantics (Figure 4) is just a
+/// (body, pc, operand stack) triple, so the model checker can copy, hash
+/// and restore whole global configurations exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_PIR_BYTECODE_H
+#define P_PIR_BYTECODE_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p {
+
+/// Opcodes of the body bytecode. Stack effects are noted as
+/// `[before] -> [after]`.
+enum class Opcode : uint8_t {
+  // Constants and loads.
+  PushNull,  ///< [] -> [null]
+  PushBool,  ///< [] -> [bool A]
+  PushInt,   ///< [] -> [int A]
+  PushEvent, ///< [] -> [event A]
+  LoadVar,   ///< [] -> [vars[A]]
+  StoreVar,  ///< [v] -> [] ; vars[A] = v
+  LoadThis,  ///< [] -> [this]
+  LoadMsg,   ///< [] -> [msg]
+  LoadArg,   ///< [] -> [arg]
+  LoadParam, ///< [] -> [params[A]] (model bodies only)
+  StoreResult, ///< [v] -> [] ; model result = v
+  Nondet,    ///< [] -> [bool] ; branch point during checking
+  UnOp,      ///< [v] -> [op v] ; A = UnaryOp
+  BinOp,     ///< [l r] -> [l op r] ; A = BinaryOp
+  Pop,       ///< [v] -> []
+
+  // Control flow within a body.
+  Jump,        ///< pc = A
+  JumpIfFalse, ///< [c] -> [] ; if !c then pc = A (⊥ counts as false)
+
+  // Machine operations (Figures 4 and 5).
+  New,         ///< [v1..vk] -> [id] ; A = machine, B = init-table index
+  Send,        ///< [target event payload] -> [] ; scheduling point
+  Raise,       ///< [event payload] -> aborts the body
+  CallForeign, ///< [a1..ak] -> [result] ; A = fun index, B = argc
+  CallState,   ///< save continuation, push state A
+  Assert,      ///< [c] -> [] ; error transition when !c
+  Delete,      ///< terminate the executing machine
+  Leave,       ///< finish the entry statement
+  Return,      ///< run exit, pop the call stack
+  Halt,        ///< end of body
+};
+
+/// Returns the mnemonic of \p Op.
+const char *opcodeName(Opcode Op);
+
+/// One bytecode instruction.
+struct Instr {
+  Opcode Op;
+  int32_t A = 0;
+  int32_t B = 0;
+
+  bool operator==(const Instr &O) const = default;
+};
+
+/// A compiled statement body (entry, exit, action or model).
+struct Body {
+  std::string Name; ///< e.g. "Elevator.Opening.entry"; for debugging.
+  std::vector<Instr> Code;
+  std::vector<SourceLoc> Locs; ///< Parallel to Code; for error traces.
+
+  void emit(Instr I, SourceLoc Loc) {
+    Code.push_back(I);
+    Locs.push_back(Loc);
+  }
+};
+
+/// Renders \p B as an assembly-style listing (one instruction per line).
+std::string disassemble(const Body &B);
+
+} // namespace p
+
+#endif // P_PIR_BYTECODE_H

@@ -1,0 +1,93 @@
+//===- pir/Dot.cpp -------------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pir/Dot.h"
+
+using namespace p;
+
+namespace {
+
+/// Emits the nodes and edges of one machine. \p Prefix namespaces node
+/// ids when several machines share a file.
+void emitMachine(std::string &Out, const CompiledProgram &Prog,
+                 const MachineInfo &M, const std::string &Prefix) {
+  auto nodeId = [&](int State) {
+    return "\"" + Prefix + M.States[State].Name + "\"";
+  };
+
+  for (size_t S = 0; S != M.States.size(); ++S) {
+    const StateInfo &St = M.States[S];
+    std::string Label = St.Name;
+    std::string Deferred;
+    for (size_t E = 0; E != Prog.Events.size(); ++E)
+      if (St.Deferred.test(static_cast<int>(E))) {
+        if (!Deferred.empty())
+          Deferred += ", ";
+        Deferred += Prog.Events[E].Name;
+      }
+    if (!Deferred.empty())
+      Label += "\\ndefer: " + Deferred;
+    Out += "  " + nodeId(static_cast<int>(S)) + " [label=\"" + Label +
+           "\", shape=box, style=rounded];\n";
+
+    for (size_t E = 0; E != St.OnEvent.size(); ++E) {
+      const Transition &T = St.OnEvent[E];
+      const std::string &Event = Prog.Events[E].Name;
+      switch (T.Kind) {
+      case TransitionKind::None:
+        break;
+      case TransitionKind::Step:
+        Out += "  " + nodeId(static_cast<int>(S)) + " -> " +
+               nodeId(T.Target) + " [label=\"" + Event + "\"];\n";
+        break;
+      case TransitionKind::Call:
+        // The paper draws call transitions as double edges; bold +
+        // color is the closest portable DOT idiom.
+        Out += "  " + nodeId(static_cast<int>(S)) + " -> " +
+               nodeId(T.Target) + " [label=\"" + Event +
+               "\", style=bold, color=\"black:black\"];\n";
+        break;
+      case TransitionKind::Action:
+        Out += "  " + nodeId(static_cast<int>(S)) + " -> " +
+               nodeId(static_cast<int>(S)) + " [label=\"" + Event + " / " +
+               M.ActionNames[T.Target] + "\", style=dashed];\n";
+        break;
+      }
+    }
+  }
+
+  // Entry marker into the initial state.
+  Out += "  \"" + Prefix + "__init\" [shape=point];\n";
+  Out += "  \"" + Prefix + "__init\" -> " + nodeId(0) + ";\n";
+}
+
+} // namespace
+
+std::string p::toDot(const CompiledProgram &Prog, int MachineIndex) {
+  const MachineInfo &M = Prog.Machines[MachineIndex];
+  std::string Out = "digraph \"" + M.Name + "\" {\n";
+  Out += "  rankdir=TB;\n";
+  emitMachine(Out, Prog, M, "");
+  Out += "}\n";
+  return Out;
+}
+
+std::string p::toDot(const CompiledProgram &Prog) {
+  std::string Out = "digraph P {\n  rankdir=TB;\n";
+  for (size_t I = 0; I != Prog.Machines.size(); ++I) {
+    const MachineInfo &M = Prog.Machines[I];
+    Out += "  subgraph \"cluster_" + M.Name + "\" {\n";
+    Out += "    label=\"" + std::string(M.Ghost ? "ghost machine " :
+                                                  "machine ") +
+           M.Name + "\";\n";
+    std::string Body;
+    emitMachine(Body, Prog, M, M.Name + ".");
+    Out += Body;
+    Out += "  }\n";
+  }
+  Out += "}\n";
+  return Out;
+}

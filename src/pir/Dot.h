@@ -1,0 +1,32 @@
+//===- pir/Dot.h - Graphviz rendering of P machines ------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a machine's state graph in Graphviz DOT, in the visual
+/// vocabulary of the paper's Figure 1: step transitions as plain edges,
+/// call transitions as bold double-line edges, action bindings as dashed
+/// self-loops, with each state's deferred set listed inside the node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_PIR_DOT_H
+#define P_PIR_DOT_H
+
+#include "pir/Program.h"
+
+#include <string>
+
+namespace p {
+
+/// Renders machine \p MachineIndex of \p Prog as a DOT digraph.
+std::string toDot(const CompiledProgram &Prog, int MachineIndex);
+
+/// Renders every machine of \p Prog as one DOT file with clusters.
+std::string toDot(const CompiledProgram &Prog);
+
+} // namespace p
+
+#endif // P_PIR_DOT_H

@@ -1,0 +1,364 @@
+//===- pir/Lowering.cpp ------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pir/Lowering.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace p;
+
+namespace {
+
+/// Lowers the bodies of one machine.
+class BodyLowerer {
+public:
+  BodyLowerer(const Program &Prog, const MachineDecl &M, MachineInfo &Out,
+              bool EraseGhosts)
+      : Prog(Prog), M(M), Out(Out), EraseGhosts(EraseGhosts) {}
+
+  /// Lowers \p S into a new body named \p Name; returns its index, or -1
+  /// when the body lowers to nothing (pure skip).
+  int lowerBody(const Stmt *S, std::string Name) {
+    if (!S)
+      return -1;
+    Body B;
+    B.Name = std::move(Name);
+    Cur = &B;
+    lowerStmt(*S);
+    Cur = nullptr;
+    if (B.Code.empty())
+      return -1;
+    B.emit({Opcode::Halt}, SourceLoc());
+    Out.Bodies.push_back(std::move(B));
+    return static_cast<int>(Out.Bodies.size()) - 1;
+  }
+
+private:
+  void emit(Opcode Op, SourceLoc Loc, int32_t A = 0, int32_t B = 0) {
+    Cur->emit({Op, A, B}, Loc);
+  }
+  int here() const { return static_cast<int>(Cur->Code.size()); }
+  void patch(int Index, int Target) { Cur->Code[Index].A = Target; }
+
+  void lowerStmt(const Stmt &S);
+  void lowerExpr(const Expr &E);
+
+  /// True when \p S must be dropped under erasure.
+  bool erased(const Stmt &S) const;
+
+  const Program &Prog;
+  const MachineDecl &M;
+  MachineInfo &Out;
+  const bool EraseGhosts;
+  Body *Cur = nullptr;
+};
+
+} // namespace
+
+bool BodyLowerer::erased(const Stmt &S) const {
+  if (!EraseGhosts || M.Ghost)
+    return false;
+  switch (S.getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto &A = *cast<AssignStmt>(&S);
+    return A.VarIndex >= 0 && M.Vars[A.VarIndex].Ghost;
+  }
+  case Stmt::Kind::New: {
+    const auto &N = *cast<NewStmt>(&S);
+    return N.MachineIndex >= 0 && Prog.Machines[N.MachineIndex].Ghost;
+  }
+  case Stmt::Kind::Send: {
+    const auto &Snd = *cast<SendStmt>(&S);
+    return Snd.Target->Ghost;
+  }
+  case Stmt::Kind::Assert: {
+    const auto &A = *cast<AssertStmt>(&S);
+    return A.Cond->Ghost;
+  }
+  default:
+    return false;
+  }
+}
+
+void BodyLowerer::lowerExpr(const Expr &E) {
+  SourceLoc Loc = E.getLoc();
+  switch (E.getKind()) {
+  case Expr::Kind::NullLit:
+    emit(Opcode::PushNull, Loc);
+    return;
+  case Expr::Kind::BoolLit:
+    emit(Opcode::PushBool, Loc, cast<BoolLitExpr>(&E)->Value ? 1 : 0);
+    return;
+  case Expr::Kind::IntLit: {
+    int64_t V = cast<IntLitExpr>(&E)->Value;
+    assert(V >= INT32_MIN && V <= INT32_MAX &&
+           "integer literal out of 32-bit range");
+    emit(Opcode::PushInt, Loc, static_cast<int32_t>(V));
+    return;
+  }
+  case Expr::Kind::EventLit: {
+    const auto &Lit = *cast<EventLitExpr>(&E);
+    assert(Lit.EventId >= 0 && "unresolved event literal");
+    emit(Opcode::PushEvent, Loc, Lit.EventId);
+    return;
+  }
+  case Expr::Kind::VarRef: {
+    const auto &Ref = *cast<VarRefExpr>(&E);
+    if (Ref.ParamIndex >= 0) {
+      emit(Opcode::LoadParam, Loc, Ref.ParamIndex);
+      return;
+    }
+    assert(Ref.VarIndex >= 0 && "unresolved variable reference");
+    emit(Opcode::LoadVar, Loc, Ref.VarIndex);
+    return;
+  }
+  case Expr::Kind::This:
+    emit(Opcode::LoadThis, Loc);
+    return;
+  case Expr::Kind::Msg:
+    emit(Opcode::LoadMsg, Loc);
+    return;
+  case Expr::Kind::Arg:
+    emit(Opcode::LoadArg, Loc);
+    return;
+  case Expr::Kind::Nondet:
+    emit(Opcode::Nondet, Loc);
+    return;
+  case Expr::Kind::Unary: {
+    const auto &U = *cast<UnaryExpr>(&E);
+    lowerExpr(*U.Operand);
+    emit(Opcode::UnOp, Loc, static_cast<int32_t>(U.Op));
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = *cast<BinaryExpr>(&E);
+    lowerExpr(*B.LHS);
+    lowerExpr(*B.RHS);
+    emit(Opcode::BinOp, Loc, static_cast<int32_t>(B.Op));
+    return;
+  }
+  case Expr::Kind::ForeignCall: {
+    const auto &C = *cast<ForeignCallExpr>(&E);
+    assert(C.FunIndex >= 0 && "unresolved foreign call");
+    for (const ExprPtr &Arg : C.Args)
+      lowerExpr(*Arg);
+    emit(Opcode::CallForeign, Loc, C.FunIndex,
+         static_cast<int32_t>(C.Args.size()));
+    return;
+  }
+  }
+}
+
+void BodyLowerer::lowerStmt(const Stmt &S) {
+  if (erased(S))
+    return;
+  SourceLoc Loc = S.getLoc();
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(&S)->Stmts)
+      lowerStmt(*Sub);
+    return;
+  case Stmt::Kind::Assign: {
+    const auto &A = *cast<AssignStmt>(&S);
+    lowerExpr(*A.Value);
+    if (A.IsResult) {
+      emit(Opcode::StoreResult, Loc);
+      return;
+    }
+    assert(A.VarIndex >= 0 && "unresolved assignment target");
+    emit(Opcode::StoreVar, Loc, A.VarIndex);
+    return;
+  }
+  case Stmt::Kind::New: {
+    const auto &N = *cast<NewStmt>(&S);
+    assert(N.MachineIndex >= 0 && "unresolved machine in new");
+    std::vector<int32_t> Fields;
+    for (const Initializer &Init : N.Inits) {
+      lowerExpr(*Init.Value);
+      assert(Init.VarIndex >= 0 && "unresolved initializer field");
+      Fields.push_back(Init.VarIndex);
+    }
+    Out.InitTables.push_back(std::move(Fields));
+    emit(Opcode::New, Loc, N.MachineIndex,
+         static_cast<int32_t>(Out.InitTables.size()) - 1);
+    if (N.VarIndex >= 0)
+      emit(Opcode::StoreVar, Loc, N.VarIndex);
+    else
+      emit(Opcode::Pop, Loc);
+    return;
+  }
+  case Stmt::Kind::Delete:
+    emit(Opcode::Delete, Loc);
+    return;
+  case Stmt::Kind::Send: {
+    const auto &Snd = *cast<SendStmt>(&S);
+    lowerExpr(*Snd.Target);
+    lowerExpr(*Snd.Event);
+    if (Snd.Payload)
+      lowerExpr(*Snd.Payload);
+    else
+      emit(Opcode::PushNull, Loc);
+    emit(Opcode::Send, Loc);
+    return;
+  }
+  case Stmt::Kind::Raise: {
+    const auto &R = *cast<RaiseStmt>(&S);
+    lowerExpr(*R.Event);
+    if (R.Payload)
+      lowerExpr(*R.Payload);
+    else
+      emit(Opcode::PushNull, Loc);
+    emit(Opcode::Raise, Loc);
+    return;
+  }
+  case Stmt::Kind::Leave:
+    emit(Opcode::Leave, Loc);
+    return;
+  case Stmt::Kind::Return:
+    emit(Opcode::Return, Loc);
+    return;
+  case Stmt::Kind::Assert: {
+    const auto &A = *cast<AssertStmt>(&S);
+    lowerExpr(*A.Cond);
+    emit(Opcode::Assert, Loc);
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto &I = *cast<IfStmt>(&S);
+    lowerExpr(*I.Cond);
+    int JumpToElse = here();
+    emit(Opcode::JumpIfFalse, Loc);
+    lowerStmt(*I.Then);
+    if (I.Else) {
+      int JumpToEnd = here();
+      emit(Opcode::Jump, Loc);
+      patch(JumpToElse, here());
+      lowerStmt(*I.Else);
+      patch(JumpToEnd, here());
+    } else {
+      patch(JumpToElse, here());
+    }
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto &W = *cast<WhileStmt>(&S);
+    int Top = here();
+    lowerExpr(*W.Cond);
+    int JumpOut = here();
+    emit(Opcode::JumpIfFalse, Loc);
+    lowerStmt(*W.Body);
+    emit(Opcode::Jump, Loc, Top);
+    patch(JumpOut, here());
+    return;
+  }
+  case Stmt::Kind::CallState: {
+    const auto &C = *cast<CallStateStmt>(&S);
+    assert(C.StateIndex >= 0 && "unresolved call-state target");
+    emit(Opcode::CallState, Loc, C.StateIndex);
+    return;
+  }
+  case Stmt::Kind::ExprStmt: {
+    const auto &E = *cast<ExprStmt>(&S);
+    lowerExpr(*E.E);
+    emit(Opcode::Pop, Loc);
+    return;
+  }
+  }
+}
+
+CompiledProgram p::lower(const Program &Prog, const LowerOptions &Opts) {
+  CompiledProgram Out;
+
+  for (const EventDecl &E : Prog.Events)
+    Out.Events.push_back({E.Name, E.PayloadType, E.Ghost});
+
+  const int NumEvents = static_cast<int>(Out.Events.size());
+
+  for (const MachineDecl &M : Prog.Machines) {
+    MachineInfo Info;
+    Info.Name = M.Name;
+    Info.Ghost = M.Ghost;
+    for (const VarDecl &V : M.Vars)
+      Info.Vars.push_back({V.Name, V.Type, V.Ghost});
+
+    const bool LowerCode = !(Opts.EraseGhosts && M.Ghost);
+    BodyLowerer Lowerer(Prog, M, Info, Opts.EraseGhosts);
+
+    // Actions first so states can reference any body index order; the
+    // indices are independent anyway.
+    for (const ActionDecl &A : M.Actions) {
+      Info.ActionNames.push_back(A.Name);
+      int BodyId = LowerCode
+                       ? Lowerer.lowerBody(A.Body.get(),
+                                           M.Name + "." + A.Name + ".action")
+                       : -1;
+      Info.ActionBodies.push_back(BodyId);
+    }
+
+    for (const StateDecl &St : M.States) {
+      StateInfo SI;
+      SI.Name = St.Name;
+      SI.Deferred = EventSet(NumEvents);
+      SI.Postponed = EventSet(NumEvents);
+      for (int Id : St.DeferredIds)
+        SI.Deferred.set(Id);
+      for (int Id : St.PostponedIds)
+        SI.Postponed.set(Id);
+      SI.OnEvent.assign(NumEvents, Transition());
+      for (const HandlerDecl &H : St.Handlers) {
+        if (H.EventId < 0 || H.TargetIndex < 0)
+          continue;
+        Transition &Slot = SI.OnEvent[H.EventId];
+        switch (H.Kind) {
+        case HandlerKind::Step:
+          Slot = {TransitionKind::Step, H.TargetIndex};
+          break;
+        case HandlerKind::Call:
+          Slot = {TransitionKind::Call, H.TargetIndex};
+          break;
+        case HandlerKind::Do:
+          // A transition on the same event takes priority (see Sema's
+          // dead-action warning); do not overwrite one.
+          if (Slot.Kind == TransitionKind::None)
+            Slot = {TransitionKind::Action, H.TargetIndex};
+          break;
+        }
+      }
+      if (LowerCode) {
+        SI.EntryBody = Lowerer.lowerBody(St.Entry.get(),
+                                         M.Name + "." + St.Name + ".entry");
+        SI.ExitBody = Lowerer.lowerBody(St.Exit.get(),
+                                        M.Name + "." + St.Name + ".exit");
+      }
+      Info.States.push_back(std::move(SI));
+    }
+
+    for (const ForeignFunDecl &F : M.Funs) {
+      ForeignFunInfo FI;
+      FI.Name = F.Name;
+      for (const ParamDecl &Param : F.Params) {
+        FI.ParamNames.push_back(Param.Name);
+        FI.ParamTypes.push_back(Param.Type);
+      }
+      FI.ReturnType = F.ReturnType;
+      if (!Opts.EraseGhosts && F.ModelBody)
+        FI.ModelBody = Lowerer.lowerBody(F.ModelBody.get(),
+                                         M.Name + "." + F.Name + ".model");
+      Info.Funs.push_back(std::move(FI));
+    }
+
+    Out.Machines.push_back(std::move(Info));
+  }
+
+  int Main = Prog.mainMachine();
+  if (Main >= 0 && !(Opts.EraseGhosts && Prog.Machines[Main].Ghost))
+    Out.MainMachine = Main;
+  return Out;
+}

@@ -1,0 +1,43 @@
+//===- pir/Lowering.h - AST to compiled-program lowering -------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a Sema-annotated AST to the table-driven CompiledProgram.
+///
+/// The ghost-erasure transform of Section 3.3 is implemented here: with
+/// `EraseGhosts` set, ghost machines keep their table slot (so machine
+/// and event indices agree between the verification build and the
+/// execution build — that is what makes erasure testable) but none of
+/// their code is lowered, and inside real machines every ghost statement
+/// is dropped: assignments to ghost variables, `new` of ghost machines,
+/// sends whose target is ghost, and asserts whose condition reads ghost
+/// state. Sema has already guaranteed these drops cannot change real
+/// behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_PIR_LOWERING_H
+#define P_PIR_LOWERING_H
+
+#include "ast/AST.h"
+#include "pir/Program.h"
+
+namespace p {
+
+/// Options controlling lowering.
+struct LowerOptions {
+  /// Apply the ghost-erasure transform (the "compilation" configuration
+  /// of the paper). When false, ghost code is kept (the "verification"
+  /// configuration).
+  bool EraseGhosts = false;
+};
+
+/// Lowers \p Prog (which must have passed Sema) to a CompiledProgram.
+CompiledProgram lower(const Program &Prog, const LowerOptions &Opts = {});
+
+} // namespace p
+
+#endif // P_PIR_LOWERING_H

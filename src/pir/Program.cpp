@@ -1,0 +1,115 @@
+//===- pir/Program.cpp ------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pir/Program.h"
+
+using namespace p;
+
+const char *p::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::PushNull:
+    return "push_null";
+  case Opcode::PushBool:
+    return "push_bool";
+  case Opcode::PushInt:
+    return "push_int";
+  case Opcode::PushEvent:
+    return "push_event";
+  case Opcode::LoadVar:
+    return "load_var";
+  case Opcode::StoreVar:
+    return "store_var";
+  case Opcode::LoadThis:
+    return "load_this";
+  case Opcode::LoadMsg:
+    return "load_msg";
+  case Opcode::LoadArg:
+    return "load_arg";
+  case Opcode::LoadParam:
+    return "load_param";
+  case Opcode::StoreResult:
+    return "store_result";
+  case Opcode::Nondet:
+    return "nondet";
+  case Opcode::UnOp:
+    return "unop";
+  case Opcode::BinOp:
+    return "binop";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::JumpIfFalse:
+    return "jump_if_false";
+  case Opcode::New:
+    return "new";
+  case Opcode::Send:
+    return "send";
+  case Opcode::Raise:
+    return "raise";
+  case Opcode::CallForeign:
+    return "call_foreign";
+  case Opcode::CallState:
+    return "call_state";
+  case Opcode::Assert:
+    return "assert";
+  case Opcode::Delete:
+    return "delete";
+  case Opcode::Leave:
+    return "leave";
+  case Opcode::Return:
+    return "return";
+  case Opcode::Halt:
+    return "halt";
+  }
+  return "<op>";
+}
+
+std::string p::disassemble(const Body &B) {
+  std::string Out = B.Name + ":\n";
+  for (size_t I = 0; I != B.Code.size(); ++I) {
+    const Instr &Ins = B.Code[I];
+    Out += "  " + std::to_string(I) + ": " + opcodeName(Ins.Op);
+    Out += " " + std::to_string(Ins.A) + " " + std::to_string(Ins.B);
+    Out += '\n';
+  }
+  return Out;
+}
+
+int MachineInfo::countTransitions() const {
+  int Count = 0;
+  for (const StateInfo &St : States)
+    for (const Transition &T : St.OnEvent)
+      if (T.Kind != TransitionKind::None)
+        ++Count;
+  return Count;
+}
+
+int CompiledProgram::findEvent(const std::string &Name) const {
+  for (size_t I = 0; I != Events.size(); ++I)
+    if (Events[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int CompiledProgram::findMachine(const std::string &Name) const {
+  for (size_t I = 0; I != Machines.size(); ++I)
+    if (Machines[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string CompiledProgram::summary() const {
+  std::string Out;
+  Out += "events: " + std::to_string(Events.size()) + "\n";
+  for (const MachineInfo &M : Machines) {
+    Out += std::string(M.Ghost ? "ghost " : "") + "machine " + M.Name +
+           ": " + std::to_string(M.States.size()) + " states, " +
+           std::to_string(M.countTransitions()) + " transitions, " +
+           std::to_string(M.Vars.size()) + " vars\n";
+  }
+  return Out;
+}

@@ -1,0 +1,134 @@
+//===- pir/Program.h - Compiled P program tables ---------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled form of a P program: the indexed, statically-allocated
+/// table structures that Section 4 of the paper describes for the
+/// generated C code — an event table, per-machine variable/state tables,
+/// and per-state transition, deferred-event and action tables — plus the
+/// compiled bytecode bodies. Both the runtime and the model checker
+/// execute this representation; the C code generator prints it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_PIR_PROGRAM_H
+#define P_PIR_PROGRAM_H
+
+#include "ast/Types.h"
+#include "pir/Bytecode.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p {
+
+using EventId = int32_t;
+
+/// A dynamically sized bitset over event ids.
+class EventSet {
+public:
+  EventSet() = default;
+  explicit EventSet(int NumEvents) : Words((NumEvents + 63) / 64, 0) {}
+
+  void set(int Index) { Words[Index / 64] |= uint64_t(1) << (Index % 64); }
+  bool test(int Index) const {
+    unsigned Word = Index / 64;
+    if (Word >= Words.size())
+      return false;
+    return (Words[Word] >> (Index % 64)) & 1;
+  }
+  bool operator==(const EventSet &O) const = default;
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+/// One entry in the global event table.
+struct EventInfo {
+  std::string Name;
+  TypeKind PayloadType = TypeKind::Void;
+  bool Ghost = false;
+};
+
+/// How a state reacts to an event (statically).
+enum class TransitionKind : uint8_t {
+  None,   ///< Unhandled here; defer/inherit/pop applies.
+  Step,   ///< Step transition to Target state.
+  Call,   ///< Call transition pushing Target state.
+  Action, ///< Action binding running action Target.
+};
+
+/// One slot of a state's transition table.
+struct Transition {
+  TransitionKind Kind = TransitionKind::None;
+  int32_t Target = -1; ///< State index (Step/Call) or action index.
+
+  bool operator==(const Transition &O) const = default;
+};
+
+/// One entry in a machine's state table.
+struct StateInfo {
+  std::string Name;
+  EventSet Deferred;  ///< Deferred(m, n) of the semantics.
+  EventSet Postponed; ///< Liveness annotation (Section 3.2).
+  int32_t EntryBody = -1; ///< Body index; -1 means `skip`.
+  int32_t ExitBody = -1;  ///< Body index; -1 means `skip`.
+  std::vector<Transition> OnEvent; ///< Indexed by EventId.
+};
+
+/// One entry in a machine's variable table.
+struct VarInfo {
+  std::string Name;
+  TypeKind Type = TypeKind::Int;
+  bool Ghost = false;
+};
+
+/// One entry in a machine's foreign-function table.
+struct ForeignFunInfo {
+  std::string Name;
+  std::vector<std::string> ParamNames;
+  std::vector<TypeKind> ParamTypes;
+  TypeKind ReturnType = TypeKind::Void;
+  int32_t ModelBody = -1; ///< Body index; -1 when no model is given.
+};
+
+/// One entry in the machine-type table.
+struct MachineInfo {
+  std::string Name;
+  bool Ghost = false;
+  std::vector<VarInfo> Vars;
+  std::vector<StateInfo> States;
+  std::vector<std::string> ActionNames;
+  std::vector<int32_t> ActionBodies; ///< ActionId -> body index.
+  std::vector<ForeignFunInfo> Funs;
+  std::vector<Body> Bodies;
+  /// Field lists for `new` initializers: New's B operand indexes this
+  /// table; each entry lists the target var indices, in stack order.
+  std::vector<std::vector<int32_t>> InitTables;
+
+  /// Total step/call/action bindings across states; reported by benches
+  /// as the paper's "P transitions" metric.
+  int countTransitions() const;
+};
+
+/// A compiled P program. Index 0 of States is Init(m) for each machine.
+struct CompiledProgram {
+  std::vector<EventInfo> Events;
+  std::vector<MachineInfo> Machines;
+  int32_t MainMachine = -1;
+
+  int findEvent(const std::string &Name) const;
+  int findMachine(const std::string &Name) const;
+
+  /// Human-readable summary (machines, states, transitions); used by
+  /// tools and the Figure 8 bench.
+  std::string summary() const;
+};
+
+} // namespace p
+
+#endif // P_PIR_PROGRAM_H

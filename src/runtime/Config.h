@@ -1,0 +1,129 @@
+//===- runtime/Config.h - Machine and global configurations ----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global and per-machine configurations of the operational semantics
+/// (Section 3.1). A machine configuration is the paper's (σ, s, stmt, q):
+///
+///   σ    — Frames: a call stack of (state, inherited-handler map) pairs;
+///   s    — Vars plus the special Msg/Arg registers;
+///   stmt — Exec: a stack of resumable bytecode frames, together with the
+///          pending raise (the dynamic `raise` of Figure 5) and the
+///          pending transfer (the inserted Exit(m,n); continuations);
+///   q    — Queue: the FIFO input buffer with ⊎-unique entries.
+///
+/// Everything is a plain value: copying a Config snapshots the whole
+/// system, which is exactly what the model checker needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_RUNTIME_CONFIG_H
+#define P_RUNTIME_CONFIG_H
+
+#include "runtime/Errors.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace p {
+
+/// What kind of body a bytecode frame is executing.
+enum class FrameKind : uint8_t {
+  Entry,  ///< A state's entry statement.
+  Exit,   ///< A state's exit statement.
+  Action, ///< An action body.
+  Model,  ///< A foreign function's model body.
+};
+
+/// One resumable bytecode activation.
+struct ExecFrame {
+  int32_t Body = -1;
+  int32_t PC = 0;
+  FrameKind Kind = FrameKind::Entry;
+  std::vector<Value> Operands;
+  std::vector<Value> Params; ///< Model frames: the call arguments.
+  Value Result;              ///< Model frames: the `result` register.
+
+  bool operator==(const ExecFrame &O) const = default;
+};
+
+/// Inherited-handler map entries (the `a` component of the semantics):
+/// InheritNone is ⊥ ("no handler"), InheritDeferred is ⊤ ("deferred"),
+/// values >= 0 are action ids.
+inline constexpr int32_t InheritNone = -2;
+inline constexpr int32_t InheritDeferred = -1;
+
+/// One (state, inherited map) pair on the machine's call stack, plus the
+/// saved continuation when the frame was pushed by a `call S;` statement.
+struct StateFrame {
+  int32_t State = -1;
+  std::vector<int32_t> Inherit;     ///< Indexed by event id.
+  std::vector<ExecFrame> SavedCont; ///< Resumed when this frame returns.
+
+  bool operator==(const StateFrame &O) const = default;
+};
+
+/// A deferred state change that must wait for the exit statement to run
+/// (the `Exit(m,n); ...` insertions of Figure 5).
+enum class TransferKind : uint8_t {
+  None,
+  Step,      ///< Replace the top state with Target and run its entry.
+  PopRaise,  ///< POP1: pop the frame, keep propagating the raised event.
+  PopReturn, ///< POP2: pop the frame, resume its saved continuation.
+};
+
+/// The machine configuration (σ, s, stmt, q).
+struct MachineState {
+  int32_t MachineIndex = -1;
+  bool Alive = false;
+
+  std::vector<StateFrame> Frames; ///< σ; back() is the top of the stack.
+  std::vector<ExecFrame> Exec;    ///< Remaining statement; back() runs.
+  std::vector<Value> Vars;
+  Value Msg; ///< Last raised/dequeued event (an Event value or ⊥).
+  Value Arg; ///< Its payload.
+
+  /// The pending dynamic raise of Figure 5 (raise-bar).
+  bool HasRaise = false;
+  int32_t RaiseEvent = -1;
+  Value RaiseArg;
+
+  /// Pending transfer applied once Exec drains (after the exit body).
+  TransferKind Transfer = TransferKind::None;
+  int32_t TransferTarget = -1;
+
+  /// The FIFO input buffer q; entries are unique under ⊎.
+  std::vector<std::pair<int32_t, Value>> Queue;
+
+  /// Set by the model checker to resume past a Nondet choice point.
+  std::optional<bool> InjectedChoice;
+
+  bool operator==(const MachineState &O) const = default;
+};
+
+/// A global configuration M plus the error flag of Figure 6.
+struct Config {
+  std::vector<MachineState> Machines; ///< Machine id == index.
+
+  ErrorKind Error = ErrorKind::None;
+  std::string ErrorMessage;
+  int32_t ErrorMachine = -1;
+
+  bool hasError() const { return Error != ErrorKind::None; }
+
+  /// True when the id denotes a live machine.
+  bool isLive(int32_t Id) const {
+    return Id >= 0 && Id < static_cast<int32_t>(Machines.size()) &&
+           Machines[Id].Alive;
+  }
+};
+
+} // namespace p
+
+#endif // P_RUNTIME_CONFIG_H

@@ -1,0 +1,82 @@
+//===- runtime/Errors.h - Error transitions of the semantics ---------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error configurations of Figure 6, plus a small number of
+/// implementation-defined error kinds for situations the formal rules
+/// leave the machine stuck (documented in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_RUNTIME_ERRORS_H
+#define P_RUNTIME_ERRORS_H
+
+namespace p {
+
+/// Why a configuration entered the error state.
+enum class ErrorKind {
+  None,
+  /// Figure 6, ASSERT-FAIL: an assert condition evaluated to false.
+  AssertFailed,
+  /// Figure 6, SEND-FAIL1: send target evaluated to ⊥.
+  SendToNull,
+  /// Figure 6, SEND-FAIL2: send to an uninitialized or deleted machine.
+  SendToDeleted,
+  /// Figure 6, POP-FAIL reached by popping an unhandled event off the
+  /// bottom of the call stack: the responsiveness violation the P
+  /// verifier exists to find.
+  UnhandledEvent,
+  /// Figure 6, POP-FAIL reached by `return` from the bottom frame.
+  PopFromEmptyStack,
+  /// Extension: a branch condition evaluated to ⊥ (the IF rules of
+  /// Figure 4 would leave the machine stuck forever).
+  UndefinedBranch,
+  /// Extension: `raise`/`send` with a ⊥ or non-event event value.
+  UndefinedEvent,
+  /// Extension: a machine executed an unbounded number of private steps
+  /// without reaching a scheduling point — a violation of the paper's
+  /// first liveness property (Section 3.2).
+  Divergence,
+  /// Extension: a foreign function without a model body or registered
+  /// native implementation was called under strict-foreign mode.
+  UnknownForeign,
+  /// Liveness (Section 3.2): an event was enqueued but can be deferred
+  /// forever under fair scheduling (reported by the liveness checker).
+  LivenessViolation,
+};
+
+/// Short identifier, e.g. "unhandled-event".
+inline const char *errorKindName(ErrorKind Kind) {
+  switch (Kind) {
+  case ErrorKind::None:
+    return "none";
+  case ErrorKind::AssertFailed:
+    return "assert-failed";
+  case ErrorKind::SendToNull:
+    return "send-to-null";
+  case ErrorKind::SendToDeleted:
+    return "send-to-deleted";
+  case ErrorKind::UnhandledEvent:
+    return "unhandled-event";
+  case ErrorKind::PopFromEmptyStack:
+    return "pop-from-empty-stack";
+  case ErrorKind::UndefinedBranch:
+    return "undefined-branch";
+  case ErrorKind::UndefinedEvent:
+    return "undefined-event";
+  case ErrorKind::Divergence:
+    return "divergence";
+  case ErrorKind::UnknownForeign:
+    return "unknown-foreign";
+  case ErrorKind::LivenessViolation:
+    return "liveness-violation";
+  }
+  return "unknown";
+}
+
+} // namespace p
+
+#endif // P_RUNTIME_ERRORS_H

@@ -1,0 +1,172 @@
+//===- runtime/Executor.h - Small-step interpreter for P -------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the operational semantics of Figures 4–6 over a Config. One
+/// `step()` call runs a single machine up to its next *scheduling point*
+/// — a `send` or a `new` (Section 5's atomicity reduction: private
+/// operations commute, receives are right movers, so context switches
+/// are only needed after communication). The model checker and the
+/// runtime host both drive executions exclusively through this class.
+///
+/// Nondeterministic `*` expressions either consult a choice provider
+/// (runtime mode) or surface as ChoicePoint results the caller resolves
+/// by setting MachineState::InjectedChoice and re-stepping (checker
+/// mode).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_RUNTIME_EXECUTOR_H
+#define P_RUNTIME_EXECUTOR_H
+
+#include "pir/Program.h"
+#include "runtime/Config.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace p {
+
+/// Signature of a native foreign-function implementation. `Self` is the
+/// id of the calling machine.
+using ForeignFn =
+    std::function<Value(Config &Cfg, int32_t Self,
+                        const std::vector<Value> &Args)>;
+
+/// Interprets a CompiledProgram.
+class Executor {
+public:
+  struct Options {
+    /// Execute foreign functions' model bodies instead of native
+    /// implementations (the verification configuration).
+    bool UseModelBodies = false;
+    /// Error on calls to foreign functions with neither a model body
+    /// nor a registered native implementation (otherwise they return ⊥).
+    bool StrictForeign = false;
+    /// Maximum micro-steps per step() slice before the divergence error
+    /// fires (the paper's first liveness property: a machine must not
+    /// run forever without getting disabled).
+    uint64_t MaxStepsPerSlice = 1000000;
+  };
+
+  /// How a step() slice ended.
+  enum class StepOutcome : uint8_t {
+    SchedulingPoint, ///< Executed a send or new; context switch here.
+    ChoicePoint,     ///< Stopped at `*`; resolve via InjectedChoice.
+    Blocked,         ///< Needs an event; none eligible in the queue.
+    Halted,          ///< The machine executed `delete`.
+    Error,           ///< Config entered the error state (see Cfg.Error).
+  };
+
+  struct StepResult {
+    StepOutcome Outcome;
+    /// For SchedulingPoint: the send target or created machine id.
+    int32_t Other = -1;
+    /// True when the scheduling point was a `new` (Other is the child).
+    bool Created = false;
+  };
+
+  explicit Executor(const CompiledProgram &Prog) : Prog(Prog) {}
+  Executor(const CompiledProgram &Prog, Options Opts)
+      : Prog(Prog), Opts(Opts) {}
+
+  const CompiledProgram &program() const { return Prog; }
+  const Options &options() const { return Opts; }
+
+  /// Registers a native implementation for Machine::Fun.
+  void registerForeign(const std::string &Machine, const std::string &Fun,
+                       ForeignFn Fn);
+
+  /// Installs the source of `*` choices for runtime execution.
+  void setChoiceProvider(std::function<bool()> Provider) {
+    ChoiceProvider = std::move(Provider);
+  }
+
+  /// Observes every DEQUEUE (machine id, event id); used by the
+  /// liveness checker to tell "pending forever" from "repeatedly
+  /// consumed and re-sent".
+  void setDequeueObserver(std::function<void(int32_t, int32_t)> Observer) {
+    DequeueObserver = std::move(Observer);
+  }
+
+  /// Observes every dispatch decision: (machine type, state, event,
+  /// resolution). Resolution is the TransitionKind that fired, with
+  /// TransitionKind::None meaning POP1 (the event propagated to the
+  /// caller). Drives coverage reporting.
+  using DispatchObserverFn =
+      std::function<void(int32_t MachineType, int32_t State, int32_t Event,
+                         TransitionKind Kind)>;
+  void setDispatchObserver(DispatchObserverFn Observer) {
+    DispatchObserver = std::move(Observer);
+  }
+
+  /// Creates an instance of machine \p MachineIndex (rule NEW); returns
+  /// its id. \p Inits lists (var index, value) pairs.
+  int32_t createMachine(Config &Cfg, int32_t MachineIndex,
+                        const std::vector<std::pair<int32_t, Value>> &Inits =
+                            {}) const;
+
+  /// Creates the initial configuration: one instance of the program's
+  /// main machine (the paper's initialization statement).
+  Config makeInitialConfig() const;
+
+  /// Enqueues an external event (rule SEND's ⊎ append); used by the
+  /// host's SMAddEvent. Returns false and sets the error state when the
+  /// target is invalid.
+  bool enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
+                    Value Arg = Value::null()) const;
+
+  /// Runs machine \p Id until the next scheduling point (see file
+  /// comment).
+  StepResult step(Config &Cfg, int32_t Id) const;
+
+  /// True when machine \p Id can take a step (the en(m) predicate of
+  /// Section 3.2): it is mid-execution, has a pending raise/transfer, or
+  /// an eligible (non-deferred) event sits in its queue.
+  bool isEnabled(const Config &Cfg, int32_t Id) const;
+
+  /// Index of the first queue entry not in the effective deferred set,
+  /// or -1 (the DEQUEUE rule's scan). Exposed for tests and liveness.
+  int findEligibleEvent(const Config &Cfg, const MachineState &M) const;
+
+  /// Renders a one-line description of machine \p Id's control state,
+  /// e.g. "Elevator#1 @ Opening [queue: CloseDoor]"; used in traces.
+  std::string describeMachine(const Config &Cfg, int32_t Id) const;
+
+private:
+  struct InstrResult {
+    enum Kind : uint8_t {
+      Continue,
+      SchedulingPoint,
+      ChoicePoint,
+      Halted,
+      Error
+    } Kind = Continue;
+    int32_t Other = -1;
+    bool Created = false;
+  };
+
+  InstrResult execInstr(Config &Cfg, int32_t Id) const;
+  void dispatchRaise(Config &Cfg, int32_t Id) const;
+  void applyTransfer(Config &Cfg, int32_t Id) const;
+  void pushBodyFrame(MachineState &M, int32_t Body, FrameKind Kind) const;
+  std::vector<int32_t> computeCallInherit(const MachineState &M) const;
+  void raiseError(Config &Cfg, int32_t Id, ErrorKind Kind,
+                  std::string Message) const;
+
+  const CompiledProgram &Prog;
+  Options Opts;
+  std::function<bool()> ChoiceProvider;
+  std::function<void(int32_t, int32_t)> DequeueObserver;
+  DispatchObserverFn DispatchObserver;
+  std::map<std::pair<std::string, std::string>, ForeignFn> ForeignFns;
+};
+
+} // namespace p
+
+#endif // P_RUNTIME_EXECUTOR_H

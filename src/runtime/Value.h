@@ -1,0 +1,79 @@
+//===- runtime/Value.h - Runtime values of P -------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// P values: ⊥ (the undefined value), booleans, integers, first-class
+/// event names and machine identifiers. ⊥ inhabits every type and
+/// propagates through all operators (Section 3, "Expressions and
+/// evaluation").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_RUNTIME_VALUE_H
+#define P_RUNTIME_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace p {
+
+/// Runtime tag of a Value.
+enum class ValueKind : uint8_t {
+  Null,    ///< ⊥ — undefined.
+  Bool,
+  Int,
+  Event,   ///< Data is an event id.
+  Machine, ///< Data is a machine id.
+};
+
+/// A P runtime value: a tag plus 64 bits of payload.
+struct Value {
+  ValueKind Kind = ValueKind::Null;
+  int64_t Data = 0;
+
+  static Value null() { return {}; }
+  static Value boolean(bool B) { return {ValueKind::Bool, B ? 1 : 0}; }
+  static Value integer(int64_t I) { return {ValueKind::Int, I}; }
+  static Value event(int32_t E) { return {ValueKind::Event, E}; }
+  static Value machine(int32_t Id) { return {ValueKind::Machine, Id}; }
+
+  bool isNull() const { return Kind == ValueKind::Null; }
+  bool isBool() const { return Kind == ValueKind::Bool; }
+  bool isInt() const { return Kind == ValueKind::Int; }
+  bool isEvent() const { return Kind == ValueKind::Event; }
+  bool isMachine() const { return Kind == ValueKind::Machine; }
+
+  bool asBool() const { return Data != 0; }
+  int64_t asInt() const { return Data; }
+  int32_t asEvent() const { return static_cast<int32_t>(Data); }
+  int32_t asMachine() const { return static_cast<int32_t>(Data); }
+
+  /// Exact structural equality — this is the equality the queue's ⊎
+  /// dedup operator uses, *not* the P `==` operator (which is strict
+  /// in ⊥).
+  bool operator==(const Value &O) const = default;
+
+  /// Debug rendering, e.g. "int(3)", "mid(2)", "null".
+  std::string str() const {
+    switch (Kind) {
+    case ValueKind::Null:
+      return "null";
+    case ValueKind::Bool:
+      return Data ? "true" : "false";
+    case ValueKind::Int:
+      return std::to_string(Data);
+    case ValueKind::Event:
+      return "event(" + std::to_string(Data) + ")";
+    case ValueKind::Machine:
+      return "mid(" + std::to_string(Data) + ")";
+    }
+    return "<value>";
+  }
+};
+
+} // namespace p
+
+#endif // P_RUNTIME_VALUE_H

@@ -1,0 +1,692 @@
+//===- sema/Sema.cpp --------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/Sema.h"
+
+#include "support/Casting.h"
+
+#include <set>
+#include <string>
+
+using namespace p;
+
+namespace {
+
+/// Pseudo-type lattice used during checking: the declared TypeKind plus
+/// "Any" for `null`, `arg` and other dynamically typed positions.
+struct SemaType {
+  bool IsAny = false;
+  TypeKind Kind = TypeKind::Void;
+
+  static SemaType any() { return {true, TypeKind::Void}; }
+  static SemaType of(TypeKind K) { return {false, K}; }
+
+  bool compatibleWith(TypeKind Expected) const {
+    return IsAny || Kind == Expected;
+  }
+  std::string str() const { return IsAny ? "any" : typeName(Kind); }
+};
+
+/// The statement context being checked; controls which statements and
+/// name spaces are legal.
+enum class BodyKind { Entry, Exit, Action, Model };
+
+class SemaChecker {
+public:
+  SemaChecker(Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  void run();
+
+private:
+  void checkTopLevelNames();
+  void checkMachine(MachineDecl &M);
+  void checkState(MachineDecl &M, StateDecl &St);
+  void checkStmt(Stmt &S);
+  SemaType checkExpr(Expr &E);
+  SemaType checkForeignCall(ForeignCallExpr &Call);
+  void checkEventPayload(const Expr &EventExpr, Expr *Payload,
+                         SourceLoc Loc, const char *What);
+  bool resolveEventName(const std::string &Name, SourceLoc Loc, int &IdOut);
+  void requireReal(const Expr &E, const char *What);
+
+  /// True when the current context is erased during compilation, so
+  /// nondeterminism and ghost reads are unrestricted.
+  bool inGhostContext() const {
+    return CurMachine->Ghost || CurBody == BodyKind::Model;
+  }
+
+  Program &Prog;
+  DiagnosticEngine &Diags;
+  MachineDecl *CurMachine = nullptr;
+  const ForeignFunDecl *CurFun = nullptr; ///< Set inside model bodies.
+  BodyKind CurBody = BodyKind::Entry;
+};
+
+} // namespace
+
+void SemaChecker::run() {
+  checkTopLevelNames();
+  for (MachineDecl &M : Prog.Machines)
+    checkMachine(M);
+
+  int MainCount = 0;
+  for (const MachineDecl &M : Prog.Machines)
+    if (M.Main)
+      ++MainCount;
+  if (MainCount == 0)
+    Diags.error(SourceLoc(), "program has no 'main' machine (the paper's "
+                             "initialization statement)");
+  else if (MainCount > 1)
+    Diags.error(SourceLoc(), "program has more than one 'main' machine");
+}
+
+void SemaChecker::checkTopLevelNames() {
+  std::set<std::string> Seen;
+  for (const EventDecl &E : Prog.Events)
+    if (!Seen.insert(E.Name).second)
+      Diags.error(E.Loc, "duplicate event name '" + E.Name + "'");
+  Seen.clear();
+  for (const MachineDecl &M : Prog.Machines) {
+    if (!Seen.insert(M.Name).second)
+      Diags.error(M.Loc, "duplicate machine name '" + M.Name + "'");
+    if (Prog.findEvent(M.Name) >= 0)
+      Diags.error(M.Loc,
+                  "machine '" + M.Name + "' collides with an event name");
+  }
+}
+
+bool SemaChecker::resolveEventName(const std::string &Name, SourceLoc Loc,
+                                   int &IdOut) {
+  IdOut = Prog.findEvent(Name);
+  if (IdOut < 0) {
+    Diags.error(Loc, "unknown event '" + Name + "'");
+    return false;
+  }
+  return true;
+}
+
+void SemaChecker::checkMachine(MachineDecl &M) {
+  CurMachine = &M;
+
+  std::set<std::string> Seen;
+  for (const VarDecl &V : M.Vars) {
+    if (!Seen.insert(V.Name).second)
+      Diags.error(V.Loc, "duplicate variable '" + V.Name + "' in machine '" +
+                             M.Name + "'");
+    if (Prog.findEvent(V.Name) >= 0)
+      Diags.error(V.Loc,
+                  "variable '" + V.Name + "' shadows an event name");
+    if (V.Type == TypeKind::Void)
+      Diags.error(V.Loc, "variable '" + V.Name + "' cannot have type void");
+  }
+  Seen.clear();
+  for (const StateDecl &St : M.States)
+    if (!Seen.insert(St.Name).second)
+      Diags.error(St.Loc, "duplicate state '" + St.Name + "' in machine '" +
+                              M.Name + "'");
+  Seen.clear();
+  for (const ActionDecl &A : M.Actions)
+    if (!Seen.insert(A.Name).second)
+      Diags.error(A.Loc, "duplicate action '" + A.Name + "' in machine '" +
+                             M.Name + "'");
+  Seen.clear();
+  for (const ForeignFunDecl &F : M.Funs) {
+    if (!Seen.insert(F.Name).second)
+      Diags.error(F.Loc, "duplicate foreign function '" + F.Name +
+                             "' in machine '" + M.Name + "'");
+    std::set<std::string> ParamSeen;
+    for (const ParamDecl &Param : F.Params)
+      if (!ParamSeen.insert(Param.Name).second)
+        Diags.error(Param.Loc, "duplicate parameter '" + Param.Name + "'");
+  }
+
+  if (M.States.empty()) {
+    Diags.error(M.Loc, "machine '" + M.Name + "' has no states");
+    CurMachine = nullptr;
+    return;
+  }
+
+  for (StateDecl &St : M.States)
+    checkState(M, St);
+
+  for (ActionDecl &A : M.Actions) {
+    CurBody = BodyKind::Action;
+    checkStmt(*A.Body);
+  }
+
+  for (ForeignFunDecl &F : M.Funs) {
+    if (!F.ModelBody)
+      continue;
+    CurBody = BodyKind::Model;
+    CurFun = &F;
+    checkStmt(*F.ModelBody);
+    CurFun = nullptr;
+  }
+
+  CurMachine = nullptr;
+}
+
+void SemaChecker::checkState(MachineDecl &M, StateDecl &St) {
+  // Resolve deferred/postponed sets.
+  St.DeferredIds.clear();
+  St.PostponedIds.clear();
+  for (const std::string &Name : St.Deferred) {
+    int Id;
+    if (resolveEventName(Name, St.Loc, Id)) {
+      if (!M.Ghost && Prog.Events[Id].Ghost)
+        Diags.error(St.Loc, "real machine '" + M.Name +
+                                "' defers ghost event '" + Name + "'");
+      St.DeferredIds.push_back(Id);
+    }
+  }
+  for (const std::string &Name : St.Postponed) {
+    int Id;
+    if (resolveEventName(Name, St.Loc, Id))
+      St.PostponedIds.push_back(Id);
+  }
+
+  // Transition determinism: at most one step/call transition and at most
+  // one action binding per event (paper, Section 3: "The set of
+  // transitions of m must be deterministic").
+  std::set<int> TransitionEvents;
+  std::set<int> ActionEvents;
+  for (HandlerDecl &H : St.Handlers) {
+    if (!resolveEventName(H.EventName, H.Loc, H.EventId))
+      continue;
+    if (!M.Ghost && Prog.Events[H.EventId].Ghost)
+      Diags.error(H.Loc, "real machine '" + M.Name +
+                             "' handles ghost event '" + H.EventName + "'");
+    switch (H.Kind) {
+    case HandlerKind::Step:
+    case HandlerKind::Call: {
+      if (!TransitionEvents.insert(H.EventId).second)
+        Diags.error(H.Loc, "state '" + St.Name +
+                               "' has more than one transition on event '" +
+                               H.EventName + "'");
+      H.TargetIndex = M.findState(H.Target);
+      if (H.TargetIndex < 0)
+        Diags.error(H.Loc, "unknown target state '" + H.Target + "'");
+      break;
+    }
+    case HandlerKind::Do: {
+      if (!ActionEvents.insert(H.EventId).second)
+        Diags.error(H.Loc, "state '" + St.Name +
+                               "' binds more than one action to event '" +
+                               H.EventName + "'");
+      H.TargetIndex = M.findAction(H.Target);
+      if (H.TargetIndex < 0)
+        Diags.error(H.Loc, "unknown action '" + H.Target + "'");
+      break;
+    }
+    }
+  }
+  for (int EventId : ActionEvents)
+    if (TransitionEvents.count(EventId))
+      Diags.warning(St.Loc,
+                    "state '" + St.Name + "' binds an action to event '" +
+                        Prog.Events[EventId].Name +
+                        "' that also has a transition; the transition "
+                        "takes priority and the action is dead");
+
+  if (St.Entry) {
+    CurBody = BodyKind::Entry;
+    checkStmt(*St.Entry);
+  }
+  if (St.Exit) {
+    CurBody = BodyKind::Exit;
+    checkStmt(*St.Exit);
+  }
+}
+
+void SemaChecker::requireReal(const Expr &E, const char *What) {
+  if (!inGhostContext() && E.Ghost)
+    Diags.error(E.getLoc(), std::string(What) +
+                                " in real machine '" + CurMachine->Name +
+                                "' depends on ghost state; it would not "
+                                "survive erasure");
+}
+
+void SemaChecker::checkEventPayload(const Expr &EventExpr, Expr *Payload,
+                                    SourceLoc Loc, const char *What) {
+  // Only statically known events can be payload-checked.
+  const auto *Lit = dyn_cast<EventLitExpr>(&EventExpr);
+  if (!Lit || Lit->EventId < 0)
+    return;
+  const EventDecl &E = Prog.Events[Lit->EventId];
+  if (E.PayloadType == TypeKind::Void) {
+    if (Payload && !isa<NullLitExpr>(Payload))
+      Diags.error(Loc, std::string(What) + " of event '" + E.Name +
+                           "' carries a payload, but the event is "
+                           "declared without one");
+    return;
+  }
+  if (!Payload)
+    Diags.error(Loc, std::string(What) + " of event '" + E.Name +
+                         "' is missing its payload of type " +
+                         typeName(E.PayloadType));
+}
+
+SemaType SemaChecker::checkExpr(Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::NullLit:
+    E.Ghost = false;
+    return SemaType::any();
+  case Expr::Kind::BoolLit:
+    E.Ty = TypeKind::Bool;
+    return SemaType::of(TypeKind::Bool);
+  case Expr::Kind::IntLit:
+    E.Ty = TypeKind::Int;
+    return SemaType::of(TypeKind::Int);
+  case Expr::Kind::EventLit: {
+    auto &Lit = *cast<EventLitExpr>(&E);
+    Lit.EventId = Prog.findEvent(Lit.Name);
+    if (Lit.EventId < 0)
+      Diags.error(E.getLoc(), "unknown event '" + Lit.Name + "'");
+    E.Ty = TypeKind::Event;
+    return SemaType::of(TypeKind::Event);
+  }
+  case Expr::Kind::VarRef: {
+    auto &Ref = *cast<VarRefExpr>(&E);
+    if (CurBody == BodyKind::Model && CurFun) {
+      for (size_t I = 0; I != CurFun->Params.size(); ++I) {
+        if (CurFun->Params[I].Name == Ref.Name) {
+          Ref.ParamIndex = static_cast<int>(I);
+          E.Ty = CurFun->Params[I].Type;
+          return SemaType::of(E.Ty);
+        }
+      }
+    }
+    Ref.VarIndex = CurMachine->findVar(Ref.Name);
+    if (Ref.VarIndex < 0) {
+      Diags.error(E.getLoc(), "unknown variable '" + Ref.Name +
+                                  "' in machine '" + CurMachine->Name + "'");
+      return SemaType::any();
+    }
+    const VarDecl &V = CurMachine->Vars[Ref.VarIndex];
+    E.Ty = V.Type;
+    E.Ghost = V.Ghost;
+    return SemaType::of(V.Type);
+  }
+  case Expr::Kind::This:
+    E.Ty = TypeKind::Id;
+    return SemaType::of(TypeKind::Id);
+  case Expr::Kind::Msg:
+    E.Ty = TypeKind::Event;
+    return SemaType::of(TypeKind::Event);
+  case Expr::Kind::Arg:
+    return SemaType::any();
+  case Expr::Kind::Nondet:
+    if (!inGhostContext())
+      Diags.error(E.getLoc(),
+                  "nondeterministic '*' is only allowed in ghost machines "
+                  "and foreign-function model bodies (real machines must "
+                  "be deterministic)");
+    E.Ty = TypeKind::Bool;
+    E.Ghost = true;
+    return SemaType::of(TypeKind::Bool);
+  case Expr::Kind::Unary: {
+    auto &U = *cast<UnaryExpr>(&E);
+    SemaType T = checkExpr(*U.Operand);
+    E.Ghost = U.Operand->Ghost;
+    TypeKind Want = U.Op == UnaryOp::Not ? TypeKind::Bool : TypeKind::Int;
+    if (!T.compatibleWith(Want))
+      Diags.error(E.getLoc(), std::string("operand of '") +
+                                  unaryOpName(U.Op) + "' has type " +
+                                  T.str() + ", expected " + typeName(Want));
+    E.Ty = Want;
+    return SemaType::of(Want);
+  }
+  case Expr::Kind::Binary: {
+    auto &B = *cast<BinaryExpr>(&E);
+    SemaType L = checkExpr(*B.LHS);
+    SemaType R = checkExpr(*B.RHS);
+    E.Ghost = B.LHS->Ghost || B.RHS->Ghost;
+    switch (B.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      if (!L.compatibleWith(TypeKind::Int) ||
+          !R.compatibleWith(TypeKind::Int))
+        Diags.error(E.getLoc(), std::string("arithmetic '") +
+                                    binaryOpName(B.Op) +
+                                    "' requires int operands (got " +
+                                    L.str() + " and " + R.str() + ")");
+      E.Ty = TypeKind::Int;
+      return SemaType::of(TypeKind::Int);
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      if (!L.compatibleWith(TypeKind::Bool) ||
+          !R.compatibleWith(TypeKind::Bool))
+        Diags.error(E.getLoc(), std::string("logical '") +
+                                    binaryOpName(B.Op) +
+                                    "' requires bool operands (got " +
+                                    L.str() + " and " + R.str() + ")");
+      E.Ty = TypeKind::Bool;
+      return SemaType::of(TypeKind::Bool);
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      if (!L.compatibleWith(TypeKind::Int) ||
+          !R.compatibleWith(TypeKind::Int))
+        Diags.error(E.getLoc(), std::string("comparison '") +
+                                    binaryOpName(B.Op) +
+                                    "' requires int operands (got " +
+                                    L.str() + " and " + R.str() + ")");
+      E.Ty = TypeKind::Bool;
+      return SemaType::of(TypeKind::Bool);
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (!L.IsAny && !R.IsAny && L.Kind != R.Kind)
+        Diags.error(E.getLoc(),
+                    std::string("'") + binaryOpName(B.Op) +
+                        "' compares incompatible types " + L.str() +
+                        " and " + R.str());
+      E.Ty = TypeKind::Bool;
+      return SemaType::of(TypeKind::Bool);
+    }
+    return SemaType::any();
+  }
+  case Expr::Kind::ForeignCall:
+    return checkForeignCall(*cast<ForeignCallExpr>(&E));
+  }
+  return SemaType::any();
+}
+
+SemaType SemaChecker::checkForeignCall(ForeignCallExpr &Call) {
+  Call.FunIndex = CurMachine->findFun(Call.Callee);
+  if (Call.FunIndex < 0) {
+    Diags.error(Call.getLoc(), "unknown foreign function '" + Call.Callee +
+                                   "' in machine '" + CurMachine->Name +
+                                   "'");
+    for (ExprPtr &Arg : Call.Args)
+      checkExpr(*Arg);
+    return SemaType::any();
+  }
+  const ForeignFunDecl &F = CurMachine->Funs[Call.FunIndex];
+  if (Call.Args.size() != F.Params.size())
+    Diags.error(Call.getLoc(),
+                "foreign function '" + F.Name + "' expects " +
+                    std::to_string(F.Params.size()) + " argument(s), got " +
+                    std::to_string(Call.Args.size()));
+  bool Ghost = false;
+  for (size_t I = 0; I != Call.Args.size(); ++I) {
+    SemaType T = checkExpr(*Call.Args[I]);
+    Ghost |= Call.Args[I]->Ghost;
+    if (I < F.Params.size() && !T.compatibleWith(F.Params[I].Type))
+      Diags.error(Call.Args[I]->getLoc(),
+                  "argument " + std::to_string(I + 1) + " of '" + F.Name +
+                      "' has type " + T.str() + ", expected " +
+                      typeName(F.Params[I].Type));
+  }
+  // A foreign call is real code: erasing a ghost argument would change
+  // what the external function observes, so ghost values may not flow in.
+  if (!inGhostContext() && Ghost)
+    Diags.error(Call.getLoc(), "foreign function '" + F.Name +
+                                   "' called with a ghost argument in a "
+                                   "real machine");
+  Call.Ghost = Ghost;
+  Call.Ty = F.ReturnType;
+  return F.ReturnType == TypeKind::Void ? SemaType::any()
+                                        : SemaType::of(F.ReturnType);
+}
+
+void SemaChecker::checkStmt(Stmt &S) {
+  const bool InModel = CurBody == BodyKind::Model;
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Block: {
+    for (StmtPtr &Sub : cast<BlockStmt>(&S)->Stmts)
+      checkStmt(*Sub);
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    auto &A = *cast<AssignStmt>(&S);
+    SemaType ValueTy = checkExpr(*A.Value);
+    if (InModel && A.Target == "result") {
+      A.IsResult = true;
+      if (CurFun && CurFun->ReturnType == TypeKind::Void)
+        Diags.error(S.getLoc(), "model body of void foreign function '" +
+                                    CurFun->Name + "' assigns 'result'");
+      else if (CurFun && !ValueTy.compatibleWith(CurFun->ReturnType))
+        Diags.error(S.getLoc(), "'result' of '" + CurFun->Name +
+                                    "' has type " +
+                                    typeName(CurFun->ReturnType) + ", got " +
+                                    ValueTy.str());
+      return;
+    }
+    A.VarIndex = CurMachine->findVar(A.Target);
+    if (A.VarIndex < 0) {
+      Diags.error(S.getLoc(), "unknown variable '" + A.Target +
+                                  "' in machine '" + CurMachine->Name + "'");
+      return;
+    }
+    const VarDecl &V = CurMachine->Vars[A.VarIndex];
+    if (!ValueTy.compatibleWith(V.Type))
+      Diags.error(S.getLoc(), "cannot assign " + ValueTy.str() +
+                                  " to variable '" + V.Name + "' of type " +
+                                  typeName(V.Type));
+    if (InModel && !V.Ghost)
+      Diags.error(S.getLoc(),
+                  "model body writes real variable '" + V.Name +
+                      "'; model bodies must be erasable (ghost-only "
+                      "effects)");
+    if (!inGhostContext() && !V.Ghost && A.Value->Ghost)
+      Diags.error(S.getLoc(),
+                  "real variable '" + V.Name +
+                      "' assigned a ghost value; erasure would change the "
+                      "real machine's behaviour");
+    // Machine-identifier separation (Section 3.3): the checker relies on
+    // the ghost bit of an id-typed variable to classify sends.
+    if (!inGhostContext() && V.Type == TypeKind::Id && V.Ghost &&
+        !A.Value->Ghost && !isa<NullLitExpr>(A.Value.get()) &&
+        !isa<ArgExpr>(A.Value.get()))
+      Diags.error(S.getLoc(),
+                  "ghost id variable '" + V.Name +
+                      "' assigned a real machine identifier; machine "
+                      "identifiers must be completely separated");
+    return;
+  }
+  case Stmt::Kind::New: {
+    auto &N = *cast<NewStmt>(&S);
+    if (InModel) {
+      Diags.error(S.getLoc(), "model bodies cannot create machines");
+      return;
+    }
+    N.MachineIndex = Prog.findMachine(N.MachineName);
+    if (N.MachineIndex < 0) {
+      Diags.error(S.getLoc(), "unknown machine '" + N.MachineName + "'");
+      return;
+    }
+    MachineDecl &Target = Prog.Machines[N.MachineIndex];
+    if (!N.Target.empty()) {
+      N.VarIndex = CurMachine->findVar(N.Target);
+      if (N.VarIndex < 0) {
+        Diags.error(S.getLoc(), "unknown variable '" + N.Target +
+                                    "' in machine '" + CurMachine->Name +
+                                    "'");
+      } else {
+        const VarDecl &V = CurMachine->Vars[N.VarIndex];
+        if (V.Type != TypeKind::Id)
+          Diags.error(S.getLoc(), "variable '" + V.Name +
+                                      "' must have type id to hold a "
+                                      "machine identifier");
+        if (!inGhostContext()) {
+          if (Target.Ghost && !V.Ghost)
+            Diags.error(S.getLoc(),
+                        "identifier of ghost machine '" + Target.Name +
+                            "' stored in real variable '" + V.Name + "'");
+          if (!Target.Ghost && V.Ghost)
+            Diags.error(S.getLoc(),
+                        "identifier of real machine '" + Target.Name +
+                            "' stored in ghost variable '" + V.Name + "'");
+        }
+      }
+    }
+    if (!inGhostContext() && !Target.Ghost && N.Target.empty())
+      Diags.warning(S.getLoc(), "created machine identifier is discarded");
+    for (Initializer &Init : N.Inits) {
+      Init.VarIndex = Target.findVar(Init.Field);
+      SemaType T = checkExpr(*Init.Value);
+      if (Init.VarIndex < 0) {
+        Diags.error(Init.Loc, "machine '" + Target.Name +
+                                  "' has no variable '" + Init.Field + "'");
+        continue;
+      }
+      const VarDecl &Field = Target.Vars[Init.VarIndex];
+      if (!T.compatibleWith(Field.Type))
+        Diags.error(Init.Loc, "initializer for '" + Init.Field +
+                                  "' has type " + T.str() + ", expected " +
+                                  typeName(Field.Type));
+      if (!inGhostContext() && !Target.Ghost && !Field.Ghost &&
+          Init.Value->Ghost)
+        Diags.error(Init.Loc, "real field '" + Init.Field +
+                                  "' initialized with a ghost value");
+    }
+    return;
+  }
+  case Stmt::Kind::Delete:
+    if (InModel)
+      Diags.error(S.getLoc(), "model bodies cannot delete machines");
+    return;
+  case Stmt::Kind::Send: {
+    auto &Snd = *cast<SendStmt>(&S);
+    if (InModel) {
+      Diags.error(S.getLoc(), "model bodies cannot send events");
+      return;
+    }
+    SemaType TargetTy = checkExpr(*Snd.Target);
+    SemaType EventTy = checkExpr(*Snd.Event);
+    SemaType PayloadTy = SemaType::any();
+    if (Snd.Payload)
+      PayloadTy = checkExpr(*Snd.Payload);
+    if (!TargetTy.compatibleWith(TypeKind::Id))
+      Diags.error(S.getLoc(), "send target has type " + TargetTy.str() +
+                                  ", expected id");
+    if (!EventTy.compatibleWith(TypeKind::Event))
+      Diags.error(S.getLoc(), "send event has type " + EventTy.str() +
+                                  ", expected event");
+    checkEventPayload(*Snd.Event, Snd.Payload.get(), S.getLoc(), "send");
+    if (Snd.Payload) {
+      if (const auto *Lit = dyn_cast<EventLitExpr>(Snd.Event.get())) {
+        if (Lit->EventId >= 0) {
+          TypeKind Want = Prog.Events[Lit->EventId].PayloadType;
+          if (Want != TypeKind::Void && !PayloadTy.compatibleWith(Want))
+            Diags.error(Snd.Payload->getLoc(),
+                        "payload of event '" + Lit->Name + "' has type " +
+                            PayloadTy.str() + ", expected " +
+                            typeName(Want));
+        }
+      }
+    }
+    if (!inGhostContext()) {
+      // A send whose target is ghost is itself ghost (erased). A send to
+      // a real machine must not depend on ghost state at all.
+      if (!Snd.Target->Ghost) {
+        requireReal(*Snd.Event, "event of a send to a real machine");
+        if (Snd.Payload)
+          requireReal(*Snd.Payload, "payload of a send to a real machine");
+        if (const auto *Lit = dyn_cast<EventLitExpr>(Snd.Event.get()))
+          if (Lit->EventId >= 0 && Prog.Events[Lit->EventId].Ghost)
+            Diags.error(S.getLoc(), "ghost event '" + Lit->Name +
+                                        "' sent to a real machine");
+      }
+    }
+    return;
+  }
+  case Stmt::Kind::Raise: {
+    auto &R = *cast<RaiseStmt>(&S);
+    if (InModel) {
+      Diags.error(S.getLoc(), "model bodies cannot raise events");
+      return;
+    }
+    SemaType EventTy = checkExpr(*R.Event);
+    if (R.Payload)
+      checkExpr(*R.Payload);
+    if (!EventTy.compatibleWith(TypeKind::Event))
+      Diags.error(S.getLoc(), "raise event has type " + EventTy.str() +
+                                  ", expected event");
+    checkEventPayload(*R.Event, R.Payload.get(), S.getLoc(), "raise");
+    if (!inGhostContext()) {
+      requireReal(*R.Event, "raised event");
+      if (R.Payload)
+        requireReal(*R.Payload, "payload of a raised event");
+      if (const auto *Lit = dyn_cast<EventLitExpr>(R.Event.get()))
+        if (Lit->EventId >= 0 && Prog.Events[Lit->EventId].Ghost)
+          Diags.error(S.getLoc(), "ghost event '" + Lit->Name +
+                                      "' raised in a real machine");
+    }
+    return;
+  }
+  case Stmt::Kind::Leave:
+    if (CurBody != BodyKind::Entry)
+      Diags.error(S.getLoc(), "'leave' is only allowed in entry statements");
+    return;
+  case Stmt::Kind::Return:
+    if (InModel)
+      Diags.error(S.getLoc(),
+                  "'return' is not allowed in model bodies; assign "
+                  "'result' instead");
+    return;
+  case Stmt::Kind::Assert: {
+    // Asserts may freely read ghost state; ghost-dependent asserts are
+    // erased during compilation (Section 3.3).
+    auto &A = *cast<AssertStmt>(&S);
+    SemaType T = checkExpr(*A.Cond);
+    if (!T.compatibleWith(TypeKind::Bool))
+      Diags.error(A.Cond->getLoc(), "assert condition has type " + T.str() +
+                                        ", expected bool");
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto &I = *cast<IfStmt>(&S);
+    SemaType T = checkExpr(*I.Cond);
+    if (!T.compatibleWith(TypeKind::Bool))
+      Diags.error(I.Cond->getLoc(), "if condition has type " + T.str() +
+                                        ", expected bool");
+    requireReal(*I.Cond, "branch condition");
+    checkStmt(*I.Then);
+    if (I.Else)
+      checkStmt(*I.Else);
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto &W = *cast<WhileStmt>(&S);
+    SemaType T = checkExpr(*W.Cond);
+    if (!T.compatibleWith(TypeKind::Bool))
+      Diags.error(W.Cond->getLoc(), "while condition has type " + T.str() +
+                                        ", expected bool");
+    requireReal(*W.Cond, "loop condition");
+    checkStmt(*W.Body);
+    return;
+  }
+  case Stmt::Kind::CallState: {
+    auto &C = *cast<CallStateStmt>(&S);
+    if (InModel) {
+      Diags.error(S.getLoc(), "model bodies cannot call states");
+      return;
+    }
+    C.StateIndex = CurMachine->findState(C.StateName);
+    if (C.StateIndex < 0)
+      Diags.error(S.getLoc(), "unknown state '" + C.StateName +
+                                  "' in machine '" + CurMachine->Name + "'");
+    return;
+  }
+  case Stmt::Kind::ExprStmt:
+    checkExpr(*cast<ExprStmt>(&S)->E);
+    return;
+  }
+}
+
+bool p::analyze(Program &Prog, DiagnosticEngine &Diags) {
+  unsigned Before = Diags.errorCount();
+  SemaChecker Checker(Prog, Diags);
+  Checker.run();
+  return Diags.errorCount() == Before;
+}

@@ -1,0 +1,43 @@
+//===- sema/Sema.h - Semantic analysis for P -------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis implementing the paper's static semantics
+/// (Section 3.3):
+///
+///  * well-formedness — unique names; at most one transition and at most
+///    one action binding per (state, event); handler targets exist;
+///    exactly one `main` machine;
+///  * typing — the simple five-type system with ⊥ inhabiting every type
+///    (`null` and `arg` are dynamically typed);
+///  * determinism — `*` only inside ghost machines and foreign-function
+///    model bodies;
+///  * ghost erasure — ghost machines/variables/events may be erased
+///    without changing the runs of real machines: real control flow and
+///    real state never depend on ghost values (except inside `assert`),
+///    and machine identifiers are completely separated (ghost id
+///    variables only ever hold ghost machine ids, and vice versa).
+///
+/// Sema annotates the AST in place (resolved indices, types, ghost bits);
+/// lowering consumes the annotated AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_SEMA_SEMA_H
+#define P_SEMA_SEMA_H
+
+#include "ast/AST.h"
+#include "support/Diagnostics.h"
+
+namespace p {
+
+/// Runs all semantic checks over \p Prog, annotating it in place.
+/// Returns true when no errors were reported.
+bool analyze(Program &Prog, DiagnosticEngine &Diags);
+
+} // namespace p
+
+#endif // P_SEMA_SEMA_H

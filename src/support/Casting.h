@@ -1,0 +1,62 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. Class hierarchies opt in by exposing a
+/// Kind discriminator and a static `classof(const Base *)` predicate; the
+/// `isa<>`, `cast<>` and `dyn_cast<>` templates then provide checked
+/// downcasts without compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_SUPPORT_CASTING_H
+#define P_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace p {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns nullptr when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, but tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace p
+
+#endif // P_SUPPORT_CASTING_H

@@ -1,0 +1,69 @@
+//===- support/Diagnostics.h - Diagnostic collection ----------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic engine shared by the lexer, parser and semantic analysis.
+/// The library never throws; phases report problems through a
+/// DiagnosticEngine and callers inspect it afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_SUPPORT_DIAGNOSTICS_H
+#define P_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace p {
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// A single diagnostic message with its source location.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders e.g. "3:14: error: duplicate state name 'Init'".
+  std::string str() const;
+};
+
+/// Accumulates diagnostics produced while processing one program.
+class DiagnosticEngine {
+public:
+  /// Reports an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message);
+
+  /// Reports a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message);
+
+  /// Reports a note at \p Loc.
+  void note(SourceLoc Loc, std::string Message);
+
+  /// True if at least one error was reported.
+  bool hasErrors() const { return NumErrors != 0; }
+
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics rendered one per line; handy in tests and tools.
+  std::string str() const;
+
+  /// Drops all recorded diagnostics.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace p
+
+#endif // P_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,45 @@
+//===- support/SourceLoc.h - Source locations for diagnostics ------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates attached to tokens, AST nodes and
+/// diagnostics. A location is (line, column), both 1-based; line 0 denotes
+/// "unknown" (e.g. synthesized nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_SUPPORT_SOURCELOC_H
+#define P_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace p {
+
+/// A (line, column) pair identifying a point in a P source buffer.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  /// Whether this location refers to real source text.
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &O) const = default;
+
+  /// Renders the location as "line:col" (or "<unknown>").
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace p
+
+#endif // P_SUPPORT_SOURCELOC_H

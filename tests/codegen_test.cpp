@@ -1,0 +1,212 @@
+//===- tests/codegen_test.cpp - C backend tests -----------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Structure checks on the emitted C, plus full compile-and-run tests:
+// the generated elevator driver is built with the system C compiler
+// against the portable C runtime and driven through a scripted session
+// (the role the KMDF interface code plays in the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CCodeGen.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace p;
+
+namespace {
+
+Program parseOrDie(const std::string &Src, DiagnosticEngine &Diags) {
+  Program Prog = parseAndAnalyze(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Prog;
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+  Out << Contents;
+}
+
+std::string runCommand(const std::string &Cmd, int &ExitCode) {
+  std::string Full = Cmd + " 2>&1";
+  FILE *Pipe = popen(Full.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  std::string Output;
+  char Buf[512];
+  while (Pipe && fgets(Buf, sizeof(Buf), Pipe))
+    Output += Buf;
+  ExitCode = Pipe ? pclose(Pipe) : -1;
+  return Output;
+}
+
+TEST(Codegen, EmitsTablesAndEnums) {
+  DiagnosticEngine Diags;
+  Program Prog = parseOrDie(corpus::elevator(), Diags);
+  CodegenOptions Opts;
+  Opts.BaseName = "elev";
+  CodegenResult R = generateC(Prog, Opts);
+  ASSERT_TRUE(R.ok()) << R.Errors.front();
+
+  // Header: event and machine enumerations (Section 4's generated
+  // enumerations).
+  EXPECT_NE(R.Header.find("PEV_OpenDoor"), std::string::npos);
+  EXPECT_NE(R.Header.find("PMT_Elevator"), std::string::npos);
+  EXPECT_NE(R.Header.find("PVAR_Elevator_TimerV"), std::string::npos);
+  EXPECT_NE(R.Header.find("elev_program"), std::string::npos);
+  // Ghost main: no runtime main machine.
+  EXPECT_NE(R.Header.find("#define elev_MAIN_MACHINE -1"),
+            std::string::npos);
+
+  // Source: state tables and entry functions for the real machine...
+  EXPECT_NE(R.Source.find("p_Elevator_states"), std::string::npos);
+  EXPECT_NE(R.Source.find("p_Elevator_DoorOpening_entry"),
+            std::string::npos);
+  // ...but no bodies for ghost machines.
+  EXPECT_EQ(R.Source.find("p_User_Loop_entry"), std::string::npos);
+  // Ghost sends are erased: the elevator's real bodies never call
+  // prt_send (every target is a ghost machine).
+  EXPECT_EQ(R.Source.find("prt_send"), std::string::npos);
+}
+
+TEST(Codegen, RejectsNonTailCallStatement) {
+  const char *Src = R"(
+event unit;
+main machine M {
+  var X: int;
+  state A {
+    entry {
+      call B;
+      X = 1;
+    }
+  }
+  state B { entry { } }
+}
+)";
+  DiagnosticEngine Diags;
+  Program Prog = parseOrDie(Src, Diags);
+  CodegenOptions Opts;
+  CodegenResult R = generateC(Prog, Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors.front().find("tail position"), std::string::npos);
+}
+
+TEST(Codegen, GeneratedElevatorCompilesAndRuns) {
+  DiagnosticEngine Diags;
+  Program Prog = parseOrDie(corpus::elevator(), Diags);
+  CodegenOptions Opts;
+  Opts.BaseName = "elev";
+  CodegenResult R = generateC(Prog, Opts);
+  ASSERT_TRUE(R.ok()) << R.Errors.front();
+
+  std::string Dir = ::testing::TempDir() + "/pgen_elev";
+  int Exit = 0;
+  runCommand("mkdir -p " + Dir, Exit);
+  writeFile(Dir + "/elev.h", R.Header);
+  writeFile(Dir + "/elev.c", R.Source);
+
+  // The host main: plays the role of the KMDF interface code and of the
+  // erased environment (door and timer hardware).
+  const char *Main = R"(
+#include "elev.h"
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+static void on_error(PrtRuntime *rt, int mid, const char *kind,
+                     const char *msg) {
+  (void)rt;
+  fprintf(stderr, "error in machine %d: %s: %s\n", mid, kind, msg);
+  exit(2);
+}
+
+static void expect_state(PrtRuntime *rt, int id, const char *want) {
+  const char *got = PrtCurrentStateName(rt, id);
+  printf("state: %s\n", got);
+  if (strcmp(got, want) != 0) {
+    fprintf(stderr, "expected state %s, got %s\n", want, got);
+    exit(3);
+  }
+}
+
+int main(void) {
+  PrtRuntime *rt = PrtCreateRuntime(&elev_program, on_error);
+  int id = PrtCreateMachine(rt, PMT_Elevator, 0, 0, 0);
+  expect_state(rt, id, "DoorClosed");
+
+  PrtAddEvent(rt, id, PEV_OpenDoor, prt_null());
+  expect_state(rt, id, "DoorOpening");
+
+  PrtAddEvent(rt, id, PEV_DoorOpened, prt_null());
+  expect_state(rt, id, "DoorOpened");
+
+  PrtAddEvent(rt, id, PEV_TimerFired, prt_null());
+  expect_state(rt, id, "DoorOpenedOkToClose");
+
+  /* Close request: the elevator calls into StoppingTimer; the timer
+     "hardware" answers with OperationSuccess, the subroutine returns,
+     and the close command goes out. */
+  PrtAddEvent(rt, id, PEV_CloseDoor, prt_null());
+  expect_state(rt, id, "StoppingTimer");
+  PrtAddEvent(rt, id, PEV_OperationSuccess, prt_null());
+  expect_state(rt, id, "DoorClosing");
+  PrtAddEvent(rt, id, PEV_DoorClosed, prt_null());
+  expect_state(rt, id, "DoorClosed");
+
+  /* Deferral check: CloseDoor while opening is deferred, not dropped. */
+  PrtAddEvent(rt, id, PEV_OpenDoor, prt_null());
+  expect_state(rt, id, "DoorOpening");
+  PrtAddEvent(rt, id, PEV_CloseDoor, prt_null());
+  expect_state(rt, id, "DoorOpening");
+  PrtAddEvent(rt, id, PEV_DoorOpened, prt_null());
+  expect_state(rt, id, "DoorOpened");
+
+  printf("ok\n");
+  PrtDestroyRuntime(rt);
+  return 0;
+}
+)";
+  writeFile(Dir + "/main.c", Main);
+
+  std::string Compile = "cc -std=c99 -Wall -Wextra -Werror -I" + Dir +
+                        " -I" + cRuntimeDir() + " " + Dir + "/elev.c " +
+                        Dir + "/main.c " + cRuntimeDir() +
+                        "/prt_runtime.c -o " + Dir + "/elev_driver";
+  std::string Output = runCommand(Compile, Exit);
+  ASSERT_EQ(Exit, 0) << "C compilation failed:\n" << Output;
+
+  Output = runCommand(Dir + "/elev_driver", Exit);
+  EXPECT_EQ(Exit, 0) << Output;
+  EXPECT_NE(Output.find("ok"), std::string::npos) << Output;
+}
+
+TEST(Codegen, GeneratedSwitchLedCompiles) {
+  DiagnosticEngine Diags;
+  Program Prog = parseOrDie(corpus::switchLed(), Diags);
+  CodegenOptions Opts;
+  Opts.BaseName = "swled";
+  CodegenResult R = generateC(Prog, Opts);
+  ASSERT_TRUE(R.ok()) << R.Errors.front();
+
+  std::string Dir = ::testing::TempDir() + "/pgen_swled";
+  int Exit = 0;
+  runCommand("mkdir -p " + Dir, Exit);
+  writeFile(Dir + "/swled.h", R.Header);
+  writeFile(Dir + "/swled.c", R.Source);
+  std::string Compile = "cc -std=c99 -Wall -Wextra -Werror -c -I" + Dir +
+                        " -I" + cRuntimeDir() + " " + Dir + "/swled.c -o " +
+                        Dir + "/swled.o";
+  std::string Output = runCommand(Compile, Exit);
+  EXPECT_EQ(Exit, 0) << "C compilation failed:\n" << Output;
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- tests/corpus_elevator_test.cpp - Elevator & Switch-LED verification -===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+CompiledProgram compileOrDie(const std::string &Src) {
+  CompileResult R = compileString(Src);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    std::abort();
+  return std::move(*R.Program);
+}
+
+CheckResult checkAt(const CompiledProgram &Prog, int DelayBound,
+                    int DepthBound = 100000) {
+  CheckOptions Opts;
+  Opts.DelayBound = DelayBound;
+  Opts.DepthBound = DepthBound;
+  return check(Prog, Opts);
+}
+
+class ElevatorDelayBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElevatorDelayBound, VerifiesClean) {
+  CompiledProgram Prog = compileOrDie(corpus::elevator());
+  CheckResult R = checkAt(Prog, GetParam());
+  EXPECT_FALSE(R.ErrorFound)
+      << errorKindName(R.Error) << ": " << R.ErrorMessage << "\ntrace:\n"
+      << [&] {
+           std::string T;
+           for (const auto &L : R.Trace)
+             T += L + "\n";
+           return T;
+         }();
+  EXPECT_TRUE(R.Stats.Exhausted);
+  EXPECT_GT(R.Stats.DistinctStates, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(DelayBounds, ElevatorDelayBound,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(ElevatorCorpus, MissingDeferCloseDoorIsCaught) {
+  CompiledProgram Prog =
+      compileOrDie(corpus::elevator(corpus::ElevatorBug::MissingDeferCloseDoor));
+  // The paper reports bugs found within a delay bound of 2.
+  bool Found = false;
+  for (int D = 0; D <= 2 && !Found; ++D) {
+    CheckResult R = checkAt(Prog, D);
+    Found = R.ErrorFound && R.Error == ErrorKind::UnhandledEvent;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(ElevatorCorpus, MissingDeferTimerFiredIsCaught) {
+  CompiledProgram Prog =
+      compileOrDie(corpus::elevator(corpus::ElevatorBug::MissingDeferTimerFired));
+  bool Found = false;
+  for (int D = 0; D <= 2 && !Found; ++D) {
+    CheckResult R = checkAt(Prog, D);
+    Found = R.ErrorFound && R.Error == ErrorKind::UnhandledEvent;
+  }
+  EXPECT_TRUE(Found);
+}
+
+class SwitchLedDelayBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(SwitchLedDelayBound, VerifiesClean) {
+  CompiledProgram Prog = compileOrDie(corpus::switchLed());
+  CheckResult R = checkAt(Prog, GetParam());
+  EXPECT_FALSE(R.ErrorFound)
+      << errorKindName(R.Error) << ": " << R.ErrorMessage;
+  EXPECT_TRUE(R.Stats.Exhausted);
+}
+
+INSTANTIATE_TEST_SUITE_P(DelayBounds, SwitchLedDelayBound,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(SwitchLedCorpus, MissingDeferSwitchIsCaught) {
+  CompiledProgram Prog =
+      compileOrDie(corpus::switchLed(corpus::SwitchLedBug::MissingDeferSwitch));
+  bool Found = false;
+  for (int D = 0; D <= 2 && !Found; ++D) {
+    CheckResult R = checkAt(Prog, D);
+    Found = R.ErrorFound && R.Error == ErrorKind::UnhandledEvent;
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(SwitchLedCorpus, WrongRetryAssertIsCaught) {
+  CompiledProgram Prog =
+      compileOrDie(corpus::switchLed(corpus::SwitchLedBug::WrongRetryAssert));
+  CheckResult R = checkAt(Prog, 0);
+  ASSERT_TRUE(R.ErrorFound);
+  EXPECT_EQ(R.Error, ErrorKind::AssertFailed);
+}
+
+TEST(ElevatorCorpus, StateCountGrowsWithDelayBound) {
+  CompiledProgram Prog = compileOrDie(corpus::elevator());
+  uint64_t Prev = 0;
+  for (int D = 0; D <= 3; ++D) {
+    CheckResult R = checkAt(Prog, D);
+    EXPECT_GE(R.Stats.DistinctStates, Prev)
+        << "state count must be monotone in the delay bound";
+    Prev = R.Stats.DistinctStates;
+  }
+}
+
+} // namespace

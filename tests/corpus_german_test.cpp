@@ -1,0 +1,92 @@
+//===- tests/corpus_german_test.cpp - German protocol verification ---------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+CompiledProgram compileOrDie(const std::string &Src) {
+  CompileResult R = compileString(Src);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    std::abort();
+  return std::move(*R.Program);
+}
+
+std::string traceStr(const CheckResult &R) {
+  std::string T;
+  for (const auto &L : R.Trace)
+    T += L + "\n";
+  return T;
+}
+
+class GermanDelayBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(GermanDelayBound, TwoClientsVerifyClean) {
+  CompiledProgram Prog = compileOrDie(corpus::german(2));
+  CheckOptions Opts;
+  Opts.DelayBound = GetParam();
+  CheckResult R = check(Prog, Opts);
+  EXPECT_FALSE(R.ErrorFound)
+      << errorKindName(R.Error) << ": " << R.ErrorMessage << "\n"
+      << traceStr(R);
+  EXPECT_TRUE(R.Stats.Exhausted);
+}
+
+INSTANTIATE_TEST_SUITE_P(DelayBounds, GermanDelayBound,
+                         ::testing::Values(0, 1, 2));
+
+TEST(GermanCorpus, ThreeClientsVerifyCleanAtZero) {
+  CompiledProgram Prog = compileOrDie(corpus::german(3));
+  CheckOptions Opts;
+  Opts.DelayBound = 0;
+  CheckResult R = check(Prog, Opts);
+  EXPECT_FALSE(R.ErrorFound)
+      << errorKindName(R.Error) << ": " << R.ErrorMessage << "\n"
+      << traceStr(R);
+}
+
+TEST(GermanCorpus, SkippedOwnerInvalidationViolatesCoherence) {
+  CompiledProgram Prog =
+      compileOrDie(corpus::german(2, corpus::GermanBug::SkipOwnerInvalidation));
+  bool Found = false;
+  int FoundAt = -1;
+  for (int D = 0; D <= 2 && !Found; ++D) {
+    CheckOptions Opts;
+    Opts.DelayBound = D;
+    CheckResult R = check(Prog, Opts);
+    if (R.ErrorFound) {
+      EXPECT_EQ(R.Error, ErrorKind::AssertFailed) << R.ErrorMessage;
+      Found = true;
+      FoundAt = D;
+    }
+  }
+  EXPECT_TRUE(Found);
+  EXPECT_LE(FoundAt, 2) << "paper: bugs found within delay bound 2";
+}
+
+TEST(GermanCorpus, StateCountGrowsWithClients) {
+  // At d = 0 the sweep stays cheap; growth with N is what Figure 8's
+  // "explored states" column is about.
+  CheckOptions Opts;
+  Opts.DelayBound = 0;
+  uint64_t Prev = 0;
+  for (int N = 1; N <= 3; ++N) {
+    CompiledProgram Prog = compileOrDie(corpus::german(N));
+    CheckResult R = check(Prog, Opts);
+    EXPECT_FALSE(R.ErrorFound) << R.ErrorMessage;
+    EXPECT_GT(R.Stats.DistinctStates, Prev);
+    Prev = R.Stats.DistinctStates;
+  }
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+//===- tests/corpus_roundtrip_test.cpp - Corpus-wide properties --------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Properties quantified over the whole corpus: every program parses,
+// round-trips through the pretty-printer, compiles in both builds, and
+// renders to DOT; machine/transition counts are stable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+#include "pir/Dot.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+struct CorpusEntry {
+  const char *Name;
+  std::string Source;
+};
+
+std::vector<CorpusEntry> allPrograms() {
+  return {
+      {"elevator", corpus::elevator()},
+      {"elevator-bug1",
+       corpus::elevator(corpus::ElevatorBug::MissingDeferCloseDoor)},
+      {"elevator-bug2",
+       corpus::elevator(corpus::ElevatorBug::MissingDeferTimerFired)},
+      {"switchled", corpus::switchLed()},
+      {"switchled-bug1",
+       corpus::switchLed(corpus::SwitchLedBug::MissingDeferSwitch)},
+      {"switchled-bug2",
+       corpus::switchLed(corpus::SwitchLedBug::WrongRetryAssert)},
+      {"german-1", corpus::german(1)},
+      {"german-2", corpus::german(2)},
+      {"german-3", corpus::german(3)},
+      {"german-bug",
+       corpus::german(2, corpus::GermanBug::SkipOwnerInvalidation)},
+      {"usbhub-1", corpus::usbHub(1)},
+      {"usbhub-2", corpus::usbHub(2)},
+      {"usbhub-bug",
+       corpus::usbHub(1, corpus::UsbHubBug::SurpriseRemoveDuringReset)},
+  };
+}
+
+class CorpusProgram : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusProgram, CompilesInBothBuilds) {
+  CorpusEntry Entry = allPrograms()[GetParam()];
+  CompileResult Full = compileString(Entry.Source);
+  ASSERT_TRUE(Full.ok()) << Entry.Name << ":\n" << Full.Diags.str();
+
+  LowerOptions Erase;
+  Erase.EraseGhosts = true;
+  CompileResult Erased = compileString(Entry.Source, Erase);
+  ASSERT_TRUE(Erased.ok()) << Entry.Name;
+  EXPECT_EQ(Full.Program->Machines.size(), Erased.Program->Machines.size());
+}
+
+TEST_P(CorpusProgram, RoundTripsThroughThePrinter) {
+  CorpusEntry Entry = allPrograms()[GetParam()];
+  DiagnosticEngine D1;
+  Program P1 = parseAndAnalyze(Entry.Source, D1);
+  ASSERT_FALSE(D1.hasErrors()) << Entry.Name << ":\n" << D1.str();
+  std::string Printed = toString(P1);
+
+  DiagnosticEngine D2;
+  Program P2 = parseAndAnalyze(Printed, D2);
+  ASSERT_FALSE(D2.hasErrors()) << Entry.Name << " (reparsed):\n"
+                               << D2.str() << "\n"
+                               << Printed;
+  EXPECT_EQ(toString(P2), Printed) << Entry.Name;
+
+  // Structure is preserved, not just text: same machine shapes.
+  ASSERT_EQ(P1.Machines.size(), P2.Machines.size());
+  for (size_t I = 0; I != P1.Machines.size(); ++I) {
+    EXPECT_EQ(P1.Machines[I].States.size(), P2.Machines[I].States.size());
+    EXPECT_EQ(P1.Machines[I].Vars.size(), P2.Machines[I].Vars.size());
+  }
+}
+
+TEST_P(CorpusProgram, RendersToDot) {
+  CorpusEntry Entry = allPrograms()[GetParam()];
+  CompileResult R = compileString(Entry.Source);
+  ASSERT_TRUE(R.ok());
+  std::string Dot = toDot(*R.Program);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  for (const MachineInfo &M : R.Program->Machines)
+    EXPECT_NE(Dot.find("cluster_" + M.Name), std::string::npos)
+        << Entry.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, CorpusProgram,
+                         ::testing::Range(0, 13),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           std::string Name =
+                               allPrograms()[Info.param].Name;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+} // namespace

@@ -1,0 +1,84 @@
+//===- tests/corpus_usbhub_test.cpp - USB hub model verification -----------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+CompiledProgram compileOrDie(const std::string &Src) {
+  CompileResult R = compileString(Src);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    std::abort();
+  return std::move(*R.Program);
+}
+
+std::string traceStr(const CheckResult &R) {
+  std::string T;
+  for (const auto &L : R.Trace)
+    T += L + "\n";
+  return T;
+}
+
+TEST(UsbHubCorpus, OnePortVerifiesCleanAtLowBounds) {
+  CompiledProgram Prog = compileOrDie(corpus::usbHub(1));
+  for (int D = 0; D <= 1; ++D) {
+    CheckOptions Opts;
+    Opts.DelayBound = D;
+    CheckResult R = check(Prog, Opts);
+    EXPECT_FALSE(R.ErrorFound)
+        << "d=" << D << " " << errorKindName(R.Error) << ": "
+        << R.ErrorMessage << "\n"
+        << traceStr(R);
+    EXPECT_TRUE(R.Stats.Exhausted);
+  }
+}
+
+TEST(UsbHubCorpus, TwoPortsVerifyCleanAtZero) {
+  CompiledProgram Prog = compileOrDie(corpus::usbHub(2));
+  CheckOptions Opts;
+  Opts.DelayBound = 0;
+  CheckResult R = check(Prog, Opts);
+  EXPECT_FALSE(R.ErrorFound)
+      << errorKindName(R.Error) << ": " << R.ErrorMessage << "\n"
+      << traceStr(R);
+}
+
+TEST(UsbHubCorpus, TwoPortsBoundedSweepFindsNoError) {
+  CompiledProgram Prog = compileOrDie(corpus::usbHub(2));
+  CheckOptions Opts;
+  Opts.DelayBound = 2;
+  Opts.MaxNodes = 200000; // Bounded exploration; a smoke sweep.
+  CheckResult R = check(Prog, Opts);
+  EXPECT_FALSE(R.ErrorFound)
+      << errorKindName(R.Error) << ": " << R.ErrorMessage << "\n"
+      << traceStr(R);
+}
+
+TEST(UsbHubCorpus, SurpriseRemoveBugIsCaught) {
+  CompiledProgram Prog = compileOrDie(
+      corpus::usbHub(1, corpus::UsbHubBug::SurpriseRemoveDuringReset));
+  bool Found = false;
+  for (int D = 0; D <= 2 && !Found; ++D) {
+    CheckOptions Opts;
+    Opts.DelayBound = D;
+    Opts.MaxNodes = 500000;
+    CheckResult R = check(Prog, Opts);
+    if (R.ErrorFound) {
+      EXPECT_EQ(R.Error, ErrorKind::UnhandledEvent) << R.ErrorMessage;
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found) << "paper: bugs found within delay bound 2";
+}
+
+} // namespace

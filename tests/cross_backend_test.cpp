@@ -1,0 +1,193 @@
+//===- tests/cross_backend_test.cpp - Interpreter vs generated C ------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential testing of the two execution backends: the C++
+// interpreter host and the generated-C + portable-C-runtime driver must
+// implement the same operational semantics. Random event scripts
+// (including ones that provoke unhandled-event errors) are fed to both;
+// the per-step state traces — and the position and kind of any error —
+// must agree exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CCodeGen.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+#include "host/Host.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+
+using namespace p;
+
+namespace {
+
+/// Events the environment/host may inject into the erased elevator.
+const char *ElevatorInputs[] = {
+    "OpenDoor",  "CloseDoor",        "DoorOpened",       "DoorClosed",
+    "DoorStopped", "ObjectDetected", "TimerFired",
+    "OperationSuccess", "OperationFailure",
+};
+constexpr int NumElevatorInputs =
+    sizeof(ElevatorInputs) / sizeof(ElevatorInputs[0]);
+
+int runCommand(const std::string &Cmd, std::string &Output) {
+  FILE *Pipe = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!Pipe)
+    return -1;
+  char Buf[512];
+  while (fgets(Buf, sizeof(Buf), Pipe))
+    Output += Buf;
+  return pclose(Pipe);
+}
+
+/// Builds the elevator C driver once; returns the binary path.
+class CrossBackend : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    DiagnosticEngine Diags;
+    Program Ast = parseAndAnalyze(corpus::elevator(), Diags);
+    ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+    CodegenOptions Opts;
+    Opts.BaseName = "elevx";
+    CodegenResult R = generateC(Ast, Opts);
+    ASSERT_TRUE(R.ok());
+
+    Dir = ::testing::TempDir() + "/cross_backend";
+    std::string Out;
+    runCommand("mkdir -p " + Dir, Out);
+    auto write = [](const std::string &Path, const std::string &Text) {
+      std::ofstream F(Path);
+      F << Text;
+    };
+    write(Dir + "/elevx.h", R.Header);
+    write(Dir + "/elevx.c", R.Source);
+
+    // The scripted driver: argv carries event names; after each event
+    // the current state is printed; errors print "ERROR <kind>" and
+    // stop, mirroring the Host-side loop below.
+    write(Dir + "/script_main.c", R"(
+#include "elevx.h"
+#include <stdio.h>
+#include <string.h>
+
+static int HadError;
+static void on_error(PrtRuntime *rt, int mid, const char *kind,
+                     const char *msg) {
+  (void)rt; (void)mid; (void)msg;
+  printf("ERROR %s\n", kind);
+  HadError = 1;
+}
+
+int main(int argc, char **argv) {
+  PrtRuntime *rt = PrtCreateRuntime(&elevx_program, on_error);
+  int id = PrtCreateMachine(rt, PMT_Elevator, 0, 0, 0);
+  printf("%s\n", PrtCurrentStateName(rt, id));
+  for (int i = 1; i < argc && !HadError; ++i) {
+    int ev = -1;
+    for (int e = 0; e < elevx_program.num_events; ++e)
+      if (strcmp(elevx_program.event_names[e], argv[i]) == 0)
+        ev = e;
+    if (ev < 0)
+      return 3;
+    PrtAddEvent(rt, id, ev, prt_null());
+    if (!HadError)
+      printf("%s\n", PrtCurrentStateName(rt, id));
+  }
+  PrtDestroyRuntime(rt);
+  return 0;
+}
+)");
+    std::string Out2;
+    int Exit = runCommand("cc -O1 -std=c99 -I" + Dir + " -I" +
+                              cRuntimeDir() + " " + Dir + "/elevx.c " +
+                              Dir + "/script_main.c " + cRuntimeDir() +
+                              "/prt_runtime.c -o " + Dir + "/driver",
+                          Out2);
+    ASSERT_EQ(Exit, 0) << Out2;
+
+    LowerOptions Erase;
+    Erase.EraseGhosts = true;
+    CompileResult CR = compileString(corpus::elevator(), Erase);
+    ASSERT_TRUE(CR.ok());
+    Erased = new CompiledProgram(std::move(*CR.Program));
+  }
+
+  static void TearDownTestSuite() {
+    delete Erased;
+    Erased = nullptr;
+  }
+
+  /// Runs \p Script through the C++ interpreter host; same output
+  /// format as the C driver.
+  static std::string runInterpreter(const std::vector<std::string> &Script) {
+    Host H(*Erased);
+    int32_t Id = H.createMachine("Elevator");
+    std::string Out = H.currentStateName(Id) + "\n";
+    for (const std::string &Event : Script) {
+      if (!H.addEvent(Id, Event)) {
+        Out += std::string("ERROR ") + errorKindName(H.error()) + "\n";
+        break;
+      }
+      Out += H.currentStateName(Id) + "\n";
+    }
+    return Out;
+  }
+
+  static std::string runGeneratedC(const std::vector<std::string> &Script) {
+    std::string Cmd = Dir + "/driver";
+    for (const std::string &Event : Script)
+      Cmd += " " + Event;
+    std::string Out;
+    runCommand(Cmd, Out);
+    return Out;
+  }
+
+  static std::string Dir;
+  static CompiledProgram *Erased;
+};
+
+std::string CrossBackend::Dir;
+CompiledProgram *CrossBackend::Erased = nullptr;
+
+TEST_F(CrossBackend, HappyPathTracesAgree) {
+  std::vector<std::string> Script = {
+      "OpenDoor", "DoorOpened",       "TimerFired", "CloseDoor",
+      "OperationSuccess", "DoorClosed", "OpenDoor", "CloseDoor",
+      "DoorOpened"};
+  EXPECT_EQ(runInterpreter(Script), runGeneratedC(Script));
+}
+
+TEST_F(CrossBackend, ErrorPositionsAgree) {
+  // OperationSuccess in DoorClosed is unhandled in both backends.
+  std::vector<std::string> Script = {"OperationSuccess"};
+  std::string I = runInterpreter(Script);
+  std::string C = runGeneratedC(Script);
+  EXPECT_EQ(I, C);
+  EXPECT_NE(I.find("ERROR unhandled-event"), std::string::npos) << I;
+}
+
+TEST_F(CrossBackend, RandomScriptsAgree) {
+  std::mt19937_64 Rng(20130616); // PLDI'13's first day.
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    std::vector<std::string> Script;
+    int Len = 1 + static_cast<int>(Rng() % 14);
+    for (int I = 0; I != Len; ++I)
+      Script.push_back(ElevatorInputs[Rng() % NumElevatorInputs]);
+
+    std::string FromInterp = runInterpreter(Script);
+    std::string FromC = runGeneratedC(Script);
+    std::string Joined;
+    for (const std::string &E : Script)
+      Joined += E + " ";
+    ASSERT_EQ(FromInterp, FromC) << "script: " << Joined;
+  }
+}
+
+} // namespace

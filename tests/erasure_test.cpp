@@ -1,0 +1,200 @@
+//===- tests/erasure_test.cpp - Ghost erasure property tests ----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 3.3: "the type system of P ensures that the ghost machines can
+// be erased during compilation without changing the semantics of the
+// program". These tests exercise the erasing lowering and compare the
+// erased program's behaviour against the verification build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+#include "host/Host.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+CompiledProgram compileWith(const std::string &Src, bool Erase) {
+  LowerOptions Opts;
+  Opts.EraseGhosts = Erase;
+  CompileResult R = compileString(Src, Opts);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    std::abort();
+  return std::move(*R.Program);
+}
+
+TEST(Erasure, PreservesEventAndMachineIndices) {
+  CompiledProgram Full = compileWith(corpus::elevator(), false);
+  CompiledProgram Erased = compileWith(corpus::elevator(), true);
+
+  ASSERT_EQ(Full.Events.size(), Erased.Events.size());
+  for (size_t I = 0; I != Full.Events.size(); ++I)
+    EXPECT_EQ(Full.Events[I].Name, Erased.Events[I].Name);
+
+  ASSERT_EQ(Full.Machines.size(), Erased.Machines.size());
+  for (size_t I = 0; I != Full.Machines.size(); ++I) {
+    EXPECT_EQ(Full.Machines[I].Name, Erased.Machines[I].Name);
+    EXPECT_EQ(Full.Machines[I].Ghost, Erased.Machines[I].Ghost);
+  }
+}
+
+TEST(Erasure, GhostMachinesLoseTheirCode) {
+  CompiledProgram Erased = compileWith(corpus::elevator(), true);
+  for (const MachineInfo &M : Erased.Machines) {
+    if (!M.Ghost)
+      continue;
+    EXPECT_TRUE(M.Bodies.empty()) << M.Name;
+    for (const StateInfo &St : M.States) {
+      EXPECT_EQ(St.EntryBody, -1);
+      EXPECT_EQ(St.ExitBody, -1);
+    }
+  }
+}
+
+TEST(Erasure, GhostMainYieldsNoRuntimeMain) {
+  CompiledProgram Full = compileWith(corpus::elevator(), false);
+  CompiledProgram Erased = compileWith(corpus::elevator(), true);
+  EXPECT_GE(Full.MainMachine, 0);
+  EXPECT_TRUE(Full.Machines[Full.MainMachine].Ghost);
+  EXPECT_EQ(Erased.MainMachine, -1)
+      << "the host must create the real machine explicitly";
+}
+
+TEST(Erasure, RealTransitionTablesAreUntouched) {
+  CompiledProgram Full = compileWith(corpus::elevator(), false);
+  CompiledProgram Erased = compileWith(corpus::elevator(), true);
+  int Index = Full.findMachine("Elevator");
+  ASSERT_GE(Index, 0);
+  const MachineInfo &F = Full.Machines[Index];
+  const MachineInfo &E = Erased.Machines[Index];
+  ASSERT_EQ(F.States.size(), E.States.size());
+  for (size_t S = 0; S != F.States.size(); ++S) {
+    EXPECT_EQ(F.States[S].Name, E.States[S].Name);
+    EXPECT_EQ(F.States[S].Deferred, E.States[S].Deferred);
+    EXPECT_EQ(F.States[S].OnEvent, E.States[S].OnEvent);
+  }
+}
+
+TEST(Erasure, GhostStatementsAreDropped) {
+  const char *Src = R"(
+event Note(int);
+ghost machine Monitor { state S { defer Note; entry { } } }
+main machine M {
+  ghost var Mon: id;
+  ghost var Shadow: int;
+  var X: int;
+  state S {
+    entry {
+      Mon = new Monitor();
+      X = 1;
+      Shadow = X + 1;
+      send(Mon, Note, X);
+      assert(Shadow == 2);
+      X = X + 1;
+      assert(X == 2);
+    }
+  }
+}
+)";
+  CompiledProgram Full = compileWith(Src, false);
+  CompiledProgram Erased = compileWith(Src, true);
+  int Index = Full.findMachine("M");
+  const Body &FullBody = Full.Machines[Index].Bodies[0];
+  const Body &ErasedBody = Erased.Machines[Index].Bodies[0];
+  // Erasure removed the ghost new/assign/send/assert but kept both real
+  // assignments and the real assert.
+  EXPECT_LT(ErasedBody.Code.size(), FullBody.Code.size());
+  int Sends = 0, News = 0, Asserts = 0, Stores = 0;
+  for (const Instr &I : ErasedBody.Code) {
+    Sends += I.Op == Opcode::Send;
+    News += I.Op == Opcode::New;
+    Asserts += I.Op == Opcode::Assert;
+    Stores += I.Op == Opcode::StoreVar;
+  }
+  EXPECT_EQ(Sends, 0);
+  EXPECT_EQ(News, 0);
+  EXPECT_EQ(Asserts, 1);
+  EXPECT_EQ(Stores, 2);
+}
+
+TEST(Erasure, ErasedElevatorRunsTheScriptedSession) {
+  // The same session the generated-C driver runs (codegen_test.cpp):
+  // the two backends must agree state for state.
+  CompiledProgram Erased = compileWith(corpus::elevator(), true);
+  Host H(Erased);
+  int32_t Id = H.createMachine("Elevator");
+  ASSERT_GE(Id, 0);
+  EXPECT_EQ(H.currentStateName(Id), "DoorClosed");
+
+  ASSERT_TRUE(H.addEvent(Id, "OpenDoor"));
+  EXPECT_EQ(H.currentStateName(Id), "DoorOpening");
+  ASSERT_TRUE(H.addEvent(Id, "DoorOpened"));
+  EXPECT_EQ(H.currentStateName(Id), "DoorOpened");
+  ASSERT_TRUE(H.addEvent(Id, "TimerFired"));
+  EXPECT_EQ(H.currentStateName(Id), "DoorOpenedOkToClose");
+  ASSERT_TRUE(H.addEvent(Id, "CloseDoor"));
+  EXPECT_EQ(H.currentStateName(Id), "StoppingTimer");
+  ASSERT_TRUE(H.addEvent(Id, "OperationSuccess"));
+  EXPECT_EQ(H.currentStateName(Id), "DoorClosing");
+  ASSERT_TRUE(H.addEvent(Id, "DoorClosed"));
+  EXPECT_EQ(H.currentStateName(Id), "DoorClosed");
+
+  // Deferred CloseDoor during opening is preserved, not dropped.
+  ASSERT_TRUE(H.addEvent(Id, "OpenDoor"));
+  ASSERT_TRUE(H.addEvent(Id, "CloseDoor"));
+  EXPECT_EQ(H.currentStateName(Id), "DoorOpening");
+  ASSERT_TRUE(H.addEvent(Id, "DoorOpened"));
+  EXPECT_EQ(H.currentStateName(Id), "DoorOpened");
+  EXPECT_FALSE(H.hasError());
+}
+
+TEST(Erasure, ErasedSwitchLedGivesUpAfterThreeFailures) {
+  CompiledProgram Erased = compileWith(corpus::switchLed(), true);
+  Host H(Erased);
+  int32_t Id = H.createMachine("SwitchLedDriver");
+  ASSERT_GE(Id, 0);
+  EXPECT_EQ(H.currentStateName(Id), "Off");
+  ASSERT_TRUE(H.addEvent(Id, "SwitchedOn"));
+  EXPECT_EQ(H.currentStateName(Id), "TurningOn");
+  ASSERT_TRUE(H.addEvent(Id, "LedFailed"));
+  EXPECT_EQ(H.currentStateName(Id), "RetryOn");
+  EXPECT_EQ(H.readVar(Id, "Retries"), Value::integer(1));
+  ASSERT_TRUE(H.addEvent(Id, "LedFailed"));
+  EXPECT_EQ(H.readVar(Id, "Retries"), Value::integer(2));
+  ASSERT_TRUE(H.addEvent(Id, "LedFailed"));
+  // Third failure: the driver gives up and reports Off.
+  EXPECT_EQ(H.currentStateName(Id), "Off");
+  EXPECT_FALSE(H.hasError());
+}
+
+TEST(Erasure, IsIdempotentOnGhostFreePrograms) {
+  const char *Src = R"(
+event Tick(int);
+main machine M {
+  var X: int;
+  state S {
+    entry { X = 0; }
+    on Tick do Bump;
+  }
+  action Bump { X = X + arg; }
+}
+)";
+  CompiledProgram Plain = compileWith(Src, false);
+  CompiledProgram Erased = compileWith(Src, true);
+  ASSERT_EQ(Plain.Machines.size(), Erased.Machines.size());
+  const MachineInfo &A = Plain.Machines[0];
+  const MachineInfo &B = Erased.Machines[0];
+  ASSERT_EQ(A.Bodies.size(), B.Bodies.size());
+  for (size_t I = 0; I != A.Bodies.size(); ++I)
+    EXPECT_EQ(A.Bodies[I].Code, B.Bodies[I].Code);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/lexer_test.cpp - Lexer unit tests ------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src) {
+  Lexer L(Src);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Src) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInputIsEof) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Identifiers) {
+  auto Tokens = lex("foo Bar_9 _x");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "Bar_9");
+  EXPECT_EQ(Tokens[2].Text, "_x");
+}
+
+TEST(Lexer, Keywords) {
+  auto K = kinds("event machine ghost main var state action entry exit "
+                 "defer postpone on goto push do new delete send raise "
+                 "leave return assert if else while call skip");
+  std::vector<TokenKind> Want = {
+      TokenKind::KwEvent,  TokenKind::KwMachine, TokenKind::KwGhost,
+      TokenKind::KwMain,   TokenKind::KwVar,     TokenKind::KwState,
+      TokenKind::KwAction, TokenKind::KwEntry,   TokenKind::KwExit,
+      TokenKind::KwDefer,  TokenKind::KwPostpone, TokenKind::KwOn,
+      TokenKind::KwGoto,   TokenKind::KwPush,    TokenKind::KwDo,
+      TokenKind::KwNew,    TokenKind::KwDelete,  TokenKind::KwSend,
+      TokenKind::KwRaise,  TokenKind::KwLeave,   TokenKind::KwReturn,
+      TokenKind::KwAssert, TokenKind::KwIf,      TokenKind::KwElse,
+      TokenKind::KwWhile,  TokenKind::KwCall,    TokenKind::KwSkip,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(Lexer, ValueAndTypeKeywords) {
+  auto K = kinds("true false null this msg arg foreign fun model void "
+                 "bool int id");
+  std::vector<TokenKind> Want = {
+      TokenKind::KwTrue, TokenKind::KwFalse,   TokenKind::KwNull,
+      TokenKind::KwThis, TokenKind::KwMsg,     TokenKind::KwArg,
+      TokenKind::KwForeign, TokenKind::KwFun,  TokenKind::KwModel,
+      TokenKind::KwVoid, TokenKind::KwBool,    TokenKind::KwInt,
+      TokenKind::KwId,   TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Tokens = lex("0 42 123456");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 123456);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto K = kinds("{ } ( ) , ; : = == != < <= > >= + - * / ! && ||");
+  std::vector<TokenKind> Want = {
+      TokenKind::LBrace,  TokenKind::RBrace,    TokenKind::LParen,
+      TokenKind::RParen,  TokenKind::Comma,     TokenKind::Semi,
+      TokenKind::Colon,   TokenKind::Assign,    TokenKind::EqEq,
+      TokenKind::NotEq,   TokenKind::Less,      TokenKind::LessEq,
+      TokenKind::Greater, TokenKind::GreaterEq, TokenKind::Plus,
+      TokenKind::Minus,   TokenKind::Star,      TokenKind::Slash,
+      TokenKind::Not,     TokenKind::AndAnd,    TokenKind::OrOr,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(Lexer, LineComments) {
+  auto K = kinds("a // comment == != foo\nb");
+  std::vector<TokenKind> Want = {TokenKind::Identifier,
+                                 TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(Lexer, BlockComments) {
+  auto K = kinds("a /* multi\nline * comment */ b");
+  std::vector<TokenKind> Want = {TokenKind::Identifier,
+                                 TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsSwallowed) {
+  auto K = kinds("a /* never closed");
+  std::vector<TokenKind> Want = {TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(Lexer, SourceLocations) {
+  auto Tokens = lex("a\n  bb\n c");
+  EXPECT_EQ(Tokens[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(Tokens[1].Loc, SourceLoc(2, 3));
+  EXPECT_EQ(Tokens[2].Loc, SourceLoc(3, 2));
+}
+
+TEST(Lexer, StrayAmpersandIsError) {
+  auto Tokens = lex("a & b");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+  EXPECT_NE(Tokens[1].Text.find("&&"), std::string::npos);
+}
+
+TEST(Lexer, UnknownCharacterIsError) {
+  auto Tokens = lex("a $ b");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, AdjacentOperatorsSplitCorrectly) {
+  // `a==-1` is ==, then unary minus.
+  auto K = kinds("a==-1");
+  std::vector<TokenKind> Want = {TokenKind::Identifier, TokenKind::EqEq,
+                                 TokenKind::Minus, TokenKind::IntLiteral,
+                                 TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+} // namespace

@@ -1,0 +1,237 @@
+//===- tests/lowering_test.cpp - AST-to-bytecode lowering tests -------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+CompiledProgram compile(const std::string &Src) {
+  CompileResult R = compileString(Src);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    std::abort();
+  return std::move(*R.Program);
+}
+
+/// Finds the body named \p Name in machine 0.
+const Body &body(const CompiledProgram &Prog, const std::string &Name) {
+  for (const Body &B : Prog.Machines[0].Bodies)
+    if (B.Name == Name)
+      return B;
+  ADD_FAILURE() << "no body named " << Name;
+  std::abort();
+}
+
+std::vector<Opcode> opcodes(const Body &B) {
+  std::vector<Opcode> Out;
+  for (const Instr &I : B.Code)
+    Out.push_back(I.Op);
+  return Out;
+}
+
+TEST(Lowering, EmptyEntryBecomesNoBody) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  state S { entry { } }
+}
+)");
+  EXPECT_EQ(Prog.Machines[0].States[0].EntryBody, -1);
+  EXPECT_EQ(Prog.Machines[0].States[0].ExitBody, -1);
+}
+
+TEST(Lowering, AssignmentShape) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 1 + 2 * 3; } }
+}
+)");
+  const Body &B = body(Prog, "M.S.entry");
+  std::vector<Opcode> Want = {Opcode::PushInt, Opcode::PushInt,
+                              Opcode::PushInt, Opcode::BinOp, Opcode::BinOp,
+                              Opcode::StoreVar, Opcode::Halt};
+  EXPECT_EQ(opcodes(B), Want);
+  // Operator associativity: mul folds before add.
+  EXPECT_EQ(B.Code[3].A, static_cast<int32_t>(BinaryOp::Mul));
+  EXPECT_EQ(B.Code[4].A, static_cast<int32_t>(BinaryOp::Add));
+}
+
+TEST(Lowering, SendWithoutPayloadPushesNull) {
+  CompiledProgram Prog = compile(R"(
+event E;
+main machine M {
+  var T: id;
+  state S { entry { send(T, E); } }
+}
+)");
+  const Body &B = body(Prog, "M.S.entry");
+  std::vector<Opcode> Want = {Opcode::LoadVar, Opcode::PushEvent,
+                              Opcode::PushNull, Opcode::Send, Opcode::Halt};
+  EXPECT_EQ(opcodes(B), Want);
+}
+
+TEST(Lowering, IfElseJumpTargets) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  var C: bool;
+  state S {
+    entry {
+      C = true;
+      if (C) { X = 1; } else { X = 2; }
+      X = 3;
+    }
+  }
+}
+)");
+  const Body &B = body(Prog, "M.S.entry");
+  // Find the JumpIfFalse and check it lands on the else branch, and the
+  // Jump after the then branch lands past the else.
+  int JumpIfFalseAt = -1, JumpAt = -1;
+  for (size_t I = 0; I != B.Code.size(); ++I) {
+    if (B.Code[I].Op == Opcode::JumpIfFalse)
+      JumpIfFalseAt = static_cast<int>(I);
+    if (B.Code[I].Op == Opcode::Jump)
+      JumpAt = static_cast<int>(I);
+  }
+  ASSERT_GE(JumpIfFalseAt, 0);
+  ASSERT_GE(JumpAt, 0);
+  EXPECT_EQ(B.Code[JumpIfFalseAt].A, JumpAt + 1) << "false lands at else";
+  // The else branch is 2 instructions (PushInt, StoreVar).
+  EXPECT_EQ(B.Code[JumpAt].A, JumpAt + 3) << "then skips past else";
+}
+
+TEST(Lowering, WhileLoopShape) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  state S {
+    entry {
+      X = 0;
+      while (X < 3) { X = X + 1; }
+    }
+  }
+}
+)");
+  const Body &B = body(Prog, "M.S.entry");
+  int BackJump = -1;
+  for (size_t I = 0; I != B.Code.size(); ++I)
+    if (B.Code[I].Op == Opcode::Jump)
+      BackJump = static_cast<int>(I);
+  ASSERT_GE(BackJump, 0);
+  EXPECT_LT(B.Code[BackJump].A, BackJump) << "loop jumps backwards";
+}
+
+TEST(Lowering, NewWithInitializers) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var K: id;
+  state S { entry { K = new Kid(A = 1, B = true); } }
+}
+machine Kid {
+  var A: int;
+  var B: bool;
+  state T { entry { } }
+}
+)");
+  const Body &B = body(Prog, "M.S.entry");
+  std::vector<Opcode> Want = {Opcode::PushInt, Opcode::PushBool, Opcode::New,
+                              Opcode::StoreVar, Opcode::Halt};
+  EXPECT_EQ(opcodes(B), Want);
+  const Instr &New = B.Code[2];
+  EXPECT_EQ(New.A, 1) << "machine index of Kid";
+  const auto &Fields = Prog.Machines[0].InitTables[New.B];
+  EXPECT_EQ(Fields, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(Lowering, DiscardedNewPops) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  state S { entry { new Kid(); } }
+}
+machine Kid { state T { entry { } } }
+)");
+  const Body &B = body(Prog, "M.S.entry");
+  std::vector<Opcode> Want = {Opcode::New, Opcode::Pop, Opcode::Halt};
+  EXPECT_EQ(opcodes(B), Want);
+}
+
+TEST(Lowering, TransitionTables) {
+  CompiledProgram Prog = compile(R"(
+event A; event B; event C; event D;
+main machine M {
+  state S {
+    defer D;
+    entry { }
+    on A goto T;
+    on B push T;
+    on C do Act;
+  }
+  state T { entry { } }
+  action Act { skip; }
+}
+)");
+  const StateInfo &S = Prog.Machines[0].States[0];
+  EXPECT_EQ(S.OnEvent[0].Kind, TransitionKind::Step);
+  EXPECT_EQ(S.OnEvent[0].Target, 1);
+  EXPECT_EQ(S.OnEvent[1].Kind, TransitionKind::Call);
+  EXPECT_EQ(S.OnEvent[2].Kind, TransitionKind::Action);
+  EXPECT_EQ(S.OnEvent[2].Target, 0);
+  EXPECT_EQ(S.OnEvent[3].Kind, TransitionKind::None);
+  EXPECT_TRUE(S.Deferred.test(3));
+  EXPECT_FALSE(S.Deferred.test(0));
+}
+
+TEST(Lowering, ModelBodiesOnlyInVerificationBuild) {
+  const char *Src = R"(
+main machine M {
+  var X: int;
+  foreign fun F(): int model { result = 1; }
+  state S { entry { X = F(); } }
+}
+)";
+  CompiledProgram Full = compile(Src);
+  EXPECT_GE(Full.Machines[0].Funs[0].ModelBody, 0);
+
+  LowerOptions Opts;
+  Opts.EraseGhosts = true;
+  CompileResult R = compileString(Src, Opts);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Program->Machines[0].Funs[0].ModelBody, -1);
+}
+
+TEST(Lowering, SourceLocationsTravelWithCode) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  state S { entry {
+    X = 1;
+  } }
+}
+)");
+  const Body &B = body(Prog, "M.S.entry");
+  ASSERT_EQ(B.Locs.size(), B.Code.size());
+  EXPECT_EQ(B.Locs[0].Line, 5u) << "the PushInt points at `X = 1;`";
+}
+
+TEST(Lowering, DisassemblerIsReadable) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 42; } }
+}
+)");
+  std::string Text = disassemble(body(Prog, "M.S.entry"));
+  EXPECT_NE(Text.find("push_int 42"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("store_var 0"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("halt"), std::string::npos) << Text;
+}
+
+} // namespace

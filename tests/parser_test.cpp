@@ -1,0 +1,282 @@
+//===- tests/parser_test.cpp - Parser unit tests ----------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+Program parse(const std::string &Src, DiagnosticEngine &Diags) {
+  Lexer L(Src);
+  Parser P(L.lexAll(), Diags);
+  return P.parseProgram();
+}
+
+Program parseOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Program Prog = parse(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Prog;
+}
+
+ExprPtr parseExpr(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Lexer L(Src);
+  Parser P(L.lexAll(), Diags);
+  ExprPtr E = P.parseStandaloneExpr();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return E;
+}
+
+StmtPtr parseStmt(const std::string &Src) {
+  DiagnosticEngine Diags;
+  Lexer L(Src);
+  Parser P(L.lexAll(), Diags);
+  StmtPtr S = P.parseStandaloneStmt();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return S;
+}
+
+TEST(Parser, EventDeclarations) {
+  Program Prog = parseOk("event A; event B(int), C(id); ghost event G;");
+  ASSERT_EQ(Prog.Events.size(), 4u);
+  EXPECT_EQ(Prog.Events[0].Name, "A");
+  EXPECT_EQ(Prog.Events[0].PayloadType, TypeKind::Void);
+  EXPECT_EQ(Prog.Events[1].PayloadType, TypeKind::Int);
+  EXPECT_EQ(Prog.Events[2].PayloadType, TypeKind::Id);
+  EXPECT_TRUE(Prog.Events[3].Ghost);
+}
+
+TEST(Parser, MachineFlags) {
+  Program Prog = parseOk(R"(
+machine A { state S { entry { } } }
+ghost machine B { state S { entry { } } }
+main ghost machine C { state S { entry { } } }
+ghost main machine D { state S { entry { } } }
+)");
+  ASSERT_EQ(Prog.Machines.size(), 4u);
+  EXPECT_FALSE(Prog.Machines[0].Ghost);
+  EXPECT_TRUE(Prog.Machines[1].Ghost);
+  EXPECT_TRUE(Prog.Machines[2].Ghost);
+  EXPECT_TRUE(Prog.Machines[2].Main);
+  EXPECT_TRUE(Prog.Machines[3].Ghost);
+  EXPECT_TRUE(Prog.Machines[3].Main);
+}
+
+TEST(Parser, StateItems) {
+  Program Prog = parseOk(R"(
+event A; event B; event C;
+machine M {
+  state S {
+    defer A, B;
+    postpone C;
+    entry { skip; }
+    exit { skip; }
+    on A goto T;
+    on B push T;
+    on C do Act;
+  }
+  state T { entry { } }
+  action Act { skip; }
+}
+)");
+  const StateDecl &S = Prog.Machines[0].States[0];
+  EXPECT_EQ(S.Deferred, (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(S.Postponed, (std::vector<std::string>{"C"}));
+  ASSERT_EQ(S.Handlers.size(), 3u);
+  EXPECT_EQ(S.Handlers[0].Kind, HandlerKind::Step);
+  EXPECT_EQ(S.Handlers[1].Kind, HandlerKind::Call);
+  EXPECT_EQ(S.Handlers[2].Kind, HandlerKind::Do);
+  EXPECT_EQ(S.Handlers[2].Target, "Act");
+}
+
+TEST(Parser, VarDeclarations) {
+  Program Prog = parseOk(R"(
+machine M {
+  var A: int, B: bool;
+  ghost var G: id;
+  var E: event;
+  state S { entry { } }
+}
+)");
+  const MachineDecl &M = Prog.Machines[0];
+  ASSERT_EQ(M.Vars.size(), 4u);
+  EXPECT_EQ(M.Vars[0].Type, TypeKind::Int);
+  EXPECT_EQ(M.Vars[1].Type, TypeKind::Bool);
+  EXPECT_TRUE(M.Vars[2].Ghost);
+  EXPECT_EQ(M.Vars[2].Type, TypeKind::Id);
+  EXPECT_EQ(M.Vars[3].Type, TypeKind::Event);
+}
+
+TEST(Parser, ForeignFunDeclarations) {
+  Program Prog = parseOk(R"(
+machine M {
+  foreign fun F(a: int, b: bool): int;
+  foreign fun G(): void model { skip; }
+  state S { entry { } }
+}
+)");
+  const MachineDecl &M = Prog.Machines[0];
+  ASSERT_EQ(M.Funs.size(), 2u);
+  EXPECT_EQ(M.Funs[0].Params.size(), 2u);
+  EXPECT_EQ(M.Funs[0].ReturnType, TypeKind::Int);
+  EXPECT_EQ(M.Funs[0].ModelBody, nullptr);
+  EXPECT_NE(M.Funs[1].ModelBody, nullptr);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // * binds tighter than +, + tighter than <, < tighter than &&.
+  ExprPtr E = parseExpr("a + b * c < d && e");
+  EXPECT_EQ(toString(*E), "(((a + (b * c)) < d) && e)");
+}
+
+TEST(Parser, UnaryOperators) {
+  EXPECT_EQ(toString(*parseExpr("!a")), "!(a)");
+  EXPECT_EQ(toString(*parseExpr("-a + b")), "(-(a) + b)");
+  EXPECT_EQ(toString(*parseExpr("!!a")), "!(!(a))");
+}
+
+TEST(Parser, NondetStar) {
+  // `*` in expression-head position is nondet; infix is multiplication.
+  ExprPtr E = parseExpr("a * b");
+  EXPECT_EQ(toString(*E), "(a * b)");
+  DiagnosticEngine Diags;
+  Lexer L("*");
+  Parser P(L.lexAll(), Diags);
+  ExprPtr N = P.parseStandaloneExpr();
+  EXPECT_EQ(N->getKind(), Expr::Kind::Nondet);
+}
+
+TEST(Parser, SpecialVariables) {
+  EXPECT_EQ(parseExpr("this")->getKind(), Expr::Kind::This);
+  EXPECT_EQ(parseExpr("msg")->getKind(), Expr::Kind::Msg);
+  EXPECT_EQ(parseExpr("arg")->getKind(), Expr::Kind::Arg);
+  EXPECT_EQ(parseExpr("null")->getKind(), Expr::Kind::NullLit);
+}
+
+TEST(Parser, EventLiteralsResolveAgainstDeclaredEvents) {
+  Program Prog = parseOk(R"(
+event Known;
+main machine M {
+  var X: event;
+  state S { entry { X = Known; } }
+}
+)");
+  const auto &Entry =
+      *static_cast<BlockStmt *>(Prog.Machines[0].States[0].Entry.get());
+  const auto &Assign = *static_cast<AssignStmt *>(Entry.Stmts[0].get());
+  EXPECT_EQ(Assign.Value->getKind(), Expr::Kind::EventLit);
+}
+
+TEST(Parser, SendAndRaiseStatements) {
+  StmtPtr S1 = parseStmt("send(t, e, 5);");
+  EXPECT_EQ(S1->getKind(), Stmt::Kind::Send);
+  StmtPtr S2 = parseStmt("send(t, e);");
+  EXPECT_EQ(static_cast<SendStmt *>(S2.get())->Payload, nullptr);
+  StmtPtr S3 = parseStmt("raise(e, 1 + 2);");
+  EXPECT_EQ(S3->getKind(), Stmt::Kind::Raise);
+}
+
+TEST(Parser, NewStatementForms) {
+  StmtPtr S1 = parseStmt("x = new M(a = 1, b = true);");
+  const auto &N1 = *static_cast<NewStmt *>(S1.get());
+  EXPECT_EQ(N1.Target, "x");
+  EXPECT_EQ(N1.Inits.size(), 2u);
+  StmtPtr S2 = parseStmt("new M();");
+  EXPECT_TRUE(static_cast<NewStmt *>(S2.get())->Target.empty());
+}
+
+TEST(Parser, ControlFlowStatements) {
+  StmtPtr S = parseStmt("if (a) { x = 1; } else { while (b) { skip; } }");
+  const auto &If = *static_cast<IfStmt *>(S.get());
+  ASSERT_NE(If.Else, nullptr);
+}
+
+TEST(Parser, DanglingElseBindsToInnermostIf) {
+  StmtPtr S = parseStmt("if (a) if (b) skip; else x = 1;");
+  const auto &Outer = *static_cast<IfStmt *>(S.get());
+  EXPECT_EQ(Outer.Else, nullptr);
+  const auto &Inner = *static_cast<IfStmt *>(Outer.Then.get());
+  EXPECT_NE(Inner.Else, nullptr);
+}
+
+TEST(Parser, CallStatement) {
+  StmtPtr S = parseStmt("call Sub;");
+  EXPECT_EQ(static_cast<CallStateStmt *>(S.get())->StateName, "Sub");
+}
+
+TEST(Parser, ForeignCallStatement) {
+  StmtPtr S = parseStmt("doIt(1, x);");
+  ASSERT_EQ(S->getKind(), Stmt::Kind::ExprStmt);
+  const auto &E = *static_cast<ExprStmt *>(S.get());
+  EXPECT_EQ(E.E->getKind(), Expr::Kind::ForeignCall);
+}
+
+TEST(ParserErrors, MissingSemicolonIsReportedAndRecovered) {
+  DiagnosticEngine Diags;
+  Program Prog = parse(R"(
+event A
+event B;
+machine M { state S { entry { } } }
+)",
+                       Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Recovery still sees machine M.
+  EXPECT_EQ(Prog.Machines.size(), 1u);
+}
+
+TEST(ParserErrors, BadStateItemRecovers) {
+  DiagnosticEngine Diags;
+  Program Prog = parse(R"(
+event A;
+machine M {
+  state S {
+    banana;
+    on A goto T;
+  }
+  state T { entry { } }
+}
+)",
+                       Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Prog.Machines.size(), 1u);
+  EXPECT_EQ(Prog.Machines[0].States[0].Handlers.size(), 1u);
+}
+
+TEST(ParserErrors, MultipleErrorsReported) {
+  DiagnosticEngine Diags;
+  parse("event ; machine { }", Diags);
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char *Src = R"(event Ping(int);
+event Pong;
+
+main machine M {
+  var X: int;
+  state S {
+    defer Pong;
+    entry {
+      X = 1;
+      send(this, Ping, X + 1);
+    }
+    on Ping goto S;
+  }
+}
+)";
+  Program P1 = parseOk(Src);
+  std::string Printed = toString(P1);
+  Program P2 = parseOk(Printed);
+  // Printing is stable: print(parse(print(x))) == print(x).
+  EXPECT_EQ(toString(P2), Printed);
+}
+
+} // namespace

@@ -1,0 +1,765 @@
+//===- tests/runtime_semantics_test.cpp - One test per semantic rule -------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Each test exercises one rule of the operational semantics (Figures
+// 4-6) through the Executor, observing effects via machine variables,
+// states and queues.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "runtime/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+/// Compiles a P program, asserting success.
+CompiledProgram compile(const std::string &Src) {
+  CompileResult R = compileString(Src);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    std::abort();
+  return std::move(*R.Program);
+}
+
+/// Runs every enabled machine round-robin until quiescent or error.
+void runAll(const Executor &Exec, Config &Cfg, int MaxIters = 10000) {
+  for (int I = 0; I != MaxIters; ++I) {
+    bool Progress = false;
+    for (int32_t Id = 0; Id < static_cast<int32_t>(Cfg.Machines.size());
+         ++Id) {
+      if (Cfg.hasError() || !Exec.isEnabled(Cfg, Id))
+        continue;
+      Progress = true;
+      Exec.step(Cfg, Id);
+    }
+    if (!Progress)
+      return;
+  }
+  FAIL() << "runAll did not quiesce";
+}
+
+Value var(const Config &Cfg, int32_t Id, int Index) {
+  return Cfg.Machines[Id].Vars[Index];
+}
+
+std::string stateName(const CompiledProgram &Prog, const Config &Cfg,
+                      int32_t Id) {
+  const MachineState &M = Cfg.Machines[Id];
+  if (!M.Alive || M.Frames.empty())
+    return "";
+  return Prog.Machines[M.MachineIndex].States[M.Frames.back().State].Name;
+}
+
+//===----------------------------------------------------------------------===//
+// NEW
+//===----------------------------------------------------------------------===//
+
+TEST(RuleNew, InitializesVariablesAndRunsEntry) {
+  CompiledProgram Prog = compile(R"(
+event unit;
+main machine Parent {
+  var Child: id;
+  state S {
+    entry { Child = new Kid(Seed = 41); }
+  }
+}
+machine Kid {
+  var Seed: int;
+  var Mine: id;
+  var Untouched: bool;
+  state K {
+    entry { Seed = Seed + 1; Mine = this; }
+  }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  runAll(Exec, Cfg);
+  ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
+  ASSERT_EQ(Cfg.Machines.size(), 2u);
+  // Parent stored the child id.
+  EXPECT_EQ(var(Cfg, 0, 0), Value::machine(1));
+  // Initializer applied, then entry ran: Seed = 41 + 1.
+  EXPECT_EQ(var(Cfg, 1, 0), Value::integer(42));
+  // `this` is the created machine's id.
+  EXPECT_EQ(var(Cfg, 1, 1), Value::machine(1));
+  // Uninitialized variables are ⊥.
+  EXPECT_EQ(var(Cfg, 1, 2), Value::null());
+}
+
+TEST(RuleNew, CreationIsASchedulingPoint) {
+  CompiledProgram Prog = compile(R"(
+main machine Parent {
+  var Child: id;
+  state S { entry { Child = new Kid(); } }
+}
+machine Kid { state K { entry { } } }
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::SchedulingPoint);
+  EXPECT_TRUE(R.Created);
+  EXPECT_EQ(R.Other, 1);
+  // The parent has not stored the id yet: the slice stopped right after
+  // the create, with the id still on the operand stack.
+  EXPECT_EQ(var(Cfg, 0, 0), Value::null());
+}
+
+//===----------------------------------------------------------------------===//
+// SEND and the ⊎ append
+//===----------------------------------------------------------------------===//
+
+TEST(RuleSend, EnqueuesAndDeduplicates) {
+  CompiledProgram Prog = compile(R"(
+event Ping(int);
+main machine M {
+  var Other: id;
+  state S {
+    entry {
+      Other = new Sink();
+      send(Other, Ping, 1);
+      send(Other, Ping, 1);
+      send(Other, Ping, 2);
+    }
+  }
+}
+machine Sink {
+  state T { defer Ping; entry { } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  // Run only the main machine so the sink never dequeues.
+  while (Exec.step(Cfg, 0).Outcome ==
+         Executor::StepOutcome::SchedulingPoint) {
+  }
+  ASSERT_FALSE(Cfg.hasError());
+  // ⊎: (Ping,1) queued once; (Ping,2) is distinct.
+  ASSERT_EQ(Cfg.Machines[1].Queue.size(), 2u);
+  EXPECT_EQ(Cfg.Machines[1].Queue[0].second, Value::integer(1));
+  EXPECT_EQ(Cfg.Machines[1].Queue[1].second, Value::integer(2));
+}
+
+TEST(RuleSendFail, TargetNull) {
+  CompiledProgram Prog = compile(R"(
+event Ping;
+main machine M {
+  var Other: id;
+  state S { entry { send(Other, Ping); } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Error);
+  EXPECT_EQ(Cfg.Error, ErrorKind::SendToNull);
+}
+
+TEST(RuleSendFail, TargetDeleted) {
+  CompiledProgram Prog = compile(R"(
+event Ping, Kick;
+main machine M {
+  var Other: id;
+  state S {
+    entry {
+      Other = new Victim();
+      send(Other, Kick);
+    }
+    on Ping goto S;
+  }
+  state Late {
+    entry { }
+  }
+}
+machine Victim {
+  state V {
+    entry { }
+    on Kick goto Gone;
+  }
+  state Gone { entry { delete; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  runAll(Exec, Cfg);
+  ASSERT_FALSE(Cfg.hasError());
+  EXPECT_FALSE(Cfg.Machines[1].Alive);
+  // A late send from the host hits SEND-FAIL2.
+  EXPECT_FALSE(Exec.enqueueEvent(Cfg, 1, Prog.findEvent("Ping")));
+  EXPECT_EQ(Cfg.Error, ErrorKind::SendToDeleted);
+}
+
+//===----------------------------------------------------------------------===//
+// ASSERT
+//===----------------------------------------------------------------------===//
+
+TEST(RuleAssert, PassAndFail) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 1; assert(X == 1); assert(X == 2); } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  EXPECT_EQ(Cfg.Error, ErrorKind::AssertFailed);
+}
+
+TEST(RuleAssert, UndefinedConditionBehavesLikeSkip) {
+  // The paper: the machine errors iff the condition evaluates to false;
+  // ⊥ is not false.
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  var Done: bool;
+  state S { entry { assert(X == 1); Done = true; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  EXPECT_FALSE(Cfg.hasError());
+  EXPECT_EQ(var(Cfg, 0, 1), Value::boolean(true));
+}
+
+//===----------------------------------------------------------------------===//
+// RAISE / LEAVE
+//===----------------------------------------------------------------------===//
+
+TEST(RuleRaise, AbortsRemainingStatement) {
+  CompiledProgram Prog = compile(R"(
+event Go;
+main machine M {
+  var X: int;
+  state S {
+    entry { X = 1; raise(Go); X = 99; }
+    on Go goto T;
+  }
+  state T { entry { } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  runAll(Exec, Cfg);
+  ASSERT_FALSE(Cfg.hasError());
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(1)) << "X = 99 must not run";
+  EXPECT_EQ(stateName(Prog, Cfg, 0), "T");
+  // msg reflects the raised event.
+  EXPECT_EQ(Cfg.Machines[0].Msg, Value::event(Prog.findEvent("Go")));
+}
+
+TEST(RuleLeave, JumpsToEndOfEntry) {
+  CompiledProgram Prog = compile(R"(
+event Nudge;
+main machine M {
+  var X: int;
+  state S {
+    entry { X = 1; leave; X = 99; }
+    on Nudge goto S;
+  }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Blocked);
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(1));
+}
+
+//===----------------------------------------------------------------------===//
+// DEQUEUE with deferral
+//===----------------------------------------------------------------------===//
+
+TEST(RuleDequeue, SkipsDeferredPrefix) {
+  CompiledProgram Prog = compile(R"(
+event A(int);
+event B(int);
+main machine M {
+  var Got: int;
+  state S {
+    defer A;
+    entry { }
+    on B goto T;
+  }
+  state T { defer A; entry { Got = arg; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0); // blocks
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("A"), Value::integer(7));
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("B"), Value::integer(8));
+  Exec.step(Cfg, 0);
+  ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
+  // B was dequeued past the deferred A; A stays queued.
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(8));
+  ASSERT_EQ(Cfg.Machines[0].Queue.size(), 1u);
+  EXPECT_EQ(Cfg.Machines[0].Queue[0].first, Prog.findEvent("A"));
+}
+
+TEST(RuleDequeue, TransitionOverridesDeferral) {
+  // "In case an event e is both in the deferred set and has a defined
+  // transition from a state, the defined transition overrides."
+  CompiledProgram Prog = compile(R"(
+event A;
+main machine M {
+  state S {
+    defer A;
+    entry { }
+    on A goto T;
+  }
+  state T { entry { } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("A"));
+  Exec.step(Cfg, 0);
+  EXPECT_EQ(stateName(Prog, Cfg, 0), "T");
+}
+
+//===----------------------------------------------------------------------===//
+// STEP: exit before entry
+//===----------------------------------------------------------------------===//
+
+TEST(RuleStep, RunsExitThenEntry) {
+  CompiledProgram Prog = compile(R"(
+event Go;
+main machine M {
+  var Trace: int;
+  state S {
+    entry { Trace = 1; }
+    exit { Trace = Trace * 10 + 2; }
+    on Go goto T;
+  }
+  state T { entry { Trace = Trace * 10 + 3; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Go"));
+  Exec.step(Cfg, 0);
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(123)) << "order: entry S, exit "
+                                                    "S, entry T";
+}
+
+//===----------------------------------------------------------------------===//
+// CALL transitions: inheritance of deferrals and actions
+//===----------------------------------------------------------------------===//
+
+TEST(RuleCall, InheritsDeferralsAndActions) {
+  CompiledProgram Prog = compile(R"(
+event In, Def(int), Act(int), Ret;
+main machine M {
+  var Acted: int;
+  var DefGot: int;
+  state S {
+    defer Def;
+    entry { }
+    on In push Sub;
+    on Act do DoIt;
+    on Ret goto Done;
+  }
+  state Sub {
+    entry { }
+    // Sub itself handles nothing: Def must stay deferred (inherited ⊤),
+    // Act must run the inherited action, Ret must pop.
+  }
+  state Done {
+    entry { }
+    on Def do GotIt;
+  }
+  action DoIt { Acted = arg; }
+  action GotIt { DefGot = arg; }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("In"));
+  Exec.step(Cfg, 0); // Enter Sub.
+  ASSERT_EQ(stateName(Prog, Cfg, 0), "Sub");
+  ASSERT_EQ(Cfg.Machines[0].Frames.size(), 2u);
+
+  // Def is inherited-deferred inside Sub.
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Def"), Value::integer(5));
+  EXPECT_EQ(Exec.step(Cfg, 0).Outcome, Executor::StepOutcome::Blocked);
+  EXPECT_EQ(Cfg.Machines[0].Queue.size(), 1u);
+
+  // Act runs the caller's action without leaving Sub.
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Act"), Value::integer(9));
+  Exec.step(Cfg, 0);
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(9));
+  EXPECT_EQ(stateName(Prog, Cfg, 0), "Sub");
+
+  // Ret is unhandled in Sub: POP1 back to S, whose transition fires;
+  // the deferred Def is then deliverable in Done.
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Ret"));
+  Exec.step(Cfg, 0);
+  EXPECT_EQ(stateName(Prog, Cfg, 0), "Done");
+  EXPECT_EQ(Cfg.Machines[0].Frames.size(), 1u);
+  EXPECT_EQ(var(Cfg, 0, 1), Value::integer(5)) << "deferred Def delivered "
+                                                  "after the pop";
+}
+
+TEST(RuleCall, StaticActionOverridesInherited) {
+  CompiledProgram Prog = compile(R"(
+event In, Act;
+main machine M {
+  var Who: int;
+  state S {
+    entry { }
+    on In push Sub;
+    on Act do Outer;
+  }
+  state Sub {
+    entry { }
+    on Act do Inner;
+  }
+  action Outer { Who = 1; }
+  action Inner { Who = 2; }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("In"));
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Act"));
+  Exec.step(Cfg, 0);
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(2))
+      << "the static binding in Sub overrides the inherited one";
+}
+
+//===----------------------------------------------------------------------===//
+// POP1 / POP2 / POP-FAIL
+//===----------------------------------------------------------------------===//
+
+TEST(RulePop, ExitRunsOnPop) {
+  CompiledProgram Prog = compile(R"(
+event In, Up;
+main machine M {
+  var Trace: int;
+  state S {
+    entry { Trace = 0; }
+    on In push Sub;
+    on Up goto Done;
+  }
+  state Sub {
+    entry { Trace = Trace * 10 + 1; }
+    exit { Trace = Trace * 10 + 2; }
+  }
+  state Done {
+    entry { Trace = Trace * 10 + 3; }
+  }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("In"));
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Up"));
+  Exec.step(Cfg, 0);
+  // entry Sub (1), exit Sub on pop (2), entry Done (3).
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(123));
+}
+
+TEST(RulePop, UnhandledEventAtBottomIsError) {
+  CompiledProgram Prog = compile(R"(
+event Mystery;
+main machine M {
+  state S { entry { } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Mystery"));
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Error);
+  EXPECT_EQ(Cfg.Error, ErrorKind::UnhandledEvent);
+  EXPECT_NE(Cfg.ErrorMessage.find("Mystery"), std::string::npos);
+}
+
+TEST(RulePop, ReturnFromBottomIsError) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  state S { entry { return; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Error);
+  EXPECT_EQ(Cfg.Error, ErrorKind::PopFromEmptyStack);
+}
+
+TEST(RuleReturn, RunsExitAndResumesDequeue) {
+  CompiledProgram Prog = compile(R"(
+event In, Next;
+main machine M {
+  var Trace: int;
+  state S {
+    entry { Trace = 0; }
+    on In push Sub;
+    on Next goto Done;
+  }
+  state Sub {
+    entry { Trace = Trace * 10 + 1; return; }
+    exit { Trace = Trace * 10 + 2; }
+  }
+  state Done { entry { Trace = Trace * 10 + 3; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("In"));
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Next"));
+  runAll(Exec, Cfg);
+  ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
+  // Sub entry (1), return runs exit (2), pop, dequeue Next in S (3).
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(123));
+  EXPECT_EQ(stateName(Prog, Cfg, 0), "Done");
+}
+
+//===----------------------------------------------------------------------===//
+// The `call S;` statement: full continuations in the interpreter
+//===----------------------------------------------------------------------===//
+
+TEST(CallStatement, ContinuationResumesAfterReturn) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var Trace: int;
+  state S {
+    entry {
+      Trace = 1;
+      call Sub;
+      Trace = Trace * 10 + 3;
+    }
+  }
+  state Sub {
+    entry { Trace = Trace * 10 + 2; return; }
+  }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(123))
+      << "the statement after `call` resumes when the callee returns";
+  EXPECT_EQ(Cfg.Machines[0].Frames.size(), 1u);
+}
+
+TEST(CallStatement, ContinuationDiscardedOnPop) {
+  // When the pushed state pops because of an unhandled event (POP1),
+  // the raise aborts the pending continuation (documented choice).
+  CompiledProgram Prog = compile(R"(
+event Up;
+main machine M {
+  var Trace: int;
+  state S {
+    entry {
+      Trace = 1;
+      call Sub;
+      Trace = Trace * 10 + 9;
+    }
+    on Up goto Done;
+  }
+  state Sub {
+    entry { Trace = Trace * 10 + 2; raise(Up); }
+  }
+  state Done { entry { Trace = Trace * 10 + 3; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(123))
+      << "continuation (…9) must not run after the event popped Sub";
+  EXPECT_EQ(stateName(Prog, Cfg, 0), "Done");
+}
+
+//===----------------------------------------------------------------------===//
+// DELETE
+//===----------------------------------------------------------------------===//
+
+TEST(RuleDelete, MachineHalts) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 1; delete; X = 2; } }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Halted);
+  EXPECT_FALSE(Cfg.Machines[0].Alive);
+  EXPECT_FALSE(Exec.isEnabled(Cfg, 0));
+}
+
+//===----------------------------------------------------------------------===//
+// ⊥ propagation and the undefined-branch extension
+//===----------------------------------------------------------------------===//
+
+TEST(Undefined, OperatorsAreStrict) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var A: int;
+  var B: bool;
+  var C: bool;
+  state S {
+    entry {
+      A = A + 1;         // ⊥ + 1 = ⊥
+      B = A == A;        // ⊥ == ⊥ = ⊥ (equality is strict too)
+      C = 1 / 0 == 1;    // division by zero yields ⊥, so C is ⊥
+    }
+  }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
+  EXPECT_EQ(var(Cfg, 0, 0), Value::null());
+  EXPECT_EQ(var(Cfg, 0, 1), Value::null());
+  EXPECT_EQ(var(Cfg, 0, 2), Value::null());
+}
+
+TEST(Undefined, BranchingOnUndefinedIsAnError) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var A: bool;
+  state S {
+    entry { if (A) { skip; } }
+  }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Error);
+  EXPECT_EQ(Cfg.Error, ErrorKind::UndefinedBranch);
+}
+
+//===----------------------------------------------------------------------===//
+// Foreign functions with model bodies
+//===----------------------------------------------------------------------===//
+
+TEST(Foreign, ModelBodyComputesResult) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  foreign fun Twice(v: int): int model {
+    result = v + v;
+  }
+  state S { entry { X = Twice(21); } }
+}
+)");
+  Executor::Options Opts;
+  Opts.UseModelBodies = true;
+  Executor Exec(Prog, Opts);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(42));
+}
+
+TEST(Foreign, NativeImplementationWins) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  foreign fun Magic(): int;
+  state S { entry { X = Magic(); } }
+}
+)");
+  Executor Exec(Prog);
+  Exec.registerForeign("M", "Magic",
+                       [](Config &, int32_t, const std::vector<Value> &) {
+                         return Value::integer(7);
+                       });
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  ASSERT_FALSE(Cfg.hasError());
+  EXPECT_EQ(var(Cfg, 0, 0), Value::integer(7));
+}
+
+TEST(Foreign, StrictModeErrorsOnMissingImplementation) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  foreign fun Magic(): int;
+  state S { entry { X = Magic(); } }
+}
+)");
+  Executor::Options Opts;
+  Opts.StrictForeign = true;
+  Executor Exec(Prog, Opts);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Error);
+  EXPECT_EQ(Cfg.Error, ErrorKind::UnknownForeign);
+}
+
+//===----------------------------------------------------------------------===//
+// Divergence guard (liveness property 1)
+//===----------------------------------------------------------------------===//
+
+TEST(Divergence, InfinitePrivateLoopIsFlagged) {
+  CompiledProgram Prog = compile(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 0; while (X == 0) { skip; } } }
+}
+)");
+  Executor::Options Opts;
+  Opts.MaxStepsPerSlice = 1000;
+  Executor Exec(Prog, Opts);
+  Config Cfg = Exec.makeInitialConfig();
+  Executor::StepResult R = Exec.step(Cfg, 0);
+  EXPECT_EQ(R.Outcome, Executor::StepOutcome::Error);
+  EXPECT_EQ(Cfg.Error, ErrorKind::Divergence);
+}
+
+//===----------------------------------------------------------------------===//
+// msg / arg
+//===----------------------------------------------------------------------===//
+
+TEST(MsgArg, TrackLastDequeuedEvent) {
+  CompiledProgram Prog = compile(R"(
+event Data(int);
+main machine M {
+  var E: event;
+  var V: int;
+  state S {
+    entry { }
+    on Data do Capture;
+  }
+  action Capture { E = msg; V = arg; }
+}
+)");
+  Executor Exec(Prog);
+  Config Cfg = Exec.makeInitialConfig();
+  Exec.step(Cfg, 0);
+  Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Data"), Value::integer(31));
+  Exec.step(Cfg, 0);
+  EXPECT_EQ(var(Cfg, 0, 0), Value::event(Prog.findEvent("Data")));
+  EXPECT_EQ(var(Cfg, 0, 1), Value::integer(31));
+}
+
+} // namespace

@@ -1,0 +1,580 @@
+//===- tests/sema_test.cpp - Semantic analysis unit tests -------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the static semantics of Section 3.3: well-formedness, the
+// simple type system with ⊥/arg dynamism, determinism of real machines,
+// and the ghost-erasure rules (including complete machine-identifier
+// separation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+/// Returns the diagnostics text for \p Src ("" when clean).
+std::string diagnose(const std::string &Src) {
+  DiagnosticEngine Diags;
+  parseAndAnalyze(Src, Diags);
+  return Diags.hasErrors() ? Diags.str() : "";
+}
+
+void expectClean(const std::string &Src) {
+  std::string D = diagnose(Src);
+  EXPECT_EQ(D, "") << D;
+}
+
+void expectError(const std::string &Src, const std::string &Needle) {
+  std::string D = diagnose(Src);
+  EXPECT_NE(D.find(Needle), std::string::npos)
+      << "wanted an error mentioning '" << Needle << "', got:\n"
+      << D;
+}
+
+//===----------------------------------------------------------------------===//
+// Well-formedness
+//===----------------------------------------------------------------------===//
+
+TEST(SemaWellFormed, DuplicateEventNames) {
+  expectError("event A; event A; main machine M { state S { entry { } } }",
+              "duplicate event");
+}
+
+TEST(SemaWellFormed, DuplicateMachineNames) {
+  expectError(R"(
+main machine M { state S { entry { } } }
+machine M { state S { entry { } } }
+)",
+              "duplicate machine");
+}
+
+TEST(SemaWellFormed, DuplicateStateNames) {
+  expectError(R"(
+main machine M {
+  state S { entry { } }
+  state S { entry { } }
+}
+)",
+              "duplicate state");
+}
+
+TEST(SemaWellFormed, DuplicateVariables) {
+  expectError(R"(
+main machine M {
+  var X: int;
+  var X: bool;
+  state S { entry { } }
+}
+)",
+              "duplicate variable");
+}
+
+TEST(SemaWellFormed, VariableShadowingEventIsRejected) {
+  expectError(R"(
+event X;
+main machine M {
+  var X: int;
+  state S { entry { } }
+}
+)",
+              "shadows an event");
+}
+
+TEST(SemaWellFormed, ExactlyOneMainMachine) {
+  expectError("machine M { state S { entry { } } }", "no 'main' machine");
+  expectError(R"(
+main machine A { state S { entry { } } }
+main machine B { state S { entry { } } }
+)",
+              "more than one 'main'");
+}
+
+TEST(SemaWellFormed, MachineNeedsAtLeastOneState) {
+  expectError("main machine M { var X: int; }", "no states");
+}
+
+TEST(SemaWellFormed, DeterministicTransitions) {
+  expectError(R"(
+event A;
+main machine M {
+  state S {
+    entry { }
+    on A goto T;
+    on A push T;
+  }
+  state T { entry { } }
+}
+)",
+              "more than one transition");
+}
+
+TEST(SemaWellFormed, AtMostOneActionPerEvent) {
+  expectError(R"(
+event A;
+main machine M {
+  state S {
+    entry { }
+    on A do X;
+    on A do Y;
+  }
+  action X { skip; }
+  action Y { skip; }
+}
+)",
+              "more than one action");
+}
+
+TEST(SemaWellFormed, DeadActionUnderTransitionIsWarning) {
+  DiagnosticEngine Diags;
+  parseAndAnalyze(R"(
+event A;
+main machine M {
+  state S {
+    entry { }
+    on A goto T;
+    on A do X;
+  }
+  state T { entry { } }
+  action X { skip; }
+}
+)",
+                  Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  bool Warned = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    Warned |= D.Severity == DiagSeverity::Warning &&
+              D.Message.find("dead") != std::string::npos;
+  EXPECT_TRUE(Warned);
+}
+
+TEST(SemaWellFormed, UnknownNamesAreReported) {
+  expectError(R"(
+main machine M {
+  state S { entry { } on Mystery goto S; }
+}
+)",
+              "unknown event");
+  expectError(R"(
+event A;
+main machine M {
+  state S { entry { } on A goto Nowhere; }
+}
+)",
+              "unknown target state");
+  expectError(R"(
+event A;
+main machine M {
+  state S { entry { } on A do Nothing; }
+}
+)",
+              "unknown action");
+  expectError(R"(
+main machine M {
+  state S { entry { X = 1; } }
+}
+)",
+              "unknown variable");
+  expectError(R"(
+main machine M {
+  state S { entry { new Ghostly(); } }
+}
+)",
+              "unknown machine");
+  expectError(R"(
+main machine M {
+  state S { entry { call Nowhere; } }
+}
+)",
+              "unknown state");
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTypes, ArithmeticRequiresInts) {
+  expectError(R"(
+main machine M {
+  var B: bool;
+  state S { entry { B = B + 1; } }
+}
+)",
+              "requires int operands");
+}
+
+TEST(SemaTypes, LogicRequiresBools) {
+  expectError(R"(
+main machine M {
+  var X: int;
+  var B: bool;
+  state S { entry { B = X && true; } }
+}
+)",
+              "requires bool operands");
+}
+
+TEST(SemaTypes, EqualityRequiresMatchingKinds) {
+  expectError(R"(
+main machine M {
+  var X: int;
+  var B: bool;
+  var C: bool;
+  state S { entry { C = X == B; } }
+}
+)",
+              "incompatible types");
+}
+
+TEST(SemaTypes, NullAndArgAreDynamic) {
+  expectClean(R"(
+event E(int);
+main machine M {
+  var X: int;
+  var I: id;
+  state S {
+    entry { X = 0; I = null; }
+    on E do Take;
+  }
+  action Take { X = arg; }
+}
+)");
+}
+
+TEST(SemaTypes, AssignmentTypeMismatch) {
+  expectError(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = true; } }
+}
+)",
+              "cannot assign");
+}
+
+TEST(SemaTypes, ConditionsMustBeBool) {
+  expectError(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 0; if (X) { skip; } } }
+}
+)",
+              "if condition");
+  expectError(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 0; while (X) { skip; } } }
+}
+)",
+              "while condition");
+  expectError(R"(
+main machine M {
+  var X: int;
+  state S { entry { X = 0; assert(X); } }
+}
+)",
+              "assert condition");
+}
+
+TEST(SemaTypes, SendShapes) {
+  expectError(R"(
+event E;
+main machine M {
+  var X: int;
+  state S { entry { X = 0; send(X, E); } }
+}
+)",
+              "send target");
+  expectError(R"(
+event E;
+main machine M {
+  var T: id;
+  var X: int;
+  state S { entry { X = 0; send(T, X); } }
+}
+)",
+              "send event");
+}
+
+TEST(SemaTypes, EventPayloadArity) {
+  expectError(R"(
+event E(int);
+main machine M {
+  var T: id;
+  state S { entry { send(T, E); } }
+}
+)",
+              "missing its payload");
+  expectError(R"(
+event E;
+main machine M {
+  var T: id;
+  state S { entry { send(T, E, 3); } }
+}
+)",
+              "declared without one");
+  expectError(R"(
+event E(int);
+main machine M {
+  var T: id;
+  state S { entry { send(T, E, true); } }
+}
+)",
+              "payload of event");
+}
+
+TEST(SemaTypes, ForeignCallArityAndTypes) {
+  expectError(R"(
+main machine M {
+  foreign fun F(a: int): int;
+  var X: int;
+  state S { entry { X = F(); } }
+}
+)",
+              "expects 1 argument");
+  expectError(R"(
+main machine M {
+  foreign fun F(a: int): int;
+  var X: int;
+  state S { entry { X = F(true); } }
+}
+)",
+              "argument 1");
+}
+
+TEST(SemaTypes, VoidVariablesRejected) {
+  expectError(R"(
+main machine M {
+  var X: void;
+  state S { entry { } }
+}
+)",
+              "cannot have type void");
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and ghost erasure (Section 3.3)
+//===----------------------------------------------------------------------===//
+
+TEST(SemaGhost, NondetOnlyInGhostMachines) {
+  expectError(R"(
+main machine M {
+  var B: bool;
+  state S { entry { B = *; } }
+}
+)",
+              "only allowed in ghost machines");
+  expectClean(R"(
+main ghost machine G {
+  var B: bool;
+  state S { entry { B = *; } }
+}
+)");
+}
+
+TEST(SemaGhost, NondetAllowedInModelBodies) {
+  expectClean(R"(
+main machine M {
+  ghost var B: bool;
+  foreign fun Flip(): bool model { result = *; }
+  state S { entry { B = Flip(); } }
+}
+)");
+}
+
+TEST(SemaGhost, RealControlFlowCannotDependOnGhosts) {
+  expectError(R"(
+main machine M {
+  ghost var G: bool;
+  var X: int;
+  state S { entry { if (G) { X = 1; } } }
+}
+)",
+              "depends on ghost state");
+  expectError(R"(
+main machine M {
+  ghost var G: bool;
+  state S { entry { while (G) { skip; } } }
+}
+)",
+              "depends on ghost state");
+}
+
+TEST(SemaGhost, RealVariablesCannotHoldGhostValues) {
+  expectError(R"(
+main machine M {
+  ghost var G: int;
+  var X: int;
+  state S { entry { X = G + 1; } }
+}
+)",
+              "ghost value");
+}
+
+TEST(SemaGhost, AssertionsMayReadGhosts) {
+  expectClean(R"(
+main machine M {
+  ghost var G: int;
+  state S { entry { assert(G == 0); } }
+}
+)");
+}
+
+TEST(SemaGhost, MachineIdentifierSeparation) {
+  expectError(R"(
+main machine M {
+  ghost var G: id;
+  state S { entry { G = this; } }
+}
+)",
+              "completely separated");
+  expectError(R"(
+ghost machine Spirit { state S { entry { } } }
+main machine M {
+  var R: id;
+  state S { entry { R = new Spirit(); } }
+}
+)",
+              "ghost machine");
+  expectError(R"(
+machine Real { state S { entry { } } }
+main machine M {
+  ghost var G: id;
+  state S { entry { G = new Real(); } }
+}
+)",
+              "ghost variable");
+}
+
+TEST(SemaGhost, GhostEventsStayOutOfRealMachines) {
+  expectError(R"(
+ghost event GE;
+main machine M {
+  state S { entry { } on GE goto S; }
+}
+)",
+              "handles ghost event");
+  expectError(R"(
+ghost event GE;
+main machine M {
+  state S { defer GE; entry { } }
+}
+)",
+              "defers ghost event");
+  expectError(R"(
+ghost event GE;
+main machine M {
+  var T: id;
+  state S { entry { send(T, GE); } }
+}
+)",
+              "sent to a real machine");
+  expectError(R"(
+ghost event GE;
+main machine M {
+  state S { entry { raise(GE); } }
+}
+)",
+              "raised in a real machine");
+}
+
+TEST(SemaGhost, SendsToGhostTargetsAreFine) {
+  expectClean(R"(
+event Notify(int);
+ghost machine Monitor { state S { defer Notify; entry { } } }
+main machine M {
+  ghost var Mon: id;
+  var X: int;
+  state S {
+    entry {
+      X = 1;
+      Mon = new Monitor();
+      send(Mon, Notify, X);
+    }
+  }
+}
+)");
+}
+
+TEST(SemaGhost, ModelBodiesMustBeErasable) {
+  expectError(R"(
+main machine M {
+  var X: int;
+  foreign fun F(): void model { X = 1; }
+  state S { entry { F(); } }
+}
+)",
+              "must be erasable");
+  expectError(R"(
+main machine M {
+  foreign fun F(): void model { new M(); }
+  state S { entry { F(); } }
+}
+)",
+              "cannot create machines");
+  expectError(R"(
+event E;
+main machine M {
+  var T: id;
+  foreign fun F(): void model { send(T, E); }
+  state S { entry { F(); } }
+}
+)",
+              "cannot send");
+}
+
+TEST(SemaGhost, ForeignCallsRejectGhostArguments) {
+  expectError(R"(
+main machine M {
+  ghost var G: int;
+  foreign fun F(a: int): void;
+  state S { entry { F(G); } }
+}
+)",
+              "ghost argument");
+}
+
+TEST(SemaGhost, GhostMachinesAreUnrestricted) {
+  expectClean(R"(
+machine Real { state S { entry { } } }
+main ghost machine G {
+  var R: id;
+  var B: bool;
+  state S {
+    entry {
+      B = *;
+      if (B) { R = new Real(); }
+    }
+  }
+}
+)");
+}
+
+//===----------------------------------------------------------------------===//
+// Statement placement
+//===----------------------------------------------------------------------===//
+
+TEST(SemaPlacement, LeaveOnlyInEntry) {
+  expectError(R"(
+event A;
+main machine M {
+  state S { entry { } exit { leave; } }
+}
+)",
+              "only allowed in entry");
+  expectError(R"(
+event A;
+main machine M {
+  state S { entry { } on A do Act; }
+  action Act { leave; }
+}
+)",
+              "only allowed in entry");
+}
+
+} // namespace

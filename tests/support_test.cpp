@@ -1,0 +1,182 @@
+//===- tests/support_test.cpp - Support library tests -----------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/StateHash.h"
+#include "pir/Program.h"
+#include "runtime/Value.h"
+#include "support/Diagnostics.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+using namespace p;
+
+namespace {
+
+TEST(Diagnostics, CountsAndRenders) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLoc(1, 2), "watch out");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(3, 4), "bad");
+  Diags.note(SourceLoc(), "context");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("1:2: warning: watch out"), std::string::npos);
+  EXPECT_NE(Text.find("3:4: error: bad"), std::string::npos);
+  EXPECT_NE(Text.find("note: context"), std::string::npos);
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(Hashing, DeterministicAndSensitive) {
+  EXPECT_EQ(hashBytes("abc", 3), hashBytes("abc", 3));
+  EXPECT_NE(hashBytes("abc", 3), hashBytes("abd", 3));
+  EXPECT_NE(hashBytes("abc", 3), hashBytes("abc", 2));
+  uint64_t H1 = hashCombine(1, 2);
+  uint64_t H2 = hashCombine(2, 1);
+  EXPECT_NE(H1, H2) << "hashCombine must be order-sensitive";
+}
+
+TEST(Values, ConstructorsAndEquality) {
+  EXPECT_TRUE(Value::null().isNull());
+  EXPECT_EQ(Value::boolean(true).asBool(), true);
+  EXPECT_EQ(Value::integer(-7).asInt(), -7);
+  EXPECT_EQ(Value::event(3).asEvent(), 3);
+  EXPECT_EQ(Value::machine(5).asMachine(), 5);
+  // Structural equality distinguishes kinds with equal payloads.
+  EXPECT_NE(Value::integer(3), Value::event(3));
+  EXPECT_EQ(Value::integer(3), Value::integer(3));
+  EXPECT_EQ(Value::null(), Value::null());
+}
+
+TEST(Values, Rendering) {
+  EXPECT_EQ(Value::null().str(), "null");
+  EXPECT_EQ(Value::boolean(false).str(), "false");
+  EXPECT_EQ(Value::integer(12).str(), "12");
+  EXPECT_EQ(Value::machine(2).str(), "mid(2)");
+}
+
+TEST(StateHash, EqualConfigsSerializeEqually) {
+  Config A;
+  MachineState M;
+  M.MachineIndex = 0;
+  M.Alive = true;
+  M.Vars = {Value::integer(1), Value::null()};
+  StateFrame F;
+  F.State = 2;
+  F.Inherit = {InheritNone, InheritDeferred, 3};
+  M.Frames.push_back(F);
+  M.Queue = {{1, Value::integer(9)}};
+  A.Machines.push_back(M);
+
+  Config B = A;
+  EXPECT_EQ(hashConfig(A), hashConfig(B));
+
+  std::string SA, SB;
+  serializeConfig(A, SA);
+  serializeConfig(B, SB);
+  EXPECT_EQ(SA, SB);
+}
+
+TEST(StateHash, SensitiveToEverySemanticComponent) {
+  Config Base;
+  MachineState M;
+  M.MachineIndex = 0;
+  M.Alive = true;
+  M.Vars = {Value::integer(1)};
+  StateFrame F;
+  F.State = 0;
+  F.Inherit = {InheritNone};
+  M.Frames.push_back(F);
+  Base.Machines.push_back(M);
+  uint64_t H0 = hashConfig(Base);
+
+  {
+    Config C = Base;
+    C.Machines[0].Vars[0] = Value::integer(2);
+    EXPECT_NE(hashConfig(C), H0) << "variable values";
+  }
+  {
+    Config C = Base;
+    C.Machines[0].Frames[0].State = 1;
+    EXPECT_NE(hashConfig(C), H0) << "control state";
+  }
+  {
+    Config C = Base;
+    C.Machines[0].Frames[0].Inherit[0] = InheritDeferred;
+    EXPECT_NE(hashConfig(C), H0) << "inherited handler map";
+  }
+  {
+    Config C = Base;
+    C.Machines[0].Queue.push_back({0, Value::null()});
+    EXPECT_NE(hashConfig(C), H0) << "queue contents";
+  }
+  {
+    Config C = Base;
+    C.Machines[0].HasRaise = true;
+    C.Machines[0].RaiseEvent = 0;
+    EXPECT_NE(hashConfig(C), H0) << "pending raise";
+  }
+  {
+    Config C = Base;
+    C.Machines[0].Transfer = TransferKind::PopRaise;
+    EXPECT_NE(hashConfig(C), H0) << "pending transfer";
+  }
+  {
+    Config C = Base;
+    ExecFrame E;
+    E.Body = 0;
+    E.PC = 3;
+    E.Operands = {Value::integer(4)};
+    C.Machines[0].Exec.push_back(E);
+    EXPECT_NE(hashConfig(C), H0) << "resumable exec frames";
+  }
+  {
+    Config C = Base;
+    C.Machines[0].InjectedChoice = true;
+    EXPECT_NE(hashConfig(C), H0) << "injected choices";
+  }
+  {
+    Config C = Base;
+    C.Machines[0].Alive = false;
+    EXPECT_NE(hashConfig(C), H0) << "deleted machines";
+  }
+  {
+    Config C = Base;
+    StateFrame G;
+    G.State = 0;
+    G.Inherit = {InheritNone};
+    ExecFrame Cont;
+    Cont.Body = 1;
+    G.SavedCont.push_back(Cont);
+    C.Machines[0].Frames.push_back(G);
+    EXPECT_NE(hashConfig(C), H0) << "saved continuations";
+  }
+}
+
+TEST(EventSet, BasicOperations) {
+  EventSet S(130); // Multiple words.
+  EXPECT_FALSE(S.test(0));
+  EXPECT_FALSE(S.test(129));
+  S.set(0);
+  S.set(64);
+  S.set(129);
+  EXPECT_TRUE(S.test(0));
+  EXPECT_TRUE(S.test(64));
+  EXPECT_TRUE(S.test(129));
+  EXPECT_FALSE(S.test(63));
+  EXPECT_FALSE(S.test(500)) << "out-of-range probes are false";
+  EventSet T(130);
+  T.set(0);
+  T.set(64);
+  T.set(129);
+  EXPECT_EQ(S, T);
+}
+
+} // namespace
