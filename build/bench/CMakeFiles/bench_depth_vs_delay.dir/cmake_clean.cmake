@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depth_vs_delay.dir/bench_depth_vs_delay.cpp.o"
+  "CMakeFiles/bench_depth_vs_delay.dir/bench_depth_vs_delay.cpp.o.d"
+  "bench_depth_vs_delay"
+  "bench_depth_vs_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depth_vs_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

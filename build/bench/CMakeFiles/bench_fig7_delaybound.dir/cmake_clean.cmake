@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_delaybound.dir/bench_fig7_delaybound.cpp.o"
+  "CMakeFiles/bench_fig7_delaybound.dir/bench_fig7_delaybound.cpp.o.d"
+  "bench_fig7_delaybound"
+  "bench_fig7_delaybound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_delaybound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_usb.dir/bench_fig8_usb.cpp.o"
+  "CMakeFiles/bench_fig8_usb.dir/bench_fig8_usb.cpp.o.d"
+  "bench_fig8_usb"
+  "bench_fig8_usb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_usb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

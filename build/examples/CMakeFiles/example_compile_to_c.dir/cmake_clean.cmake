@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compile_to_c.dir/compile_to_c.cpp.o"
+  "CMakeFiles/example_compile_to_c.dir/compile_to_c.cpp.o.d"
+  "example_compile_to_c"
+  "example_compile_to_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compile_to_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_compile_to_c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_elevator_sim.dir/elevator_sim.cpp.o"
+  "CMakeFiles/example_elevator_sim.dir/elevator_sim.cpp.o.d"
+  "example_elevator_sim"
+  "example_elevator_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_elevator_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

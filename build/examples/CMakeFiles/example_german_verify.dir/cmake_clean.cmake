@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_german_verify.dir/german_verify.cpp.o"
+  "CMakeFiles/example_german_verify.dir/german_verify.cpp.o.d"
+  "example_german_verify"
+  "example_german_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_german_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

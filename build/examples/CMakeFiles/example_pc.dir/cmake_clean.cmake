@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pc.dir/pc.cpp.o"
+  "CMakeFiles/example_pc.dir/pc.cpp.o.d"
+  "example_pc"
+  "example_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

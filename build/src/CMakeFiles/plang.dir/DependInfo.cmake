@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/AST.cpp" "src/CMakeFiles/plang.dir/ast/AST.cpp.o" "gcc" "src/CMakeFiles/plang.dir/ast/AST.cpp.o.d"
+  "/root/repo/src/checker/Checker.cpp" "src/CMakeFiles/plang.dir/checker/Checker.cpp.o" "gcc" "src/CMakeFiles/plang.dir/checker/Checker.cpp.o.d"
+  "/root/repo/src/checker/Liveness.cpp" "src/CMakeFiles/plang.dir/checker/Liveness.cpp.o" "gcc" "src/CMakeFiles/plang.dir/checker/Liveness.cpp.o.d"
+  "/root/repo/src/checker/Replay.cpp" "src/CMakeFiles/plang.dir/checker/Replay.cpp.o" "gcc" "src/CMakeFiles/plang.dir/checker/Replay.cpp.o.d"
+  "/root/repo/src/checker/StateHash.cpp" "src/CMakeFiles/plang.dir/checker/StateHash.cpp.o" "gcc" "src/CMakeFiles/plang.dir/checker/StateHash.cpp.o.d"
+  "/root/repo/src/codegen/CCodeGen.cpp" "src/CMakeFiles/plang.dir/codegen/CCodeGen.cpp.o" "gcc" "src/CMakeFiles/plang.dir/codegen/CCodeGen.cpp.o.d"
+  "/root/repo/src/corpus/Elevator.cpp" "src/CMakeFiles/plang.dir/corpus/Elevator.cpp.o" "gcc" "src/CMakeFiles/plang.dir/corpus/Elevator.cpp.o.d"
+  "/root/repo/src/corpus/German.cpp" "src/CMakeFiles/plang.dir/corpus/German.cpp.o" "gcc" "src/CMakeFiles/plang.dir/corpus/German.cpp.o.d"
+  "/root/repo/src/corpus/SwitchLed.cpp" "src/CMakeFiles/plang.dir/corpus/SwitchLed.cpp.o" "gcc" "src/CMakeFiles/plang.dir/corpus/SwitchLed.cpp.o.d"
+  "/root/repo/src/corpus/UsbHub.cpp" "src/CMakeFiles/plang.dir/corpus/UsbHub.cpp.o" "gcc" "src/CMakeFiles/plang.dir/corpus/UsbHub.cpp.o.d"
+  "/root/repo/src/frontend/Frontend.cpp" "src/CMakeFiles/plang.dir/frontend/Frontend.cpp.o" "gcc" "src/CMakeFiles/plang.dir/frontend/Frontend.cpp.o.d"
+  "/root/repo/src/host/Host.cpp" "src/CMakeFiles/plang.dir/host/Host.cpp.o" "gcc" "src/CMakeFiles/plang.dir/host/Host.cpp.o.d"
+  "/root/repo/src/lexer/Lexer.cpp" "src/CMakeFiles/plang.dir/lexer/Lexer.cpp.o" "gcc" "src/CMakeFiles/plang.dir/lexer/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/plang.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/plang.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/pir/Dot.cpp" "src/CMakeFiles/plang.dir/pir/Dot.cpp.o" "gcc" "src/CMakeFiles/plang.dir/pir/Dot.cpp.o.d"
+  "/root/repo/src/pir/Lowering.cpp" "src/CMakeFiles/plang.dir/pir/Lowering.cpp.o" "gcc" "src/CMakeFiles/plang.dir/pir/Lowering.cpp.o.d"
+  "/root/repo/src/pir/Program.cpp" "src/CMakeFiles/plang.dir/pir/Program.cpp.o" "gcc" "src/CMakeFiles/plang.dir/pir/Program.cpp.o.d"
+  "/root/repo/src/runtime/Executor.cpp" "src/CMakeFiles/plang.dir/runtime/Executor.cpp.o" "gcc" "src/CMakeFiles/plang.dir/runtime/Executor.cpp.o.d"
+  "/root/repo/src/sema/Sema.cpp" "src/CMakeFiles/plang.dir/sema/Sema.cpp.o" "gcc" "src/CMakeFiles/plang.dir/sema/Sema.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/plang.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/plang.dir/support/Diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

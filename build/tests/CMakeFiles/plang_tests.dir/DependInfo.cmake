@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/checker_test.cpp" "tests/CMakeFiles/plang_tests.dir/checker_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/checker_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/plang_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/corpus_elevator_test.cpp" "tests/CMakeFiles/plang_tests.dir/corpus_elevator_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/corpus_elevator_test.cpp.o.d"
+  "/root/repo/tests/corpus_german_test.cpp" "tests/CMakeFiles/plang_tests.dir/corpus_german_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/corpus_german_test.cpp.o.d"
+  "/root/repo/tests/corpus_roundtrip_test.cpp" "tests/CMakeFiles/plang_tests.dir/corpus_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/corpus_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/corpus_usbhub_test.cpp" "tests/CMakeFiles/plang_tests.dir/corpus_usbhub_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/corpus_usbhub_test.cpp.o.d"
+  "/root/repo/tests/cross_backend_test.cpp" "tests/CMakeFiles/plang_tests.dir/cross_backend_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/cross_backend_test.cpp.o.d"
+  "/root/repo/tests/erasure_test.cpp" "tests/CMakeFiles/plang_tests.dir/erasure_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/erasure_test.cpp.o.d"
+  "/root/repo/tests/executor_edge_test.cpp" "tests/CMakeFiles/plang_tests.dir/executor_edge_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/executor_edge_test.cpp.o.d"
+  "/root/repo/tests/host_test.cpp" "tests/CMakeFiles/plang_tests.dir/host_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/host_test.cpp.o.d"
+  "/root/repo/tests/host_threading_test.cpp" "tests/CMakeFiles/plang_tests.dir/host_threading_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/host_threading_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/plang_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/liveness_test.cpp" "tests/CMakeFiles/plang_tests.dir/liveness_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/liveness_test.cpp.o.d"
+  "/root/repo/tests/lowering_test.cpp" "tests/CMakeFiles/plang_tests.dir/lowering_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/lowering_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/plang_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/pipeline_smoke_test.cpp" "tests/CMakeFiles/plang_tests.dir/pipeline_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/pipeline_smoke_test.cpp.o.d"
+  "/root/repo/tests/property_sweep_test.cpp" "tests/CMakeFiles/plang_tests.dir/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/runtime_semantics_test.cpp" "tests/CMakeFiles/plang_tests.dir/runtime_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/runtime_semantics_test.cpp.o.d"
+  "/root/repo/tests/sema_test.cpp" "tests/CMakeFiles/plang_tests.dir/sema_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/sema_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/plang_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tooling_test.cpp" "tests/CMakeFiles/plang_tests.dir/tooling_test.cpp.o" "gcc" "tests/CMakeFiles/plang_tests.dir/tooling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
