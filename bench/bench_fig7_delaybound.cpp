@@ -25,12 +25,16 @@
 #include "frontend/Frontend.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 using namespace p;
 
 namespace {
+
+int WorkersFlag = 1; ///< --workers N (0 = hardware_concurrency).
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -55,6 +59,7 @@ void sweep(const char *Name, const CompiledProgram &Prog, int MaxDelay,
     Opts.DelayBound = D;
     Opts.MaxNodes = NodeCap;
     Opts.StopOnFirstError = false;
+    Opts.Workers = WorkersFlag;
     CheckResult R = check(Prog, Opts);
     const char *Note = "";
     if (!R.Stats.Exhausted)
@@ -85,11 +90,15 @@ struct BugCase {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
+      WorkersFlag = std::atoi(argv[++I]);
   std::printf("=== Figure 7: states explored vs delay bound ===\n");
   std::printf("(paper: Zing on the authors' models, saturation ~d=12, "
               "hours of CPU; ours: same semantics, our models, "
-              "seconds)\n\n");
+              "seconds; workers=%d, 0=auto)\n\n",
+              WorkersFlag);
 
   sweep("Elevator (Section 2)", compileOrExit(corpus::elevator()),
         /*MaxDelay=*/12, /*NodeCap=*/400000, /*TimeBudget=*/20.0);
@@ -128,6 +137,7 @@ int main() {
     for (int D = 0; D <= 2 && !Found; ++D) {
       CheckOptions Opts;
       Opts.DelayBound = D;
+      Opts.Workers = WorkersFlag;
       CheckResult R = check(Prog, Opts);
       if (R.ErrorFound) {
         std::printf("%-34s %-8d %-12llu %-10.3f %s\n", Bug.Name, D,

@@ -29,10 +29,14 @@
 #include "frontend/Frontend.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace p;
 
 namespace {
+
+int WorkersFlag = 1; ///< --workers N (0 = hardware_concurrency).
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -54,9 +58,13 @@ void printMachineSizes(const CompiledProgram &Prog) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
+      WorkersFlag = std::atoi(argv[++I]);
   std::printf("=== Figure 8: USB hub machine sizes and exploration cost "
-              "===\n\n");
+              "=== (workers=%d, 0=auto)\n\n",
+              WorkersFlag);
   std::printf("paper (Windows 8 USB stack, Zing):\n");
   std::printf("  HSM 196/361, PSM3.0 295/752, PSM2.0 457/1386, DSM "
               "1919/4238 P-states/transitions;\n");
@@ -74,6 +82,7 @@ int main() {
       Opts.DelayBound = D;
       Opts.MaxNodes = 600000;
       Opts.StopOnFirstError = false;
+      Opts.Workers = WorkersFlag;
       CheckResult R = check(Prog, Opts);
       std::printf("%-8d %-12llu %-12llu %-10.3f %-12llu %s\n", D,
                   static_cast<unsigned long long>(R.Stats.DistinctStates),

@@ -16,6 +16,8 @@
 #include "frontend/Frontend.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace p;
 
@@ -28,8 +30,14 @@ static CompiledProgram compileOrExit(const std::string &Src) {
   return std::move(*R.Program);
 }
 
-int main() {
-  std::printf("== German's protocol: state growth with client count ==\n");
+int main(int argc, char **argv) {
+  int Workers = 1; // --workers N (0 = hardware_concurrency)
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
+      Workers = std::atoi(argv[++I]);
+  std::printf("== German's protocol: state growth with client count "
+              "(workers=%d, 0=auto) ==\n",
+              Workers);
   std::printf("  %-8s %-6s %-10s %-10s %s\n", "clients", "d", "states",
               "slices", "result");
   for (int N = 1; N <= 3; ++N) {
@@ -37,6 +45,7 @@ int main() {
     for (int Delay = 0; Delay <= (N < 3 ? 1 : 0); ++Delay) {
       CheckOptions Opts;
       Opts.DelayBound = Delay;
+      Opts.Workers = Workers;
       CheckResult R = check(Prog, Opts);
       std::printf("  %-8d %-6d %-10llu %-10llu %s\n", N, Delay,
                   static_cast<unsigned long long>(R.Stats.DistinctStates),
@@ -52,6 +61,7 @@ int main() {
   for (int Delay = 0; Delay <= 2; ++Delay) {
     CheckOptions Opts;
     Opts.DelayBound = Delay;
+    Opts.Workers = Workers;
     CheckResult R = check(Buggy, Opts);
     if (!R.ErrorFound) {
       std::printf("  d=%d: not exposed\n", Delay);

@@ -6,413 +6,13 @@
 
 #include "checker/Checker.h"
 
-#include "checker/StateHash.h"
-#include "support/Hashing.h"
-
-#include <cassert>
-#include <chrono>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include "checker/ParallelSearch.h"
 
 using namespace p;
 
-namespace {
-
-/// A node of the schedule tree.
-struct Node {
-  Config Cfg;
-  std::deque<int32_t> Sched; ///< The delaying scheduler's stack S.
-  int DelaysUsed = 0;
-  int Depth = 0;
-  int32_t MustRun = -1; ///< Machine to resume after a choice point.
-  int TraceIdx = -1;    ///< Index into the trace arena.
-};
-
-/// Trace arena entry: a description plus its parent, and the structured
-/// decision it corresponds to (HasDecision false for annotations like
-/// outcome suffixes folded into the text).
-struct TraceEntry {
-  int Parent;
-  std::string Text;
-  SchedDecision Decision;
-  bool HasDecision = false;
-};
-
-class Search {
-public:
-  Search(const CompiledProgram &Prog, const CheckOptions &Opts,
-         Executor *ExternalExec)
-      : Prog(Prog), Opts(Opts),
-        OwnedExec(Prog, execOptions(Opts)),
-        Exec(ExternalExec ? *ExternalExec : OwnedExec) {
-    if (Opts.TrackCoverage) {
-      Result.Coverage.Machines.resize(Prog.Machines.size());
-      Exec.setDispatchObserver([this](int32_t Type, int32_t State,
-                                      int32_t Event, TransitionKind Kind) {
-        auto &Cov = Result.Coverage.Machines[Type];
-        Cov.StatesVisited.insert(State);
-        if (Kind != TransitionKind::None)
-          Cov.TransitionsFired.insert({State, Event});
-      });
-    }
-  }
-
-  CheckResult run();
-
-private:
-  static Executor::Options execOptions(const CheckOptions &Opts) {
-    Executor::Options EO;
-    EO.UseModelBodies = Opts.UseModelBodies;
-    EO.MaxStepsPerSlice = Opts.MaxStepsPerSlice;
-    return EO;
-  }
-
-  /// Records a trace entry; returns its arena index.
-  int trace(int Parent, std::string Text) {
-    TraceEntry E;
-    E.Parent = Parent;
-    E.Text = std::move(Text);
-    Arena.push_back(std::move(E));
-    return static_cast<int>(Arena.size()) - 1;
-  }
-
-  /// Records a trace entry carrying a replayable decision.
-  int trace(int Parent, std::string Text, SchedDecision Decision) {
-    int Index = trace(Parent, std::move(Text));
-    Arena[Index].Decision = Decision;
-    Arena[Index].HasDecision = true;
-    return Index;
-  }
-
-  std::vector<std::string> traceFrom(int Index) const {
-    std::vector<std::string> Out;
-    for (int I = Index; I >= 0; I = Arena[I].Parent)
-      Out.push_back(Arena[I].Text);
-    std::reverse(Out.begin(), Out.end());
-    return Out;
-  }
-
-  std::vector<SchedDecision> scheduleFrom(int Index) const {
-    std::vector<SchedDecision> Out;
-    for (int I = Index; I >= 0; I = Arena[I].Parent)
-      if (Arena[I].HasDecision)
-        Out.push_back(Arena[I].Decision);
-    std::reverse(Out.begin(), Out.end());
-    return Out;
-  }
-
-  /// Deduplication key of a search node: config + scheduler stack (the
-  /// future depends on both). Delay budget is handled by dominance:
-  /// reaching the same key having used fewer delays dominates.
-  uint64_t nodeKey(const Node &N, std::string *BytesOut) const {
-    std::string Bytes;
-    serializeConfig(N.Cfg, Bytes);
-    if (Opts.Strategy == SearchStrategy::DelayBounded) {
-      for (int32_t Id : N.Sched) {
-        Bytes.push_back(static_cast<char>(Id & 0xff));
-        Bytes.push_back(static_cast<char>((Id >> 8) & 0xff));
-      }
-    }
-    Bytes.push_back(static_cast<char>(N.MustRun & 0xff));
-    uint64_t Key = hashBytes(Bytes.data(), Bytes.size());
-    if (BytesOut)
-      *BytesOut = std::move(Bytes);
-    return Key;
-  }
-
-  /// Counts a distinct global configuration.
-  void noteConfig(const Config &Cfg) {
-    bool New = SeenConfigs.insert(hashConfig(Cfg)).second;
-    Stats.DistinctStates += New;
-    if (New && Opts.TrackCoverage) {
-      // Every state on a reachable call stack counts as visited.
-      for (const MachineState &M : Cfg.Machines) {
-        if (!M.Alive)
-          continue;
-        auto &Cov = Result.Coverage.Machines[M.MachineIndex];
-        for (const StateFrame &F : M.Frames)
-          Cov.StatesVisited.insert(F.State);
-      }
-    }
-  }
-
-  /// True when the node was seen before with an equal-or-smaller delay
-  /// budget spent (dominance pruning).
-  bool pruned(const Node &N) {
-    std::string Bytes;
-    uint64_t Key = nodeKey(N, Opts.ExactStates ? &Bytes : nullptr);
-    if (Opts.ExactStates) {
-      auto [It, Inserted] = VisitedExact.try_emplace(std::move(Bytes),
-                                                     N.DelaysUsed);
-      if (Inserted)
-        return false;
-      if (It->second <= N.DelaysUsed)
-        return true;
-      It->second = N.DelaysUsed;
-      return false;
-    }
-    auto [It, Inserted] = Visited.try_emplace(Key, N.DelaysUsed);
-    if (Inserted)
-      return false;
-    if (It->second <= N.DelaysUsed)
-      return true;
-    It->second = N.DelaysUsed;
-    return false;
-  }
-
-  void recordError(const Node &N) {
-    ++Stats.ErrorsFound;
-    if (Result.ErrorFound)
-      return; // Keep the first counterexample.
-    Result.ErrorFound = true;
-    Result.Error = N.Cfg.Error;
-    Result.ErrorMessage = N.Cfg.ErrorMessage;
-    Result.Trace = traceFrom(N.TraceIdx);
-    Result.Schedule = scheduleFrom(N.TraceIdx);
-    Result.DelaysUsedOnError =
-        Opts.Strategy == SearchStrategy::DelayBounded ? N.DelaysUsed : -1;
-  }
-
-  /// Runs machine \p Id for one slice in \p N's config and pushes the
-  /// resulting child node(s).
-  void expandRun(Node &&N, int32_t Id);
-  void expandDelayBounded(Node &&N);
-  void expandDepthBounded(Node &&N);
-
-  const CompiledProgram &Prog;
-  const CheckOptions &Opts;
-  Executor OwnedExec;
-  Executor &Exec;
-
-  std::vector<Node> Stack; ///< DFS worklist.
-  std::vector<TraceEntry> Arena;
-  std::unordered_set<uint64_t> SeenConfigs;
-  std::unordered_map<uint64_t, int> Visited;
-  std::unordered_map<std::string, int> VisitedExact;
-  CheckStats Stats;
-  CheckResult Result;
-  bool Done = false;
-};
-
-void Search::expandRun(Node &&N, int32_t Id) {
-  std::string Desc = "run " + Exec.describeMachine(N.Cfg, Id);
-  Executor::StepResult R = Exec.step(N.Cfg, Id);
-  ++Stats.Slices;
-  N.Depth += 1;
-  N.MustRun = -1;
-  Stats.MaxDepth = std::max(Stats.MaxDepth, N.Depth);
-
-  SchedDecision RunDecision;
-  RunDecision.K = SchedDecision::Kind::Run;
-  RunDecision.Machine = Id;
-
-  switch (R.Outcome) {
-  case Executor::StepOutcome::Error: {
-    N.TraceIdx = trace(N.TraceIdx,
-                       Desc + " -> error: " + N.Cfg.ErrorMessage,
-                       RunDecision);
-    noteConfig(N.Cfg);
-    recordError(N);
-    if (Opts.StopOnFirstError)
-      Done = true;
-    return;
-  }
-  case Executor::StepOutcome::ChoicePoint: {
-    // Branch on the `*`: two children, the same machine resumes.
-    N.TraceIdx = trace(N.TraceIdx, Desc + " -> choice", RunDecision);
-    N.MustRun = Id;
-    SchedDecision ChooseTrue, ChooseFalse;
-    ChooseTrue.K = ChooseFalse.K = SchedDecision::Kind::Choose;
-    ChooseTrue.Choice = true;
-    Node TrueChild = N; // copy
-    TrueChild.Cfg.Machines[Id].InjectedChoice = true;
-    TrueChild.TraceIdx =
-        trace(TrueChild.TraceIdx, "choose true", ChooseTrue);
-    N.Cfg.Machines[Id].InjectedChoice = false;
-    N.TraceIdx = trace(N.TraceIdx, "choose false", ChooseFalse);
-    Stack.push_back(std::move(TrueChild));
-    Stack.push_back(std::move(N));
-    return;
-  }
-  case Executor::StepOutcome::SchedulingPoint: {
-    const char *What = R.Created ? " -> created " : " -> sent to ";
-    N.TraceIdx = trace(N.TraceIdx, Desc + What + std::to_string(R.Other),
-                       RunDecision);
-    if (Opts.Strategy == SearchStrategy::DelayBounded) {
-      bool InSched = false;
-      for (int32_t S : N.Sched)
-        InSched |= (S == R.Other);
-      if (!InSched)
-        N.Sched.push_front(R.Other);
-    }
-    Stack.push_back(std::move(N));
-    return;
-  }
-  case Executor::StepOutcome::Blocked: {
-    N.TraceIdx = trace(N.TraceIdx, Desc + " -> blocked", RunDecision);
-    if (Opts.Strategy == SearchStrategy::DelayBounded) {
-      assert(!N.Sched.empty() && N.Sched.front() == Id);
-      N.Sched.pop_front();
-    }
-    Stack.push_back(std::move(N));
-    return;
-  }
-  case Executor::StepOutcome::Halted: {
-    N.TraceIdx = trace(N.TraceIdx, Desc + " -> halted", RunDecision);
-    if (Opts.Strategy == SearchStrategy::DelayBounded) {
-      for (auto It = N.Sched.begin(); It != N.Sched.end();)
-        It = (*It == Id) ? N.Sched.erase(It) : std::next(It);
-    }
-    Stack.push_back(std::move(N));
-    return;
-  }
-  }
-}
-
-void Search::expandDelayBounded(Node &&N) {
-  noteConfig(N.Cfg);
-
-  // Normalize: drop disabled machines from the top of S.
-  while (!N.Sched.empty() && !Exec.isEnabled(N.Cfg, N.Sched.front()))
-    N.Sched.pop_front();
-
-  if (N.Sched.empty()) {
-    // Re-arm any enabled machine missed by the causal discipline
-    // (cannot normally happen; defensive completeness).
-    for (int32_t Id = 0;
-         Id < static_cast<int32_t>(N.Cfg.Machines.size()); ++Id)
-      if (Exec.isEnabled(N.Cfg, Id)) {
-        N.Sched.push_back(Id);
-        break;
-      }
-    if (N.Sched.empty()) {
-      ++Stats.Terminals; // Quiescent: every machine awaits events.
-      if (Opts.CollectTerminals)
-        Result.TerminalHashes.push_back(hashConfig(N.Cfg));
-      return;
-    }
-  }
-
-  if (pruned(N))
-    return;
-  ++Stats.NodesExplored;
-  if (N.Depth >= Opts.DepthBound) {
-    Stats.Exhausted = false;
-    return;
-  }
-
-  // Children are pushed so the zero-cost "run the top" branch is
-  // explored first (DFS pops last-pushed first): push delay first.
-  if (N.MustRun < 0 && N.DelaysUsed < Opts.DelayBound &&
-      N.Sched.size() > 1) {
-    Node Delayed = N; // copy
-    Delayed.Sched.push_back(Delayed.Sched.front());
-    Delayed.Sched.pop_front();
-    Delayed.DelaysUsed += 1;
-    SchedDecision DelayDecision;
-    DelayDecision.K = SchedDecision::Kind::Delay;
-    Delayed.TraceIdx =
-        trace(Delayed.TraceIdx,
-              "delay " + Exec.describeMachine(Delayed.Cfg,
-                                              Delayed.Sched.back()),
-              DelayDecision);
-    Stack.push_back(std::move(Delayed));
-  }
-
-  int32_t Top = N.MustRun >= 0 ? N.MustRun : N.Sched.front();
-  expandRun(std::move(N), Top);
-}
-
-void Search::expandDepthBounded(Node &&N) {
-  noteConfig(N.Cfg);
-  if (pruned(N))
-    return;
-  ++Stats.NodesExplored;
-  if (N.Depth >= Opts.DepthBound) {
-    Stats.Exhausted = false;
-    return;
-  }
-
-  if (N.MustRun >= 0) {
-    int32_t Id = N.MustRun;
-    expandRun(std::move(N), Id);
-    return;
-  }
-
-  bool Any = false;
-  for (int32_t Id = static_cast<int32_t>(N.Cfg.Machines.size()); Id-- > 0;) {
-    if (!Exec.isEnabled(N.Cfg, Id))
-      continue;
-    Any = true;
-    Node Child = N; // copy per enabled machine
-    expandRun(std::move(Child), Id);
-    if (Done)
-      return;
-  }
-  if (!Any) {
-    ++Stats.Terminals;
-    if (Opts.CollectTerminals)
-      Result.TerminalHashes.push_back(hashConfig(N.Cfg));
-  }
-}
-
-CheckResult Search::run() {
-  auto Start = std::chrono::steady_clock::now();
-
-  Node Root;
-  Root.Cfg = Exec.makeInitialConfig();
-  Root.Sched.push_back(0);
-  Root.TraceIdx = trace(-1, "initial: create " +
-                                Exec.describeMachine(Root.Cfg, 0));
-  Stack.push_back(std::move(Root));
-
-  while (!Stack.empty() && !Done) {
-    if (Opts.MaxNodes && Stats.NodesExplored >= Opts.MaxNodes) {
-      Stats.Exhausted = false;
-      break;
-    }
-    Node N = std::move(Stack.back());
-    Stack.pop_back();
-    if (N.Cfg.hasError()) {
-      // Error configs produced directly (e.g. by enqueue) get recorded
-      // here; expandRun already records errors from slices.
-      recordError(N);
-      if (Opts.StopOnFirstError)
-        break;
-      continue;
-    }
-    if (Opts.Strategy == SearchStrategy::DelayBounded)
-      expandDelayBounded(std::move(N));
-    else
-      expandDepthBounded(std::move(N));
-  }
-
-  if (!Stack.empty())
-    Stats.Exhausted = false;
-
-  Stats.Seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - Start)
-                      .count();
-  Stats.VisitedBytes =
-      Opts.ExactStates
-          ? [this] {
-              uint64_t Sum = 0;
-              for (const auto &[K, V] : VisitedExact)
-                Sum += K.size() + sizeof(int);
-              return Sum;
-            }()
-          : Visited.size() * (sizeof(uint64_t) + sizeof(int));
-  Result.Stats = Stats;
-  return Result;
-}
-
-} // namespace
-
 CheckResult p::check(const CompiledProgram &Prog, const CheckOptions &Opts,
                      Executor *Exec) {
-  Search S(Prog, Opts, Exec);
-  return S.run();
+  return runParallelSearch(Prog, Opts, Exec);
 }
 
 std::string CoverageReport::str(const CompiledProgram &Prog) const {

@@ -79,6 +79,14 @@ struct CheckOptions {
   /// Collect structural coverage (which P states were reached and which
   /// (state, event) dispatches fired) into CheckResult::Coverage.
   bool TrackCoverage = false;
+  /// Exploration workers. 1 (the default) runs the classic serial DFS on
+  /// the calling thread; 0 asks for std::thread::hardware_concurrency();
+  /// N > 1 spawns N workers, each with its own Executor and DFS stack,
+  /// sharing a sharded visited table and a work-stealing frontier.
+  /// On exhausted searches ErrorFound, Error, DistinctStates, Terminals
+  /// and TerminalHashes-as-a-set are worker-count-independent; see
+  /// DESIGN.md "Parallel exploration" for the determinism contract.
+  int Workers = 1;
 };
 
 /// One scheduling decision of an explored path. A sequence of these is
@@ -92,7 +100,8 @@ struct SchedDecision {
     Choose, ///< Resolve the pending `*` of the last-run machine.
   };
   Kind K = Kind::Run;
-  int32_t Machine = -1; ///< Run.
+  int32_t Machine = -1; ///< Run: the machine sliced; Delay: the machine
+                        ///< moved to the bottom of S (trace rendering).
   bool Choice = false;  ///< Choose.
 };
 
@@ -114,17 +123,24 @@ struct CoverageReport {
   std::string str(const CompiledProgram &Prog) const;
 };
 
-/// Counters reported by a check() run.
+/// Counters reported by a check() run. NodesExplored, Slices, StealCount
+/// and ContentionNs depend on scheduling races when Workers > 1; the
+/// remaining counters are deterministic on exhausted searches.
 struct CheckStats {
   uint64_t DistinctStates = 0; ///< Distinct global configurations seen.
   uint64_t NodesExplored = 0;  ///< Search nodes expanded.
   uint64_t Slices = 0;         ///< Scheduled run-to-scheduling-point slices.
-  uint64_t Terminals = 0;      ///< Quiescent configurations reached.
+  uint64_t Terminals = 0;      ///< Distinct quiescent configurations.
   uint64_t ErrorsFound = 0;
   int MaxDepth = 0;
   bool Exhausted = true; ///< False when a node/depth cap cut the search.
   double Seconds = 0;
-  uint64_t VisitedBytes = 0; ///< Approximate visited-set footprint.
+  /// Visited-set footprint, maintained as a running counter on insertion
+  /// (stored entry plus estimated hash-node/bucket overhead).
+  uint64_t VisitedBytes = 0;
+  int WorkersUsed = 1;       ///< Resolved worker count of the run.
+  uint64_t StealCount = 0;   ///< Successful work-stealing operations.
+  uint64_t ContentionNs = 0; ///< Time spent blocked on shared-state locks.
 };
 
 /// Result of a check() run.

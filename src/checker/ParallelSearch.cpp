@@ -1,0 +1,762 @@
+//===- checker/ParallelSearch.cpp --------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/ParallelSearch.h"
+
+#include "checker/StateHash.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace p;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Trace arena
+//===----------------------------------------------------------------------===//
+
+/// Trace references pack (worker, index into that worker's arena): nodes
+/// migrate between workers when stolen, so a node's decision chain can
+/// cross arenas.
+constexpr uint64_t NoTraceRef = ~0ull;
+constexpr unsigned TraceIndexBits = 48;
+
+uint64_t packTraceRef(unsigned Worker, size_t Index) {
+  return (static_cast<uint64_t>(Worker) << TraceIndexBits) |
+         static_cast<uint64_t>(Index);
+}
+unsigned traceWorker(uint64_t Ref) {
+  return static_cast<unsigned>(Ref >> TraceIndexBits);
+}
+size_t traceIndex(uint64_t Ref) {
+  return static_cast<size_t>(Ref & ((1ull << TraceIndexBits) - 1));
+}
+
+/// One decision along an explored path. Text is not stored: a
+/// counterexample's lines are rendered by re-executing its schedule.
+struct TraceEntry {
+  uint64_t Parent = NoTraceRef;
+  SchedDecision Decision;
+  bool HasDecision = false;
+};
+
+/// A node of the schedule tree.
+struct Node {
+  Config Cfg;
+  std::deque<int32_t> Sched; ///< The delaying scheduler's stack S.
+  int DelaysUsed = 0;
+  int Depth = 0;
+  int32_t MustRun = -1; ///< Machine to resume after a choice point.
+  uint64_t TraceIdx = NoTraceRef;
+};
+
+//===----------------------------------------------------------------------===//
+// Schedule ordering
+//===----------------------------------------------------------------------===//
+
+/// Orders sibling decisions the way the serial DFS explores them: run
+/// the top (machines ascending in depth-bounded mode) before spending a
+/// delay, and choose false before choose true. Lexicographic order over
+/// schedules under this ordering is exactly the serial visit order, so
+/// "keep the lex-least counterexample" reproduces the serial report.
+int compareDecision(const SchedDecision &A, const SchedDecision &B) {
+  if (A.K != B.K)
+    return static_cast<int>(A.K) < static_cast<int>(B.K) ? -1 : 1;
+  switch (A.K) {
+  case SchedDecision::Kind::Run:
+    return A.Machine < B.Machine ? -1 : A.Machine > B.Machine ? 1 : 0;
+  case SchedDecision::Kind::Delay:
+    return 0; // The delayed machine is determined by the node.
+  case SchedDecision::Kind::Choose:
+    return A.Choice == B.Choice ? 0 : (A.Choice ? 1 : -1);
+  }
+  return 0;
+}
+
+int compareSchedule(const std::vector<SchedDecision> &A,
+                    const std::vector<SchedDecision> &B) {
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I != N; ++I)
+    if (int C = compareDecision(A[I], B[I]))
+      return C;
+  return A.size() < B.size() ? -1 : A.size() > B.size() ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared tables
+//===----------------------------------------------------------------------===//
+
+constexpr unsigned ShardBits = 6;
+constexpr unsigned NumShards = 1u << ShardBits;
+
+unsigned shardOf(uint64_t Hash) {
+  return static_cast<unsigned>(Hash >> (64 - ShardBits));
+}
+
+/// Estimated footprint of one hashed visited entry: the stored pair plus
+/// one hash-node next pointer and the amortized bucket slot.
+constexpr uint64_t HashedEntryBytes =
+    sizeof(uint64_t) + sizeof(int) + 2 * sizeof(void *);
+
+/// Estimated footprint of one exact-mode entry, counting the string
+/// header, map-node overhead, and the heap block behind non-SSO keys.
+uint64_t exactEntryBytes(const std::string &Key) {
+  uint64_t Bytes = sizeof(std::string) + sizeof(int) + 2 * sizeof(void *);
+  if (Key.size() > 15) // Past the usual small-string capacity.
+    Bytes += Key.capacity() + 1;
+  return Bytes;
+}
+
+/// One shard of the visited table: node key -> fewest delays spent when
+/// the key was explored (the dominance value).
+struct VisitedShard {
+  std::mutex Mu;
+  std::unordered_map<uint64_t, int> Hashed;
+  std::unordered_map<std::string, int> Exact;
+  uint64_t Bytes = 0; ///< Running footprint of this shard.
+};
+
+/// One shard of the distinct-configuration and terminal sets.
+struct ConfigShard {
+  std::mutex Mu;
+  std::unordered_set<uint64_t> Seen;
+  std::unordered_set<uint64_t> Terminals;
+};
+
+/// The winning counterexample (lexicographically-least schedule).
+struct ErrorRecord {
+  bool Found = false;
+  ErrorKind Kind = ErrorKind::None;
+  std::string Message;
+  int DelaysUsed = -1;
+  std::vector<SchedDecision> Schedule;
+};
+
+class ParallelSearch;
+
+/// Per-worker state. The frontier deque is LIFO for its owner (DFS) and
+/// FIFO for thieves, who take the shallowest nodes from the front.
+struct Worker {
+  Worker(unsigned Id, const Executor &Base) : Id(Id), Exec(Base) {}
+
+  unsigned Id;
+  Executor Exec; ///< Own copy: observer callbacks stay thread-local.
+
+  std::mutex FrontierMu;
+  std::deque<Node> Frontier;
+
+  std::mutex ArenaMu;
+  std::deque<TraceEntry> Arena;
+
+  std::string Buf; ///< Reusable single-pass serialization buffer.
+
+  // Locally accumulated counters, merged after the join.
+  uint64_t Slices = 0;
+  uint64_t Terminals = 0;
+  uint64_t StealCount = 0;
+  uint64_t ContentionNs = 0;
+  int MaxDepth = 0;
+  std::vector<uint64_t> TerminalHashes;
+  CoverageReport Coverage;
+};
+
+//===----------------------------------------------------------------------===//
+// The engine
+//===----------------------------------------------------------------------===//
+
+class ParallelSearch {
+public:
+  ParallelSearch(const CompiledProgram &Prog, const CheckOptions &Opts,
+                 Executor *ExternalExec)
+      : Prog(Prog), Opts(Opts), OwnedExec(Prog, execOptions(Opts)),
+        BaseExec(ExternalExec ? *ExternalExec : OwnedExec) {}
+
+  CheckResult run();
+
+private:
+  static Executor::Options execOptions(const CheckOptions &Opts) {
+    Executor::Options EO;
+    EO.UseModelBodies = Opts.UseModelBodies;
+    EO.MaxStepsPerSlice = Opts.MaxStepsPerSlice;
+    return EO;
+  }
+
+  unsigned resolveWorkers() const {
+    if (Opts.Workers == 1)
+      return 1;
+    unsigned N = Opts.Workers <= 0
+                     ? std::max(1u, std::thread::hardware_concurrency())
+                     : static_cast<unsigned>(Opts.Workers);
+    return std::min(N, 256u);
+  }
+
+  /// Locks \p Mu, charging blocked time to the worker's contention
+  /// counter when the fast path fails.
+  std::unique_lock<std::mutex> lockTimed(std::mutex &Mu, Worker &W) {
+    std::unique_lock<std::mutex> L(Mu, std::try_to_lock);
+    if (!L.owns_lock()) {
+      auto T0 = std::chrono::steady_clock::now();
+      L.lock();
+      W.ContentionNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - T0)
+                            .count();
+    }
+    return L;
+  }
+
+  uint64_t addTrace(Worker &W, uint64_t Parent, SchedDecision D) {
+    TraceEntry E;
+    E.Parent = Parent;
+    E.Decision = D;
+    E.HasDecision = true;
+    std::lock_guard<std::mutex> L(W.ArenaMu);
+    W.Arena.push_back(E);
+    return packTraceRef(W.Id, W.Arena.size() - 1);
+  }
+
+  std::vector<SchedDecision> materializeSchedule(uint64_t Ref) {
+    std::vector<SchedDecision> Out;
+    while (Ref != NoTraceRef) {
+      Worker &W = *Workers[traceWorker(Ref)];
+      TraceEntry E;
+      {
+        std::lock_guard<std::mutex> L(W.ArenaMu);
+        E = W.Arena[traceIndex(Ref)];
+      }
+      if (E.HasDecision)
+        Out.push_back(E.Decision);
+      Ref = E.Parent;
+    }
+    std::reverse(Out.begin(), Out.end());
+    return Out;
+  }
+
+  void pushNode(Worker &W, Node &&N) {
+    InFlight.fetch_add(1, std::memory_order_acq_rel);
+    auto L = lockTimed(W.FrontierMu, W);
+    W.Frontier.push_back(std::move(N));
+  }
+
+  bool popLocal(Worker &W, Node &N) {
+    auto L = lockTimed(W.FrontierMu, W);
+    if (W.Frontier.empty())
+      return false;
+    N = std::move(W.Frontier.back());
+    W.Frontier.pop_back();
+    return true;
+  }
+
+  /// Steals up to half of a victim's frontier, oldest (shallowest)
+  /// nodes first, so breadth created near the root keeps feeding idle
+  /// workers while owners descend depth-first.
+  bool trySteal(Worker &W, Node &N) {
+    for (unsigned K = 1; K != NumWorkers; ++K) {
+      Worker &V = *Workers[(W.Id + K) % NumWorkers];
+      // Never hold two frontier locks at once (two thieves stealing
+      // from each other would deadlock): drain into a local batch
+      // first, then re-lock our own deque.
+      std::vector<Node> Batch;
+      {
+        std::unique_lock<std::mutex> L(V.FrontierMu, std::try_to_lock);
+        if (!L.owns_lock() || V.Frontier.empty())
+          continue;
+        size_t Take = std::min<size_t>((V.Frontier.size() + 1) / 2, 8);
+        for (size_t I = 0; I != Take; ++I) {
+          Batch.push_back(std::move(V.Frontier.front()));
+          V.Frontier.pop_front();
+        }
+      }
+      N = std::move(Batch.back());
+      Batch.pop_back();
+      if (!Batch.empty()) {
+        auto Mine = lockTimed(W.FrontierMu, W);
+        for (Node &B : Batch)
+          W.Frontier.push_back(std::move(B));
+      }
+      ++W.StealCount;
+      return true;
+    }
+    return false;
+  }
+
+  /// Counts a distinct global configuration given its fingerprint.
+  void noteConfig(Worker &W, uint64_t CfgHash, const Config &Cfg) {
+    ConfigShard &S = Configs[shardOf(CfgHash)];
+    bool New;
+    {
+      auto L = lockTimed(S.Mu, W);
+      New = S.Seen.insert(CfgHash).second;
+    }
+    if (!New)
+      return;
+    DistinctStates.fetch_add(1, std::memory_order_relaxed);
+    if (Opts.TrackCoverage) {
+      // Every state on a reachable call stack counts as visited.
+      for (const MachineState &M : Cfg.Machines) {
+        if (!M.Alive)
+          continue;
+        auto &Cov = W.Coverage.Machines[M.MachineIndex];
+        for (const StateFrame &F : M.Frames)
+          Cov.StatesVisited.insert(F.State);
+      }
+    }
+  }
+
+  /// Counts a quiescent configuration, deduplicated by fingerprint so
+  /// the total is independent of how many paths reach it.
+  void noteTerminal(Worker &W, uint64_t CfgHash) {
+    ConfigShard &S = Configs[shardOf(CfgHash)];
+    bool New;
+    {
+      auto L = lockTimed(S.Mu, W);
+      New = S.Terminals.insert(CfgHash).second;
+    }
+    if (!New)
+      return;
+    ++W.Terminals;
+    if (Opts.CollectTerminals)
+      W.TerminalHashes.push_back(CfgHash);
+  }
+
+  /// True when the node key was seen before with an equal-or-smaller
+  /// delay budget spent (dominance pruning). \p Bytes is the full
+  /// serialized key, consulted only in exact mode.
+  bool pruned(Worker &W, uint64_t Key, const std::string &Bytes,
+              int DelaysUsed) {
+    VisitedShard &S = Visited[shardOf(Key)];
+    auto L = lockTimed(S.Mu, W);
+    if (Opts.ExactStates) {
+      auto [It, Inserted] = S.Exact.try_emplace(Bytes, DelaysUsed);
+      if (Inserted) {
+        S.Bytes += exactEntryBytes(It->first);
+        return false;
+      }
+      if (It->second <= DelaysUsed)
+        return true;
+      It->second = DelaysUsed;
+      return false;
+    }
+    auto [It, Inserted] = S.Hashed.try_emplace(Key, DelaysUsed);
+    if (Inserted) {
+      S.Bytes += HashedEntryBytes;
+      return false;
+    }
+    if (It->second <= DelaysUsed)
+      return true;
+    It->second = DelaysUsed;
+    return false;
+  }
+
+  void recordError(Worker &W, const Node &N) {
+    ErrorsFound.fetch_add(1, std::memory_order_relaxed);
+    ErrorRecord R;
+    R.Found = true;
+    R.Kind = N.Cfg.Error;
+    R.Message = N.Cfg.ErrorMessage;
+    R.DelaysUsed =
+        Opts.Strategy == SearchStrategy::DelayBounded ? N.DelaysUsed : -1;
+    R.Schedule = materializeSchedule(N.TraceIdx);
+    auto L = lockTimed(BestMu, W);
+    if (!Best.Found || compareSchedule(R.Schedule, Best.Schedule) < 0)
+      Best = std::move(R);
+  }
+
+  void expandRun(Worker &W, Node &&N, int32_t Id);
+  void expandDelayBounded(Worker &W, Node &&N);
+  void expandDepthBounded(Worker &W, Node &&N);
+  void process(Worker &W, Node &&N);
+  void workerLoop(Worker &W);
+
+  /// Renders the human-readable counterexample by re-executing the
+  /// schedule (decisions alone determine every line).
+  std::vector<std::string> renderTrace(const std::vector<SchedDecision> &S);
+
+  const CompiledProgram &Prog;
+  const CheckOptions &Opts;
+  Executor OwnedExec;
+  Executor &BaseExec;
+
+  unsigned NumWorkers = 1;
+  std::vector<std::unique_ptr<Worker>> Workers;
+
+  std::array<VisitedShard, NumShards> Visited;
+  std::array<ConfigShard, NumShards> Configs;
+
+  std::atomic<uint64_t> DistinctStates{0};
+  std::atomic<uint64_t> NodesExplored{0};
+  std::atomic<uint64_t> ErrorsFound{0};
+  /// Nodes queued in some frontier or being expanded; 0 <=> done.
+  std::atomic<int64_t> InFlight{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Exhausted{true};
+
+  std::mutex BestMu;
+  ErrorRecord Best;
+};
+
+void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
+  Executor::StepResult R = W.Exec.step(N.Cfg, Id);
+  ++W.Slices;
+  N.Depth += 1;
+  N.MustRun = -1;
+  W.MaxDepth = std::max(W.MaxDepth, N.Depth);
+
+  SchedDecision RunDecision;
+  RunDecision.K = SchedDecision::Kind::Run;
+  RunDecision.Machine = Id;
+  N.TraceIdx = addTrace(W, N.TraceIdx, RunDecision);
+
+  switch (R.Outcome) {
+  case Executor::StepOutcome::Error: {
+    noteConfig(W, hashConfig(N.Cfg, W.Buf), N.Cfg);
+    recordError(W, N);
+    if (Opts.StopOnFirstError)
+      Stop.store(true, std::memory_order_relaxed);
+    return;
+  }
+  case Executor::StepOutcome::ChoicePoint: {
+    // Branch on the `*`: two children, the same machine resumes.
+    N.MustRun = Id;
+    SchedDecision ChooseTrue, ChooseFalse;
+    ChooseTrue.K = ChooseFalse.K = SchedDecision::Kind::Choose;
+    ChooseTrue.Choice = true;
+    Node TrueChild = N; // copy
+    TrueChild.Cfg.Machines[Id].InjectedChoice = true;
+    TrueChild.TraceIdx = addTrace(W, TrueChild.TraceIdx, ChooseTrue);
+    N.Cfg.Machines[Id].InjectedChoice = false;
+    N.TraceIdx = addTrace(W, N.TraceIdx, ChooseFalse);
+    pushNode(W, std::move(TrueChild));
+    pushNode(W, std::move(N));
+    return;
+  }
+  case Executor::StepOutcome::SchedulingPoint: {
+    if (Opts.Strategy == SearchStrategy::DelayBounded) {
+      bool InSched = false;
+      for (int32_t S : N.Sched)
+        InSched |= (S == R.Other);
+      if (!InSched)
+        N.Sched.push_front(R.Other);
+    }
+    pushNode(W, std::move(N));
+    return;
+  }
+  case Executor::StepOutcome::Blocked: {
+    if (Opts.Strategy == SearchStrategy::DelayBounded) {
+      assert(!N.Sched.empty() && N.Sched.front() == Id);
+      N.Sched.pop_front();
+    }
+    pushNode(W, std::move(N));
+    return;
+  }
+  case Executor::StepOutcome::Halted: {
+    if (Opts.Strategy == SearchStrategy::DelayBounded) {
+      for (auto It = N.Sched.begin(); It != N.Sched.end();)
+        It = (*It == Id) ? N.Sched.erase(It) : std::next(It);
+    }
+    pushNode(W, std::move(N));
+    return;
+  }
+  }
+}
+
+void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
+  // Single-pass serialization: the config bytes feed the distinct-state
+  // fingerprint, then the scheduler suffix is appended in place and the
+  // same buffer yields the dedup key.
+  uint64_t CfgHash = hashConfig(N.Cfg, W.Buf);
+  noteConfig(W, CfgHash, N.Cfg);
+
+  // Normalize: drop disabled machines from the top of S.
+  while (!N.Sched.empty() && !W.Exec.isEnabled(N.Cfg, N.Sched.front()))
+    N.Sched.pop_front();
+
+  if (N.Sched.empty()) {
+    // Re-arm any enabled machine missed by the causal discipline
+    // (cannot normally happen; defensive completeness).
+    for (int32_t Id = 0; Id < static_cast<int32_t>(N.Cfg.Machines.size());
+         ++Id)
+      if (W.Exec.isEnabled(N.Cfg, Id)) {
+        N.Sched.push_back(Id);
+        break;
+      }
+    if (N.Sched.empty()) {
+      noteTerminal(W, CfgHash); // Quiescent: every machine awaits events.
+      return;
+    }
+  }
+
+  // Dedup key: config + scheduler stack + resumption obligation (the
+  // future depends on all three). Full 4-byte ids — truncation here
+  // once caused distinct stacks to collide.
+  for (int32_t Id : N.Sched)
+    for (int B = 0; B != 4; ++B)
+      W.Buf.push_back(static_cast<char>((Id >> (8 * B)) & 0xff));
+  for (int B = 0; B != 4; ++B)
+    W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
+  uint64_t Key = hashBytes(W.Buf.data(), W.Buf.size());
+  if (pruned(W, Key, W.Buf, N.DelaysUsed))
+    return;
+  NodesExplored.fetch_add(1, std::memory_order_relaxed);
+  if (N.Depth >= Opts.DepthBound) {
+    Exhausted.store(false, std::memory_order_relaxed);
+    return;
+  }
+
+  // Children are pushed so the zero-cost "run the top" branch is
+  // explored first (DFS pops last-pushed first): push delay first.
+  if (N.MustRun < 0 && N.DelaysUsed < Opts.DelayBound && N.Sched.size() > 1) {
+    Node Delayed = N; // copy
+    int32_t Moved = Delayed.Sched.front();
+    Delayed.Sched.push_back(Moved);
+    Delayed.Sched.pop_front();
+    Delayed.DelaysUsed += 1;
+    SchedDecision DelayDecision;
+    DelayDecision.K = SchedDecision::Kind::Delay;
+    DelayDecision.Machine = Moved;
+    Delayed.TraceIdx = addTrace(W, Delayed.TraceIdx, DelayDecision);
+    pushNode(W, std::move(Delayed));
+  }
+
+  int32_t Top = N.MustRun >= 0 ? N.MustRun : N.Sched.front();
+  expandRun(W, std::move(N), Top);
+}
+
+void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
+  uint64_t CfgHash = hashConfig(N.Cfg, W.Buf);
+  noteConfig(W, CfgHash, N.Cfg);
+
+  for (int B = 0; B != 4; ++B)
+    W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
+  uint64_t Key = hashBytes(W.Buf.data(), W.Buf.size());
+  if (pruned(W, Key, W.Buf, N.DelaysUsed))
+    return;
+  NodesExplored.fetch_add(1, std::memory_order_relaxed);
+  if (N.Depth >= Opts.DepthBound) {
+    Exhausted.store(false, std::memory_order_relaxed);
+    return;
+  }
+
+  if (N.MustRun >= 0) {
+    int32_t Id = N.MustRun;
+    expandRun(W, std::move(N), Id);
+    return;
+  }
+
+  bool Any = false;
+  for (int32_t Id = static_cast<int32_t>(N.Cfg.Machines.size()); Id-- > 0;) {
+    if (!W.Exec.isEnabled(N.Cfg, Id))
+      continue;
+    Any = true;
+    Node Child = N; // copy per enabled machine
+    expandRun(W, std::move(Child), Id);
+    if (Stop.load(std::memory_order_relaxed))
+      return;
+  }
+  if (!Any)
+    noteTerminal(W, CfgHash);
+}
+
+void ParallelSearch::process(Worker &W, Node &&N) {
+  if (N.Cfg.hasError()) {
+    // Error configs produced directly (e.g. by enqueue) get recorded
+    // here; expandRun already records errors from slices.
+    recordError(W, N);
+    if (Opts.StopOnFirstError)
+      Stop.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (Opts.Strategy == SearchStrategy::DelayBounded)
+    expandDelayBounded(W, std::move(N));
+  else
+    expandDepthBounded(W, std::move(N));
+}
+
+void ParallelSearch::workerLoop(Worker &W) {
+  int IdleSpins = 0;
+  while (!Stop.load(std::memory_order_relaxed)) {
+    Node N;
+    bool Have = popLocal(W, N);
+    if (!Have && NumWorkers > 1)
+      Have = trySteal(W, N);
+    if (!Have) {
+      if (InFlight.load(std::memory_order_acquire) == 0)
+        break;
+      if (++IdleSpins < 64)
+        std::this_thread::yield();
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    IdleSpins = 0;
+    if (Opts.MaxNodes &&
+        NodesExplored.load(std::memory_order_relaxed) >= Opts.MaxNodes) {
+      Exhausted.store(false, std::memory_order_relaxed);
+      Stop.store(true, std::memory_order_relaxed);
+      InFlight.fetch_sub(1, std::memory_order_acq_rel);
+      break;
+    }
+    process(W, std::move(N));
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+std::vector<std::string>
+ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
+  std::vector<std::string> Lines;
+  Config Cfg = BaseExec.makeInitialConfig();
+  Lines.push_back("initial: create " + BaseExec.describeMachine(Cfg, 0));
+  int32_t LastRun = -1;
+  for (const SchedDecision &D : Schedule) {
+    switch (D.K) {
+    case SchedDecision::Kind::Delay:
+      Lines.push_back("delay " + BaseExec.describeMachine(Cfg, D.Machine));
+      break;
+    case SchedDecision::Kind::Choose:
+      if (LastRun >= 0 &&
+          LastRun < static_cast<int32_t>(Cfg.Machines.size()))
+        Cfg.Machines[LastRun].InjectedChoice = D.Choice;
+      Lines.push_back(D.Choice ? "choose true" : "choose false");
+      break;
+    case SchedDecision::Kind::Run: {
+      LastRun = D.Machine;
+      std::string Desc = "run " + BaseExec.describeMachine(Cfg, D.Machine);
+      Executor::StepResult R = BaseExec.step(Cfg, D.Machine);
+      switch (R.Outcome) {
+      case Executor::StepOutcome::Error:
+        Lines.push_back(Desc + " -> error: " + Cfg.ErrorMessage);
+        break;
+      case Executor::StepOutcome::ChoicePoint:
+        Lines.push_back(Desc + " -> choice");
+        break;
+      case Executor::StepOutcome::SchedulingPoint:
+        Lines.push_back(Desc +
+                        (R.Created ? " -> created " : " -> sent to ") +
+                        std::to_string(R.Other));
+        break;
+      case Executor::StepOutcome::Blocked:
+        Lines.push_back(Desc + " -> blocked");
+        break;
+      case Executor::StepOutcome::Halted:
+        Lines.push_back(Desc + " -> halted");
+        break;
+      }
+      break;
+    }
+    }
+  }
+  return Lines;
+}
+
+CheckResult ParallelSearch::run() {
+  auto Start = std::chrono::steady_clock::now();
+
+  NumWorkers = resolveWorkers();
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    Workers.push_back(std::make_unique<Worker>(I, BaseExec));
+    Worker *W = Workers.back().get();
+    if (Opts.TrackCoverage) {
+      W->Coverage.Machines.resize(Prog.Machines.size());
+      W->Exec.setDispatchObserver([W](int32_t Type, int32_t State,
+                                      int32_t Event, TransitionKind Kind) {
+        auto &Cov = W->Coverage.Machines[Type];
+        Cov.StatesVisited.insert(State);
+        if (Kind != TransitionKind::None)
+          Cov.TransitionsFired.insert({State, Event});
+      });
+    }
+  }
+
+  Node Root;
+  Root.Cfg = BaseExec.makeInitialConfig();
+  Root.Sched.push_back(0);
+  InFlight.store(1, std::memory_order_relaxed);
+  Workers[0]->Frontier.push_back(std::move(Root));
+
+  if (NumWorkers == 1) {
+    workerLoop(*Workers[0]);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumWorkers - 1);
+    for (unsigned I = 1; I != NumWorkers; ++I)
+      Threads.emplace_back([this, I] { workerLoop(*Workers[I]); });
+    workerLoop(*Workers[0]);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  if (InFlight.load(std::memory_order_relaxed) != 0)
+    Exhausted.store(false, std::memory_order_relaxed);
+
+  CheckResult Result;
+  CheckStats &Stats = Result.Stats;
+  Stats.DistinctStates = DistinctStates.load(std::memory_order_relaxed);
+  Stats.NodesExplored = NodesExplored.load(std::memory_order_relaxed);
+  Stats.ErrorsFound = ErrorsFound.load(std::memory_order_relaxed);
+  Stats.Exhausted = Exhausted.load(std::memory_order_relaxed);
+  Stats.WorkersUsed = static_cast<int>(NumWorkers);
+  for (const auto &W : Workers) {
+    Stats.Slices += W->Slices;
+    Stats.Terminals += W->Terminals;
+    Stats.StealCount += W->StealCount;
+    Stats.ContentionNs += W->ContentionNs;
+    Stats.MaxDepth = std::max(Stats.MaxDepth, W->MaxDepth);
+    Result.TerminalHashes.insert(Result.TerminalHashes.end(),
+                                 W->TerminalHashes.begin(),
+                                 W->TerminalHashes.end());
+  }
+  // Worker-count-independent order for the (set-valued) terminal list.
+  std::sort(Result.TerminalHashes.begin(), Result.TerminalHashes.end());
+  for (const VisitedShard &S : Visited)
+    Stats.VisitedBytes += S.Bytes;
+
+  if (Opts.TrackCoverage) {
+    Result.Coverage.Machines.resize(Prog.Machines.size());
+    for (const auto &W : Workers)
+      for (size_t M = 0; M != W->Coverage.Machines.size(); ++M) {
+        auto &Into = Result.Coverage.Machines[M];
+        const auto &From = W->Coverage.Machines[M];
+        Into.StatesVisited.insert(From.StatesVisited.begin(),
+                                  From.StatesVisited.end());
+        Into.TransitionsFired.insert(From.TransitionsFired.begin(),
+                                     From.TransitionsFired.end());
+      }
+  }
+
+  if (Best.Found) {
+    Result.ErrorFound = true;
+    Result.Error = Best.Kind;
+    Result.ErrorMessage = Best.Message;
+    Result.Schedule = Best.Schedule;
+    Result.DelaysUsedOnError = Best.DelaysUsed;
+    Result.Trace = renderTrace(Best.Schedule);
+  }
+
+  Stats.Seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  return Result;
+}
+
+} // namespace
+
+CheckResult p::runParallelSearch(const CompiledProgram &Prog,
+                                 const CheckOptions &Opts, Executor *Exec) {
+  ParallelSearch S(Prog, Opts, Exec);
+  return S.run();
+}

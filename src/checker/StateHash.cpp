@@ -101,3 +101,9 @@ uint64_t p::hashConfig(const Config &Cfg) {
   serializeConfig(Cfg, Bytes);
   return hashBytes(Bytes.data(), Bytes.size());
 }
+
+uint64_t p::hashConfig(const Config &Cfg, std::string &Scratch) {
+  Scratch.clear();
+  serializeConfig(Cfg, Scratch);
+  return hashBytes(Scratch.data(), Scratch.size());
+}

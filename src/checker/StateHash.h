@@ -32,6 +32,10 @@ void serializeConfig(const Config &Cfg, std::string &Out);
 /// 64-bit fingerprint of \p Cfg's canonical serialization.
 uint64_t hashConfig(const Config &Cfg);
 
+/// As above, but serializes into \p Scratch (cleared first) so hot
+/// loops reuse one allocation per thread instead of one per call.
+uint64_t hashConfig(const Config &Cfg, std::string &Scratch);
+
 } // namespace p
 
 #endif // P_CHECKER_STATEHASH_H

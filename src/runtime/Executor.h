@@ -75,6 +75,16 @@ public:
   Executor(const CompiledProgram &Prog, Options Opts)
       : Prog(Prog), Opts(Opts) {}
 
+  /// Executors are copyable: a copy shares the (immutable) compiled
+  /// program and duplicates options, foreign-function registrations,
+  /// and observers. The parallel checker hands each worker thread its
+  /// own copy so observer callbacks stay thread-local. The const
+  /// methods below (step, isEnabled, describeMachine, ...) keep all
+  /// mutable state in the caller's Config, so a single const Executor
+  /// is also safe to share across threads as long as each thread steps
+  /// its own Config and the installed observers are thread-safe.
+  Executor(const Executor &) = default;
+
   const CompiledProgram &program() const { return Prog; }
   const Options &options() const { return Opts; }
 
