@@ -20,12 +20,20 @@
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "obs/BenchJson.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace p;
 
 namespace {
+
+std::string JsonPath;      ///< --json <file|->; empty = no report.
+std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
+
+obs::BenchReport Report("depth_vs_delay");
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -36,20 +44,35 @@ CompiledProgram compileOrExit(const std::string &Src) {
   return std::move(*R.Program);
 }
 
-void compareOn(const char *Name, const CompiledProgram &Prog) {
-  std::printf("--- %s ---\n", Name);
+void addRecord(const char *Program, const char *Strategy, int Bound,
+               uint64_t MaxNodes, const CheckStats &Stats) {
+  if (JsonPath.empty())
+    return;
+  obs::Json Config = obs::Json::object();
+  Config.set("program", Program);
+  Config.set("strategy", Strategy);
+  Config.set("bound", Bound);
+  Config.set("max_nodes", MaxNodes);
+  Report.addRun(std::move(Config), Stats);
+}
+
+void compareOn(const char *Name, const char *Slug,
+               const CompiledProgram &Prog) {
+  std::fprintf(Human, "--- %s ---\n", Name);
 
   // Delay-bounded: sweep d upward.
   for (int D = 0; D <= 3; ++D) {
     CheckOptions Opts;
     Opts.DelayBound = D;
     CheckResult R = check(Prog, Opts);
-    std::printf("  delay  d=%-4d %-10s nodes=%-9llu states=%-9llu "
-                "%.3fs\n",
-                D, R.ErrorFound ? errorKindName(R.Error) : "clean",
-                static_cast<unsigned long long>(R.Stats.NodesExplored),
-                static_cast<unsigned long long>(R.Stats.DistinctStates),
-                R.Stats.Seconds);
+    std::fprintf(Human,
+                 "  delay  d=%-4d %-10s nodes=%-9llu states=%-9llu "
+                 "%.3fs\n",
+                 D, R.ErrorFound ? errorKindName(R.Error) : "clean",
+                 static_cast<unsigned long long>(R.Stats.NodesExplored),
+                 static_cast<unsigned long long>(R.Stats.DistinctStates),
+                 R.Stats.Seconds);
+    addRecord(Slug, "delay", D, 0, R.Stats);
     if (R.ErrorFound)
       break;
   }
@@ -63,35 +86,49 @@ void compareOn(const char *Name, const CompiledProgram &Prog) {
     Opts.MaxNodes = 2000000;
     CheckResult R = check(Prog, Opts);
     bool NodeCapped = R.Stats.NodesExplored >= Opts.MaxNodes;
-    std::printf("  depth  k=%-4d %-10s nodes=%-9llu states=%-9llu "
-                "%.3fs%s\n",
-                Depth, R.ErrorFound ? errorKindName(R.Error) : "clean",
-                static_cast<unsigned long long>(R.Stats.NodesExplored),
-                static_cast<unsigned long long>(R.Stats.DistinctStates),
-                R.Stats.Seconds, NodeCapped ? " (node-capped)" : "");
+    std::fprintf(Human,
+                 "  depth  k=%-4d %-10s nodes=%-9llu states=%-9llu "
+                 "%.3fs%s\n",
+                 Depth, R.ErrorFound ? errorKindName(R.Error) : "clean",
+                 static_cast<unsigned long long>(R.Stats.NodesExplored),
+                 static_cast<unsigned long long>(R.Stats.DistinctStates),
+                 R.Stats.Seconds, NodeCapped ? " (node-capped)" : "");
+    addRecord(Slug, "depth", Depth, Opts.MaxNodes, R.Stats);
     if (R.ErrorFound || NodeCapped || R.Stats.Seconds > 30)
       break;
   }
-  std::printf("\n");
+  std::fprintf(Human, "\n");
 }
 
 } // namespace
 
-int main() {
-  std::printf("=== Ablation: depth-bounded vs delay-bounded search "
-              "(Section 5) ===\n\n");
-  compareOn("elevator / missing-defer-close",
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+  if (JsonPath == "-")
+    Human = stderr; // Keep stdout machine-clean for the report.
+  std::fprintf(Human, "=== Ablation: depth-bounded vs delay-bounded search "
+                      "(Section 5) ===\n\n");
+  compareOn("elevator / missing-defer-close", "elevator_defer_close",
             compileOrExit(
                 corpus::elevator(corpus::ElevatorBug::MissingDeferCloseDoor)));
-  compareOn("elevator / missing-defer-timer",
+  compareOn("elevator / missing-defer-timer", "elevator_defer_timer",
             compileOrExit(
                 corpus::elevator(corpus::ElevatorBug::MissingDeferTimerFired)));
-  compareOn("german / skip-owner-invalidation",
+  compareOn("german / skip-owner-invalidation", "german_skip_inval",
             compileOrExit(
                 corpus::german(2, corpus::GermanBug::SkipOwnerInvalidation)));
-  std::printf("observation (matches the paper): the delaying scheduler "
-              "reaches deep causal executions at tiny bounds,\nwhile "
-              "depth-bounded search pays an exponential tree before the "
-              "bug's depth is even reachable.\n");
+  std::fprintf(Human,
+               "observation (matches the paper): the delaying scheduler "
+               "reaches deep causal executions at tiny bounds,\nwhile "
+               "depth-bounded search pays an exponential tree before the "
+               "bug's depth is even reachable.\n");
+
+  if (!JsonPath.empty() && !Report.writeTo(JsonPath)) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n",
+                 JsonPath.c_str());
+    return 1;
+  }
   return 0;
 }

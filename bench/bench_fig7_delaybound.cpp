@@ -17,12 +17,16 @@
 //     bound of 2, at state counts far below saturation.
 //
 // Output: one CSV-ish series per program, then the seeded-bug table.
+// With --json the same runs are additionally emitted as the stable
+// bench-report schema (obs/BenchJson.h); the human tables move to
+// stderr when the report goes to stdout (--json -).
 //
 //===----------------------------------------------------------------------===//
 
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "obs/BenchJson.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,7 +38,13 @@ using namespace p;
 
 namespace {
 
-int WorkersFlag = 1; ///< --workers N (0 = hardware_concurrency).
+int WorkersFlag = 1;      ///< --workers N (0 = hardware_concurrency).
+bool QuickFlag = false;   ///< --quick: small sweep for smoke tests.
+bool ProgressFlag = false; ///< --progress: heartbeat lines on stderr.
+std::string JsonPath;     ///< --json <file|->; empty = no report.
+std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
+
+obs::BenchReport Report("fig7_delaybound");
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -45,13 +55,27 @@ CompiledProgram compileOrExit(const std::string &Src) {
   return std::move(*R.Program);
 }
 
+void installProgress(CheckOptions &Opts) {
+  if (!ProgressFlag)
+    return;
+  Opts.ProgressIntervalSeconds = 1.0;
+  Opts.Progress = [](const CheckStats &S) {
+    std::fprintf(stderr,
+                 "progress: %.1fs states=%llu nodes=%llu depth=%d "
+                 "visited=%.1fMB\n",
+                 S.Seconds, static_cast<unsigned long long>(S.DistinctStates),
+                 static_cast<unsigned long long>(S.NodesExplored), S.MaxDepth,
+                 S.VisitedBytes / (1024.0 * 1024.0));
+  };
+}
+
 /// Sweeps the delay bound until saturation (two consecutive equal state
 /// counts with the search exhausted), a node cap, or a time budget.
-void sweep(const char *Name, const CompiledProgram &Prog, int MaxDelay,
-           uint64_t NodeCap, double TimeBudget) {
-  std::printf("# %s\n", Name);
-  std::printf("%-10s %-12s %-12s %-10s %-10s %s\n", "delay_d", "states",
-              "nodes", "slices", "seconds", "note");
+void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
+           int MaxDelay, uint64_t NodeCap, double TimeBudget) {
+  std::fprintf(Human, "# %s\n", Name);
+  std::fprintf(Human, "%-10s %-12s %-12s %-10s %-10s %s\n", "delay_d",
+               "states", "nodes", "slices", "seconds", "note");
   uint64_t Prev = 0;
   bool Saturated = false;
   for (int D = 0; D <= MaxDelay; ++D) {
@@ -60,6 +84,7 @@ void sweep(const char *Name, const CompiledProgram &Prog, int MaxDelay,
     Opts.MaxNodes = NodeCap;
     Opts.StopOnFirstError = false;
     Opts.Workers = WorkersFlag;
+    installProgress(Opts);
     CheckResult R = check(Prog, Opts);
     const char *Note = "";
     if (!R.Stats.Exhausted)
@@ -68,18 +93,27 @@ void sweep(const char *Name, const CompiledProgram &Prog, int MaxDelay,
       Note = "saturated";
       Saturated = true;
     }
-    std::printf("%-10d %-12llu %-12llu %-10llu %-10.3f %s\n", D,
-                static_cast<unsigned long long>(R.Stats.DistinctStates),
-                static_cast<unsigned long long>(R.Stats.NodesExplored),
-                static_cast<unsigned long long>(R.Stats.Slices),
-                R.Stats.Seconds, Note);
+    std::fprintf(Human, "%-10d %-12llu %-12llu %-10llu %-10.3f %s\n", D,
+                 static_cast<unsigned long long>(R.Stats.DistinctStates),
+                 static_cast<unsigned long long>(R.Stats.NodesExplored),
+                 static_cast<unsigned long long>(R.Stats.Slices),
+                 R.Stats.Seconds, Note);
     if (R.ErrorFound)
-      std::printf("  !! unexpected error: %s\n", R.ErrorMessage.c_str());
+      std::fprintf(Human, "  !! unexpected error: %s\n",
+                   R.ErrorMessage.c_str());
+    if (!JsonPath.empty()) {
+      obs::Json Config = obs::Json::object();
+      Config.set("program", Slug);
+      Config.set("delay_bound", D);
+      Config.set("node_cap", NodeCap);
+      Config.set("workers", WorkersFlag);
+      Report.addRun(std::move(Config), R.Stats);
+    }
     if (Saturated || !R.Stats.Exhausted || R.Stats.Seconds > TimeBudget)
       break;
     Prev = R.Stats.DistinctStates;
   }
-  std::printf("\n");
+  std::fprintf(Human, "\n");
 }
 
 struct BugCase {
@@ -91,26 +125,45 @@ struct BugCase {
 } // namespace
 
 int main(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
+  for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       WorkersFlag = std::atoi(argv[++I]);
-  std::printf("=== Figure 7: states explored vs delay bound ===\n");
-  std::printf("(paper: Zing on the authors' models, saturation ~d=12, "
-              "hours of CPU; ours: same semantics, our models, "
-              "seconds; workers=%d, 0=auto)\n\n",
-              WorkersFlag);
+    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--quick"))
+      QuickFlag = true;
+    else if (!std::strcmp(argv[I], "--progress"))
+      ProgressFlag = true;
+  }
+  if (JsonPath == "-")
+    Human = stderr; // Keep stdout machine-clean for the report.
 
-  sweep("Elevator (Section 2)", compileOrExit(corpus::elevator()),
-        /*MaxDelay=*/12, /*NodeCap=*/400000, /*TimeBudget=*/20.0);
-  sweep("Switch-and-LED (Section 4.1)", compileOrExit(corpus::switchLed()),
-        12, 400000, 20.0);
-  sweep("German cache coherence (2 clients)",
-        compileOrExit(corpus::german(2)), 12, 400000, 20.0);
+  std::fprintf(Human, "=== Figure 7: states explored vs delay bound ===\n");
+  std::fprintf(Human,
+               "(paper: Zing on the authors' models, saturation ~d=12, "
+               "hours of CPU; ours: same semantics, our models, "
+               "seconds; workers=%d, 0=auto)\n\n",
+               WorkersFlag);
 
-  std::printf("=== Seeded bugs: found within delay bound 2 (paper claim) "
-              "===\n");
-  std::printf("%-34s %-8s %-12s %-10s %s\n", "program/bug", "found_d",
-              "states", "seconds", "error");
+  // --quick shrinks the sweep to seconds for smoke tests and the JSON
+  // schema check; the claims are still visible in miniature.
+  int MaxDelay = QuickFlag ? 2 : 12;
+  uint64_t NodeCap = QuickFlag ? 50000 : 400000;
+  double TimeBudget = QuickFlag ? 2.0 : 20.0;
+
+  sweep("Elevator (Section 2)", "elevator",
+        compileOrExit(corpus::elevator()), MaxDelay, NodeCap, TimeBudget);
+  sweep("Switch-and-LED (Section 4.1)", "switchled",
+        compileOrExit(corpus::switchLed()), MaxDelay, NodeCap, TimeBudget);
+  if (!QuickFlag)
+    sweep("German cache coherence (2 clients)", "german2",
+          compileOrExit(corpus::german(2)), MaxDelay, NodeCap, TimeBudget);
+
+  std::fprintf(Human,
+               "=== Seeded bugs: found within delay bound 2 (paper claim) "
+               "===\n");
+  std::fprintf(Human, "%-34s %-8s %-12s %-10s %s\n", "program/bug",
+               "found_d", "states", "seconds", "error");
   std::vector<BugCase> Bugs = {
       {"elevator/missing-defer-close",
        corpus::elevator(corpus::ElevatorBug::MissingDeferCloseDoor),
@@ -131,6 +184,8 @@ int main(int argc, char **argv) {
        corpus::usbHub(1, corpus::UsbHubBug::SurpriseRemoveDuringReset),
        ErrorKind::UnhandledEvent},
   };
+  if (QuickFlag)
+    Bugs.resize(2); // The elevator cases; enough for the schema check.
   for (const BugCase &Bug : Bugs) {
     CompiledProgram Prog = compileOrExit(Bug.Source);
     bool Found = false;
@@ -138,17 +193,32 @@ int main(int argc, char **argv) {
       CheckOptions Opts;
       Opts.DelayBound = D;
       Opts.Workers = WorkersFlag;
+      installProgress(Opts);
       CheckResult R = check(Prog, Opts);
+      if (!JsonPath.empty()) {
+        obs::Json Config = obs::Json::object();
+        Config.set("program", Bug.Name);
+        Config.set("delay_bound", D);
+        Config.set("workers", WorkersFlag);
+        Config.set("seeded_bug", true);
+        Report.addRun(std::move(Config), R.Stats);
+      }
       if (R.ErrorFound) {
-        std::printf("%-34s %-8d %-12llu %-10.3f %s\n", Bug.Name, D,
-                    static_cast<unsigned long long>(R.Stats.DistinctStates),
-                    R.Stats.Seconds, errorKindName(R.Error));
+        std::fprintf(Human, "%-34s %-8d %-12llu %-10.3f %s\n", Bug.Name, D,
+                     static_cast<unsigned long long>(R.Stats.DistinctStates),
+                     R.Stats.Seconds, errorKindName(R.Error));
         Found = true;
       }
     }
     if (!Found)
-      std::printf("%-34s NOT FOUND within d=2 (claim violated!)\n",
-                  Bug.Name);
+      std::fprintf(Human, "%-34s NOT FOUND within d=2 (claim violated!)\n",
+                   Bug.Name);
+  }
+
+  if (!JsonPath.empty() && !Report.writeTo(JsonPath)) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n",
+                 JsonPath.c_str());
+    return 1;
   }
   return 0;
 }

@@ -27,16 +27,21 @@
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "obs/BenchJson.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 using namespace p;
 
 namespace {
 
-int WorkersFlag = 1; ///< --workers N (0 = hardware_concurrency).
+int WorkersFlag = 1;       ///< --workers N (0 = hardware_concurrency).
+bool ProgressFlag = false; ///< --progress: heartbeat lines on stderr.
+std::string JsonPath;      ///< --json <file|->; empty = no report.
+std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -48,58 +53,96 @@ CompiledProgram compileOrExit(const std::string &Src) {
 }
 
 void printMachineSizes(const CompiledProgram &Prog) {
-  std::printf("%-10s %-10s %-14s\n", "machine", "P-states",
-              "P-transitions");
+  std::fprintf(Human, "%-10s %-10s %-14s\n", "machine", "P-states",
+               "P-transitions");
   for (const MachineInfo &M : Prog.Machines) {
-    std::printf("%-10s %-10zu %-14d%s\n", M.Name.c_str(), M.States.size(),
-                M.countTransitions(), M.Ghost ? "  (ghost env)" : "");
+    std::fprintf(Human, "%-10s %-10zu %-14d%s\n", M.Name.c_str(),
+                 M.States.size(), M.countTransitions(),
+                 M.Ghost ? "  (ghost env)" : "");
   }
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
+  for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       WorkersFlag = std::atoi(argv[++I]);
-  std::printf("=== Figure 8: USB hub machine sizes and exploration cost "
-              "=== (workers=%d, 0=auto)\n\n",
-              WorkersFlag);
-  std::printf("paper (Windows 8 USB stack, Zing):\n");
-  std::printf("  HSM 196/361, PSM3.0 295/752, PSM2.0 457/1386, DSM "
-              "1919/4238 P-states/transitions;\n");
-  std::printf("  1.2M-5.9M explored states, 2.5h-5.5h, 0.9-1.7 GB\n\n");
+    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--progress"))
+      ProgressFlag = true;
+  }
+  if (JsonPath == "-")
+    Human = stderr; // Keep stdout machine-clean for the report.
+  obs::BenchReport Report("fig8_usb");
+
+  std::fprintf(Human,
+               "=== Figure 8: USB hub machine sizes and exploration cost "
+               "=== (workers=%d, 0=auto)\n\n",
+               WorkersFlag);
+  std::fprintf(Human, "paper (Windows 8 USB stack, Zing):\n");
+  std::fprintf(Human,
+               "  HSM 196/361, PSM3.0 295/752, PSM2.0 457/1386, DSM "
+               "1919/4238 P-states/transitions;\n");
+  std::fprintf(Human, "  1.2M-5.9M explored states, 2.5h-5.5h, 0.9-1.7 GB\n\n");
 
   for (int Ports = 1; Ports <= 2; ++Ports) {
-    std::printf("--- our scaled model: hub with %d port(s) ---\n", Ports);
+    std::fprintf(Human, "--- our scaled model: hub with %d port(s) ---\n",
+                 Ports);
     CompiledProgram Prog = compileOrExit(corpus::usbHub(Ports));
     printMachineSizes(Prog);
 
-    std::printf("%-8s %-12s %-12s %-10s %-12s %s\n", "delay_d", "explored",
-                "nodes", "seconds", "visited_KB", "exhausted");
+    std::fprintf(Human, "%-8s %-12s %-12s %-10s %-12s %s\n", "delay_d",
+                 "explored", "nodes", "seconds", "visited_KB", "exhausted");
     for (int D = 0; D <= (Ports == 1 ? 2 : 1); ++D) {
       CheckOptions Opts;
       Opts.DelayBound = D;
       Opts.MaxNodes = 600000;
       Opts.StopOnFirstError = false;
       Opts.Workers = WorkersFlag;
+      if (ProgressFlag) {
+        Opts.ProgressIntervalSeconds = 1.0;
+        Opts.Progress = [](const CheckStats &S) {
+          std::fprintf(stderr, "progress: %.1fs states=%llu nodes=%llu\n",
+                       S.Seconds,
+                       static_cast<unsigned long long>(S.DistinctStates),
+                       static_cast<unsigned long long>(S.NodesExplored));
+        };
+      }
       CheckResult R = check(Prog, Opts);
-      std::printf("%-8d %-12llu %-12llu %-10.3f %-12llu %s\n", D,
-                  static_cast<unsigned long long>(R.Stats.DistinctStates),
-                  static_cast<unsigned long long>(R.Stats.NodesExplored),
-                  R.Stats.Seconds,
-                  static_cast<unsigned long long>(R.Stats.VisitedBytes /
-                                                  1024),
-                  R.Stats.Exhausted ? "yes" : "no (capped)");
+      std::fprintf(Human, "%-8d %-12llu %-12llu %-10.3f %-12llu %s\n", D,
+                   static_cast<unsigned long long>(R.Stats.DistinctStates),
+                   static_cast<unsigned long long>(R.Stats.NodesExplored),
+                   R.Stats.Seconds,
+                   static_cast<unsigned long long>(R.Stats.VisitedBytes /
+                                                   1024),
+                   R.Stats.Exhausted ? "yes" : "no (capped)");
       if (R.ErrorFound)
-        std::printf("  !! unexpected error: %s\n", R.ErrorMessage.c_str());
+        std::fprintf(Human, "  !! unexpected error: %s\n",
+                     R.ErrorMessage.c_str());
+      if (!JsonPath.empty()) {
+        obs::Json Config = obs::Json::object();
+        Config.set("ports", Ports);
+        Config.set("delay_bound", D);
+        Config.set("node_cap", 600000);
+        Config.set("workers", WorkersFlag);
+        Report.addRun(std::move(Config), R.Stats);
+      }
     }
-    std::printf("\n");
+    std::fprintf(Human, "\n");
   }
 
-  std::printf("shape check vs paper: explored configurations exceed "
-              "static P-states by orders of magnitude,\n"
-              "and the multi-machine interaction (ports x devices x "
-              "power events) dominates the cost.\n");
+  std::fprintf(Human,
+               "shape check vs paper: explored configurations exceed "
+               "static P-states by orders of magnitude,\n"
+               "and the multi-machine interaction (ports x devices x "
+               "power events) dominates the cost.\n");
+
+  if (!JsonPath.empty() && !Report.writeTo(JsonPath)) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n",
+                 JsonPath.c_str());
+    return 1;
+  }
   return 0;
 }

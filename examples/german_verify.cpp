@@ -9,15 +9,27 @@
 // (the state-explosion curve behind Figure 7/8), and shows the ghost
 // auditor catching a protocol violation in a seeded-bug variant.
 //
+// Observability flags (see src/obs/ and DESIGN.md "Observability"):
+//   --progress            heartbeat lines on stderr during long checks
+//   --trace <file.jsonl>  structured event trace of the buggy-run check
+//   --chrome <file.json>  same trace in Chrome trace-event format
+//   --msc                 message-sequence chart of the counterexample
+//   --metrics             Prometheus-style metrics dump after the runs
+//
 //===----------------------------------------------------------------------===//
 
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "obs/TraceExport.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 using namespace p;
 
@@ -32,9 +44,40 @@ static CompiledProgram compileOrExit(const std::string &Src) {
 
 int main(int argc, char **argv) {
   int Workers = 1; // --workers N (0 = hardware_concurrency)
-  for (int I = 1; I < argc; ++I)
+  bool Progress = false, Msc = false, Metrics = false;
+  std::string TracePath, ChromePath;
+  for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--trace") && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (!std::strcmp(argv[I], "--chrome") && I + 1 < argc)
+      ChromePath = argv[++I];
+    else if (!std::strcmp(argv[I], "--msc"))
+      Msc = true;
+    else if (!std::strcmp(argv[I], "--metrics"))
+      Metrics = true;
+    else if (!std::strcmp(argv[I], "--progress"))
+      Progress = true;
+  }
+
+  obs::MetricsRegistry Registry;
+  auto withObs = [&](CheckOptions &Opts) {
+    if (Metrics)
+      Opts.Metrics = &Registry;
+    if (Progress) {
+      Opts.ProgressIntervalSeconds = 1.0;
+      Opts.Progress = [](const CheckStats &S) {
+        std::fprintf(stderr,
+                     "progress: %.1fs states=%llu nodes=%llu depth=%d\n",
+                     S.Seconds,
+                     static_cast<unsigned long long>(S.DistinctStates),
+                     static_cast<unsigned long long>(S.NodesExplored),
+                     S.MaxDepth);
+      };
+    }
+  };
+
   std::printf("== German's protocol: state growth with client count "
               "(workers=%d, 0=auto) ==\n",
               Workers);
@@ -46,6 +89,7 @@ int main(int argc, char **argv) {
       CheckOptions Opts;
       Opts.DelayBound = Delay;
       Opts.Workers = Workers;
+      withObs(Opts);
       CheckResult R = check(Prog, Opts);
       std::printf("  %-8d %-6d %-10llu %-10llu %s\n", N, Delay,
                   static_cast<unsigned long long>(R.Stats.DistinctStates),
@@ -59,9 +103,16 @@ int main(int argc, char **argv) {
   CompiledProgram Buggy = compileOrExit(
       corpus::german(2, corpus::GermanBug::SkipOwnerInvalidation));
   for (int Delay = 0; Delay <= 2; ++Delay) {
+    // Event tracing is attached to the run that exposes the bug: the
+    // recorder's merged ring becomes the JSONL/Chrome export below.
+    obs::TraceRecorder Recorder;
+    bool WantTrace = !TracePath.empty() || !ChromePath.empty();
     CheckOptions Opts;
     Opts.DelayBound = Delay;
     Opts.Workers = Workers;
+    withObs(Opts);
+    if (WantTrace)
+      Opts.Trace = &Recorder;
     CheckResult R = check(Buggy, Opts);
     if (!R.ErrorFound) {
       std::printf("  d=%d: not exposed\n", Delay);
@@ -72,8 +123,32 @@ int main(int argc, char **argv) {
     size_t Start = R.Trace.size() > 10 ? R.Trace.size() - 10 : 0;
     for (size_t I = Start; I != R.Trace.size(); ++I)
       std::printf("    %s\n", R.Trace[I].c_str());
+
+    if (!TracePath.empty()) {
+      std::ofstream Out(TracePath);
+      size_t Lines = obs::exportJsonl(Recorder.snapshot(), Out);
+      std::printf("  trace: %zu events -> %s (dropped %llu)\n", Lines,
+                  TracePath.c_str(),
+                  static_cast<unsigned long long>(Recorder.dropped()));
+    }
+    if (!ChromePath.empty()) {
+      std::ofstream Out(ChromePath);
+      obs::exportChromeTrace(Recorder.snapshot(), Out, &Buggy);
+      std::printf("  chrome trace -> %s (load in Perfetto or "
+                  "chrome://tracing)\n",
+                  ChromePath.c_str());
+    }
+    if (Msc) {
+      std::printf("\n-- counterexample message-sequence chart --\n%s",
+                  obs::renderScheduleMsc(Buggy, R.Schedule,
+                                         Opts.UseModelBodies)
+                      .c_str());
+    }
     break;
   }
+
+  if (Metrics)
+    std::printf("\n-- metrics --\n%s", Registry.renderPrometheus().c_str());
 
   std::printf("\ngerman_verify ok\n");
   return 0;

@@ -41,6 +41,7 @@
 #include "runtime/Executor.h"
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <string>
 #include <utility>
@@ -48,11 +49,18 @@
 
 namespace p {
 
+namespace obs {
+class TraceRecorder;
+class MetricsRegistry;
+} // namespace obs
+
 /// Exploration strategy.
 enum class SearchStrategy {
   DelayBounded,
   DepthBounded,
 };
+
+struct CheckStats;
 
 /// Options controlling one check() run.
 struct CheckOptions {
@@ -87,6 +95,25 @@ struct CheckOptions {
   /// and TerminalHashes-as-a-set are worker-count-independent; see
   /// DESIGN.md "Parallel exploration" for the determinism contract.
   int Workers = 1;
+  /// Structured event tracing (see obs/Trace.h). When set, every worker
+  /// opens a sink on this recorder and records send/dequeue/raise/new/
+  /// state/slice/delay/error events as it explores. Tracing is an
+  /// observer: it must not (and does not) change what is explored —
+  /// DistinctStates/Terminals stay bit-identical with tracing on or
+  /// off (covered by the obs determinism test). nullptr disables all
+  /// recording at the cost of one predictable branch per hook.
+  obs::TraceRecorder *Trace = nullptr;
+  /// Metrics registry (see obs/Metrics.h). When set, check() fills
+  /// p_check_* counters/gauges on completion and observes the
+  /// frontier-depth distribution per expanded node during the run.
+  obs::MetricsRegistry *Metrics = nullptr;
+  /// Live progress: when > 0 and Progress is set, a snapshot of the
+  /// running CheckStats is delivered about every this-many seconds
+  /// (from worker 0's loop; Seconds is the elapsed wall time, counters
+  /// are relaxed-atomic reads — exact in serial runs, slightly stale
+  /// across workers). The callback must not re-enter check().
+  double ProgressIntervalSeconds = 0;
+  std::function<void(const CheckStats &)> Progress;
 };
 
 /// One scheduling decision of an explored path. A sequence of these is

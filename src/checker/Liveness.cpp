@@ -44,7 +44,7 @@ class LivenessSearch {
 public:
   LivenessSearch(const CompiledProgram &Prog, const LivenessOptions &Opts)
       : Prog(Prog), Opts(Opts), Exec(Prog, execOptions(Opts)) {
-    Exec.setDequeueObserver([this](int32_t Machine, int32_t Event) {
+    Exec.addDequeueObserver([this](int32_t Machine, int32_t Event) {
       CurrentDequeues.insert({Machine, Event});
     });
   }

@@ -7,6 +7,8 @@
 #include "checker/ParallelSearch.h"
 
 #include "checker/StateHash.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -128,7 +130,9 @@ struct VisitedShard {
   std::mutex Mu;
   std::unordered_map<uint64_t, int> Hashed;
   std::unordered_map<std::string, int> Exact;
-  uint64_t Bytes = 0; ///< Running footprint of this shard.
+  /// Running footprint of this shard. Written under Mu; atomic so the
+  /// progress heartbeat can read it without taking every shard lock.
+  std::atomic<uint64_t> Bytes{0};
 };
 
 /// One shard of the distinct-configuration and terminal sets.
@@ -165,12 +169,18 @@ struct Worker {
 
   std::string Buf; ///< Reusable single-pass serialization buffer.
 
-  // Locally accumulated counters, merged after the join.
-  uint64_t Slices = 0;
-  uint64_t Terminals = 0;
-  uint64_t StealCount = 0;
-  uint64_t ContentionNs = 0;
-  int MaxDepth = 0;
+  /// This worker's trace ring (see CheckOptions::Trace); nullptr when
+  /// tracing is off. Single-writer: only this worker records into it.
+  obs::TraceSink *Trace = nullptr;
+
+  // Locally accumulated counters, merged after the join. Single-writer
+  // (only the owning worker mutates them); atomic so the progress
+  // heartbeat on worker 0 can read them mid-run without a data race.
+  std::atomic<uint64_t> Slices{0};
+  std::atomic<uint64_t> Terminals{0};
+  std::atomic<uint64_t> StealCount{0};
+  std::atomic<uint64_t> ContentionNs{0};
+  std::atomic<int> MaxDepth{0};
   std::vector<uint64_t> TerminalHashes;
   CoverageReport Coverage;
 };
@@ -212,9 +222,11 @@ private:
     if (!L.owns_lock()) {
       auto T0 = std::chrono::steady_clock::now();
       L.lock();
-      W.ContentionNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::steady_clock::now() - T0)
-                            .count();
+      W.ContentionNs.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count(),
+          std::memory_order_relaxed);
     }
     return L;
   }
@@ -288,7 +300,7 @@ private:
         for (Node &B : Batch)
           W.Frontier.push_back(std::move(B));
       }
-      ++W.StealCount;
+      W.StealCount.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     return false;
@@ -328,7 +340,7 @@ private:
     }
     if (!New)
       return;
-    ++W.Terminals;
+    W.Terminals.fetch_add(1, std::memory_order_relaxed);
     if (Opts.CollectTerminals)
       W.TerminalHashes.push_back(CfgHash);
   }
@@ -382,6 +394,32 @@ private:
   void process(Worker &W, Node &&N);
   void workerLoop(Worker &W);
 
+  /// Point-in-time CheckStats for the progress heartbeat: relaxed
+  /// loads of the shared counters and every worker's single-writer
+  /// atomics. Exact in serial runs, slightly stale across workers.
+  CheckStats snapshotStats() const {
+    CheckStats S;
+    S.DistinctStates = DistinctStates.load(std::memory_order_relaxed);
+    S.NodesExplored = NodesExplored.load(std::memory_order_relaxed);
+    S.ErrorsFound = ErrorsFound.load(std::memory_order_relaxed);
+    S.Exhausted = Exhausted.load(std::memory_order_relaxed);
+    S.WorkersUsed = static_cast<int>(NumWorkers);
+    for (const auto &W : Workers) {
+      S.Slices += W->Slices.load(std::memory_order_relaxed);
+      S.Terminals += W->Terminals.load(std::memory_order_relaxed);
+      S.StealCount += W->StealCount.load(std::memory_order_relaxed);
+      S.ContentionNs += W->ContentionNs.load(std::memory_order_relaxed);
+      S.MaxDepth =
+          std::max(S.MaxDepth, W->MaxDepth.load(std::memory_order_relaxed));
+    }
+    for (const VisitedShard &Sh : Visited)
+      S.VisitedBytes += Sh.Bytes.load(std::memory_order_relaxed);
+    S.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - StartTime)
+                    .count();
+    return S;
+  }
+
   /// Renders the human-readable counterexample by re-executing the
   /// schedule (decisions alone determine every line).
   std::vector<std::string> renderTrace(const std::vector<SchedDecision> &S);
@@ -393,6 +431,11 @@ private:
 
   unsigned NumWorkers = 1;
   std::vector<std::unique_ptr<Worker>> Workers;
+
+  std::chrono::steady_clock::time_point StartTime;
+  /// Frontier-depth distribution, resolved once from Opts.Metrics in
+  /// run(); nullptr when no registry was supplied.
+  obs::Histogram *DepthHist = nullptr;
 
   std::array<VisitedShard, NumShards> Visited;
   std::array<ConfigShard, NumShards> Configs;
@@ -410,11 +453,15 @@ private:
 };
 
 void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
+  if (W.Trace)
+    W.Trace->record(obs::TraceKind::Slice, Id);
   Executor::StepResult R = W.Exec.step(N.Cfg, Id);
-  ++W.Slices;
+  W.Slices.fetch_add(1, std::memory_order_relaxed);
   N.Depth += 1;
   N.MustRun = -1;
-  W.MaxDepth = std::max(W.MaxDepth, N.Depth);
+  // Single-writer max: only this worker stores, heartbeat only reads.
+  if (N.Depth > W.MaxDepth.load(std::memory_order_relaxed))
+    W.MaxDepth.store(N.Depth, std::memory_order_relaxed);
 
   SchedDecision RunDecision;
   RunDecision.K = SchedDecision::Kind::Run;
@@ -529,6 +576,8 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
     DelayDecision.K = SchedDecision::Kind::Delay;
     DelayDecision.Machine = Moved;
     Delayed.TraceIdx = addTrace(W, Delayed.TraceIdx, DelayDecision);
+    if (W.Trace)
+      W.Trace->record(obs::TraceKind::Delay, Moved);
     pushNode(W, std::move(Delayed));
   }
 
@@ -572,6 +621,8 @@ void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
 }
 
 void ParallelSearch::process(Worker &W, Node &&N) {
+  if (DepthHist)
+    DepthHist->observe(N.Depth);
   if (N.Cfg.hasError()) {
     // Error configs produced directly (e.g. by enqueue) get recorded
     // here; expandRun already records errors from slices.
@@ -587,8 +638,22 @@ void ParallelSearch::process(Worker &W, Node &&N) {
 }
 
 void ParallelSearch::workerLoop(Worker &W) {
+  // The progress heartbeat runs on worker 0's loop: cheap clock checks
+  // between nodes, a stats snapshot when the interval elapses. The
+  // callback runs on this thread, so it must not re-enter check().
+  const bool Heartbeat =
+      W.Id == 0 && Opts.Progress && Opts.ProgressIntervalSeconds > 0;
+  const auto Interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(Opts.ProgressIntervalSeconds));
+  auto NextBeat = std::chrono::steady_clock::now() + Interval;
+
   int IdleSpins = 0;
   while (!Stop.load(std::memory_order_relaxed)) {
+    if (Heartbeat && std::chrono::steady_clock::now() >= NextBeat) {
+      Opts.Progress(snapshotStats());
+      NextBeat = std::chrono::steady_clock::now() + Interval;
+    }
     Node N;
     bool Have = popLocal(W, N);
     if (!Have && NumWorkers > 1)
@@ -663,16 +728,26 @@ ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
 }
 
 CheckResult ParallelSearch::run() {
-  auto Start = std::chrono::steady_clock::now();
+  StartTime = std::chrono::steady_clock::now();
+
+  if (Opts.Metrics)
+    DepthHist = &Opts.Metrics->histogram(
+        "p_check_frontier_depth", obs::exponentialBounds(1, 2, 16),
+        "Depth of nodes popped from the exploration frontier");
 
   NumWorkers = resolveWorkers();
   Workers.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I) {
     Workers.push_back(std::make_unique<Worker>(I, BaseExec));
     Worker *W = Workers.back().get();
+    // Each worker records into its own sink (sinks are single-writer).
+    // Always override the executor's sink: an external executor's
+    // pointer must not be shared across worker threads.
+    W->Trace = Opts.Trace ? &Opts.Trace->openSink() : nullptr;
+    W->Exec.setTraceSink(W->Trace);
     if (Opts.TrackCoverage) {
       W->Coverage.Machines.resize(Prog.Machines.size());
-      W->Exec.setDispatchObserver([W](int32_t Type, int32_t State,
+      W->Exec.addDispatchObserver([W](int32_t Type, int32_t State,
                                       int32_t Event, TransitionKind Kind) {
         auto &Cov = W->Coverage.Machines[Type];
         Cov.StatesVisited.insert(State);
@@ -711,11 +786,12 @@ CheckResult ParallelSearch::run() {
   Stats.Exhausted = Exhausted.load(std::memory_order_relaxed);
   Stats.WorkersUsed = static_cast<int>(NumWorkers);
   for (const auto &W : Workers) {
-    Stats.Slices += W->Slices;
-    Stats.Terminals += W->Terminals;
-    Stats.StealCount += W->StealCount;
-    Stats.ContentionNs += W->ContentionNs;
-    Stats.MaxDepth = std::max(Stats.MaxDepth, W->MaxDepth);
+    Stats.Slices += W->Slices.load(std::memory_order_relaxed);
+    Stats.Terminals += W->Terminals.load(std::memory_order_relaxed);
+    Stats.StealCount += W->StealCount.load(std::memory_order_relaxed);
+    Stats.ContentionNs += W->ContentionNs.load(std::memory_order_relaxed);
+    Stats.MaxDepth = std::max(
+        Stats.MaxDepth, W->MaxDepth.load(std::memory_order_relaxed));
     Result.TerminalHashes.insert(Result.TerminalHashes.end(),
                                  W->TerminalHashes.begin(),
                                  W->TerminalHashes.end());
@@ -723,7 +799,7 @@ CheckResult ParallelSearch::run() {
   // Worker-count-independent order for the (set-valued) terminal list.
   std::sort(Result.TerminalHashes.begin(), Result.TerminalHashes.end());
   for (const VisitedShard &S : Visited)
-    Stats.VisitedBytes += S.Bytes;
+    Stats.VisitedBytes += S.Bytes.load(std::memory_order_relaxed);
 
   if (Opts.TrackCoverage) {
     Result.Coverage.Machines.resize(Prog.Machines.size());
@@ -748,8 +824,36 @@ CheckResult ParallelSearch::run() {
   }
 
   Stats.Seconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - Start)
+                      std::chrono::steady_clock::now() - StartTime)
                       .count();
+
+  if (Opts.Metrics) {
+    obs::MetricsRegistry &M = *Opts.Metrics;
+    M.counter("p_check_nodes_total", "Search nodes expanded")
+        .inc(Stats.NodesExplored);
+    M.counter("p_check_states_total", "Distinct global configurations")
+        .inc(Stats.DistinctStates);
+    M.counter("p_check_slices_total", "Run-to-scheduling-point slices")
+        .inc(Stats.Slices);
+    M.counter("p_check_terminals_total", "Distinct quiescent configurations")
+        .inc(Stats.Terminals);
+    M.counter("p_check_errors_total", "Error transitions found")
+        .inc(Stats.ErrorsFound);
+    M.counter("p_check_steals_total", "Successful work-stealing operations")
+        .inc(Stats.StealCount);
+    M.counter("p_check_contention_ns_total",
+              "Time blocked on shared-state locks (ns)")
+        .inc(Stats.ContentionNs);
+    M.gauge("p_check_visited_bytes", "Visited-table footprint of the run")
+        .set(static_cast<double>(Stats.VisitedBytes));
+    M.gauge("p_check_workers", "Resolved worker count of the run")
+        .set(Stats.WorkersUsed);
+    M.gauge("p_check_max_depth", "Deepest explored path")
+        .set(Stats.MaxDepth);
+    M.gauge("p_check_nodes_per_sec", "Exploration throughput of the run")
+        .set(Stats.Seconds > 0 ? Stats.NodesExplored / Stats.Seconds : 0);
+  }
+
   return Result;
 }
 

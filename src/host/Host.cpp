@@ -17,6 +17,9 @@
 
 #include "host/Host.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace p;
@@ -39,6 +42,8 @@ void Host::drain() {
       continue;
     }
     ++Stats.SlicesRun;
+    if (obs::TraceSink *T = Exec.traceSink())
+      T->record(obs::TraceKind::Slice, Id);
     Executor::StepResult R = Exec.step(Cfg, Id);
     Contexts.resize(Cfg.Machines.size(), nullptr);
     switch (R.Outcome) {
@@ -134,6 +139,31 @@ std::string Host::currentStateName(int32_t Id) const {
   if (M.Frames.empty())
     return "";
   return Prog.Machines[M.MachineIndex].States[M.Frames.back().State].Name;
+}
+
+void Host::attachTrace(obs::TraceRecorder &Recorder) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  Exec.setTraceSink(&Recorder.openSink());
+}
+
+void Host::detachTrace() {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  Exec.setTraceSink(nullptr);
+}
+
+void Host::exportMetrics(obs::MetricsRegistry &Registry) const {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  Registry.counter("p_host_events_total", "SMAddEvent calls accepted")
+      .inc(Stats.EventsDelivered);
+  Registry
+      .counter("p_host_slices_total", "Run-to-completion slices executed")
+      .inc(Stats.SlicesRun);
+  Registry.counter("p_host_machines_total", "Machines created")
+      .inc(Stats.MachinesCreated);
+  Registry.gauge("p_host_machines_live", "Machines currently alive")
+      .set(static_cast<double>(
+          std::count_if(Cfg.Machines.begin(), Cfg.Machines.end(),
+                        [](const MachineState &M) { return M.Alive; })));
 }
 
 Value Host::readVar(int32_t Id, const std::string &VarName) const {

@@ -36,6 +36,11 @@
 
 namespace p {
 
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+} // namespace obs
+
 /// Statistics of one host run.
 struct HostStats {
   uint64_t EventsDelivered = 0; ///< SMAddEvent calls accepted.
@@ -93,6 +98,19 @@ public:
   const Config &config() const { return Cfg; }
   const HostStats &stats() const { return Stats; }
   Executor &executor() { return Exec; }
+
+  /// Attaches structured-event tracing (see obs/Trace.h): opens one
+  /// sink on \p Recorder and records every send/dequeue/raise/new/
+  /// state/halt/error the pump executes, plus a slice marker per
+  /// run-to-completion slice. The host's entry points are serialized
+  /// by PumpMutex, so a single sink is safe even when multiple "OS"
+  /// threads drive the host. The recorder must outlive the host (or
+  /// call detachTrace() first).
+  void attachTrace(obs::TraceRecorder &Recorder);
+  void detachTrace();
+
+  /// Writes the host counters into \p Registry as p_host_* metrics.
+  void exportMetrics(obs::MetricsRegistry &Registry) const;
 
 private:
   /// Runs the scheduler stack to quiescence (the d = 0 causal

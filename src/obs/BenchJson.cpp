@@ -1,0 +1,113 @@
+//===- obs/BenchJson.cpp -----------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchJson.h"
+
+#include "checker/Checker.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+using namespace p;
+using namespace p::obs;
+
+Json p::obs::checkStatsToJson(const CheckStats &Stats) {
+  Json J = Json::object();
+  J.set("distinct_states", Stats.DistinctStates);
+  J.set("nodes_explored", Stats.NodesExplored);
+  J.set("slices", Stats.Slices);
+  J.set("terminals", Stats.Terminals);
+  J.set("errors_found", Stats.ErrorsFound);
+  J.set("max_depth", Stats.MaxDepth);
+  J.set("exhausted", Stats.Exhausted);
+  J.set("visited_bytes", Stats.VisitedBytes);
+  J.set("workers_used", Stats.WorkersUsed);
+  J.set("steal_count", Stats.StealCount);
+  J.set("contention_ns", Stats.ContentionNs);
+  return J;
+}
+
+void BenchReport::addRun(Json Config, const CheckStats &Stats) {
+  Json R = Json::object();
+  R.set("bench", Bench);
+  R.set("config", std::move(Config));
+  R.set("stats", checkStatsToJson(Stats));
+  R.set("seconds", Stats.Seconds);
+  Runs.push(std::move(R));
+}
+
+void BenchReport::addRun(Json Config, Json Stats, double Seconds) {
+  Json R = Json::object();
+  R.set("bench", Bench);
+  R.set("config", std::move(Config));
+  R.set("stats", std::move(Stats));
+  R.set("seconds", Seconds);
+  Runs.push(std::move(R));
+}
+
+std::string BenchReport::str() const { return Runs.str(2) + "\n"; }
+
+bool BenchReport::writeTo(const std::string &PathOrDash) const {
+  if (PathOrDash == "-") {
+    std::cout << str();
+    std::cout.flush();
+    return true;
+  }
+  std::ofstream Out(PathOrDash);
+  if (!Out)
+    return false;
+  Out << str();
+  return static_cast<bool>(Out);
+}
+
+bool p::obs::validateBenchReport(const Json &Report, std::string &Why,
+                                 bool RequireCheckerStats) {
+  if (!Report.isArray()) {
+    Why = "report is not a JSON array";
+    return false;
+  }
+  if (Report.size() == 0) {
+    Why = "report has no run records";
+    return false;
+  }
+  static const char *CheckerKeys[] = {"distinct_states", "nodes_explored",
+                                      "workers_used", "steal_count",
+                                      "contention_ns"};
+  for (size_t I = 0; I != Report.size(); ++I) {
+    const Json &R = Report.at(I);
+    std::string At = "record " + std::to_string(I) + ": ";
+    if (!R.isObject()) {
+      Why = At + "not an object";
+      return false;
+    }
+    if (!R.get("bench").isString() || R.get("bench").asString().empty()) {
+      Why = At + "missing string 'bench'";
+      return false;
+    }
+    if (!R.get("config").isObject()) {
+      Why = At + "missing object 'config'";
+      return false;
+    }
+    if (!R.get("stats").isObject()) {
+      Why = At + "missing object 'stats'";
+      return false;
+    }
+    if (!R.get("seconds").isNumber() || R.get("seconds").asNumber() < 0) {
+      Why = At + "missing non-negative number 'seconds'";
+      return false;
+    }
+    if (RequireCheckerStats) {
+      for (const char *Key : CheckerKeys)
+        if (!R.get("stats").get(Key).isNumber()) {
+          Why = At + "stats missing numeric '" + Key + "'";
+          return false;
+        }
+    }
+  }
+  Why.clear();
+  return true;
+}

@@ -1,0 +1,79 @@
+//===- obs/BenchJson.h - Machine-readable bench output ---------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one stable schema behind every bench binary's `--json` flag.
+/// The report is a JSON array of run records:
+///
+///   [{"bench": "fig7_delaybound",
+///     "config": {"program": "elevator", "delay_bound": 3, ...},
+///     "stats":  {"distinct_states": ..., "nodes_explored": ...,
+///                "workers_used": ..., "steal_count": ...,
+///                "contention_ns": ..., ...},
+///     "seconds": 1.234}, ...]
+///
+/// `bench`, `config`, `stats`, `seconds` are required in every record;
+/// the keys inside config/stats vary per bench but stay snake_case and
+/// stable. validateBenchReport is the schema check the smoke test (and
+/// any trajectory tooling) runs against a parsed report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_OBS_BENCHJSON_H
+#define P_OBS_BENCHJSON_H
+
+#include "obs/Json.h"
+
+#include <string>
+
+namespace p {
+struct CheckStats;
+} // namespace p
+
+namespace p::obs {
+
+/// Renders a CheckStats as the canonical stats{} object (all fields,
+/// including WorkersUsed/StealCount/ContentionNs).
+Json checkStatsToJson(const CheckStats &Stats);
+
+/// Collects run records and writes the report.
+class BenchReport {
+public:
+  explicit BenchReport(std::string BenchName)
+      : Bench(std::move(BenchName)) {}
+
+  /// Adds a record for a check() run; seconds comes from the stats.
+  void addRun(Json Config, const CheckStats &Stats);
+
+  /// Adds a record with free-form stats (non-checker benches).
+  void addRun(Json Config, Json Stats, double Seconds);
+
+  size_t size() const { return Runs.size(); }
+
+  /// The report as pretty-printed JSON text.
+  std::string str() const;
+
+  /// Writes to \p PathOrDash; "-" means stdout. Returns false when the
+  /// file cannot be opened.
+  bool writeTo(const std::string &PathOrDash) const;
+
+private:
+  std::string Bench;
+  Json Runs = Json::array();
+};
+
+/// Schema check for a parsed report: a non-empty array whose records
+/// all carry bench/config/stats/seconds with the right types, and —
+/// when \p RequireCheckerStats — the checker stat keys every perf
+/// trajectory needs (distinct_states, nodes_explored, workers_used,
+/// steal_count, contention_ns). On failure returns false and puts a
+/// human-readable reason in \p Why.
+bool validateBenchReport(const Json &Report, std::string &Why,
+                         bool RequireCheckerStats = false);
+
+} // namespace p::obs
+
+#endif // P_OBS_BENCHJSON_H

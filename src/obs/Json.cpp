@@ -1,0 +1,402 @@
+//===- obs/Json.cpp ----------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace p::obs;
+
+void Json::set(const std::string &Key, Json V) {
+  for (auto &[K, Existing] : Members)
+    if (K == Key) {
+      Existing = std::move(V);
+      return;
+    }
+  Members.emplace_back(Key, std::move(V));
+}
+
+const Json *Json::find(const std::string &Key) const {
+  for (const auto &[K, V] : Members)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+const Json &Json::get(const std::string &Key) const {
+  static const Json Null;
+  const Json *V = find(Key);
+  return V ? *V : Null;
+}
+
+std::string p::obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+static void writeNumber(std::string &Out, double N) {
+  // Integers (the common case: counters, ids) print without a decimal
+  // point so the output is stable and compact.
+  if (std::isfinite(N) && N == std::floor(N) && std::abs(N) < 9.0e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(N));
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", N);
+  Out += Buf;
+}
+
+void Json::write(std::string &Out, int Indent, int Depth) const {
+  auto newline = [&](int D) {
+    if (Indent <= 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  switch (Ty) {
+  case Type::Null:
+    Out += "null";
+    return;
+  case Type::Bool:
+    Out += BoolV ? "true" : "false";
+    return;
+  case Type::Number:
+    writeNumber(Out, NumV);
+    return;
+  case Type::String:
+    Out += '"';
+    Out += jsonEscape(StrV);
+    Out += '"';
+    return;
+  case Type::Array: {
+    if (Items.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (size_t I = 0; I != Items.size(); ++I) {
+      if (I)
+        Out += ',';
+      newline(Depth + 1);
+      Items[I].write(Out, Indent, Depth + 1);
+    }
+    newline(Depth);
+    Out += ']';
+    return;
+  }
+  case Type::Object: {
+    if (Members.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    for (size_t I = 0; I != Members.size(); ++I) {
+      if (I)
+        Out += ',';
+      newline(Depth + 1);
+      Out += '"';
+      Out += jsonEscape(Members[I].first);
+      Out += Indent > 0 ? "\": " : "\":";
+      Members[I].second.write(Out, Indent, Depth + 1);
+    }
+    newline(Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Json::str(int Indent) const {
+  std::string Out;
+  write(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Parser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  bool fail(const std::string &Msg) {
+    Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool parseValue(Json &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Json(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!Text.compare(Pos, 4, "true")) {
+        Pos += 4;
+        Out = Json(true);
+        return true;
+      }
+      return fail("bad literal");
+    case 'f':
+      if (!Text.compare(Pos, 5, "false")) {
+        Pos += 5;
+        Out = Json(false);
+        return true;
+      }
+      return fail("bad literal");
+    case 'n':
+      if (!Text.compare(Pos, 4, "null")) {
+        Pos += 4;
+        Out = Json();
+        return true;
+      }
+      return fail("bad literal");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return fail("dangling escape");
+        char E = Text[++Pos];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 >= Text.size())
+            return fail("truncated \\u escape");
+          unsigned V = 0;
+          for (int I = 0; I != 4; ++I) {
+            char H = Text[Pos + 1 + I];
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          Pos += 4;
+          // UTF-8 encode (no surrogate pairs; our producers never emit
+          // them).
+          if (V < 0x80) {
+            Out += static_cast<char>(V);
+          } else if (V < 0x800) {
+            Out += static_cast<char>(0xc0 | (V >> 6));
+            Out += static_cast<char>(0x80 | (V & 0x3f));
+          } else {
+            Out += static_cast<char>(0xe0 | (V >> 12));
+            Out += static_cast<char>(0x80 | ((V >> 6) & 0x3f));
+            Out += static_cast<char>(0x80 | (V & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        ++Pos;
+        continue;
+      }
+      Out += C;
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Json &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    char *End = nullptr;
+    double V = std::strtod(Text.c_str() + Start, &End);
+    if (End != Text.c_str() + Pos)
+      return fail("bad number");
+    Out = Json(V);
+    return true;
+  }
+
+  bool parseArray(Json &Out) {
+    Out = Json::array();
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Json V;
+      if (!parseValue(V))
+        return false;
+      Out.push(std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseObject(Json &Out) {
+    Out = Json::object();
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':'");
+      ++Pos;
+      Json V;
+      if (!parseValue(V))
+        return false;
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+} // namespace
+
+bool Json::parse(const std::string &Text, Json &Out, std::string *ErrorMsg) {
+  Parser P(Text);
+  if (!P.parseValue(Out)) {
+    if (ErrorMsg)
+      *ErrorMsg = P.Error;
+    return false;
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    if (ErrorMsg)
+      *ErrorMsg = "trailing garbage at offset " + std::to_string(P.Pos);
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,146 @@
+//===- obs/Metrics.cpp -------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace p::obs;
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Buckets(new std::atomic<uint64_t>[Bounds.size() + 1]) {
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double X) {
+  size_t I = 0;
+  while (I != Bounds.size() && X > Bounds[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(X, std::memory_order_relaxed);
+}
+
+std::vector<double> p::obs::exponentialBounds(double Start, double Factor,
+                                              size_t Count) {
+  std::vector<double> Bounds;
+  Bounds.reserve(Count);
+  double B = Start;
+  for (size_t I = 0; I != Count; ++I, B *= Factor)
+    Bounds.push_back(B);
+  return Bounds;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  std::lock_guard<std::mutex> L(Mu);
+  Entry &E = Entries[Name];
+  if (!E.C) {
+    E.C.reset(new Counter());
+    if (E.Help.empty())
+      E.Help = Help;
+  }
+  return *E.C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  std::lock_guard<std::mutex> L(Mu);
+  Entry &E = Entries[Name];
+  if (!E.G) {
+    E.G.reset(new Gauge());
+    if (E.Help.empty())
+      E.Help = Help;
+  }
+  return *E.G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<double> UpperBounds,
+                                      const std::string &Help) {
+  std::lock_guard<std::mutex> L(Mu);
+  Entry &E = Entries[Name];
+  if (!E.H) {
+    E.H.reset(new Histogram(std::move(UpperBounds)));
+    if (E.Help.empty())
+      E.Help = Help;
+  }
+  return *E.H;
+}
+
+const Counter *MetricsRegistry::findCounter(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? nullptr : It->second.C.get();
+}
+
+const Gauge *MetricsRegistry::findGauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? nullptr : It->second.G.get();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Entries.find(Name);
+  return It == Entries.end() ? nullptr : It->second.H.get();
+}
+
+static void appendNumber(std::string &Out, double V) {
+  char Buf[64];
+  if (std::isfinite(V) && V == std::floor(V) && std::abs(V) < 9.0e15)
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%g", V);
+  Out += Buf;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::string Out;
+  for (const auto &[Name, E] : Entries) {
+    if (!E.Help.empty())
+      Out += "# HELP " + Name + " " + E.Help + "\n";
+    if (E.C) {
+      Out += "# TYPE " + Name + " counter\n" + Name + " ";
+      appendNumber(Out, static_cast<double>(E.C->value()));
+      Out += '\n';
+    }
+    if (E.G) {
+      Out += "# TYPE " + Name + " gauge\n" + Name + " ";
+      appendNumber(Out, E.G->value());
+      Out += '\n';
+    }
+    if (E.H) {
+      Out += "# TYPE " + Name + " histogram\n";
+      uint64_t Cum = 0;
+      for (size_t I = 0; I != E.H->bounds().size(); ++I) {
+        Cum += E.H->bucketCount(I);
+        Out += Name + "_bucket{le=\"";
+        appendNumber(Out, E.H->bounds()[I]);
+        Out += "\"} ";
+        appendNumber(Out, static_cast<double>(Cum));
+        Out += '\n';
+      }
+      Cum += E.H->bucketCount(E.H->bounds().size());
+      Out += Name + "_bucket{le=\"+Inf\"} ";
+      appendNumber(Out, static_cast<double>(Cum));
+      Out += '\n';
+      Out += Name + "_sum ";
+      appendNumber(Out, E.H->sum());
+      Out += '\n';
+      Out += Name + "_count ";
+      appendNumber(Out, static_cast<double>(E.H->count()));
+      Out += '\n';
+    }
+  }
+  return Out;
+}

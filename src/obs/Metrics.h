@@ -1,0 +1,118 @@
+//===- obs/Metrics.h - Counters, gauges, histograms ------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small metrics registry in the Prometheus model: named counters
+/// (monotonic), gauges (set-to-current), and histograms (fixed upper
+/// bounds, cumulative buckets). All instruments are lock-free on the
+/// hot path (plain atomics); the registry mutex guards registration
+/// and rendering only.
+///
+/// The checker fills a registry per check() run (nodes, states,
+/// frontier-depth distribution, steal/contention counters — see
+/// CheckOptions::Metrics), the Host exports its HostStats, and
+/// renderPrometheus() dumps everything in the text exposition format
+/// so a scrape endpoint or a bench log can consume it unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_OBS_METRICS_H
+#define P_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace p::obs {
+
+/// Monotonically increasing counter.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Histogram over fixed upper bounds (ascending; an implicit +Inf
+/// bucket is appended). observe() is two relaxed atomic adds plus a
+/// linear bound scan — bounds lists are short by construction.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> UpperBounds);
+
+  void observe(double X);
+
+  const std::vector<double> &bounds() const { return Bounds; }
+  /// Non-cumulative count of bucket \p I (I == bounds().size() is the
+  /// +Inf bucket).
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+
+private:
+  std::vector<double> Bounds;
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+  std::atomic<uint64_t> N{0};
+  std::atomic<double> Sum{0};
+};
+
+/// Exponentially spaced bounds {Start, Start*Factor, ...} with
+/// \p Count entries — the usual shape for depth/size distributions.
+std::vector<double> exponentialBounds(double Start, double Factor,
+                                      size_t Count);
+
+/// Named instruments. Lookup-or-create is idempotent: asking for an
+/// existing name returns the same instrument (the help text of the
+/// first registration wins), so layers can share a registry without
+/// coordination.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name, const std::string &Help = "");
+  Gauge &gauge(const std::string &Name, const std::string &Help = "");
+  Histogram &histogram(const std::string &Name,
+                       std::vector<double> UpperBounds,
+                       const std::string &Help = "");
+
+  /// Looks up an instrument without creating it.
+  const Counter *findCounter(const std::string &Name) const;
+  const Gauge *findGauge(const std::string &Name) const;
+  const Histogram *findHistogram(const std::string &Name) const;
+
+  /// The Prometheus text exposition format, instruments sorted by name.
+  std::string renderPrometheus() const;
+
+private:
+  struct Entry {
+    std::string Help;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+  mutable std::mutex Mu;
+  std::map<std::string, Entry> Entries; ///< Sorted render for free.
+};
+
+} // namespace p::obs
+
+#endif // P_OBS_METRICS_H

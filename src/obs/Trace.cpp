@@ -1,0 +1,127 @@
+//===- obs/Trace.cpp ---------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+using namespace p::obs;
+
+const char *p::obs::traceKindName(TraceKind Kind) {
+  switch (Kind) {
+  case TraceKind::Send:
+    return "send";
+  case TraceKind::Dequeue:
+    return "dequeue";
+  case TraceKind::Raise:
+    return "raise";
+  case TraceKind::New:
+    return "new";
+  case TraceKind::StateEnter:
+    return "state-enter";
+  case TraceKind::StateExit:
+    return "state-exit";
+  case TraceKind::Delay:
+    return "delay";
+  case TraceKind::Slice:
+    return "slice";
+  case TraceKind::Halt:
+    return "halt";
+  case TraceKind::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+bool p::obs::traceKindFromName(const char *Name, TraceKind &Out) {
+  for (size_t K = 0; K != NumTraceKinds; ++K) {
+    TraceKind Kind = static_cast<TraceKind>(K);
+    if (!std::strcmp(Name, traceKindName(Kind))) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceSink::record(TraceKind Kind, int32_t Machine, int32_t A,
+                       int32_t B) {
+  TraceEvent &E = Ring[Count % Ring.size()];
+  E.TimeNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  E.Machine = Machine;
+  E.A = A;
+  E.B = B;
+  E.Kind = Kind;
+  E.Tid = Tid;
+  ++Count;
+}
+
+TraceRecorder::TraceRecorder(size_t CapacityPerSink)
+    : CapacityPerSink(std::max<size_t>(CapacityPerSink, 16)) {}
+
+TraceSink &TraceRecorder::openSink() {
+  std::lock_guard<std::mutex> L(Mu);
+  Sinks.push_back(std::unique_ptr<TraceSink>(
+      new TraceSink(static_cast<uint16_t>(Sinks.size()), CapacityPerSink)));
+  return *Sinks.back();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<TraceEvent> Out;
+  for (const auto &S : Sinks) {
+    size_t N = std::min<uint64_t>(S->Count, S->Ring.size());
+    // Oldest surviving entry first: when the ring wrapped, that is the
+    // slot the next write would overwrite.
+    size_t Start = S->Count > S->Ring.size() ? S->Count % S->Ring.size() : 0;
+    for (size_t I = 0; I != N; ++I)
+      Out.push_back(S->Ring[(Start + I) % S->Ring.size()]);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.TimeNs < B.TimeNs;
+                   });
+  return Out;
+}
+
+std::array<uint64_t, p::obs::NumTraceKinds>
+TraceRecorder::countsByKind() const {
+  // Counts survive ring overwrites only while nothing was dropped;
+  // when a ring wrapped, the overwritten slots are gone and the tally
+  // reflects the surviving window plus the recorded() total. Exporters
+  // and tests that reconcile against checker stats should assert
+  // dropped() == 0 first (see obs tests).
+  std::array<uint64_t, NumTraceKinds> Counts{};
+  for (const TraceEvent &E : snapshot())
+    ++Counts[static_cast<size_t>(E.Kind)];
+  return Counts;
+}
+
+uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t N = 0;
+  for (const auto &S : Sinks)
+    N += S->Count;
+  return N;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t N = 0;
+  for (const auto &S : Sinks)
+    N += S->dropped();
+  return N;
+}
+
+size_t TraceRecorder::sinkCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Sinks.size();
+}

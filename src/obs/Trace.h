@@ -1,0 +1,137 @@
+//===- obs/Trace.h - Structured event tracing ------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-overhead structured event tracing for every execution layer
+/// (Executor, Host, checker). The paper's methodology — run the
+/// program, watch the events, count the states — needs a way to *see*
+/// an execution; this is it.
+///
+/// Design: a TraceRecorder owns one fixed-capacity ring buffer per
+/// writer thread (a TraceSink). Recording an event is lock-free — the
+/// sink is owned by exactly one thread, so a record() is a clock read
+/// plus a store into the ring. When the ring is full the oldest events
+/// are overwritten (the recent tail is what matters for debugging);
+/// total and dropped counts are kept so exporters can say what was
+/// lost. Sinks are registered under a mutex once per thread, not per
+/// event.
+///
+/// Snapshots (merge + time-sort of all sinks) are taken after the
+/// traced run has quiesced — e.g. after check() returns or the Host
+/// drained — the recorder does not support concurrent export while
+/// writers are still recording.
+///
+/// Exporters (JSONL, Chrome trace-event JSON, text message-sequence
+/// chart) live in obs/TraceExport.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_OBS_TRACE_H
+#define P_OBS_TRACE_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace p::obs {
+
+/// What happened. The kinds mirror the operational semantics: the
+/// communication rules (send/new), the queue rules (dequeue/raise),
+/// control-flow structure (state entry/exit, halt), the checker's
+/// scheduling decisions (slice/delay), and the error transitions.
+enum class TraceKind : uint8_t {
+  Send,       ///< SEND: Machine=sender (-1: external/host), A=event, B=target.
+  Dequeue,    ///< DEQUEUE: Machine, A=event.
+  Raise,      ///< RAISE: Machine, A=event.
+  New,        ///< NEW: Machine=child id, A=machine type index.
+  StateEnter, ///< A state frame became the top: A=state, B=type index.
+  StateExit,  ///< A state frame left the top: A=state, B=type index.
+  Delay,      ///< Delaying scheduler spent a delay: Machine moved to bottom.
+  Slice,      ///< A run-to-scheduling-point slice started: Machine ran.
+  Halt,       ///< DELETE: Machine executed delete.
+  Error,      ///< Error transition: Machine, A=(int)ErrorKind.
+};
+
+inline constexpr size_t NumTraceKinds = 10;
+
+/// Short stable identifier, e.g. "state-enter"; used by the exporters
+/// and re-parsed by the JSONL reader.
+const char *traceKindName(TraceKind Kind);
+
+/// Parses a traceKindName back; returns false on an unknown name.
+bool traceKindFromName(const char *Name, TraceKind &Out);
+
+/// One recorded event. 24 bytes; the ring is a flat array of these.
+struct TraceEvent {
+  uint64_t TimeNs = 0; ///< steady_clock nanoseconds (monotonic).
+  int32_t Machine = -1;
+  int32_t A = -1;
+  int32_t B = -1;
+  TraceKind Kind = TraceKind::Send;
+  uint16_t Tid = 0; ///< Recording sink (worker/thread) id.
+};
+
+class TraceRecorder;
+
+/// One thread's ring buffer. Obtained from TraceRecorder::openSink and
+/// written by exactly one thread; record() takes no locks.
+class TraceSink {
+public:
+  void record(TraceKind Kind, int32_t Machine, int32_t A = -1,
+              int32_t B = -1);
+
+  uint16_t tid() const { return Tid; }
+  uint64_t recorded() const { return Count; }
+  uint64_t dropped() const {
+    return Count > Ring.size() ? Count - Ring.size() : 0;
+  }
+
+private:
+  friend class TraceRecorder;
+  TraceSink(uint16_t Tid, size_t Capacity) : Tid(Tid), Ring(Capacity) {}
+
+  uint16_t Tid;
+  uint64_t Count = 0; ///< Total recorded (incl. overwritten).
+  std::vector<TraceEvent> Ring;
+};
+
+/// Owns the per-thread sinks of one traced run.
+class TraceRecorder {
+public:
+  /// \p CapacityPerSink is the ring size of each sink; the default
+  /// keeps ~1.5 MB per writer thread.
+  explicit TraceRecorder(size_t CapacityPerSink = 1u << 16);
+
+  /// Registers a new sink (mutex-protected; once per writer thread).
+  /// The returned reference stays valid for the recorder's lifetime.
+  TraceSink &openSink();
+
+  /// All events of all sinks, oldest-first by timestamp. Call only
+  /// after the traced run has quiesced.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Per-kind totals over the surviving events (snapshot()). Only a
+  /// complete tally when dropped() == 0 — the reconciliation tests
+  /// assert that before comparing against checker stats.
+  std::array<uint64_t, NumTraceKinds> countsByKind() const;
+
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+  size_t sinkCount() const;
+
+private:
+  size_t CapacityPerSink;
+  mutable std::mutex Mu; ///< Guards sink registration only.
+  std::vector<std::unique_ptr<TraceSink>> Sinks;
+  friend class TraceSink;
+};
+
+} // namespace p::obs
+
+#endif // P_OBS_TRACE_H

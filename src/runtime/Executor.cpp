@@ -23,10 +23,12 @@
 #include "runtime/Executor.h"
 
 #include "ast/AST.h"
+#include "obs/Trace.h"
 
 #include <cassert>
 
 using namespace p;
+using obs::TraceKind;
 
 void Executor::registerForeign(const std::string &Machine,
                                const std::string &Fun, ForeignFn Fn) {
@@ -38,6 +40,8 @@ void Executor::raiseError(Config &Cfg, int32_t Id, ErrorKind Kind,
   Cfg.Error = Kind;
   Cfg.ErrorMessage = std::move(Message);
   Cfg.ErrorMachine = Id;
+  if (Trace)
+    Trace->record(TraceKind::Error, Id, static_cast<int32_t>(Kind));
 }
 
 void Executor::pushBodyFrame(MachineState &M, int32_t Body,
@@ -76,7 +80,12 @@ int32_t Executor::createMachine(
     pushBodyFrame(M, Info.States[0].EntryBody, FrameKind::Entry);
 
   Cfg.Machines.push_back(std::move(M));
-  return static_cast<int32_t>(Cfg.Machines.size()) - 1;
+  int32_t Id = static_cast<int32_t>(Cfg.Machines.size()) - 1;
+  if (Trace) {
+    Trace->record(TraceKind::New, Id, MachineIndex);
+    Trace->record(TraceKind::StateEnter, Id, 0, MachineIndex);
+  }
+  return Id;
 }
 
 Config Executor::makeInitialConfig() const {
@@ -181,6 +190,11 @@ void Executor::applyTransfer(Config &Cfg, int32_t Id) const {
   case TransferKind::Step: {
     // STEP: replace the top state, keep the inherited map, run entry.
     assert(!M.Frames.empty());
+    if (Trace) {
+      Trace->record(TraceKind::StateExit, Id, M.Frames.back().State,
+                    M.MachineIndex);
+      Trace->record(TraceKind::StateEnter, Id, Target, M.MachineIndex);
+    }
     M.Frames.back().State = Target;
     M.Frames.back().SavedCont.clear();
     if (Info.States[Target].EntryBody >= 0)
@@ -191,6 +205,9 @@ void Executor::applyTransfer(Config &Cfg, int32_t Id) const {
     // POP1: the event propagates to the caller; a continuation saved by
     // a `call S;` statement is aborted (the raise terminates it).
     assert(!M.Frames.empty());
+    if (Trace)
+      Trace->record(TraceKind::StateExit, Id, M.Frames.back().State,
+                    M.MachineIndex);
     M.Frames.pop_back();
     if (M.Frames.empty()) {
       const std::string EventName =
@@ -204,6 +221,9 @@ void Executor::applyTransfer(Config &Cfg, int32_t Id) const {
   case TransferKind::PopReturn: {
     // POP2: pop and resume the saved continuation, if any.
     assert(!M.Frames.empty());
+    if (Trace)
+      Trace->record(TraceKind::StateExit, Id, M.Frames.back().State,
+                    M.MachineIndex);
     std::vector<ExecFrame> Cont = std::move(M.Frames.back().SavedCont);
     M.Frames.pop_back();
     M.HasRaise = false;
@@ -239,12 +259,13 @@ void Executor::dispatchRaise(Config &Cfg, int32_t Id) const {
   const int32_t E = M.RaiseEvent;
   const Transition &T = St.OnEvent[E];
 
-  if (DispatchObserver) {
+  if (!DispatchObservers.empty()) {
     // Inherited actions report as Action; everything unhandled as None.
     TransitionKind Kind = T.Kind;
     if (Kind == TransitionKind::None && Top.Inherit[E] >= 0)
       Kind = TransitionKind::Action;
-    DispatchObserver(M.MachineIndex, Top.State, E, Kind);
+    for (const DispatchObserverFn &Observer : DispatchObservers)
+      Observer(M.MachineIndex, Top.State, E, Kind);
   }
 
   switch (T.Kind) {
@@ -266,6 +287,8 @@ void Executor::dispatchRaise(Config &Cfg, int32_t Id) const {
     Frame.State = T.Target;
     Frame.Inherit = std::move(Inherit);
     M.Frames.push_back(std::move(Frame));
+    if (Trace)
+      Trace->record(TraceKind::StateEnter, Id, T.Target, M.MachineIndex);
     if (Info.States[T.Target].EntryBody >= 0)
       pushBodyFrame(M, Info.States[T.Target].EntryBody, FrameKind::Entry);
     return;
@@ -523,6 +546,8 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
                       std::to_string(To) + " at " + Loc.str() + " in " +
                       B.Name);
     enqueueEvent(Cfg, To, Event.asEvent(), Payload);
+    if (Trace)
+      Trace->record(TraceKind::Send, Id, Event.asEvent(), To);
     ++Frame.PC;
     Res.Kind = InstrResult::SchedulingPoint;
     Res.Other = To;
@@ -543,6 +568,8 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
     M.RaiseEvent = Event.asEvent();
     M.RaiseArg = Payload;
     M.Exec.clear();
+    if (Trace)
+      Trace->record(TraceKind::Raise, Id, M.RaiseEvent);
     return Res;
   }
   case Opcode::CallForeign: {
@@ -584,6 +611,8 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
     NewFrame.SavedCont = std::move(M.Exec);
     M.Exec.clear();
     M.Frames.push_back(std::move(NewFrame));
+    if (Trace)
+      Trace->record(TraceKind::StateEnter, Id, I.A, M.MachineIndex);
     if (Info.States[I.A].EntryBody >= 0)
       pushBodyFrame(M, Info.States[I.A].EntryBody, FrameKind::Entry);
     return Res;
@@ -606,6 +635,8 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
     M.Vars.clear();
     M.HasRaise = false;
     M.Transfer = TransferKind::None;
+    if (Trace)
+      Trace->record(TraceKind::Halt, Id);
     Res.Kind = InstrResult::Halted;
     return Res;
   }
@@ -690,8 +721,10 @@ Executor::StepResult Executor::step(Config &Cfg, int32_t Id) const {
       return {StepOutcome::Blocked};
     auto [Event, Arg] = M.Queue[Index];
     M.Queue.erase(M.Queue.begin() + Index);
-    if (DequeueObserver)
-      DequeueObserver(Id, Event);
+    for (const DequeueObserverFn &Observer : DequeueObservers)
+      Observer(Id, Event);
+    if (Trace)
+      Trace->record(TraceKind::Dequeue, Id, Event);
     M.Msg = Value::event(Event);
     M.Arg = Arg;
     M.HasRaise = true;

@@ -32,6 +32,10 @@
 
 namespace p {
 
+namespace obs {
+class TraceSink;
+} // namespace obs
+
 /// Signature of a native foreign-function implementation. `Self` is the
 /// id of the calling machine.
 using ForeignFn =
@@ -99,21 +103,43 @@ public:
 
   /// Observes every DEQUEUE (machine id, event id); used by the
   /// liveness checker to tell "pending forever" from "repeatedly
-  /// consumed and re-sent".
-  void setDequeueObserver(std::function<void(int32_t, int32_t)> Observer) {
-    DequeueObserver = std::move(Observer);
+  /// consumed and re-sent". Registration is additive: every registered
+  /// observer fires, in registration order, so tracing composes with
+  /// the checkers' uses.
+  using DequeueObserverFn = std::function<void(int32_t, int32_t)>;
+  void addDequeueObserver(DequeueObserverFn Observer) {
+    DequeueObservers.push_back(std::move(Observer));
+  }
+  /// Additive alias of addDequeueObserver, kept for existing callers.
+  void setDequeueObserver(DequeueObserverFn Observer) {
+    addDequeueObserver(std::move(Observer));
   }
 
   /// Observes every dispatch decision: (machine type, state, event,
   /// resolution). Resolution is the TransitionKind that fired, with
   /// TransitionKind::None meaning POP1 (the event propagated to the
-  /// caller). Drives coverage reporting.
+  /// caller). Drives coverage reporting. Additive, like
+  /// addDequeueObserver.
   using DispatchObserverFn =
       std::function<void(int32_t MachineType, int32_t State, int32_t Event,
                          TransitionKind Kind)>;
-  void setDispatchObserver(DispatchObserverFn Observer) {
-    DispatchObserver = std::move(Observer);
+  void addDispatchObserver(DispatchObserverFn Observer) {
+    DispatchObservers.push_back(std::move(Observer));
   }
+  /// Additive alias of addDispatchObserver, kept for existing callers.
+  void setDispatchObserver(DispatchObserverFn Observer) {
+    addDispatchObserver(std::move(Observer));
+  }
+
+  /// Attaches a structured-event trace sink (see obs/Trace.h): send,
+  /// dequeue, raise, new, state entry/exit, halt, and error events are
+  /// recorded with timestamps as they execute. The sink must be owned
+  /// by the thread stepping through this executor (sinks are
+  /// single-writer); pass nullptr to detach. Copying an Executor
+  /// copies the pointer — the parallel checker overrides it with a
+  /// per-worker sink.
+  void setTraceSink(obs::TraceSink *Sink) { Trace = Sink; }
+  obs::TraceSink *traceSink() const { return Trace; }
 
   /// Creates an instance of machine \p MachineIndex (rule NEW); returns
   /// its id. \p Inits lists (var index, value) pairs.
@@ -172,9 +198,10 @@ private:
   const CompiledProgram &Prog;
   Options Opts;
   std::function<bool()> ChoiceProvider;
-  std::function<void(int32_t, int32_t)> DequeueObserver;
-  DispatchObserverFn DispatchObserver;
+  std::vector<DequeueObserverFn> DequeueObservers;
+  std::vector<DispatchObserverFn> DispatchObservers;
   std::map<std::pair<std::string, std::string>, ForeignFn> ForeignFns;
+  obs::TraceSink *Trace = nullptr;
 };
 
 } // namespace p

@@ -1,0 +1,96 @@
+//===- tests/obs_json_test.cpp - Minimal JSON library tests -----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace p::obs;
+
+namespace {
+
+TEST(JsonTest, BuildAndSerialize) {
+  Json Obj = Json::object();
+  Obj.set("name", "german");
+  Obj.set("delay", 4);
+  Obj.set("exhausted", true);
+  Obj.set("ratio", 0.5);
+  Obj.set("none", Json());
+  Json Arr = Json::array();
+  Arr.push(1);
+  Arr.push(2);
+  Obj.set("list", std::move(Arr));
+
+  // Insertion order is preserved; integers print without a decimal.
+  EXPECT_EQ(Obj.str(),
+            "{\"name\":\"german\",\"delay\":4,\"exhausted\":true,"
+            "\"ratio\":0.5,\"none\":null,\"list\":[1,2]}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string Text =
+      "{\"a\":[1,2.5,-3,true,false,null],\"b\":{\"c\":\"x\"},"
+      "\"big\":123456789012}";
+  Json J;
+  std::string Err;
+  ASSERT_TRUE(Json::parse(Text, J, &Err)) << Err;
+  EXPECT_EQ(J.get("a").size(), 6u);
+  EXPECT_DOUBLE_EQ(J.get("a").at(1).asNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(J.get("a").at(2).asNumber(), -3);
+  EXPECT_TRUE(J.get("a").at(3).asBool());
+  EXPECT_TRUE(J.get("a").at(5).isNull());
+  EXPECT_EQ(J.get("b").get("c").asString(), "x");
+  EXPECT_EQ(J.get("big").asInt(), 123456789012);
+  // Serialize-then-parse is a fixpoint.
+  Json Again;
+  ASSERT_TRUE(Json::parse(J.str(), Again, &Err)) << Err;
+  EXPECT_EQ(Again.str(), J.str());
+}
+
+TEST(JsonTest, StringEscapes) {
+  Json S = Json(std::string("a\"b\\c\n\t\x01"));
+  std::string Text = S.str();
+  Json Back;
+  std::string Err;
+  ASSERT_TRUE(Json::parse(Text, Back, &Err)) << Err;
+  EXPECT_EQ(Back.asString(), S.asString());
+
+  Json U;
+  ASSERT_TRUE(Json::parse("\"\\u0041\\u00e9\"", U, &Err)) << Err;
+  EXPECT_EQ(U.asString(), "A\xc3\xa9"); // UTF-8 for "Aé".
+}
+
+TEST(JsonTest, ParseErrorsAreReported) {
+  Json J;
+  std::string Err;
+  EXPECT_FALSE(Json::parse("{\"a\":}", J, &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(Json::parse("[1,2", J, &Err));
+  EXPECT_FALSE(Json::parse("", J, &Err));
+  EXPECT_FALSE(Json::parse("{} trailing", J, &Err));
+  EXPECT_FALSE(Json::parse("'single'", J, &Err));
+}
+
+TEST(JsonTest, MissingKeysAreSharedNull) {
+  Json Obj = Json::object();
+  Obj.set("x", 1);
+  EXPECT_TRUE(Obj.has("x"));
+  EXPECT_FALSE(Obj.has("y"));
+  EXPECT_EQ(Obj.find("y"), nullptr);
+  EXPECT_TRUE(Obj.get("y").isNull());
+  EXPECT_FALSE(Obj.get("y").isNumber());
+}
+
+TEST(JsonTest, PrettyPrintIsStable) {
+  Json Obj = Json::object();
+  Obj.set("a", 1);
+  Json Inner = Json::array();
+  Inner.push("x");
+  Obj.set("b", std::move(Inner));
+  EXPECT_EQ(Obj.str(2), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+}
+
+} // namespace

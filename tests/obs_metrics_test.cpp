@@ -1,0 +1,114 @@
+//===- tests/obs_metrics_test.cpp - Metrics registry tests ------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace p::obs;
+
+namespace {
+
+TEST(MetricsTest, CounterIsMonotonic) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+}
+
+TEST(MetricsTest, GaugeIsLastWriteWins) {
+  Gauge G;
+  G.set(3.5);
+  G.set(-1.25);
+  EXPECT_DOUBLE_EQ(G.value(), -1.25);
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  Histogram H({1, 10, 100});
+  H.observe(0.5);  // le=1
+  H.observe(5);    // le=10
+  H.observe(50);   // le=100
+  H.observe(500);  // +Inf
+  H.observe(10);   // le=10 (bounds are inclusive upper edges)
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_DOUBLE_EQ(H.sum(), 565.5);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u); // +Inf
+}
+
+TEST(MetricsTest, ExponentialBounds) {
+  std::vector<double> B = exponentialBounds(1, 2, 4);
+  ASSERT_EQ(B.size(), 4u);
+  EXPECT_DOUBLE_EQ(B[0], 1);
+  EXPECT_DOUBLE_EQ(B[1], 2);
+  EXPECT_DOUBLE_EQ(B[2], 4);
+  EXPECT_DOUBLE_EQ(B[3], 8);
+}
+
+TEST(MetricsTest, RegistryLookupIsIdempotent) {
+  MetricsRegistry R;
+  Counter &A = R.counter("x_total", "help one");
+  Counter &B = R.counter("x_total", "help two (ignored)");
+  EXPECT_EQ(&A, &B);
+  A.inc(7);
+  EXPECT_EQ(R.counter("x_total").value(), 7u);
+
+  EXPECT_EQ(R.findCounter("x_total"), &A);
+  EXPECT_EQ(R.findCounter("missing"), nullptr);
+  EXPECT_EQ(R.findGauge("x_total"), nullptr); // Wrong type.
+}
+
+TEST(MetricsTest, PrometheusRenderFormat) {
+  MetricsRegistry R;
+  R.counter("p_nodes_total", "Nodes expanded").inc(12);
+  R.gauge("p_live", "Live machines").set(3);
+  Histogram &H = R.histogram("p_depth", {1, 2}, "Depth distribution");
+  H.observe(1);
+  H.observe(5);
+
+  std::string Text = R.renderPrometheus();
+  EXPECT_NE(Text.find("# HELP p_nodes_total Nodes expanded"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("# TYPE p_nodes_total counter"), std::string::npos);
+  EXPECT_NE(Text.find("p_nodes_total 12"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE p_live gauge"), std::string::npos);
+  EXPECT_NE(Text.find("p_live 3"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(Text.find("p_depth_bucket{le=\"1\"} 1"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("p_depth_bucket{le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(Text.find("p_depth_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(Text.find("p_depth_count 2"), std::string::npos);
+  EXPECT_NE(Text.find("p_depth_sum 6"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsDoNotLose) {
+  MetricsRegistry R;
+  Counter &C = R.counter("c_total");
+  Histogram &H = R.histogram("h", exponentialBounds(1, 2, 8));
+  constexpr int Threads = 4, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != Threads; ++T)
+    Ts.emplace_back([&C, &H] {
+      for (int I = 0; I != PerThread; ++I) {
+        C.inc();
+        H.observe(static_cast<double>(I % 100));
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads * PerThread));
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(Threads * PerThread));
+}
+
+} // namespace

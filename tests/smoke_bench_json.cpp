@@ -1,0 +1,67 @@
+//===- tests/smoke_bench_json.cpp - --json schema smoke test ----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs a bench binary (argv[1], wired via $<TARGET_FILE:...> in CMake)
+// with `--quick --json -` and validates that stdout is a schema-valid
+// bench report (obs/BenchJson.h) whose stats carry the checker keys a
+// perf trajectory consumes. This is the consumer the acceptance
+// criterion asks for: the schema cannot drift without failing CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchJson.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <bench-binary> [extra args]\n", argv[0]);
+    return 2;
+  }
+  std::string Cmd = argv[1];
+  for (int I = 2; I < argc; ++I)
+    Cmd += std::string(" ") + argv[I];
+  Cmd += " --quick --json - 2>/dev/null";
+
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe) {
+    std::fprintf(stderr, "FAIL: cannot run: %s\n", Cmd.c_str());
+    return 1;
+  }
+  std::string Output;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  if (Status != 0) {
+    std::fprintf(stderr, "FAIL: bench exited with status %d\n", Status);
+    return 1;
+  }
+
+  p::obs::Json Report;
+  std::string Err;
+  if (!p::obs::Json::parse(Output, Report, &Err)) {
+    std::fprintf(stderr, "FAIL: stdout is not valid JSON: %s\n",
+                 Err.c_str());
+    std::fprintf(stderr, "--- first 500 bytes ---\n%.500s\n",
+                 Output.c_str());
+    return 1;
+  }
+  std::string Why;
+  if (!p::obs::validateBenchReport(Report, Why,
+                                   /*RequireCheckerStats=*/true)) {
+    std::fprintf(stderr, "FAIL: schema violation: %s\n", Why.c_str());
+    return 1;
+  }
+
+  std::printf("OK: %zu schema-valid run records from %s\n", Report.size(),
+              argv[1]);
+  return 0;
+}
