@@ -1,0 +1,164 @@
+//===- bench/bench_fault_injection.cpp - Bounded-fault exploration ----------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The fault-budget axis of the checker, measured the way Figure 7
+// measures the delay-bound axis. The paper's delaying scheduler bounds
+// how often the *scheduler* may misbehave; the fault layer (DESIGN.md
+// "Fault model") bounds how often the *transport* may misbehave — drop
+// or duplicate a queued event — with the same budget trick, so the
+// product exploration stays finite.
+//
+// Two tables:
+//
+//   * cost: German (2 clients) at a fixed delay bound, fault budget
+//     k = 0, 1, 2. Budget 0 must cost exactly what the fault-free
+//     checker costs (the layer erases itself); each +1 multiplies the
+//     explored space, which is the price of a stronger adversary.
+//     German's unhandled duplicated-grant surfaces here as real errors
+//     found (StopOnFirstError=false keeps the sweep exhaustive).
+//
+//   * payoff: the seeded droppable-InvAck bug (Home's Idle handles a
+//     stale InvAck whose CountAck asserts AcksNeeded > 0) is invisible
+//     to any delay bound at budget 0 — no fault-free execution delivers
+//     an InvAck in Idle — and found immediately with one duplicated
+//     InvAck at budget 1.
+//
+// --json emits the stable bench-report schema (obs/BenchJson.h);
+// --quick shrinks the sweep for smoke tests; --workers N as in the
+// Figure 7 harness (fault exploration is worker-count deterministic).
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+#include "obs/BenchJson.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace p;
+
+namespace {
+
+int WorkersFlag = 1;     ///< --workers N (0 = hardware_concurrency).
+bool QuickFlag = false;  ///< --quick: small sweep for smoke tests.
+std::string JsonPath;    ///< --json <file|->; empty = no report.
+std::FILE *Human = stdout;
+
+obs::BenchReport Report("fault_injection");
+
+CompiledProgram compileOrExit(const std::string &Src) {
+  CompileResult R = compileString(Src);
+  if (!R.ok()) {
+    std::fprintf(stderr, "compile error:\n%s", R.Diags.str().c_str());
+    std::exit(1);
+  }
+  return std::move(*R.Program);
+}
+
+int32_t eventId(const CompiledProgram &Prog, const char *Name) {
+  for (size_t I = 0; I != Prog.Events.size(); ++I)
+    if (Prog.Events[I].Name == Name)
+      return static_cast<int32_t>(I);
+  std::fprintf(stderr, "no event named %s\n", Name);
+  std::exit(1);
+}
+
+void record(const char *Slug, int DelayBound, int Budget, uint64_t NodeCap,
+            const CheckResult &R) {
+  if (JsonPath.empty())
+    return;
+  obs::Json Config = obs::Json::object();
+  Config.set("program", Slug);
+  Config.set("delay_bound", DelayBound);
+  Config.set("fault_budget", Budget);
+  Config.set("node_cap", NodeCap);
+  Config.set("workers", WorkersFlag);
+  Report.addRun(std::move(Config), R.Stats);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
+      WorkersFlag = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--quick"))
+      QuickFlag = true;
+  }
+  if (JsonPath == "-")
+    Human = stderr; // Keep stdout machine-clean for the report.
+
+  const int DelayBound = QuickFlag ? 1 : 3;
+  const uint64_t NodeCap = QuickFlag ? 100000 : 2000000;
+
+  std::fprintf(Human,
+               "=== Bounded-fault exploration: German (2 clients), "
+               "d=%d, transport faults (drop+duplicate) ===\n",
+               DelayBound);
+  std::fprintf(Human, "%-10s %-12s %-12s %-10s %-8s %-10s %s\n",
+               "budget_k", "states", "nodes", "faults", "errors",
+               "seconds", "note");
+  CompiledProgram German = compileOrExit(corpus::german(2));
+  for (int Budget = 0; Budget <= 2; ++Budget) {
+    CheckOptions Opts;
+    Opts.DelayBound = DelayBound;
+    Opts.MaxNodes = NodeCap;
+    Opts.StopOnFirstError = false;
+    Opts.Workers = WorkersFlag;
+    Opts.Faults.Budget = Budget; // Drop + duplicate, the defaults.
+    CheckResult R = check(German, Opts);
+    std::fprintf(Human, "%-10d %-12llu %-12llu %-10llu %-8llu %-10.3f %s\n",
+                 Budget,
+                 static_cast<unsigned long long>(R.Stats.DistinctStates),
+                 static_cast<unsigned long long>(R.Stats.NodesExplored),
+                 static_cast<unsigned long long>(R.Stats.FaultsInjected),
+                 static_cast<unsigned long long>(R.Stats.ErrorsFound),
+                 R.Stats.Seconds, R.Stats.Exhausted ? "" : "node-cap");
+    record("german2", DelayBound, Budget, NodeCap, R);
+  }
+
+  std::fprintf(Human,
+               "\n=== Seeded droppable-InvAck bug: invisible without a "
+               "fault budget ===\n");
+  std::fprintf(Human, "%-10s %-12s %-10s %s\n", "budget_k", "states",
+               "seconds", "result");
+  CompiledProgram Buggy = compileOrExit(
+      corpus::german(2, corpus::GermanBug::DroppableInvAck));
+  for (int Budget = 0; Budget <= 1; ++Budget) {
+    CheckOptions Opts;
+    Opts.DelayBound = QuickFlag ? 0 : 2;
+    Opts.Workers = WorkersFlag;
+    Opts.Faults.Budget = Budget;
+    // Aim the adversary at the ack message so the counterexample is the
+    // seeded bug, not base German's shallower duplicated-grant error.
+    Opts.Faults.Drop = false;
+    Opts.Faults.Duplicate = true;
+    Opts.Faults.Events.push_back(eventId(Buggy, "InvAck"));
+    CheckResult R = check(Buggy, Opts);
+    std::fprintf(Human, "%-10d %-12llu %-10.3f %s%s\n", Budget,
+                 static_cast<unsigned long long>(R.Stats.DistinctStates),
+                 R.Stats.Seconds,
+                 R.ErrorFound ? errorKindName(R.Error)
+                              : (R.Stats.Exhausted ? "clean (exhausted)"
+                                                   : "clean"),
+                 R.ErrorFound ? " (schedule replayable)" : "");
+    record("german2_droppable_invack", Opts.DelayBound, Budget,
+           Opts.MaxNodes, R);
+  }
+
+  if (!JsonPath.empty() && !Report.writeTo(JsonPath)) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n",
+                 JsonPath.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -19,7 +19,9 @@
 // Output: one CSV-ish series per program, then the seeded-bug table.
 // With --json the same runs are additionally emitted as the stable
 // bench-report schema (obs/BenchJson.h); the human tables move to
-// stderr when the report goes to stdout (--json -).
+// stderr when the report goes to stdout (--json -). --fault-budget k
+// layers k-bounded transport faults (drop/duplicate) on top of every
+// run; bench_fault_injection sweeps that axis systematically.
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +41,7 @@ using namespace p;
 namespace {
 
 int WorkersFlag = 1;      ///< --workers N (0 = hardware_concurrency).
+int FaultBudgetFlag = 0;  ///< --fault-budget k: transport faults per path.
 bool QuickFlag = false;   ///< --quick: small sweep for smoke tests.
 bool ProgressFlag = false; ///< --progress: heartbeat lines on stderr.
 std::string JsonPath;     ///< --json <file|->; empty = no report.
@@ -84,6 +87,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
     Opts.MaxNodes = NodeCap;
     Opts.StopOnFirstError = false;
     Opts.Workers = WorkersFlag;
+    Opts.Faults.Budget = FaultBudgetFlag; // Drop/duplicate, the defaults.
     installProgress(Opts);
     CheckResult R = check(Prog, Opts);
     const char *Note = "";
@@ -107,6 +111,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
       Config.set("delay_bound", D);
       Config.set("node_cap", NodeCap);
       Config.set("workers", WorkersFlag);
+      Config.set("fault_budget", FaultBudgetFlag);
       Report.addRun(std::move(Config), R.Stats);
     }
     if (Saturated || !R.Stats.Exhausted || R.Stats.Seconds > TimeBudget)
@@ -128,6 +133,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       WorkersFlag = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--fault-budget") && I + 1 < argc)
+      FaultBudgetFlag = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
     else if (!std::strcmp(argv[I], "--quick"))
@@ -193,6 +200,7 @@ int main(int argc, char **argv) {
       CheckOptions Opts;
       Opts.DelayBound = D;
       Opts.Workers = WorkersFlag;
+      Opts.Faults.Budget = FaultBudgetFlag;
       installProgress(Opts);
       CheckResult R = check(Prog, Opts);
       if (!JsonPath.empty()) {
@@ -200,6 +208,7 @@ int main(int argc, char **argv) {
         Config.set("program", Bug.Name);
         Config.set("delay_bound", D);
         Config.set("workers", WorkersFlag);
+        Config.set("fault_budget", FaultBudgetFlag);
         Config.set("seeded_bug", true);
         Report.addRun(std::move(Config), R.Stats);
       }

@@ -25,6 +25,7 @@
 
 #include "codegen/CCodeGen.h"
 #include "corpus/Corpus.h"
+#include "fault/FaultPlan.h"
 #include "frontend/Frontend.h"
 #include "host/Host.h"
 #include "obs/BenchJson.h"
@@ -37,12 +38,28 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 using namespace p;
 
 namespace {
+
+bool HasFaultSeed = false; ///< --fault-seed S given on the command line.
+uint64_t FaultSeedFlag = 0;
+
+/// The seeded adversarial transport for --fault-seed: a few percent of
+/// external events dropped, duplicated or delayed. Deterministic per
+/// seed, so a run is reproducible by quoting one integer.
+FaultPlan sec41FaultPlan() {
+  FaultPlan P;
+  P.Seed = FaultSeedFlag;
+  P.DropProb = 0.02;
+  P.DuplicateProb = 0.02;
+  P.DelayProb = 0.02;
+  return P;
+}
 
 CompiledProgram &erasedSwitchLed() {
   static CompiledProgram Prog = [] {
@@ -59,22 +76,41 @@ CompiledProgram &erasedSwitchLed() {
 }
 
 /// One on/off cycle = 4 events (switch on, led ok, switch off, led ok).
+///
+/// With --fault-seed the host transport misbehaves (sec41FaultPlan), and
+/// a dropped or reordered completion eventually leaves the strict driver
+/// FSM facing an event it cannot handle. The "OS" half of the bench then
+/// degrades gracefully — tear the driver down, bring up a fresh instance
+/// — and the rebuild cost is charged to the same per-event budget, so
+/// the reported rate is the cost of running *through* the faults.
 void BM_PInterpreterDriver(benchmark::State &State) {
-  Host H(erasedSwitchLed());
-  int32_t Id = H.createMachine("SwitchLedDriver");
-  uint64_t Events = 0;
+  std::optional<Host> H;
+  H.emplace(erasedSwitchLed());
+  if (HasFaultSeed)
+    H->setFaultPlan(sec41FaultPlan());
+  int32_t Id = H->createMachine("SwitchLedDriver");
+  uint64_t Events = 0, Restarts = 0;
   for (auto _ : State) {
-    H.addEvent(Id, "SwitchedOn");
-    H.addEvent(Id, "LedOk");
-    H.addEvent(Id, "SwitchedOff");
-    H.addEvent(Id, "LedOk");
+    H->addEvent(Id, "SwitchedOn");
+    H->addEvent(Id, "LedOk");
+    H->addEvent(Id, "SwitchedOff");
+    H->addEvent(Id, "LedOk");
     Events += 4;
+    if (HasFaultSeed && H->hasError()) {
+      ++Restarts;
+      H.emplace(erasedSwitchLed());
+      H->setFaultPlan(sec41FaultPlan());
+      Id = H->createMachine("SwitchLedDriver");
+    }
   }
-  if (H.hasError())
-    State.SkipWithError(H.errorMessage().c_str());
+  if (H->hasError())
+    State.SkipWithError(H->errorMessage().c_str());
   State.counters["events/s"] =
       benchmark::Counter(static_cast<double>(Events),
                          benchmark::Counter::kIsRate);
+  if (HasFaultSeed)
+    State.counters["driver restarts"] =
+        benchmark::Counter(static_cast<double>(Restarts));
 }
 BENCHMARK(BM_PInterpreterDriver);
 
@@ -361,6 +397,53 @@ int runJsonMode(const std::string &Path) {
     Report.addRun(std::move(Config), std::move(Stats), Secs);
   }
 
+  // --fault-seed adds a third driver: the interpreter behind the seeded
+  // adversarial transport, restarted whenever a lost or duplicated
+  // completion wedges its FSM. ns_per_event here is the cost of staying
+  // up under faults, rebuilds included.
+  if (HasFaultSeed) {
+    std::optional<Host> H;
+    uint64_t Restarts = 0, Dropped = 0, Duplicated = 0, Delayed = 0;
+    auto Fresh = [&] {
+      if (H) {
+        Dropped += H->stats().EventsDropped;
+        Duplicated += H->stats().EventsDuplicated;
+        Delayed += H->stats().EventsDelayed;
+      }
+      H.emplace(erasedSwitchLed());
+      H->setFaultPlan(sec41FaultPlan());
+      return H->createMachine("SwitchLedDriver");
+    };
+    int32_t Id = Fresh();
+    auto T0 = Clock::now();
+    for (uint64_t I = 0; I != Cycles; ++I) {
+      H->addEvent(Id, "SwitchedOn");
+      H->addEvent(Id, "LedOk");
+      H->addEvent(Id, "SwitchedOff");
+      H->addEvent(Id, "LedOk");
+      if (H->hasError()) {
+        ++Restarts;
+        Id = Fresh();
+      }
+    }
+    double Secs = std::chrono::duration<double>(Clock::now() - T0).count();
+    Dropped += H->stats().EventsDropped;
+    Duplicated += H->stats().EventsDuplicated;
+    Delayed += H->stats().EventsDelayed;
+    obs::Json Config = obs::Json::object();
+    Config.set("driver", "p_interpreter_faulty");
+    Config.set("cycles", Cycles);
+    Config.set("fault_seed", FaultSeedFlag);
+    obs::Json Stats = obs::Json::object();
+    Stats.set("events", 4 * Cycles);
+    Stats.set("ns_per_event", Secs * 1e9 / (4.0 * Cycles));
+    Stats.set("driver_restarts", Restarts);
+    Stats.set("events_dropped", Dropped);
+    Stats.set("events_duplicated", Duplicated);
+    Stats.set("events_delayed", Delayed);
+    Report.addRun(std::move(Config), std::move(Stats), Secs);
+  }
+
   if (!Report.writeTo(Path)) {
     std::fprintf(stderr, "cannot write JSON report to %s\n", Path.c_str());
     return 1;
@@ -371,12 +454,18 @@ int runJsonMode(const std::string &Path) {
 } // namespace
 
 int main(int argc, char **argv) {
-  // Strip --json before google-benchmark sees (and rejects) it.
+  // Strip --json and --fault-seed before google-benchmark sees (and
+  // rejects) them.
   std::string JsonPath;
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
       JsonPath = argv[++I];
+      continue;
+    }
+    if (!std::strcmp(argv[I], "--fault-seed") && I + 1 < argc) {
+      FaultSeedFlag = std::strtoull(argv[++I], nullptr, 10);
+      HasFaultSeed = true;
       continue;
     }
     Args.push_back(argv[I]);

@@ -36,6 +36,7 @@
 #ifndef P_CHECKER_CHECKER_H
 #define P_CHECKER_CHECKER_H
 
+#include "fault/Fault.h"
 #include "pir/Program.h"
 #include "runtime/Errors.h"
 #include "runtime/Executor.h"
@@ -114,6 +115,19 @@ struct CheckOptions {
   /// across workers). The callback must not re-enter check().
   double ProgressIntervalSeconds = 0;
   std::function<void(const CheckStats &)> Progress;
+  /// Bounded-fault exploration (see fault/Fault.h and DESIGN.md "Fault
+  /// model"): with Faults.Budget = k the checker additionally explores
+  /// up to k environment faults — dropped events, duplicated events,
+  /// machine crashes, failed foreign calls — per path, exactly as the
+  /// delaying scheduler explores up to d delays. Budget 0 (the default)
+  /// explores no faults and leaves every result bit-identical to a
+  /// checker without the fault layer.
+  FaultSpec Faults;
+  /// Per-machine queue bound for explored configurations; 0 (default)
+  /// = unbounded, matching the paper. Copied into the root Config, so
+  /// overflow behaves per OverflowPolicy during exploration.
+  uint32_t MaxQueue = 0;
+  OverflowPolicy Overflow = OverflowPolicy::Error;
 };
 
 /// One scheduling decision of an explored path. A sequence of these is
@@ -125,11 +139,24 @@ struct SchedDecision {
     Run,    ///< Run Machine for one slice.
     Delay,  ///< Spend one delay (move the top of S to the bottom).
     Choose, ///< Resolve the pending `*` of the last-run machine.
+    // Fault decisions (explored only when CheckOptions::Faults has a
+    // budget; each costs 1 against it). Their enumerator order defines
+    // the lexicographic tie-break of the parallel determinism contract,
+    // so new kinds go at the end.
+    DropEvent,    ///< Drop Machine's queue entry at index Aux.
+    DupEvent,     ///< Append a second copy of Machine's queue entry at
+                  ///< index Aux (the network delivered twice; the copy
+                  ///< bypasses the ⊎ send-side guard by design).
+    Crash,        ///< Crash Machine (MachineState::Crashed).
+    ForeignFault, ///< Resolve the pending foreign call of the last-run
+                  ///< machine: Choice=true fails it (⊥), false runs it.
   };
   Kind K = Kind::Run;
   int32_t Machine = -1; ///< Run: the machine sliced; Delay: the machine
-                        ///< moved to the bottom of S (trace rendering).
-  bool Choice = false;  ///< Choose.
+                        ///< moved to the bottom of S (trace rendering);
+                        ///< fault kinds: the machine acted on.
+  bool Choice = false;  ///< Choose / ForeignFault.
+  int32_t Aux = -1;     ///< DropEvent/DupEvent: queue index.
 };
 
 /// Structural coverage of one exploration: how much of each machine's
@@ -168,6 +195,10 @@ struct CheckStats {
   int WorkersUsed = 1;       ///< Resolved worker count of the run.
   uint64_t StealCount = 0;   ///< Successful work-stealing operations.
   uint64_t ContentionNs = 0; ///< Time spent blocked on shared-state locks.
+  /// Fault transitions explored (0 unless CheckOptions::Faults has a
+  /// budget). Like NodesExplored, scheduling-race-dependent when
+  /// Workers > 1 and the search is cut short.
+  uint64_t FaultsInjected = 0;
 };
 
 /// Result of a check() run.
@@ -181,6 +212,10 @@ struct CheckResult {
   std::vector<SchedDecision> Schedule;
   /// Delays spent on the erroring path (DelayBounded), else -1.
   int DelaysUsedOnError = -1;
+  /// Faults injected on the erroring path, else -1. A counterexample
+  /// with FaultsUsedOnError == 0 is a genuine program bug; > 0 means
+  /// the environment had to misbehave to reach it.
+  int FaultsUsedOnError = -1;
   /// Fingerprints of quiescent configurations (CollectTerminals).
   std::vector<uint64_t> TerminalHashes;
   /// Structural coverage (TrackCoverage).

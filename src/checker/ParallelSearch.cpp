@@ -62,6 +62,7 @@ struct Node {
   Config Cfg;
   std::deque<int32_t> Sched; ///< The delaying scheduler's stack S.
   int DelaysUsed = 0;
+  int FaultsUsed = 0; ///< Faults injected along this path (≤ Budget).
   int Depth = 0;
   int32_t MustRun = -1; ///< Machine to resume after a choice point.
   uint64_t TraceIdx = NoTraceRef;
@@ -85,6 +86,17 @@ int compareDecision(const SchedDecision &A, const SchedDecision &B) {
   case SchedDecision::Kind::Delay:
     return 0; // The delayed machine is determined by the node.
   case SchedDecision::Kind::Choose:
+    return A.Choice == B.Choice ? 0 : (A.Choice ? 1 : -1);
+  case SchedDecision::Kind::DropEvent:
+  case SchedDecision::Kind::DupEvent:
+    // Queue faults order by (machine, queue index), matching the
+    // ascending pop order of the fault children.
+    if (A.Machine != B.Machine)
+      return A.Machine < B.Machine ? -1 : 1;
+    return A.Aux < B.Aux ? -1 : A.Aux > B.Aux ? 1 : 0;
+  case SchedDecision::Kind::Crash:
+    return A.Machine < B.Machine ? -1 : A.Machine > B.Machine ? 1 : 0;
+  case SchedDecision::Kind::ForeignFault:
     return A.Choice == B.Choice ? 0 : (A.Choice ? 1 : -1);
   }
   return 0;
@@ -148,6 +160,7 @@ struct ErrorRecord {
   ErrorKind Kind = ErrorKind::None;
   std::string Message;
   int DelaysUsed = -1;
+  int FaultsUsed = -1;
   std::vector<SchedDecision> Schedule;
 };
 
@@ -382,12 +395,14 @@ private:
     R.Message = N.Cfg.ErrorMessage;
     R.DelaysUsed =
         Opts.Strategy == SearchStrategy::DelayBounded ? N.DelaysUsed : -1;
+    R.FaultsUsed = Opts.Faults.enabled() ? N.FaultsUsed : -1;
     R.Schedule = materializeSchedule(N.TraceIdx);
     auto L = lockTimed(BestMu, W);
     if (!Best.Found || compareSchedule(R.Schedule, Best.Schedule) < 0)
       Best = std::move(R);
   }
 
+  void pushFaultChildren(Worker &W, const Node &N);
   void expandRun(Worker &W, Node &&N, int32_t Id);
   void expandDelayBounded(Worker &W, Node &&N);
   void expandDepthBounded(Worker &W, Node &&N);
@@ -443,6 +458,7 @@ private:
   std::atomic<uint64_t> DistinctStates{0};
   std::atomic<uint64_t> NodesExplored{0};
   std::atomic<uint64_t> ErrorsFound{0};
+  std::atomic<uint64_t> FaultsInjected{0};
   /// Nodes queued in some frontier or being expanded; 0 <=> done.
   std::atomic<int64_t> InFlight{0};
   std::atomic<bool> Stop{false};
@@ -451,6 +467,79 @@ private:
   std::mutex BestMu;
   ErrorRecord Best;
 };
+
+/// Pushes the fault children of a scheduling point: one per droppable
+/// queue entry, duplicable queue entry, and crashable live machine.
+/// Each costs 1 against FaultSpec::Budget. Children are pushed in
+/// reverse of the exploration (and lex) order — crashes, duplicates,
+/// drops, each descending by (machine, queue index) — so the DFS pops
+/// drops ascending first and crashes ascending last; the caller pushes
+/// the Delay child and runs the zero-cost Run branch after.
+void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
+  const FaultSpec &F = Opts.Faults;
+  if (!F.enabled() || N.MustRun >= 0 || N.FaultsUsed >= F.Budget)
+    return;
+  const int32_t NumM = static_cast<int32_t>(N.Cfg.Machines.size());
+
+  if (F.Crash) {
+    for (int32_t Id = NumM; Id-- > 0;) {
+      const MachineState &M = N.Cfg.Machines[Id];
+      if (!M.Alive || !F.crashTypeAllowed(M.MachineIndex))
+        continue;
+      Node C = N; // copy
+      C.FaultsUsed += 1;
+      W.Exec.crashMachine(C.Cfg, Id); // Records FaultInjected itself.
+      for (auto It = C.Sched.begin(); It != C.Sched.end();)
+        It = (*It == Id) ? C.Sched.erase(It) : std::next(It);
+      SchedDecision D;
+      D.K = SchedDecision::Kind::Crash;
+      D.Machine = Id;
+      C.TraceIdx = addTrace(W, C.TraceIdx, D);
+      FaultsInjected.fetch_add(1, std::memory_order_relaxed);
+      pushNode(W, std::move(C));
+    }
+  }
+
+  for (int Pass = 0; Pass != 2; ++Pass) {
+    const bool Dup = Pass == 0; // Duplicates push first, pop after drops.
+    if (Dup ? !F.Duplicate : !F.Drop)
+      continue;
+    for (int32_t Id = NumM; Id-- > 0;) {
+      const MachineState &M = N.Cfg.Machines[Id];
+      if (!M.Alive)
+        continue;
+      for (int32_t Q = static_cast<int32_t>(M.Queue.size()); Q-- > 0;) {
+        if (!F.eventAllowed(M.Queue[Q].first))
+          continue;
+        Node C = N; // copy
+        C.FaultsUsed += 1;
+        auto &CQ = C.Cfg.Machines[Id].Queue;
+        SchedDecision D;
+        D.Machine = Id;
+        D.Aux = Q;
+        if (Dup) {
+          // The network delivered this message twice: the second copy
+          // lands at the back of the queue, deliberately bypassing the
+          // send-side ⊎ guard.
+          D.K = SchedDecision::Kind::DupEvent;
+          CQ.push_back(CQ[Q]);
+        } else {
+          D.K = SchedDecision::Kind::DropEvent;
+          CQ.erase(CQ.begin() + Q);
+        }
+        if (W.Trace)
+          W.Trace->record(obs::TraceKind::FaultInjected, Id,
+                          static_cast<int32_t>(
+                              Dup ? FaultKind::DuplicateEvent
+                                  : FaultKind::DropEvent),
+                          M.Queue[Q].first);
+        C.TraceIdx = addTrace(W, C.TraceIdx, D);
+        FaultsInjected.fetch_add(1, std::memory_order_relaxed);
+        pushNode(W, std::move(C));
+      }
+    }
+  }
+}
 
 void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
   if (W.Trace)
@@ -518,6 +607,32 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
     pushNode(W, std::move(N));
     return;
   }
+  case Executor::StepOutcome::ForeignCall: {
+    // Stopped at a foreign call (fault points on): branch on whether
+    // the environment fails it, like a `*` choice, except the failing
+    // branch costs one fault. The same machine resumes either way.
+    N.MustRun = Id;
+    if (Opts.Faults.FailForeign && N.FaultsUsed < Opts.Faults.Budget) {
+      Node FailChild = N; // copy
+      FailChild.FaultsUsed += 1;
+      FailChild.Cfg.Machines[Id].InjectedForeignFail = true;
+      SchedDecision FailDecision;
+      FailDecision.K = SchedDecision::Kind::ForeignFault;
+      FailDecision.Machine = Id;
+      FailDecision.Choice = true;
+      FailChild.TraceIdx = addTrace(W, FailChild.TraceIdx, FailDecision);
+      FaultsInjected.fetch_add(1, std::memory_order_relaxed);
+      pushNode(W, std::move(FailChild));
+    }
+    N.Cfg.Machines[Id].InjectedForeignFail = false;
+    SchedDecision OkDecision;
+    OkDecision.K = SchedDecision::Kind::ForeignFault;
+    OkDecision.Machine = Id;
+    OkDecision.Choice = false;
+    N.TraceIdx = addTrace(W, N.TraceIdx, OkDecision);
+    pushNode(W, std::move(N));
+    return;
+  }
   }
 }
 
@@ -555,6 +670,13 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
       W.Buf.push_back(static_cast<char>((Id >> (8 * B)) & 0xff));
   for (int B = 0; B != 4; ++B)
     W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
+  // With a fault budget, the remaining budget is part of the node's
+  // future (the dominance value only tracks delays), so FaultsUsed
+  // joins the key. Appended only when fault exploration is on, keeping
+  // budget-0 runs bit-identical to a checker without the fault layer.
+  if (Opts.Faults.enabled())
+    for (int B = 0; B != 4; ++B)
+      W.Buf.push_back(static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
   uint64_t Key = hashBytes(W.Buf.data(), W.Buf.size());
   if (pruned(W, Key, W.Buf, N.DelaysUsed))
     return;
@@ -563,6 +685,8 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
     Exhausted.store(false, std::memory_order_relaxed);
     return;
   }
+
+  pushFaultChildren(W, N);
 
   // Children are pushed so the zero-cost "run the top" branch is
   // explored first (DFS pops last-pushed first): push delay first.
@@ -591,6 +715,9 @@ void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
 
   for (int B = 0; B != 4; ++B)
     W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
+  if (Opts.Faults.enabled())
+    for (int B = 0; B != 4; ++B)
+      W.Buf.push_back(static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
   uint64_t Key = hashBytes(W.Buf.data(), W.Buf.size());
   if (pruned(W, Key, W.Buf, N.DelaysUsed))
     return;
@@ -605,6 +732,8 @@ void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
     expandRun(W, std::move(N), Id);
     return;
   }
+
+  pushFaultChildren(W, N);
 
   bool Any = false;
   for (int32_t Id = static_cast<int32_t>(N.Cfg.Machines.size()); Id-- > 0;) {
@@ -683,13 +812,28 @@ void ParallelSearch::workerLoop(Worker &W) {
 std::vector<std::string>
 ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
   std::vector<std::string> Lines;
-  Config Cfg = BaseExec.makeInitialConfig();
-  Lines.push_back("initial: create " + BaseExec.describeMachine(Cfg, 0));
+  // A schedule that resolves foreign calls must be re-executed with
+  // foreign fault points on, or the slice boundaries shift; the flag is
+  // deducible from the schedule itself (see Replay.cpp for the same
+  // logic), so counterexamples stay self-contained.
+  Executor RExec(BaseExec);
+  for (const SchedDecision &D : Schedule)
+    if (D.K == SchedDecision::Kind::ForeignFault) {
+      RExec.setForeignFaultPoints(true);
+      break;
+    }
+  Config Cfg = RExec.makeInitialConfig();
+  Lines.push_back("initial: create " + RExec.describeMachine(Cfg, 0));
   int32_t LastRun = -1;
+  auto EventName = [&](int32_t E) {
+    return E >= 0 && E < static_cast<int32_t>(Prog.Events.size())
+               ? Prog.Events[E].Name
+               : std::to_string(E);
+  };
   for (const SchedDecision &D : Schedule) {
     switch (D.K) {
     case SchedDecision::Kind::Delay:
-      Lines.push_back("delay " + BaseExec.describeMachine(Cfg, D.Machine));
+      Lines.push_back("delay " + RExec.describeMachine(Cfg, D.Machine));
       break;
     case SchedDecision::Kind::Choose:
       if (LastRun >= 0 &&
@@ -697,10 +841,40 @@ ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
         Cfg.Machines[LastRun].InjectedChoice = D.Choice;
       Lines.push_back(D.Choice ? "choose true" : "choose false");
       break;
+    case SchedDecision::Kind::DropEvent:
+    case SchedDecision::Kind::DupEvent: {
+      auto &Q = Cfg.Machines[D.Machine].Queue;
+      if (D.Aux < 0 || D.Aux >= static_cast<int32_t>(Q.size())) {
+        Lines.push_back("fault: stale queue index (schedule corrupt?)");
+        break;
+      }
+      const bool Dup = D.K == SchedDecision::Kind::DupEvent;
+      Lines.push_back(std::string("fault: ") +
+                      (Dup ? "duplicate " : "drop ") +
+                      EventName(Q[D.Aux].first) + " in queue of " +
+                      RExec.describeMachine(Cfg, D.Machine));
+      if (Dup)
+        Q.push_back(Q[D.Aux]);
+      else
+        Q.erase(Q.begin() + D.Aux);
+      break;
+    }
+    case SchedDecision::Kind::Crash:
+      Lines.push_back("fault: crash " +
+                      RExec.describeMachine(Cfg, D.Machine));
+      RExec.crashMachine(Cfg, D.Machine);
+      break;
+    case SchedDecision::Kind::ForeignFault:
+      if (D.Machine >= 0 &&
+          D.Machine < static_cast<int32_t>(Cfg.Machines.size()))
+        Cfg.Machines[D.Machine].InjectedForeignFail = D.Choice;
+      Lines.push_back(D.Choice ? "fault: foreign call fails (returns ⊥)"
+                               : "foreign call succeeds");
+      break;
     case SchedDecision::Kind::Run: {
       LastRun = D.Machine;
-      std::string Desc = "run " + BaseExec.describeMachine(Cfg, D.Machine);
-      Executor::StepResult R = BaseExec.step(Cfg, D.Machine);
+      std::string Desc = "run " + RExec.describeMachine(Cfg, D.Machine);
+      Executor::StepResult R = RExec.step(Cfg, D.Machine);
       switch (R.Outcome) {
       case Executor::StepOutcome::Error:
         Lines.push_back(Desc + " -> error: " + Cfg.ErrorMessage);
@@ -718,6 +892,9 @@ ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
         break;
       case Executor::StepOutcome::Halted:
         Lines.push_back(Desc + " -> halted");
+        break;
+      case Executor::StepOutcome::ForeignCall:
+        Lines.push_back(Desc + " -> foreign call");
         break;
       }
       break;
@@ -745,6 +922,8 @@ CheckResult ParallelSearch::run() {
     // pointer must not be shared across worker threads.
     W->Trace = Opts.Trace ? &Opts.Trace->openSink() : nullptr;
     W->Exec.setTraceSink(W->Trace);
+    W->Exec.setForeignFaultPoints(Opts.Faults.enabled() &&
+                                  Opts.Faults.FailForeign);
     if (Opts.TrackCoverage) {
       W->Coverage.Machines.resize(Prog.Machines.size());
       W->Exec.addDispatchObserver([W](int32_t Type, int32_t State,
@@ -759,6 +938,8 @@ CheckResult ParallelSearch::run() {
 
   Node Root;
   Root.Cfg = BaseExec.makeInitialConfig();
+  Root.Cfg.MaxQueue = Opts.MaxQueue;
+  Root.Cfg.Overflow = Opts.Overflow;
   Root.Sched.push_back(0);
   InFlight.store(1, std::memory_order_relaxed);
   Workers[0]->Frontier.push_back(std::move(Root));
@@ -783,6 +964,7 @@ CheckResult ParallelSearch::run() {
   Stats.DistinctStates = DistinctStates.load(std::memory_order_relaxed);
   Stats.NodesExplored = NodesExplored.load(std::memory_order_relaxed);
   Stats.ErrorsFound = ErrorsFound.load(std::memory_order_relaxed);
+  Stats.FaultsInjected = FaultsInjected.load(std::memory_order_relaxed);
   Stats.Exhausted = Exhausted.load(std::memory_order_relaxed);
   Stats.WorkersUsed = static_cast<int>(NumWorkers);
   for (const auto &W : Workers) {
@@ -820,6 +1002,7 @@ CheckResult ParallelSearch::run() {
     Result.ErrorMessage = Best.Message;
     Result.Schedule = Best.Schedule;
     Result.DelaysUsedOnError = Best.DelaysUsed;
+    Result.FaultsUsedOnError = Best.FaultsUsed;
     Result.Trace = renderTrace(Best.Schedule);
   }
 
@@ -852,6 +1035,11 @@ CheckResult ParallelSearch::run() {
         .set(Stats.MaxDepth);
     M.gauge("p_check_nodes_per_sec", "Exploration throughput of the run")
         .set(Stats.Seconds > 0 ? Stats.NodesExplored / Stats.Seconds : 0);
+    M.counter("p_check_fault_injections_total",
+              "Fault transitions explored (bounded-fault search)")
+        .inc(Stats.FaultsInjected);
+    M.gauge("p_check_fault_budget", "Fault budget of the run")
+        .set(Opts.Faults.Budget);
   }
 
   return Result;

@@ -15,6 +15,15 @@ ReplayResult p::replaySchedule(const CompiledProgram &Prog,
                                bool UseModelBodies) {
   Executor::Options EO;
   EO.UseModelBodies = UseModelBodies;
+  // Schedules produced under foreign fault points carry a ForeignFault
+  // decision at every foreign-call stop, so the flag (which moves slice
+  // boundaries) is deducible from the schedule alone — fault-carrying
+  // counterexamples replay without extra configuration.
+  for (const SchedDecision &D : Schedule)
+    if (D.K == SchedDecision::Kind::ForeignFault) {
+      EO.ForeignFaultPoints = true;
+      break;
+    }
   Executor Exec(Prog, EO);
 
   ReplayResult Result;
@@ -32,6 +41,38 @@ ReplayResult p::replaySchedule(const CompiledProgram &Prog,
           LastRun < static_cast<int32_t>(Result.Final.Machines.size()))
         Result.Final.Machines[LastRun].InjectedChoice = D.Choice;
       Result.Steps.push_back(D.Choice ? "choose true" : "choose false");
+      continue;
+    case SchedDecision::Kind::DropEvent:
+    case SchedDecision::Kind::DupEvent: {
+      auto &Q = Result.Final.Machines[D.Machine].Queue;
+      if (D.Aux < 0 || D.Aux >= static_cast<int32_t>(Q.size())) {
+        Result.Steps.push_back("fault: stale queue index");
+        continue;
+      }
+      if (D.K == SchedDecision::Kind::DupEvent) {
+        Q.push_back(Q[D.Aux]);
+        Result.Steps.push_back("fault: duplicate queue entry " +
+                               std::to_string(D.Aux) + " of machine " +
+                               std::to_string(D.Machine));
+      } else {
+        Q.erase(Q.begin() + D.Aux);
+        Result.Steps.push_back("fault: drop queue entry " +
+                               std::to_string(D.Aux) + " of machine " +
+                               std::to_string(D.Machine));
+      }
+      continue;
+    }
+    case SchedDecision::Kind::Crash:
+      Exec.crashMachine(Result.Final, D.Machine);
+      Result.Steps.push_back("fault: crash machine " +
+                             std::to_string(D.Machine));
+      continue;
+    case SchedDecision::Kind::ForeignFault:
+      if (D.Machine >= 0 &&
+          D.Machine < static_cast<int32_t>(Result.Final.Machines.size()))
+        Result.Final.Machines[D.Machine].InjectedForeignFail = D.Choice;
+      Result.Steps.push_back(D.Choice ? "fault: foreign call fails"
+                                      : "foreign call succeeds");
       continue;
     case SchedDecision::Kind::Run: {
       LastRun = D.Machine;
@@ -59,6 +100,9 @@ ReplayResult p::replaySchedule(const CompiledProgram &Prog,
         continue;
       case Executor::StepOutcome::Halted:
         Result.Steps.push_back(Desc + " -> halted");
+        continue;
+      case Executor::StepOutcome::ForeignCall:
+        Result.Steps.push_back(Desc + " -> foreign call");
         continue;
       }
       continue;

@@ -67,7 +67,10 @@ void p::serializeConfig(const Config &Cfg, std::string &Out) {
   Sink.u32(static_cast<uint32_t>(Cfg.Machines.size()));
   for (const MachineState &M : Cfg.Machines) {
     Sink.i32(M.MachineIndex);
-    Sink.u8(M.Alive ? 1 : 0);
+    // 0 = deleted, 1 = alive, 2 = crashed (a fault, restartable): a
+    // crashed machine must not merge with a deleted one, but without
+    // fault exploration the byte is 0/1 exactly as before.
+    Sink.u8(M.Alive ? 1 : (M.Crashed ? 2 : 0));
     if (!M.Alive)
       continue;
     Sink.u32(static_cast<uint32_t>(M.Frames.size()));
@@ -91,7 +94,13 @@ void p::serializeConfig(const Config &Cfg, std::string &Out) {
       Sink.i32(E);
       Sink.value(V);
     }
-    Sink.u8(M.InjectedChoice ? (*M.InjectedChoice ? 2 : 1) : 0);
+    // Packs both checker resumption registers into one byte; without
+    // fault exploration InjectedForeignFail is always unset, so the
+    // byte equals the pre-fault encoding of InjectedChoice alone.
+    Sink.u8(static_cast<uint8_t>(
+        (M.InjectedChoice ? (*M.InjectedChoice ? 2 : 1) : 0) +
+        3 * (M.InjectedForeignFail ? (*M.InjectedForeignFail ? 2 : 1)
+                                   : 0)));
   }
 }
 

@@ -59,6 +59,13 @@ enum class GermanBug {
   /// Home grants exclusive without invalidating the current owner; the
   /// ghost auditor's coherence assertion fails.
   SkipOwnerInvalidation,
+  /// Home's Idle state "defensively" handles stale InvAck through
+  /// CountAck, which asserts AcksNeeded > 0. Fault-free executions never
+  /// deliver an InvAck in Idle (every serve waits for all its acks), so
+  /// the program is clean at any delay bound — but a single duplicated
+  /// InvAck (checker fault budget >= 1) arrives after the grant and
+  /// fires the assertion. Exercises the bounded-fault exploration.
+  DroppableInvAck,
 };
 
 /// German's cache coherence protocol (Section 5's third benchmark):

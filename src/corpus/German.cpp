@@ -116,7 +116,13 @@ machine Home {
     entry { }
     on ReqShared goto ServeShared;
     on ReqExcl goto ServeExcl;
-  }
+)";
+  // The DroppableInvAck variant "handles" a stale ack in Idle; the
+  // CountAck assertion below then fires on the double delivery a
+  // duplicate fault produces.
+  if (Bug == GermanBug::DroppableInvAck)
+    S += "    on InvAck do CountAck;\n";
+  S += R"(  }
 
   // Serve a shared request: invalidate the exclusive owner first.
   state ServeShared {
@@ -193,7 +199,10 @@ machine Home {
   }
 
   action CountAck {
-    AcksNeeded = AcksNeeded - 1;
+)";
+  if (Bug == GermanBug::DroppableInvAck)
+    S += "    assert(AcksNeeded > 0);\n";
+  S += R"(    AcksNeeded = AcksNeeded - 1;
 )";
   for (int I = 1; I <= N; ++I)
     S += "    if (arg == Client" + num(I) + ") { Sharer" + num(I) +

@@ -1,0 +1,40 @@
+//===- fault/Fault.cpp --------------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Fault.h"
+
+#include <algorithm>
+
+using namespace p;
+
+const char *p::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::DropEvent:
+    return "drop-event";
+  case FaultKind::DuplicateEvent:
+    return "duplicate-event";
+  case FaultKind::DelayEvent:
+    return "delay-event";
+  case FaultKind::CrashMachine:
+    return "crash-machine";
+  case FaultKind::RestartMachine:
+    return "restart-machine";
+  case FaultKind::FailForeign:
+    return "fail-foreign";
+  }
+  return "unknown";
+}
+
+bool FaultSpec::eventAllowed(int32_t Event) const {
+  return Events.empty() ||
+         std::find(Events.begin(), Events.end(), Event) != Events.end();
+}
+
+bool FaultSpec::crashTypeAllowed(int32_t MachineType) const {
+  return CrashTypes.empty() ||
+         std::find(CrashTypes.begin(), CrashTypes.end(), MachineType) !=
+             CrashTypes.end();
+}

@@ -1,0 +1,96 @@
+//===- fault/Fault.h - Fault model shared by checker and host --------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault model. The paper verifies responsiveness against an
+/// adversarial *scheduler* (Section 5's delaying scheduler); this layer
+/// extends the adversary to the *transport*: events can be dropped,
+/// duplicated or delayed, machines can crash, and foreign calls can
+/// fail. The same bounded-budget trick the delaying scheduler uses for
+/// delays applies to faults — a path may take at most `Budget` fault
+/// transitions, so d-bounded-delay × k-bounded-fault exploration stays
+/// finite and systematic.
+///
+/// Two consumers share the vocabulary defined here:
+///
+///  * the checker (CheckOptions::Faults, a FaultSpec): fault actions
+///    become explorable nondeterministic transitions, recorded into
+///    counterexamples and replayable via checker/Replay.h;
+///
+///  * the host (Host::setFaultPlan, a FaultPlan in fault/FaultPlan.h):
+///    a seeded deterministic schedule of faults injected at SMAddEvent
+///    boundaries, so the *same* adversary the checker explored can be
+///    exercised against the real runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_FAULT_FAULT_H
+#define P_FAULT_FAULT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace p {
+
+/// One injectable fault action.
+enum class FaultKind : uint8_t {
+  /// Remove one enqueued (event, payload) entry: a lossy transport.
+  DropEvent,
+  /// Append a copy of one enqueued entry, bypassing the queue's ⊎
+  /// dedup (a transport that delivers twice).
+  DuplicateEvent,
+  /// Hold an external event back past its causal delivery slot (host
+  /// plans only; the checker's delaying scheduler already covers
+  /// reordering).
+  DelayEvent,
+  /// Kill a machine: its queue is discarded and later sends to it
+  /// vanish like sends to ⊥ (no error — see DESIGN.md "Fault model").
+  CrashMachine,
+  /// Restart a crashed machine from its initial state (host only).
+  RestartMachine,
+  /// A foreign call fails: it returns ⊥ without executing its model
+  /// body or native implementation.
+  FailForeign,
+};
+
+/// Short stable identifier, e.g. "drop-event"; used by traces/metrics.
+const char *faultKindName(FaultKind Kind);
+
+/// Which fault transitions the checker may explore, and how many per
+/// path. Analogous to the delay bound: `Budget` is the k of k-bounded
+/// fault exploration, 0 disables the machinery entirely (bit-identical
+/// exploration to a build without it).
+struct FaultSpec {
+  /// Maximum fault transitions along one explored path.
+  int Budget = 0;
+
+  /// Which fault kinds participate. Drop/duplicate model the transport
+  /// and are on by default; crash and foreign failure change the
+  /// process model and are opt-in.
+  bool Drop = true;
+  bool Duplicate = true;
+  bool Crash = false;
+  bool FailForeign = false;
+
+  /// Restrict drop/duplicate to these event ids (empty = all events).
+  /// Lets a harness aim the adversary at one protocol message.
+  std::vector<int32_t> Events;
+
+  /// Restrict crashes to these machine *type* indexes (empty = all).
+  std::vector<int32_t> CrashTypes;
+
+  /// True when fault exploration is active at all.
+  bool enabled() const {
+    return Budget > 0 && (Drop || Duplicate || Crash || FailForeign);
+  }
+
+  bool eventAllowed(int32_t Event) const;
+  bool crashTypeAllowed(int32_t MachineType) const;
+};
+
+} // namespace p
+
+#endif // P_FAULT_FAULT_H

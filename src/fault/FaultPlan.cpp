@@ -1,0 +1,64 @@
+//===- fault/FaultPlan.cpp ----------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+
+#include <algorithm>
+
+using namespace p;
+
+bool FaultPlan::eventAllowed(int32_t Event) const {
+  return Events.empty() ||
+         std::find(Events.begin(), Events.end(), Event) != Events.end();
+}
+
+FaultAction FaultPlan::decide(uint64_t CallIndex, int32_t Event) {
+  FaultAction A;
+
+  for (const ScriptEntry &S : Script)
+    if (S.AtCall == CallIndex) {
+      A.Inject = true;
+      A.Kind = S.Kind;
+      return A;
+    }
+
+  const double Total = DropProb + DuplicateProb + DelayProb + CrashProb;
+  if (Total <= 0)
+    return A;
+  // One uniform draw in [0, 1) per consultation, taken from the top 53
+  // bits so the stream is identical across standard libraries. The draw
+  // happens even for filtered-out events to keep the decision at call N
+  // independent of the filter.
+  const double U = static_cast<double>(Rng() >> 11) * 0x1.0p-53;
+  if (!eventAllowed(Event))
+    return A;
+
+  double Edge = DropProb;
+  if (U < Edge) {
+    A.Inject = true;
+    A.Kind = FaultKind::DropEvent;
+    return A;
+  }
+  Edge += DuplicateProb;
+  if (U < Edge) {
+    A.Inject = true;
+    A.Kind = FaultKind::DuplicateEvent;
+    return A;
+  }
+  Edge += DelayProb;
+  if (U < Edge) {
+    A.Inject = true;
+    A.Kind = FaultKind::DelayEvent;
+    return A;
+  }
+  Edge += CrashProb;
+  if (U < Edge) {
+    A.Inject = true;
+    A.Kind = FaultKind::CrashMachine;
+    return A;
+  }
+  return A;
+}

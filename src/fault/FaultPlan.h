@@ -1,0 +1,86 @@
+//===- fault/FaultPlan.h - Seeded fault schedules for the host -------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault schedule for the execution host. The host
+/// consults the plan once per accepted SMAddEvent call; the plan either
+/// rolls a seeded mt19937_64 against per-kind probabilities or matches a
+/// scripted entry pinned to that call's ordinal. Determinism contract:
+/// the same plan (seed + probabilities + script) over the same sequence
+/// of addEvent calls makes the same decisions — one RNG draw per
+/// consultation, nothing else advances the stream — so a fault-laden
+/// host run can be reproduced exactly (tested in fault_test.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_FAULT_FAULTPLAN_H
+#define P_FAULT_FAULTPLAN_H
+
+#include "fault/Fault.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace p {
+
+/// What the plan decided for one SMAddEvent call.
+struct FaultAction {
+  /// False: deliver normally.
+  bool Inject = false;
+  FaultKind Kind = FaultKind::DropEvent;
+};
+
+/// A seeded (probabilistic) and/or scripted fault schedule, applied by
+/// the host at SMAddEvent boundaries. Copy the configured plan into
+/// Host::setFaultPlan; the host owns its copy's RNG state.
+class FaultPlan {
+public:
+  /// Seeds the mt19937_64 behind the probabilistic rolls.
+  uint64_t Seed = 0;
+
+  /// Per-kind injection probabilities in [0, 1], evaluated in the fixed
+  /// order drop, duplicate, delay, crash from a single uniform draw per
+  /// call (first matching band wins; they should sum to <= 1).
+  double DropProb = 0;
+  double DuplicateProb = 0;
+  double DelayProb = 0;
+  double CrashProb = 0;
+
+  /// Restrict probabilistic faults to these event ids (empty = all).
+  std::vector<int32_t> Events;
+
+  /// A scripted fault pinned to the Nth consultation (1-based ordinal
+  /// of accepted SMAddEvent calls). Scripted entries win over rolls.
+  struct ScriptEntry {
+    uint64_t AtCall = 0;
+    FaultKind Kind = FaultKind::DropEvent;
+  };
+  std::vector<ScriptEntry> Script;
+
+  /// True when the plan can ever inject anything.
+  bool enabled() const {
+    return !Script.empty() || DropProb > 0 || DuplicateProb > 0 ||
+           DelayProb > 0 || CrashProb > 0;
+  }
+
+  /// (Re)seeds the RNG; the host calls this when the plan is installed.
+  void reset() { Rng.seed(Seed); }
+
+  /// Decides the fate of the \p CallIndex-th (1-based) accepted
+  /// SMAddEvent delivering \p Event. Advances the RNG by exactly one
+  /// draw when any probability is set, zero otherwise.
+  FaultAction decide(uint64_t CallIndex, int32_t Event);
+
+private:
+  bool eventAllowed(int32_t Event) const;
+
+  std::mt19937_64 Rng;
+};
+
+} // namespace p
+
+#endif // P_FAULT_FAULTPLAN_H

@@ -24,6 +24,20 @@
 
 using namespace p;
 
+const char *p::hostErrorName(HostError E) {
+  switch (E) {
+  case HostError::None:
+    return "none";
+  case HostError::UnknownMachine:
+    return "unknown-machine";
+  case HostError::UnknownEvent:
+    return "unknown-event";
+  case HostError::DeadTarget:
+    return "dead-target";
+  }
+  return "unknown";
+}
+
 Host::Host(const CompiledProgram &Prog, uint64_t Seed)
     : Prog(Prog), Exec(Prog), Rng(Seed) {
   Exec.setChoiceProvider([this] { return (Rng() & 1) != 0; });
@@ -63,6 +77,9 @@ void Host::drain() {
     case Executor::StepOutcome::ChoicePoint:
       // Unreachable: the host installs a choice provider.
       break;
+    case Executor::StepOutcome::ForeignCall:
+      // Unreachable: the host never enables foreign fault points.
+      break;
     case Executor::StepOutcome::Error:
       return;
     }
@@ -79,8 +96,10 @@ int32_t Host::createMachine(
     const std::vector<std::pair<std::string, Value>> &Inits) {
   std::lock_guard<std::mutex> Lock(PumpMutex);
   int MachineIndex = Prog.findMachine(MachineName);
-  if (MachineIndex < 0)
+  if (MachineIndex < 0) {
+    LastError = HostError::UnknownMachine;
     return -1;
+  }
   const MachineInfo &Info = Prog.Machines[MachineIndex];
 
   std::vector<std::pair<int32_t, Value>> Resolved;
@@ -92,32 +111,189 @@ int32_t Host::createMachine(
 
   int32_t Id = Exec.createMachine(Cfg, MachineIndex, Resolved);
   Contexts.resize(Cfg.Machines.size(), nullptr);
+  CreationInits.resize(Cfg.Machines.size());
+  CreationInits[Id] = Resolved;
   ++Stats.MachinesCreated;
+  LastError = HostError::None;
   arm(Id);
   drain();
+  QueueCv.notify_all();
   return Id;
+}
+
+void Host::flushDelayed() {
+  while (!Delayed.empty() && !Cfg.hasError()) {
+    auto [Target, Event, Arg] = std::move(Delayed.front());
+    Delayed.erase(Delayed.begin());
+    deliver(Target, Event, Arg);
+  }
+}
+
+bool Host::deliver(int32_t Target, int32_t Event, const Value &Arg) {
+  if (!Exec.enqueueEvent(Cfg, Target, Event, Arg))
+    return false;
+  arm(Target);
+  drain();
+  QueueCv.notify_all();
+  return !Cfg.hasError();
 }
 
 bool Host::addEvent(int32_t Target, const std::string &EventName,
                     Value Arg) {
-  std::lock_guard<std::mutex> Lock(PumpMutex);
+  std::unique_lock<std::mutex> Lock(PumpMutex);
   int Event = Prog.findEvent(EventName);
-  if (Event < 0)
+  if (Event < 0) {
+    LastError = HostError::UnknownEvent;
     return false;
+  }
+  // Classify API misuse and reject it before the semantics can raise an
+  // error config: the caller ("OS") naming a bad target is its mistake,
+  // not a P program error, so the configuration stays healthy and the
+  // boolean result no longer conflates the two.
+  if (Target < 0 || Target >= static_cast<int32_t>(Cfg.Machines.size())) {
+    LastError = HostError::UnknownMachine;
+    return false;
+  }
+  if (!Cfg.Machines[Target].Alive && !Cfg.Machines[Target].Crashed) {
+    LastError = HostError::DeadTarget;
+    return false;
+  }
+  LastError = HostError::None;
+
+  // Back-pressure (OverflowPolicy::Block): wait until the full queue
+  // has room, the target dies, or the system errors. Another thread
+  // must pump (its drain notifies) — the paper's run-to-completion
+  // discipline means this thread cannot drain the queue itself.
+  if (Cfg.MaxQueue != 0 && Cfg.Overflow == OverflowPolicy::Block) {
+    auto WouldBlock = [&] {
+      if (Cfg.hasError() || !Cfg.isLive(Target))
+        return false;
+      const MachineState &M = Cfg.Machines[Target];
+      if (M.Queue.size() < Cfg.MaxQueue)
+        return false;
+      for (const auto &[E, V] : M.Queue) // ⊎ no-op needs no room.
+        if (E == Event && V == Arg)
+          return false;
+      return true;
+    };
+    QueueCv.wait(Lock, [&] { return !WouldBlock(); });
+  }
+
+  ++AddEventCalls;
+  if (HasPlan) {
+    FaultAction A = Plan.decide(AddEventCalls, Event);
+    if (A.Inject && Cfg.isLive(Target)) {
+      obs::TraceSink *T = Exec.traceSink();
+      switch (A.Kind) {
+      case FaultKind::DropEvent:
+        // The wire ate it: the call "succeeds" and nothing arrives.
+        ++Stats.EventsDropped;
+        if (T)
+          T->record(obs::TraceKind::FaultInjected, Target,
+                    static_cast<int32_t>(FaultKind::DropEvent), Event);
+        return !Cfg.hasError();
+      case FaultKind::DuplicateEvent: {
+        // Delivered twice: once now, once after the first pump (the
+        // run-to-completion discipline empties the queue in between,
+        // so the second copy is not a ⊎ no-op).
+        ++Stats.EventsDuplicated;
+        if (T)
+          T->record(obs::TraceKind::FaultInjected, Target,
+                    static_cast<int32_t>(FaultKind::DuplicateEvent),
+                    Event);
+        ++Stats.EventsDelivered;
+        bool Ok = deliver(Target, Event, Arg);
+        if (Ok && Cfg.isLive(Target))
+          Ok = deliver(Target, Event, Arg);
+        flushDelayed();
+        return Ok && !Cfg.hasError();
+      }
+      case FaultKind::DelayEvent:
+        ++Stats.EventsDelayed;
+        if (T)
+          T->record(obs::TraceKind::FaultInjected, Target,
+                    static_cast<int32_t>(FaultKind::DelayEvent), Event);
+        Delayed.emplace_back(Target, Event, Arg);
+        return !Cfg.hasError();
+      case FaultKind::CrashMachine:
+        // The process died before the delivery: both vanish.
+        ++Stats.MachinesCrashed;
+        Exec.crashMachine(Cfg, Target);
+        Sched.erase(std::remove(Sched.begin(), Sched.end(), Target),
+                    Sched.end());
+        QueueCv.notify_all();
+        return !Cfg.hasError();
+      case FaultKind::RestartMachine:
+      case FaultKind::FailForeign:
+        break; // Not produced by FaultPlan::decide.
+      }
+    }
+  }
+
   if (!Exec.enqueueEvent(Cfg, Target, Event, Arg))
     return false;
   ++Stats.EventsDelivered;
   arm(Target);
   drain();
+  QueueCv.notify_all();
+  flushDelayed();
   return !Cfg.hasError();
 }
 
 bool Host::runToCompletion() {
   std::lock_guard<std::mutex> Lock(PumpMutex);
+  flushDelayed();
   for (int32_t Id = static_cast<int32_t>(Cfg.Machines.size()); Id-- > 0;)
     if (Exec.isEnabled(Cfg, Id))
       arm(Id);
   drain();
+  QueueCv.notify_all();
+  return !Cfg.hasError();
+}
+
+HostError Host::lastHostError() const {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  return LastError;
+}
+
+void Host::setFaultPlan(FaultPlan P) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  Plan = std::move(P);
+  Plan.reset();
+  HasPlan = Plan.enabled();
+}
+
+void Host::setQueueLimit(uint32_t MaxQueue, OverflowPolicy Policy) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  Cfg.MaxQueue = MaxQueue;
+  Cfg.Overflow = Policy;
+  QueueCv.notify_all();
+}
+
+bool Host::crashMachine(int32_t Id) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  if (!Cfg.isLive(Id))
+    return false;
+  Exec.crashMachine(Cfg, Id);
+  Sched.erase(std::remove(Sched.begin(), Sched.end(), Id), Sched.end());
+  ++Stats.MachinesCrashed;
+  QueueCv.notify_all(); // A blocked send to this queue can stop waiting.
+  return true;
+}
+
+bool Host::restartMachine(int32_t Id) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  const std::vector<std::pair<int32_t, Value>> NoInits;
+  const auto &Inits = Id >= 0 &&
+                              Id < static_cast<int32_t>(CreationInits.size())
+                          ? CreationInits[Id]
+                          : NoInits;
+  if (!Exec.restartMachine(Cfg, Id, Inits))
+    return false;
+  ++Stats.MachinesRestarted;
+  arm(Id);
+  drain();
+  QueueCv.notify_all();
   return !Cfg.hasError();
 }
 
@@ -164,6 +340,28 @@ void Host::exportMetrics(obs::MetricsRegistry &Registry) const {
       .set(static_cast<double>(
           std::count_if(Cfg.Machines.begin(), Cfg.Machines.end(),
                         [](const MachineState &M) { return M.Alive; })));
+  Registry
+      .counter("p_host_faults_dropped_total",
+               "SMAddEvent calls swallowed by the fault plan")
+      .inc(Stats.EventsDropped);
+  Registry
+      .counter("p_host_faults_duplicated_total",
+               "SMAddEvent calls delivered twice by the fault plan")
+      .inc(Stats.EventsDuplicated);
+  Registry
+      .counter("p_host_faults_delayed_total",
+               "Deliveries deferred to a later pump by the fault plan")
+      .inc(Stats.EventsDelayed);
+  Registry
+      .counter("p_host_faults_crashed_total",
+               "Machines crashed (fault plan or crashMachine)")
+      .inc(Stats.MachinesCrashed);
+  Registry.counter("p_host_restarts_total", "Machines restarted")
+      .inc(Stats.MachinesRestarted);
+  Registry
+      .counter("p_host_overflow_dropped_total",
+               "Events discarded by OverflowPolicy::DropNewest")
+      .inc(Cfg.OverflowDropped);
 }
 
 Value Host::readVar(int32_t Id, const std::string &VarName) const {

@@ -24,14 +24,17 @@
 #ifndef P_HOST_HOST_H
 #define P_HOST_HOST_H
 
+#include "fault/FaultPlan.h"
 #include "runtime/Executor.h"
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <random>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace p {
@@ -46,7 +49,26 @@ struct HostStats {
   uint64_t EventsDelivered = 0; ///< SMAddEvent calls accepted.
   uint64_t SlicesRun = 0;       ///< Run-to-completion slices executed.
   uint64_t MachinesCreated = 0;
+  // Fault-plan actions taken (all zero without a FaultPlan).
+  uint64_t EventsDropped = 0;    ///< SMAddEvent calls swallowed.
+  uint64_t EventsDuplicated = 0; ///< SMAddEvent calls delivered twice.
+  uint64_t EventsDelayed = 0;    ///< Deliveries deferred to a later pump.
+  uint64_t MachinesCrashed = 0;  ///< Crash faults (plan or crashMachine).
+  uint64_t MachinesRestarted = 0;
 };
+
+/// Why the last host API call was rejected before touching the program
+/// (API misuse, not program errors — those surface via error()).
+enum class HostError : uint8_t {
+  None,
+  UnknownMachine, ///< createMachine: no such machine type; addEvent:
+                  ///< target id was never a machine.
+  UnknownEvent,   ///< addEvent: no such event name.
+  DeadTarget,     ///< addEvent: target machine deleted itself.
+};
+
+/// Short identifier, e.g. "unknown-event".
+const char *hostErrorName(HostError E);
 
 /// Runs a compiled (normally ghost-erased) P program.
 class Host {
@@ -88,6 +110,37 @@ public:
   ErrorKind error() const { return Cfg.Error; }
   const std::string &errorMessage() const { return Cfg.ErrorMessage; }
 
+  /// Why the most recent createMachine/addEvent call was rejected
+  /// (HostError::None after a call that reached the program). Unified
+  /// API misuse reporting: callers no longer have to guess between the
+  /// boolean result and the error configuration.
+  HostError lastHostError() const;
+
+  /// Installs a seeded fault plan (see fault/FaultPlan.h): every
+  /// accepted addEvent consults it and may be dropped, duplicated,
+  /// delayed to a later pump, or turn into a crash of the target.
+  /// Resets the plan's RNG, so two hosts given the same plan replay the
+  /// same fault schedule. Pass a default-constructed plan to disable.
+  void setFaultPlan(FaultPlan P);
+
+  /// Bounds every machine queue (Config::MaxQueue; 0 = unbounded).
+  /// Under OverflowPolicy::Block, addEvent blocks the calling thread
+  /// until space frees up (another thread must pump or crash the
+  /// target) — the host boundary is the only place that may wait.
+  void setQueueLimit(uint32_t MaxQueue,
+                     OverflowPolicy Policy = OverflowPolicy::Error);
+
+  /// Fault model: kills a live machine in place (the process died; see
+  /// Executor::crashMachine). Pending queue contents are lost; sends to
+  /// it silently vanish. Wakes any addEvent blocked on its queue.
+  bool crashMachine(int32_t Id);
+
+  /// Restarts a crashed machine with the variable initializers of its
+  /// original creation (host-created machines; machines created by `new`
+  /// restart with default-initialized variables). Its entry statement
+  /// runs to completion before this returns, like createMachine.
+  bool restartMachine(int32_t Id);
+
   /// Current state name of machine \p Id (top of its call stack), or ""
   /// when dead; handy for tests and demos.
   std::string currentStateName(int32_t Id) const;
@@ -118,6 +171,11 @@ private:
   void drain();
   /// Puts machine \p Id on top of the scheduler stack if absent.
   void arm(int32_t Id);
+  /// Delivers events a fault plan postponed (PumpMutex held).
+  void flushDelayed();
+  /// Enqueues + pumps one delivery (PumpMutex held); the shared tail of
+  /// addEvent and the duplicate/delayed fault paths.
+  bool deliver(int32_t Target, int32_t Event, const Value &Arg);
 
   const CompiledProgram &Prog;
   Executor Exec;
@@ -127,6 +185,20 @@ private:
   std::deque<int32_t> Sched; ///< The d = 0 scheduler stack.
   std::mt19937_64 Rng;
   mutable std::mutex PumpMutex; ///< Serializes host entry points.
+  /// Wakes addEvent calls blocked on a full queue (OverflowPolicy::
+  /// Block) whenever a pump ran or a machine crashed/restarted.
+  std::condition_variable QueueCv;
+
+  HostError LastError = HostError::None;
+  FaultPlan Plan;
+  bool HasPlan = false;
+  uint64_t AddEventCalls = 0; ///< Accepted calls; the plan's ordinal.
+  /// Deliveries postponed by FaultKind::DelayEvent, flushed after the
+  /// next pump (so a delayed event genuinely arrives later).
+  std::vector<std::tuple<int32_t, int32_t, Value>> Delayed;
+  /// Original variable initializers per host-created machine id, used
+  /// by restartMachine.
+  std::vector<std::vector<std::pair<int32_t, Value>>> CreationInits;
 };
 
 } // namespace p

@@ -28,6 +28,7 @@ Json p::obs::checkStatsToJson(const CheckStats &Stats) {
   J.set("workers_used", Stats.WorkersUsed);
   J.set("steal_count", Stats.StealCount);
   J.set("contention_ns", Stats.ContentionNs);
+  J.set("faults_injected", Stats.FaultsInjected);
   return J;
 }
 

@@ -34,6 +34,10 @@ const char *p::obs::traceKindName(TraceKind Kind) {
     return "halt";
   case TraceKind::Error:
     return "error";
+  case TraceKind::FaultInjected:
+    return "fault-injected";
+  case TraceKind::QueueOverflow:
+    return "queue-overflow";
   }
   return "unknown";
 }

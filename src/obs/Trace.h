@@ -56,9 +56,13 @@ enum class TraceKind : uint8_t {
   Slice,      ///< A run-to-scheduling-point slice started: Machine ran.
   Halt,       ///< DELETE: Machine executed delete.
   Error,      ///< Error transition: Machine, A=(int)ErrorKind.
+  FaultInjected, ///< Fault layer acted: Machine, A=(int)FaultKind, B=event
+                 ///< (or -1 for machine-level faults like crash/restart).
+  QueueOverflow, ///< Bounded queue overflowed: Machine=target, A=event,
+                 ///< B=(int)OverflowPolicy that handled it.
 };
 
-inline constexpr size_t NumTraceKinds = 10;
+inline constexpr size_t NumTraceKinds = 12;
 
 /// Short stable identifier, e.g. "state-enter"; used by the exporters
 /// and re-parsed by the JSONL reader.

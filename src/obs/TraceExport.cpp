@@ -126,6 +126,14 @@ std::string describeArgs(const TraceEvent &E, const CompiledProgram *Prog) {
     return stateName(Prog, E.B, E.A);
   case TraceKind::Error:
     return errorKindName(static_cast<ErrorKind>(E.A));
+  case TraceKind::FaultInjected: {
+    std::string Out = faultKindName(static_cast<FaultKind>(E.A));
+    if (E.B >= 0) // Queue faults carry the affected event in B.
+      Out += " " + eventName(Prog, E.B);
+    return Out;
+  }
+  case TraceKind::QueueOverflow:
+    return eventName(Prog, E.A);
   case TraceKind::Delay:
   case TraceKind::Slice:
   case TraceKind::Halt:
@@ -312,6 +320,15 @@ std::string p::obs::renderMsc(const std::vector<TraceEvent> &Events,
       put(Row, C + 1,
           std::string("!! ") + errorKindName(static_cast<ErrorKind>(E.A)));
       break;
+    case TraceKind::FaultInjected:
+      put(Row, C + 1,
+          std::string("%% ") + faultKindName(static_cast<FaultKind>(E.A)) +
+              (E.B >= 0 ? " " + eventName(Prog, E.B) : std::string()));
+      break;
+    case TraceKind::QueueOverflow:
+      put(Row, C + 1,
+          std::string("%% queue-overflow ") + eventName(Prog, E.A));
+      break;
     case TraceKind::Slice:
     case TraceKind::StateExit:
       break;
@@ -333,6 +350,13 @@ p::obs::renderScheduleMsc(const CompiledProgram &Prog,
                           bool UseModelBodies) {
   Executor::Options EO;
   EO.UseModelBodies = UseModelBodies;
+  // Fault-carrying schedules deduce the foreign-fault-point flag the
+  // same way Replay does (it moves slice boundaries).
+  for (const SchedDecision &D : Schedule)
+    if (D.K == SchedDecision::Kind::ForeignFault) {
+      EO.ForeignFaultPoints = true;
+      break;
+    }
   Executor Exec(Prog, EO);
   TraceRecorder Recorder;
   TraceSink &Sink = Recorder.openSink();
@@ -348,6 +372,32 @@ p::obs::renderScheduleMsc(const CompiledProgram &Prog,
     case SchedDecision::Kind::Choose:
       if (LastRun >= 0 && LastRun < static_cast<int32_t>(Cfg.Machines.size()))
         Cfg.Machines[LastRun].InjectedChoice = D.Choice;
+      break;
+    case SchedDecision::Kind::DropEvent:
+    case SchedDecision::Kind::DupEvent: {
+      auto &Q = Cfg.Machines[D.Machine].Queue;
+      if (D.Aux < 0 || D.Aux >= static_cast<int32_t>(Q.size()))
+        break;
+      const bool Dup = D.K == SchedDecision::Kind::DupEvent;
+      Sink.record(TraceKind::FaultInjected, D.Machine,
+                  static_cast<int32_t>(Dup ? FaultKind::DuplicateEvent
+                                           : FaultKind::DropEvent),
+                  Q[D.Aux].first);
+      if (Dup)
+        Q.push_back(Q[D.Aux]);
+      else
+        Q.erase(Q.begin() + D.Aux);
+      break;
+    }
+    case SchedDecision::Kind::Crash:
+      Exec.crashMachine(Cfg, D.Machine); // Records FaultInjected itself.
+      break;
+    case SchedDecision::Kind::ForeignFault:
+      // The executor records FaultInjected itself when it consumes the
+      // injected failure at the next Run.
+      if (D.Machine >= 0 &&
+          D.Machine < static_cast<int32_t>(Cfg.Machines.size()))
+        Cfg.Machines[D.Machine].InjectedForeignFail = D.Choice;
       break;
     case SchedDecision::Kind::Run: {
       LastRun = D.Machine;

@@ -82,6 +82,12 @@ enum class TransferKind : uint8_t {
 struct MachineState {
   int32_t MachineIndex = -1;
   bool Alive = false;
+  /// Fault model: the machine was crashed (by an explored crash fault
+  /// or Host::crashMachine) rather than deleted by its own `delete`.
+  /// Crashed implies !Alive; unlike deletion, sends to a crashed
+  /// machine are silently dropped instead of erroring, and the host can
+  /// restart it. Always false when no fault layer is active.
+  bool Crashed = false;
 
   std::vector<StateFrame> Frames; ///< σ; back() is the top of the stack.
   std::vector<ExecFrame> Exec;    ///< Remaining statement; back() runs.
@@ -104,7 +110,28 @@ struct MachineState {
   /// Set by the model checker to resume past a Nondet choice point.
   std::optional<bool> InjectedChoice;
 
+  /// Set by the model checker to resume past a foreign-call fault point
+  /// (Executor::Options::ForeignFaultPoints): true fails the call (it
+  /// returns ⊥), false executes it normally. Unset in every
+  /// configuration explored without fault injection.
+  std::optional<bool> InjectedForeignFail;
+
   bool operator==(const MachineState &O) const = default;
+};
+
+/// What a send does when the receiving queue is at Config::MaxQueue.
+enum class OverflowPolicy : uint8_t {
+  /// Raise ErrorKind::QueueOverflow (the verification default: prove
+  /// the program respects the bound).
+  Error,
+  /// Discard the new event and count it in Config::OverflowDropped
+  /// (lossy degradation; the drop is traced as QueueOverflow).
+  DropNewest,
+  /// Back-pressure: Host::addEvent blocks the producing thread until
+  /// space frees up or the target dies. Only the host boundary can
+  /// block — machine-to-machine sends under this policy behave like
+  /// Error (a machine cannot wait mid-slice; see DESIGN.md).
+  Block,
 };
 
 /// A global configuration M plus the error flag of Figure 6.
@@ -114,6 +141,15 @@ struct Config {
   ErrorKind Error = ErrorKind::None;
   std::string ErrorMessage;
   int32_t ErrorMachine = -1;
+
+  /// Per-machine queue capacity; 0 = unbounded (the semantics of the
+  /// paper). Constant over a run — set before execution starts — so it
+  /// is not part of the serialized state.
+  uint32_t MaxQueue = 0;
+  OverflowPolicy Overflow = OverflowPolicy::Error;
+  /// Events discarded by OverflowPolicy::DropNewest. Diagnostic only:
+  /// excluded from serialization/equality, exported as a host metric.
+  uint64_t OverflowDropped = 0;
 
   bool hasError() const { return Error != ErrorKind::None; }
 

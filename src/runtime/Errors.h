@@ -46,6 +46,11 @@ enum class ErrorKind {
   /// Liveness (Section 3.2): an event was enqueued but can be deferred
   /// forever under fair scheduling (reported by the liveness checker).
   LivenessViolation,
+  /// Extension: a send overflowed a bounded queue (Config::MaxQueue)
+  /// under OverflowPolicy::Error — the graceful alternative to
+  /// unbounded memory growth under overload (see DESIGN.md "Fault
+  /// model").
+  QueueOverflow,
 };
 
 /// Short identifier, e.g. "unhandled-event".
@@ -73,6 +78,8 @@ inline const char *errorKindName(ErrorKind Kind) {
     return "unknown-foreign";
   case ErrorKind::LivenessViolation:
     return "liveness-violation";
+  case ErrorKind::QueueOverflow:
+    return "queue-overflow";
   }
   return "unknown";
 }

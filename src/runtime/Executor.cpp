@@ -23,6 +23,7 @@
 #include "runtime/Executor.h"
 
 #include "ast/AST.h"
+#include "fault/Fault.h"
 #include "obs/Trace.h"
 
 #include <cassert>
@@ -104,6 +105,11 @@ bool Executor::enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
     return false;
   }
   MachineState &M = Cfg.Machines[Target];
+  if (M.Crashed)
+    // Fault model: a crashed process neither receives nor errors the
+    // sender — the message vanishes on the wire (unlike SEND-FAIL2,
+    // which models a program bug, not an environment fault).
+    return true;
   if (!M.Alive) {
     raiseError(Cfg, Target, ErrorKind::SendToDeleted,
                "send to deleted machine id " + std::to_string(Target));
@@ -114,7 +120,82 @@ bool Executor::enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
   for (const auto &[E, V] : M.Queue)
     if (E == Event && V == Arg)
       return true;
+  if (Cfg.MaxQueue != 0 && M.Queue.size() >= Cfg.MaxQueue) {
+    if (Cfg.Overflow == OverflowPolicy::DropNewest) {
+      ++Cfg.OverflowDropped;
+      if (Trace)
+        Trace->record(TraceKind::QueueOverflow, Target, Event,
+                      static_cast<int32_t>(Cfg.Overflow));
+      return true;
+    }
+    // Error, and Block at the machine-to-machine level (only the host
+    // boundary can actually wait; see OverflowPolicy).
+    raiseError(Cfg, Target, ErrorKind::QueueOverflow,
+               "queue of machine id " + std::to_string(Target) +
+                   " exceeded MaxQueue=" + std::to_string(Cfg.MaxQueue));
+    return false;
+  }
   M.Queue.emplace_back(Event, Arg);
+  return true;
+}
+
+bool Executor::crashMachine(Config &Cfg, int32_t Id) const {
+  if (!Cfg.isLive(Id))
+    return false;
+  MachineState &M = Cfg.Machines[Id];
+  // Discard the whole machine configuration, like Opcode::Delete, but
+  // remember that the death was a fault so sends keep dropping silently
+  // and restartMachine can bring the id back.
+  M.Alive = false;
+  M.Crashed = true;
+  M.Exec.clear();
+  M.Frames.clear();
+  M.Queue.clear();
+  M.Vars.clear();
+  M.HasRaise = false;
+  M.Transfer = TransferKind::None;
+  M.InjectedChoice.reset();
+  M.InjectedForeignFail.reset();
+  if (Trace)
+    Trace->record(TraceKind::FaultInjected, Id,
+                  static_cast<int32_t>(FaultKind::CrashMachine));
+  return true;
+}
+
+bool Executor::restartMachine(
+    Config &Cfg, int32_t Id,
+    const std::vector<std::pair<int32_t, Value>> &Inits) const {
+  if (Id < 0 || Id >= static_cast<int32_t>(Cfg.Machines.size()))
+    return false;
+  MachineState &M = Cfg.Machines[Id];
+  if (!M.Crashed)
+    return false;
+  const MachineInfo &Info = Prog.Machines[M.MachineIndex];
+
+  // Rebuild the machine configuration the way createMachine does, in
+  // place: fresh variables, initial state, entry statement pending.
+  M.Alive = true;
+  M.Crashed = false;
+  M.Vars.assign(Info.Vars.size(), Value::null());
+  for (const auto &[VarIndex, V] : Inits) {
+    assert(VarIndex >= 0 && VarIndex < static_cast<int32_t>(M.Vars.size()));
+    M.Vars[VarIndex] = V;
+  }
+  M.Msg = Value::null();
+  M.Arg = Value::null();
+
+  StateFrame Frame;
+  Frame.State = 0;
+  Frame.Inherit.assign(Prog.Events.size(), InheritNone);
+  M.Frames.push_back(std::move(Frame));
+  if (Info.States[0].EntryBody >= 0)
+    pushBodyFrame(M, Info.States[0].EntryBody, FrameKind::Entry);
+
+  if (Trace) {
+    Trace->record(TraceKind::FaultInjected, Id,
+                  static_cast<int32_t>(FaultKind::RestartMachine));
+    Trace->record(TraceKind::StateEnter, Id, 0, M.MachineIndex);
+  }
   return true;
 }
 
@@ -540,6 +621,19 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
                   "send target is not a machine id at " + Loc.str() +
                       " in " + B.Name);
     int32_t To = Target.asMachine();
+    // Fault model: a crashed process neither receives nor errors the
+    // sender (unlike a deleted one — SEND-FAIL2 stays a program bug).
+    // The message vanishes but the send still executed, so the slice
+    // boundary is the same one a delivered send produces.
+    if (To >= 0 && To < static_cast<int32_t>(Cfg.Machines.size()) &&
+        Cfg.Machines[To].Crashed) {
+      if (Trace)
+        Trace->record(TraceKind::Send, Id, Event.asEvent(), To);
+      ++Frame.PC;
+      Res.Kind = InstrResult::SchedulingPoint;
+      Res.Other = To;
+      return Res;
+    }
     if (!Cfg.isLive(To))
       return fail(ErrorKind::SendToDeleted,
                   "send to deleted/uninitialized machine id " +
@@ -574,6 +668,27 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
   }
   case Opcode::CallForeign: {
     const ForeignFunInfo &F = Info.Funs[I.A];
+    if (Opts.ForeignFaultPoints) {
+      if (!M.InjectedForeignFail) {
+        // Leave PC at the call so the checker can decide whether it
+        // fails (set InjectedForeignFail) and re-step.
+        Res.Kind = InstrResult::ForeignCall;
+        return Res;
+      }
+      const bool Fail = *M.InjectedForeignFail;
+      M.InjectedForeignFail.reset();
+      if (Fail) {
+        // The explored failure: the call never runs; its arguments are
+        // consumed and it yields ⊥, like a non-strict unknown foreign.
+        for (int32_t K = 0; K != I.B; ++K)
+          popValue();
+        Stack.push_back(Value::null());
+        if (Trace)
+          Trace->record(TraceKind::FaultInjected, Id,
+                        static_cast<int32_t>(FaultKind::FailForeign));
+        break;
+      }
+    }
     std::vector<Value> Args(I.B);
     for (size_t K = Args.size(); K-- > 0;)
       Args[K] = popValue();
@@ -701,6 +816,8 @@ Executor::StepResult Executor::step(Config &Cfg, int32_t Id) const {
         return {StepOutcome::Halted};
       case InstrResult::Error:
         return {StepOutcome::Error};
+      case InstrResult::ForeignCall:
+        return {StepOutcome::ForeignCall};
       }
       continue;
     }

@@ -56,6 +56,11 @@ public:
     /// fires (the paper's first liveness property: a machine must not
     /// run forever without getting disabled).
     uint64_t MaxStepsPerSlice = 1000000;
+    /// Fault exploration: stop at every foreign call (StepOutcome::
+    /// ForeignCall) so the caller can decide whether it fails, via
+    /// MachineState::InjectedForeignFail. Off everywhere except checker
+    /// runs with FaultSpec::FailForeign enabled.
+    bool ForeignFaultPoints = false;
   };
 
   /// How a step() slice ended.
@@ -65,6 +70,8 @@ public:
     Blocked,         ///< Needs an event; none eligible in the queue.
     Halted,          ///< The machine executed `delete`.
     Error,           ///< Config entered the error state (see Cfg.Error).
+    ForeignCall,     ///< Stopped before a foreign call (fault points
+                     ///< on); resolve via InjectedForeignFail.
   };
 
   struct StepResult {
@@ -99,6 +106,13 @@ public:
   /// Installs the source of `*` choices for runtime execution.
   void setChoiceProvider(std::function<bool()> Provider) {
     ChoiceProvider = std::move(Provider);
+  }
+
+  /// Toggles Options::ForeignFaultPoints after construction; the
+  /// parallel checker sets it on its per-worker copies when foreign
+  /// failure is part of the explored fault model.
+  void setForeignFaultPoints(bool Enable) {
+    Opts.ForeignFaultPoints = Enable;
   }
 
   /// Observes every DEQUEUE (machine id, event id); used by the
@@ -153,9 +167,24 @@ public:
 
   /// Enqueues an external event (rule SEND's ⊎ append); used by the
   /// host's SMAddEvent. Returns false and sets the error state when the
-  /// target is invalid.
+  /// target is invalid. Fault-model refinements: sends to a *crashed*
+  /// machine are silently dropped (returns true), and a bounded queue
+  /// (Config::MaxQueue) applies its overflow policy here.
   bool enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
                     Value Arg = Value::null()) const;
+
+  /// Fault model: kills machine \p Id in place (MachineState::Crashed).
+  /// Its queue and execution state are discarded; subsequent sends to
+  /// it vanish silently. Returns false for ids that are not live.
+  bool crashMachine(Config &Cfg, int32_t Id) const;
+
+  /// Fault model: re-initializes a *crashed* machine in place — fresh
+  /// variables (with \p Inits applied), initial state, entry statement
+  /// pending — modelling a process restart under the same id. Returns
+  /// false unless the machine is currently crashed.
+  bool restartMachine(Config &Cfg, int32_t Id,
+                      const std::vector<std::pair<int32_t, Value>> &Inits =
+                          {}) const;
 
   /// Runs machine \p Id until the next scheduling point (see file
   /// comment).
@@ -181,7 +210,8 @@ private:
       SchedulingPoint,
       ChoicePoint,
       Halted,
-      Error
+      Error,
+      ForeignCall
     } Kind = Continue;
     int32_t Other = -1;
     bool Created = false;

@@ -1,0 +1,501 @@
+//===- tests/fault_test.cpp - Fault-injection subsystem tests ---------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the three layers of the fault model (fault/Fault.h):
+//
+//  * checker: bounded-fault exploration (CheckOptions::Faults) — budget
+//    monotonicity, worker-count determinism, counterexample replay;
+//  * host: seeded/scripted FaultPlan schedules, crash/restart;
+//  * runtime: bounded queues under all three OverflowPolicy values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "checker/Replay.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+#include "host/Host.h"
+#include "obs/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace p;
+
+namespace {
+
+CompiledProgram compileOrDie(const std::string &Src, bool Erase = false) {
+  LowerOptions LO;
+  LO.EraseGhosts = Erase;
+  CompileResult R = compileString(Src, LO);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    std::abort();
+  return std::move(*R.Program);
+}
+
+int32_t eventId(const CompiledProgram &Prog, const std::string &Name) {
+  for (size_t I = 0; I != Prog.Events.size(); ++I)
+    if (Prog.Events[I].Name == Name)
+      return static_cast<int32_t>(I);
+  ADD_FAILURE() << "no event named " << Name;
+  return -1;
+}
+
+/// German(2) with the fault-seeded bug: Idle "handles" a stale InvAck
+/// through CountAck, whose AcksNeeded > 0 assertion only a duplicated
+/// InvAck can violate.
+CompiledProgram droppableInvAck() {
+  return compileOrDie(
+      corpus::german(2, corpus::GermanBug::DroppableInvAck));
+}
+
+/// Aim the adversary at the protocol's ack message only, so the
+/// counterexample is the seeded bug and not the (also real, but
+/// shallower) duplicated-grant unhandled event.
+CheckOptions dupInvAckOpts(const CompiledProgram &Prog, int Budget,
+                           int Delays = 0) {
+  CheckOptions Opts;
+  Opts.DelayBound = Delays;
+  Opts.Faults.Budget = Budget;
+  Opts.Faults.Drop = false;
+  Opts.Faults.Duplicate = true;
+  Opts.Faults.Events.push_back(eventId(Prog, "InvAck"));
+  return Opts;
+}
+
+// --------------------------------------------------------------- checker
+
+TEST(FaultChecker, BudgetZeroIsIdenticalToNoFaultLayer) {
+  CompiledProgram Prog = droppableInvAck();
+  CheckOptions Plain;
+  CheckResult A = check(Prog, Plain);
+  // Budget 0 with every kind enabled still explores no fault edge and
+  // must not even perturb the visited-set keys.
+  CheckOptions Zero = dupInvAckOpts(Prog, 0);
+  Zero.Faults.Drop = Zero.Faults.Crash = Zero.Faults.FailForeign = true;
+  Zero.Faults.Budget = 0;
+  CheckResult B = check(Prog, Zero);
+  EXPECT_FALSE(A.ErrorFound);
+  EXPECT_FALSE(B.ErrorFound);
+  EXPECT_EQ(A.Stats.DistinctStates, B.Stats.DistinctStates);
+  EXPECT_EQ(A.Stats.NodesExplored, B.Stats.NodesExplored);
+  EXPECT_EQ(B.Stats.FaultsInjected, 0u);
+  EXPECT_EQ(B.FaultsUsedOnError, -1);
+}
+
+TEST(FaultChecker, SeededBugNeedsAFaultBudget) {
+  CompiledProgram Prog = droppableInvAck();
+  // Fault-free exploration is clean: no execution delivers an InvAck
+  // in Idle without the transport misbehaving.
+  CheckResult Clean = check(Prog, dupInvAckOpts(Prog, /*Budget=*/0));
+  EXPECT_FALSE(Clean.ErrorFound);
+  EXPECT_TRUE(Clean.Stats.Exhausted);
+  // One duplicated InvAck delivers a stale ack after the grant and
+  // fires the CountAck assertion.
+  CheckResult Buggy = check(Prog, dupInvAckOpts(Prog, /*Budget=*/1));
+  ASSERT_TRUE(Buggy.ErrorFound);
+  EXPECT_EQ(Buggy.Error, ErrorKind::AssertFailed);
+  // The counterexample declares the environment had to misbehave.
+  EXPECT_EQ(Buggy.FaultsUsedOnError, 1);
+  EXPECT_GT(Buggy.Stats.FaultsInjected, 0u);
+}
+
+TEST(FaultChecker, BudgetIsMonotone) {
+  CompiledProgram Prog = droppableInvAck();
+  uint64_t PrevStates = 0, PrevErrors = 0;
+  for (int Budget = 0; Budget <= 2; ++Budget) {
+    CheckOptions Opts = dupInvAckOpts(Prog, Budget);
+    Opts.StopOnFirstError = false;
+    CheckResult R = check(Prog, Opts);
+    ASSERT_TRUE(R.Stats.Exhausted) << "budget " << Budget;
+    // A budget-k path is also a budget-(k+1) path (FaultsUsed, not the
+    // budget, is in the dedup key), so the explored tree only grows.
+    EXPECT_GE(R.Stats.DistinctStates, PrevStates) << "budget " << Budget;
+    EXPECT_GE(R.Stats.ErrorsFound, PrevErrors) << "budget " << Budget;
+    EXPECT_EQ(R.ErrorFound, Budget > 0);
+    PrevStates = R.Stats.DistinctStates;
+    PrevErrors = R.Stats.ErrorsFound;
+  }
+}
+
+TEST(FaultChecker, WorkerCountDoesNotChangeFaultExploration) {
+  CompiledProgram Prog = droppableInvAck();
+  CheckOptions Opts = dupInvAckOpts(Prog, /*Budget=*/1, /*Delays=*/1);
+  Opts.StopOnFirstError = false;
+  CheckResult Serial = check(Prog, Opts);
+  Opts.Workers = 4;
+  CheckResult Parallel = check(Prog, Opts);
+  ASSERT_TRUE(Serial.Stats.Exhausted);
+  ASSERT_TRUE(Parallel.Stats.Exhausted);
+  EXPECT_EQ(Serial.Stats.DistinctStates, Parallel.Stats.DistinctStates);
+  EXPECT_EQ(Serial.Stats.ErrorsFound, Parallel.Stats.ErrorsFound);
+  EXPECT_EQ(Serial.ErrorFound, Parallel.ErrorFound);
+  EXPECT_EQ(Serial.Error, Parallel.Error);
+  EXPECT_EQ(Serial.FaultsUsedOnError, Parallel.FaultsUsedOnError);
+}
+
+TEST(FaultChecker, FaultCounterexampleReplaysDeterministically) {
+  CompiledProgram Prog = droppableInvAck();
+  CheckResult R = check(Prog, dupInvAckOpts(Prog, /*Budget=*/1));
+  ASSERT_TRUE(R.ErrorFound);
+  // The schedule carries the fault decision itself.
+  bool HasDup = false;
+  for (const SchedDecision &D : R.Schedule)
+    HasDup |= D.K == SchedDecision::Kind::DupEvent;
+  EXPECT_TRUE(HasDup);
+  ReplayResult First = replaySchedule(Prog, R.Schedule);
+  ASSERT_TRUE(First.ErrorReached);
+  EXPECT_EQ(First.Error, R.Error);
+  // Replay is a pure function of the schedule.
+  ReplayResult Second = replaySchedule(Prog, R.Schedule);
+  ASSERT_TRUE(Second.ErrorReached);
+  EXPECT_EQ(Second.Error, First.Error);
+  EXPECT_EQ(Second.ErrorMessage, First.ErrorMessage);
+  EXPECT_EQ(Second.Steps, First.Steps);
+}
+
+TEST(FaultChecker, DroppedGrantBreaksBaseGerman) {
+  // No seeded bug needed: dropping a grant strands a client in its
+  // Asking state, where the next Inv is unhandled — a responsiveness
+  // bug only a lossy transport can produce.
+  CompiledProgram Prog = compileOrDie(corpus::german(2));
+  CheckOptions Opts;
+  Opts.Faults.Budget = 1;
+  Opts.Faults.Drop = true;
+  Opts.Faults.Duplicate = false;
+  CheckResult R = check(Prog, Opts);
+  ASSERT_TRUE(R.ErrorFound);
+  EXPECT_EQ(R.Error, ErrorKind::UnhandledEvent);
+  EXPECT_EQ(R.FaultsUsedOnError, 1);
+  ReplayResult RR = replaySchedule(Prog, R.Schedule);
+  ASSERT_TRUE(RR.ErrorReached);
+  EXPECT_EQ(RR.Error, ErrorKind::UnhandledEvent);
+}
+
+TEST(FaultChecker, ForeignFailureIsExplorable) {
+  // FindBuddy's model body yields a valid id; a failed foreign call
+  // skips the body and returns ⊥ instead, which the send then
+  // dereferences. (An assert cannot detect the failure: like the
+  // paper's ASSERT-PASS, an undefined condition behaves like skip.)
+  CompiledProgram Prog = compileOrDie(R"(
+event Ping;
+main machine M {
+  var Buddy: id;
+  foreign fun FindBuddy(): id model { result = this; }
+  state S {
+    entry {
+      Buddy = FindBuddy();
+      send(Buddy, Ping);
+    }
+    on Ping do Ignore;
+  }
+  action Ignore { skip; }
+}
+)");
+  CheckOptions Opts;
+  Opts.Faults.Budget = 1;
+  Opts.Faults.Drop = Opts.Faults.Duplicate = false;
+  Opts.Faults.FailForeign = true;
+  CheckResult R = check(Prog, Opts);
+  ASSERT_TRUE(R.ErrorFound);
+  EXPECT_EQ(R.Error, ErrorKind::SendToNull);
+  EXPECT_EQ(R.FaultsUsedOnError, 1);
+  bool HasFF = false;
+  for (const SchedDecision &D : R.Schedule)
+    HasFF |= D.K == SchedDecision::Kind::ForeignFault && D.Choice;
+  EXPECT_TRUE(HasFF);
+  ReplayResult RR = replaySchedule(Prog, R.Schedule);
+  ASSERT_TRUE(RR.ErrorReached);
+  EXPECT_EQ(RR.Error, ErrorKind::SendToNull);
+  // Budget 0 never takes the failing branch.
+  Opts.Faults.Budget = 0;
+  EXPECT_FALSE(check(Prog, Opts).ErrorFound);
+}
+
+TEST(FaultChecker, CrashExplorationIsCleanAndDeterministic) {
+  // Crashing a machine silences it (sends to it vanish; no error
+  // transition), so exploration stays clean while covering the
+  // partial-failure states a crash exposes.
+  CompiledProgram Prog = compileOrDie(R"(
+event Ping;
+event Pong;
+main machine A {
+  var B: id;
+  state S {
+    entry { B = new Bm(Peer = this); send(B, Ping); }
+    on Pong goto Done;
+  }
+  state Done { entry { } }
+}
+machine Bm {
+  var Peer: id;
+  state S {
+    entry { }
+    on Ping do Reply;
+  }
+  action Reply { send(Peer, Pong); }
+}
+)");
+  CheckOptions Plain;
+  CheckResult Base = check(Prog, Plain);
+  CheckOptions Opts;
+  Opts.Faults.Budget = 1;
+  Opts.Faults.Drop = Opts.Faults.Duplicate = false;
+  Opts.Faults.Crash = true;
+  CheckResult R = check(Prog, Opts);
+  EXPECT_FALSE(R.ErrorFound);
+  EXPECT_TRUE(R.Stats.Exhausted);
+  EXPECT_GT(R.Stats.DistinctStates, Base.Stats.DistinctStates);
+  EXPECT_GT(R.Stats.FaultsInjected, 0u);
+  Opts.Workers = 2;
+  CheckResult R2 = check(Prog, Opts);
+  EXPECT_EQ(R.Stats.DistinctStates, R2.Stats.DistinctStates);
+  EXPECT_EQ(R.Stats.Terminals, R2.Stats.Terminals);
+}
+
+TEST(FaultChecker, FaultMetricsAreExported) {
+  CompiledProgram Prog = droppableInvAck();
+  obs::MetricsRegistry Reg;
+  CheckOptions Opts = dupInvAckOpts(Prog, /*Budget=*/1);
+  Opts.Metrics = &Reg;
+  CheckResult R = check(Prog, Opts);
+  ASSERT_TRUE(R.ErrorFound);
+  const obs::Counter *Injected = Reg.findCounter("p_check_fault_injections_total");
+  ASSERT_NE(Injected, nullptr);
+  EXPECT_EQ(Injected->value(), R.Stats.FaultsInjected);
+  const obs::Gauge *Budget = Reg.findGauge("p_check_fault_budget");
+  ASSERT_NE(Budget, nullptr);
+  EXPECT_DOUBLE_EQ(Budget->value(), 1.0);
+}
+
+// ------------------------------------------------------------------ host
+
+const char *Counter = R"(
+event Inc(int);
+event Go;
+main machine CounterM {
+  var Total: int;
+  state S {
+    entry { Total = 0; }
+    on Inc do Add;
+  }
+  action Add { Total = Total + arg; }
+}
+machine DeferrerM {
+  var Sum: int;
+  state Wait {
+    defer Inc;
+    entry { Sum = 0; }
+    on Go goto Work;
+  }
+  state Work {
+    entry { }
+    on Inc do Add;
+  }
+  action Add { Sum = Sum + arg; }
+}
+)";
+
+TEST(FaultHost, ScriptedPlanDropsDuplicatesAndDelays) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  FaultPlan Plan;
+  Plan.Script.push_back({1, FaultKind::DropEvent});
+  Plan.Script.push_back({2, FaultKind::DuplicateEvent});
+  Plan.Script.push_back({3, FaultKind::DelayEvent});
+  H.setFaultPlan(Plan);
+  // Call 1 is swallowed whole.
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(100)));
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(0));
+  // Call 2 lands twice.
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(5)));
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(10));
+  // Call 3 is deferred to a later pump...
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(1)));
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(10));
+  // ...and runToCompletion flushes it.
+  EXPECT_TRUE(H.runToCompletion());
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(11));
+  EXPECT_EQ(H.stats().EventsDropped, 1u);
+  EXPECT_EQ(H.stats().EventsDuplicated, 1u);
+  EXPECT_EQ(H.stats().EventsDelayed, 1u);
+}
+
+TEST(FaultHost, SeededPlansReplayIdentically) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  FaultPlan Plan;
+  Plan.Seed = 42;
+  Plan.DropProb = 0.3;
+  Plan.DuplicateProb = 0.2;
+  auto RunOnce = [&Prog, &Plan] {
+    Host H(Prog);
+    int32_t Id = H.createMachine("CounterM");
+    H.setFaultPlan(Plan); // setFaultPlan reseeds: same stream each run.
+    for (int I = 1; I <= 64; ++I)
+      EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(I)));
+    return std::make_tuple(H.readVar(Id, "Total"),
+                           H.stats().EventsDropped,
+                           H.stats().EventsDuplicated);
+  };
+  auto A = RunOnce();
+  auto B = RunOnce();
+  EXPECT_EQ(A, B);
+  // The probabilities actually bit: some events dropped, some doubled.
+  EXPECT_GT(std::get<1>(A), 0u);
+  EXPECT_GT(std::get<2>(A), 0u);
+}
+
+TEST(FaultHost, CrashAndRestartRecoverTheMachine) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  ASSERT_TRUE(H.addEvent(Id, "Inc", Value::integer(3)));
+  ASSERT_TRUE(H.crashMachine(Id));
+  EXPECT_EQ(H.currentStateName(Id), "");
+  // Sends to a crashed machine vanish silently: the call is accepted,
+  // not an API misuse, and not a program error.
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(7)));
+  EXPECT_EQ(H.lastHostError(), HostError::None);
+  EXPECT_FALSE(H.hasError());
+  // Restart re-runs the entry statement (Total = 0) and the machine
+  // serves events again; the lost in-flight Inc stays lost.
+  ASSERT_TRUE(H.restartMachine(Id));
+  EXPECT_EQ(H.currentStateName(Id), "S");
+  ASSERT_TRUE(H.addEvent(Id, "Inc", Value::integer(2)));
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(2));
+  EXPECT_EQ(H.stats().MachinesCrashed, 1u);
+  EXPECT_EQ(H.stats().MachinesRestarted, 1u);
+  // Crashing a dead machine or restarting a live one are no-ops.
+  EXPECT_FALSE(H.restartMachine(Id));
+  ASSERT_TRUE(H.crashMachine(Id));
+  EXPECT_FALSE(H.crashMachine(Id));
+}
+
+TEST(FaultHost, RestartReappliesCreationInitializers) {
+  CompiledProgram Prog = compileOrDie(R"(
+event Poke;
+event Tick;
+main machine Pinger {
+  var Friend: id;
+  state S {
+    entry { }
+    on Poke do Fwd;
+  }
+  action Fwd { send(Friend, Tick); }
+}
+machine Sink {
+  var Ticks: int;
+  state S {
+    entry { Ticks = 0; }
+    on Tick do Note;
+  }
+  action Note { Ticks = Ticks + 1; }
+}
+)",
+                                     /*Erase=*/true);
+  Host H(Prog);
+  int32_t Snk = H.createMachine("Sink");
+  int32_t Png = H.createMachine("Pinger", {{"Friend", Value::machine(Snk)}});
+  ASSERT_TRUE(H.addEvent(Png, "Poke"));
+  EXPECT_EQ(H.readVar(Snk, "Ticks"), Value::integer(1));
+  ASSERT_TRUE(H.crashMachine(Png));
+  ASSERT_TRUE(H.restartMachine(Png));
+  // The Friend wiring survived the restart.
+  ASSERT_TRUE(H.addEvent(Png, "Poke"));
+  EXPECT_EQ(H.readVar(Snk, "Ticks"), Value::integer(2));
+}
+
+TEST(FaultHost, QueueOverflowErrorPolicy) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  Host H(Prog);
+  int32_t Id = H.createMachine("DeferrerM");
+  H.setQueueLimit(1, OverflowPolicy::Error);
+  // The deferred Inc parks in the queue; the second one overflows.
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(1)));
+  EXPECT_FALSE(H.addEvent(Id, "Inc", Value::integer(2)));
+  EXPECT_TRUE(H.hasError());
+  EXPECT_EQ(H.error(), ErrorKind::QueueOverflow);
+  // Overflow is a program error, not API misuse.
+  EXPECT_EQ(H.lastHostError(), HostError::None);
+}
+
+TEST(FaultHost, QueueOverflowDropNewestPolicy) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  Host H(Prog);
+  int32_t Id = H.createMachine("DeferrerM");
+  H.setQueueLimit(2, OverflowPolicy::DropNewest);
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(1)));
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(2)));
+  // Graceful degradation: the overflowing event is counted and shed.
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(4)));
+  EXPECT_FALSE(H.hasError());
+  EXPECT_EQ(H.config().OverflowDropped, 1u);
+  // Lift the bound so Go is deliverable; only the first two Incs
+  // survived to be processed.
+  H.setQueueLimit(0);
+  ASSERT_TRUE(H.addEvent(Id, "Go"));
+  EXPECT_EQ(H.readVar(Id, "Sum"), Value::integer(3));
+}
+
+TEST(FaultHost, QueueOverflowBlockUnblocksOnCrash) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  Host H(Prog);
+  int32_t Id = H.createMachine("DeferrerM");
+  H.setQueueLimit(1, OverflowPolicy::Block);
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(1)));
+  // The next addEvent must block until space frees up; crashing the
+  // target discards its queue and wakes the waiter (whose delivery
+  // then vanishes into the dead machine).
+  std::thread Unblocker([&H, Id] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    H.crashMachine(Id);
+  });
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(2)));
+  auto Waited = std::chrono::steady_clock::now() - Start;
+  Unblocker.join();
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(Waited)
+                .count(),
+            20);
+  EXPECT_FALSE(H.hasError());
+  EXPECT_EQ(H.stats().MachinesCrashed, 1u);
+}
+
+TEST(FaultHost, IdenticalEntriesNeverBlock) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  Host H(Prog);
+  int32_t Id = H.createMachine("DeferrerM");
+  H.setQueueLimit(1, OverflowPolicy::Block);
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(1)));
+  // The ⊎ dedup makes an identical (event, payload) entry a no-op, so
+  // it needs no queue space and must not wait.
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(1)));
+  EXPECT_FALSE(H.hasError());
+}
+
+TEST(FaultHost, FaultMetricsAreExported) {
+  CompiledProgram Prog = compileOrDie(Counter, /*Erase=*/true);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  FaultPlan Plan;
+  Plan.Script.push_back({1, FaultKind::DropEvent});
+  H.setFaultPlan(Plan);
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(1)));
+  obs::MetricsRegistry Reg;
+  H.exportMetrics(Reg);
+  const obs::Counter *Dropped = Reg.findCounter("p_host_faults_dropped_total");
+  ASSERT_NE(Dropped, nullptr);
+  EXPECT_EQ(Dropped->value(), 1u);
+  ASSERT_NE(Reg.findCounter("p_host_faults_duplicated_total"), nullptr);
+  ASSERT_NE(Reg.findCounter("p_host_faults_crashed_total"), nullptr);
+  ASSERT_NE(Reg.findCounter("p_host_overflow_dropped_total"), nullptr);
+}
+
+} // namespace

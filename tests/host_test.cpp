@@ -52,13 +52,57 @@ TEST(Host, CreateUnknownMachineFails) {
   CompiledProgram Prog = compileErased(Counter);
   Host H(Prog);
   EXPECT_EQ(H.createMachine("Nonexistent"), -1);
+  EXPECT_EQ(H.lastHostError(), HostError::UnknownMachine);
 }
 
 TEST(Host, AddUnknownEventFails) {
   CompiledProgram Prog = compileErased(Counter);
   Host H(Prog);
   int32_t Id = H.createMachine("CounterM");
+  EXPECT_EQ(H.lastHostError(), HostError::None);
   EXPECT_FALSE(H.addEvent(Id, "Nonexistent"));
+  EXPECT_EQ(H.lastHostError(), HostError::UnknownEvent);
+}
+
+TEST(Host, LastHostErrorClassifiesApiMisuse) {
+  CompiledProgram Prog = compileErased(R"(
+event Die;
+event Nop;
+main machine M {
+  state S {
+    entry { }
+    on Nop do Ignore;
+    on Die do Kill;
+  }
+  action Ignore { skip; }
+  action Kill { delete; }
+}
+)");
+  Host H(Prog);
+  int32_t Id = H.createMachine("M");
+  ASSERT_GE(Id, 0);
+
+  // Out-of-range target: never was a machine.
+  EXPECT_FALSE(H.addEvent(99, "Nop"));
+  EXPECT_EQ(H.lastHostError(), HostError::UnknownMachine);
+
+  // A successful call resets the classification.
+  EXPECT_TRUE(H.addEvent(Id, "Nop"));
+  EXPECT_EQ(H.lastHostError(), HostError::None);
+
+  // The machine deletes itself; further sends hit a dead target. This
+  // is API misuse by the caller ("OS"), distinct from the program-level
+  // send-to-deleted error a P machine would raise.
+  EXPECT_TRUE(H.addEvent(Id, "Die"));
+  EXPECT_FALSE(H.addEvent(Id, "Nop"));
+  EXPECT_EQ(H.lastHostError(), HostError::DeadTarget);
+  EXPECT_FALSE(H.hasError());
+
+  // The names are stable identifiers for logs/tests.
+  EXPECT_STREQ(hostErrorName(HostError::None), "none");
+  EXPECT_STREQ(hostErrorName(HostError::UnknownMachine), "unknown-machine");
+  EXPECT_STREQ(hostErrorName(HostError::UnknownEvent), "unknown-event");
+  EXPECT_STREQ(hostErrorName(HostError::DeadTarget), "dead-target");
 }
 
 TEST(Host, EventsDriveTheMachine) {
