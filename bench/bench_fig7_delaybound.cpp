@@ -46,6 +46,33 @@ bool QuickFlag = false;   ///< --quick: small sweep for smoke tests.
 bool ProgressFlag = false; ///< --progress: heartbeat lines on stderr.
 std::string JsonPath;     ///< --json <file|->; empty = no report.
 std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
+VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
+uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
+
+const char *visitedModeName(VisitedMode M) {
+  switch (M) {
+  case VisitedMode::Exact:
+    return "exact";
+  case VisitedMode::Fingerprint:
+    return "fingerprint";
+  case VisitedMode::Compact:
+    return "compact";
+  }
+  return "?";
+}
+
+VisitedMode parseVisitedMode(const char *S) {
+  if (!std::strcmp(S, "exact"))
+    return VisitedMode::Exact;
+  if (!std::strcmp(S, "compact"))
+    return VisitedMode::Compact;
+  if (!std::strcmp(S, "fingerprint"))
+    return VisitedMode::Fingerprint;
+  std::fprintf(stderr,
+               "unknown --visited-mode '%s' (exact|fingerprint|compact)\n",
+               S);
+  std::exit(2);
+}
 
 obs::BenchReport Report("fig7_delaybound");
 
@@ -88,6 +115,8 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
     Opts.StopOnFirstError = false;
     Opts.Workers = WorkersFlag;
     Opts.Faults.Budget = FaultBudgetFlag; // Drop/duplicate, the defaults.
+    Opts.Visited = VisitedFlag;
+    Opts.VisitedCapBytes = VisitedCapFlag;
     installProgress(Opts);
     CheckResult R = check(Prog, Opts);
     const char *Note = "";
@@ -112,6 +141,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
       Config.set("node_cap", NodeCap);
       Config.set("workers", WorkersFlag);
       Config.set("fault_budget", FaultBudgetFlag);
+      Config.set("visited_mode", visitedModeName(VisitedFlag));
       Report.addRun(std::move(Config), R.Stats);
     }
     if (Saturated || !R.Stats.Exhausted || R.Stats.Seconds > TimeBudget)
@@ -137,6 +167,10 @@ int main(int argc, char **argv) {
       FaultBudgetFlag = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--visited-mode") && I + 1 < argc)
+      VisitedFlag = parseVisitedMode(argv[++I]);
+    else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
+      VisitedCapFlag = std::strtoull(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--quick"))
       QuickFlag = true;
     else if (!std::strcmp(argv[I], "--progress"))
@@ -201,6 +235,8 @@ int main(int argc, char **argv) {
       Opts.DelayBound = D;
       Opts.Workers = WorkersFlag;
       Opts.Faults.Budget = FaultBudgetFlag;
+      Opts.Visited = VisitedFlag;
+      Opts.VisitedCapBytes = VisitedCapFlag;
       installProgress(Opts);
       CheckResult R = check(Prog, Opts);
       if (!JsonPath.empty()) {
@@ -209,6 +245,7 @@ int main(int argc, char **argv) {
         Config.set("delay_bound", D);
         Config.set("workers", WorkersFlag);
         Config.set("fault_budget", FaultBudgetFlag);
+        Config.set("visited_mode", visitedModeName(VisitedFlag));
         Config.set("seeded_bug", true);
         Report.addRun(std::move(Config), R.Stats);
       }

@@ -42,6 +42,33 @@ int WorkersFlag = 1;       ///< --workers N (0 = hardware_concurrency).
 bool ProgressFlag = false; ///< --progress: heartbeat lines on stderr.
 std::string JsonPath;      ///< --json <file|->; empty = no report.
 std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
+VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
+uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
+
+const char *visitedModeName(VisitedMode M) {
+  switch (M) {
+  case VisitedMode::Exact:
+    return "exact";
+  case VisitedMode::Fingerprint:
+    return "fingerprint";
+  case VisitedMode::Compact:
+    return "compact";
+  }
+  return "?";
+}
+
+VisitedMode parseVisitedMode(const char *S) {
+  if (!std::strcmp(S, "exact"))
+    return VisitedMode::Exact;
+  if (!std::strcmp(S, "compact"))
+    return VisitedMode::Compact;
+  if (!std::strcmp(S, "fingerprint"))
+    return VisitedMode::Fingerprint;
+  std::fprintf(stderr,
+               "unknown --visited-mode '%s' (exact|fingerprint|compact)\n",
+               S);
+  std::exit(2);
+}
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -70,6 +97,10 @@ int main(int argc, char **argv) {
       WorkersFlag = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--visited-mode") && I + 1 < argc)
+      VisitedFlag = parseVisitedMode(argv[++I]);
+    else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
+      VisitedCapFlag = std::strtoull(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--progress"))
       ProgressFlag = true;
   }
@@ -101,6 +132,8 @@ int main(int argc, char **argv) {
       Opts.MaxNodes = 600000;
       Opts.StopOnFirstError = false;
       Opts.Workers = WorkersFlag;
+      Opts.Visited = VisitedFlag;
+      Opts.VisitedCapBytes = VisitedCapFlag;
       if (ProgressFlag) {
         Opts.ProgressIntervalSeconds = 1.0;
         Opts.Progress = [](const CheckStats &S) {
@@ -127,6 +160,7 @@ int main(int argc, char **argv) {
         Config.set("delay_bound", D);
         Config.set("node_cap", 600000);
         Config.set("workers", WorkersFlag);
+        Config.set("visited_mode", visitedModeName(VisitedFlag));
         Report.addRun(std::move(Config), R.Stats);
       }
     }

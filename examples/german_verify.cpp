@@ -16,6 +16,15 @@
 //   --msc                 message-sequence chart of the counterexample
 //   --metrics             Prometheus-style metrics dump after the runs
 //
+// Single-run mode (used by the CI perf smoke job): when --clients is
+// given, exactly one check runs and one machine-readable line prints:
+//   --clients N           protocol size (disables the sweep above)
+//   --delay D             delay bound for the single run
+//   --visited-mode M      exact | fingerprint | compact
+//   --visited-cap BYTES   Compact byte cap (0 = 64 MiB default)
+//   --expect-states S     exit 1 unless DistinctStates == S
+//   --max-seconds T       exit 1 when the run took longer than T
+//
 //===----------------------------------------------------------------------===//
 
 #include "checker/Checker.h"
@@ -42,10 +51,40 @@ static CompiledProgram compileOrExit(const std::string &Src) {
   return std::move(*R.Program);
 }
 
+static VisitedMode parseVisitedMode(const char *S) {
+  if (!std::strcmp(S, "exact"))
+    return VisitedMode::Exact;
+  if (!std::strcmp(S, "compact"))
+    return VisitedMode::Compact;
+  if (!std::strcmp(S, "fingerprint"))
+    return VisitedMode::Fingerprint;
+  std::fprintf(stderr,
+               "unknown --visited-mode '%s' (exact|fingerprint|compact)\n",
+               S);
+  std::exit(2);
+}
+
+static const char *visitedModeName(VisitedMode M) {
+  switch (M) {
+  case VisitedMode::Exact:
+    return "exact";
+  case VisitedMode::Fingerprint:
+    return "fingerprint";
+  case VisitedMode::Compact:
+    return "compact";
+  }
+  return "?";
+}
+
 int main(int argc, char **argv) {
   int Workers = 1; // --workers N (0 = hardware_concurrency)
   bool Progress = false, Msc = false, Metrics = false;
   std::string TracePath, ChromePath;
+  int Clients = 0, Delay = 0; // --clients enables single-run mode.
+  VisitedMode Visited = VisitedMode::Fingerprint;
+  uint64_t VisitedCap = 0;
+  long long ExpectStates = -1;
+  double MaxSeconds = 0;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
@@ -59,6 +98,58 @@ int main(int argc, char **argv) {
       Metrics = true;
     else if (!std::strcmp(argv[I], "--progress"))
       Progress = true;
+    else if (!std::strcmp(argv[I], "--clients") && I + 1 < argc)
+      Clients = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--delay") && I + 1 < argc)
+      Delay = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--visited-mode") && I + 1 < argc)
+      Visited = parseVisitedMode(argv[++I]);
+    else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
+      VisitedCap = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--expect-states") && I + 1 < argc)
+      ExpectStates = std::atoll(argv[++I]);
+    else if (!std::strcmp(argv[I], "--max-seconds") && I + 1 < argc)
+      MaxSeconds = std::atof(argv[++I]);
+  }
+
+  if (Clients > 0) {
+    // Single-run mode: one check, one parseable line, a hard verdict.
+    CompiledProgram Prog = compileOrExit(corpus::german(Clients));
+    CheckOptions Opts;
+    Opts.DelayBound = Delay;
+    Opts.Workers = Workers;
+    Opts.Visited = Visited;
+    Opts.VisitedCapBytes = VisitedCap;
+    CheckResult R = check(Prog, Opts);
+    std::printf("german clients=%d d=%d mode=%s workers=%d states=%llu "
+                "nodes=%llu seconds=%.3f visited_bytes=%llu "
+                "peak_rss_bytes=%llu omission=%d error=%s\n",
+                Clients, Delay, visitedModeName(Visited), Workers,
+                static_cast<unsigned long long>(R.Stats.DistinctStates),
+                static_cast<unsigned long long>(R.Stats.NodesExplored),
+                R.Stats.Seconds,
+                static_cast<unsigned long long>(R.Stats.VisitedBytes),
+                static_cast<unsigned long long>(R.Stats.PeakRssBytes),
+                R.Stats.OmissionPossible ? 1 : 0,
+                R.ErrorFound ? errorKindName(R.Error) : "none");
+    if (R.ErrorFound) {
+      std::fprintf(stderr, "FAIL: unexpected error: %s\n",
+                   R.ErrorMessage.c_str());
+      return 1;
+    }
+    if (ExpectStates >= 0 &&
+        R.Stats.DistinctStates != static_cast<uint64_t>(ExpectStates)) {
+      std::fprintf(stderr, "FAIL: states=%llu, expected %lld\n",
+                   static_cast<unsigned long long>(R.Stats.DistinctStates),
+                   ExpectStates);
+      return 1;
+    }
+    if (MaxSeconds > 0 && R.Stats.Seconds > MaxSeconds) {
+      std::fprintf(stderr, "FAIL: %.3fs exceeded --max-seconds %.3f\n",
+                   R.Stats.Seconds, MaxSeconds);
+      return 1;
+    }
+    return 0;
   }
 
   obs::MetricsRegistry Registry;

@@ -63,6 +63,27 @@ enum class SearchStrategy {
 
 struct CheckStats;
 
+/// How the visited set stores explored states (see DESIGN.md "State
+/// representation" for the trade-offs).
+enum class VisitedMode : uint8_t {
+  /// Key on the full canonical serialization: exact dedup, highest
+  /// memory cost. The oracle mode.
+  Exact,
+  /// Key on 64-bit fingerprints (the default): exact modulo 64-bit
+  /// collisions, one hash-map entry per state. Deterministic across
+  /// worker counts like Exact.
+  Fingerprint,
+  /// SPIN-style hash compaction: a fixed-size lock-striped
+  /// open-addressing table of fingerprints bounded by
+  /// CheckOptions::VisitedCapBytes. When the table saturates (a probe
+  /// sequence finds no free slot) the state is treated as visited and
+  /// CheckStats::OmissionPossible is set — the search stays sound for
+  /// reported errors but may omit states, so "no error found" is no
+  /// longer a proof. Trades a quantified miss probability for
+  /// order-of-magnitude memory capacity.
+  Compact,
+};
+
 /// Options controlling one check() run.
 struct CheckOptions {
   SearchStrategy Strategy = SearchStrategy::DelayBounded;
@@ -77,9 +98,22 @@ struct CheckOptions {
   bool UseModelBodies = true;
   /// Stop at the first error (otherwise keep exploring and count).
   bool StopOnFirstError = true;
-  /// Key the visited set on full serializations instead of 64-bit
-  /// fingerprints (exact, but more memory).
+  /// Deprecated alias for Visited = VisitedMode::Exact (kept for
+  /// existing callers): when true it overrides Visited.
   bool ExactStates = false;
+  /// Visited-set representation; see VisitedMode. The effective mode is
+  /// Exact when ExactStates is set, otherwise this field.
+  VisitedMode Visited = VisitedMode::Fingerprint;
+  /// Compact mode only: total byte budget for the visited tables
+  /// (rounded down to whole slots, split between the dedup and
+  /// distinct-state tables). 0 picks a 64 MiB default.
+  uint64_t VisitedCapBytes = 0;
+  /// Debug: on every node, cross-check the incremental (cached) config
+  /// hash against a cache-oblivious recomputation from the full
+  /// serialization; mismatches are counted in CheckStats::HashMismatches
+  /// and indicate a missing CowMachine::mut() call. Also enabled by
+  /// setting the P_VERIFY_HASHES environment variable.
+  bool VerifyHashes = false;
   /// Micro-step budget per slice before the divergence error fires.
   uint64_t MaxStepsPerSlice = 100000;
   /// Record the fingerprints of quiescent (terminal) configurations in
@@ -199,6 +233,19 @@ struct CheckStats {
   /// budget). Like NodesExplored, scheduling-race-dependent when
   /// Workers > 1 and the search is cut short.
   uint64_t FaultsInjected = 0;
+  /// Compact mode: true when the bounded visited table saturated at
+  /// least once and treated an unseen state as visited — the search may
+  /// have omitted states, so exhaustion is no longer a proof of absence
+  /// of errors. Always false in Exact/Fingerprint modes.
+  bool OmissionPossible = false;
+  /// Process peak resident set size (ru_maxrss) sampled at the end of
+  /// the run; 0 where unavailable. Includes everything the process ever
+  /// touched, not just the visited set.
+  uint64_t PeakRssBytes = 0;
+  /// Incremental-vs-fresh hash cross-check failures (VerifyHashes /
+  /// P_VERIFY_HASHES only; must be 0 — anything else is a COW
+  /// invalidation bug).
+  uint64_t HashMismatches = 0;
 };
 
 /// Result of a check() run.

@@ -129,10 +129,10 @@ void LivenessSearch::expand(PathNode &N) {
     return;
   case Executor::StepOutcome::ChoicePoint: {
     PathNode TrueChild = Child;
-    TrueChild.Cfg.Machines[Top].InjectedChoice = true;
+    TrueChild.Cfg.mutableMachine(Top).InjectedChoice = true;
     TrueChild.MustRun = Top;
     TrueChild.Desc += " (choose true)";
-    Child.Cfg.Machines[Top].InjectedChoice = false;
+    Child.Cfg.mutableMachine(Top).InjectedChoice = false;
     Child.MustRun = Top;
     Child.Desc += " (choose false)";
     N.Pending.push_back(std::move(TrueChild));
@@ -202,7 +202,7 @@ bool LivenessSearch::analyzeCycle(size_t Start, const PathNode &Closing) {
   // any edge, and not always postponed.
   const Config &First = *States.front();
   for (size_t M = 0; M != First.Machines.size(); ++M) {
-    const MachineState &MS = First.Machines[M];
+    const MachineState &MS = *First.Machines[M];
     if (!MS.Alive)
       continue;
     for (const auto &[Event, Arg] : MS.Queue) {
@@ -211,11 +211,11 @@ bool LivenessSearch::analyzeCycle(size_t Start, const PathNode &Closing) {
       bool Persistent = true;
       bool AlwaysPostponed = true;
       for (const Config *Cfg : States) {
-        if (M >= Cfg->Machines.size() || !Cfg->Machines[M].Alive) {
+        if (M >= Cfg->Machines.size() || !Cfg->Machines[M]->Alive) {
           Persistent = false;
           break;
         }
-        const MachineState &CMS = Cfg->Machines[M];
+        const MachineState &CMS = *Cfg->Machines[M];
         bool Present = false;
         for (const auto &[E2, V2] : CMS.Queue)
           Present |= (E2 == Event && V2 == Arg);

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,10 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 using namespace p;
 
@@ -152,6 +157,73 @@ struct ConfigShard {
   std::mutex Mu;
   std::unordered_set<uint64_t> Seen;
   std::unordered_set<uint64_t> Terminals;
+  /// Running footprint, like VisitedShard::Bytes — part of the honest
+  /// visited-set accounting (these sets are visited state too).
+  std::atomic<uint64_t> Bytes{0};
+};
+
+/// VisitedMode::Compact: a SPIN-style bounded open-addressing table of
+/// 64-bit fingerprints. The slot array is allocated once (the byte cap),
+/// divided into NumShards contiguous *stripes*, each guarded by its own
+/// mutex; a key probes linearly inside its stripe only, so one stripe
+/// lock is ever held and the memory never grows. When a probe window is
+/// full the key is treated as visited and the caller records that
+/// omission became possible: the search stays sound for the errors it
+/// reports, but exhaustion is no longer a proof.
+class CompactTable {
+public:
+  void init(uint64_t CapBytes) {
+    uint64_t Slots = CapBytes / sizeof(Slot);
+    PerStripe = std::max<uint64_t>(Slots / NumShards, 64);
+    SlotsV.assign(PerStripe * NumShards, Slot{});
+  }
+
+  uint64_t bytes() const { return SlotsV.size() * sizeof(Slot); }
+
+  /// Dominance check-and-insert: true when \p Key was seen before with
+  /// an equal-or-smaller delay count — or when its probe window is full
+  /// (\p Saturated set; the state may be new but cannot be stored).
+  bool visited(uint64_t Key, int Delays, bool &Saturated) {
+    if (Key == 0) // 0 marks an empty slot; remap the (rare) real key 0.
+      Key = 0x9e3779b97f4a7c15ULL;
+    const unsigned Stripe = shardOf(Key);
+    // Position inside the stripe from the low bits (the stripe already
+    // consumed the high bits).
+    uint64_t Home = (Key * 0x2545f4914f6cdd1dULL) % PerStripe;
+    Slot *Base = SlotsV.data() + Stripe * PerStripe;
+    const uint64_t Probes = std::min<uint64_t>(ProbeLimit, PerStripe);
+    std::lock_guard<std::mutex> L(Stripes[Stripe].Mu);
+    for (uint64_t I = 0; I != Probes; ++I) {
+      Slot &S = Base[(Home + I) % PerStripe];
+      if (S.Fp == 0) {
+        S.Fp = Key;
+        S.Delays = static_cast<int32_t>(Delays);
+        return false;
+      }
+      if (S.Fp == Key) {
+        if (S.Delays <= Delays)
+          return true;
+        S.Delays = static_cast<int32_t>(Delays);
+        return false;
+      }
+    }
+    Saturated = true;
+    return true;
+  }
+
+private:
+  struct Slot {
+    uint64_t Fp = 0; ///< 0 = empty.
+    int32_t Delays = 0;
+  };
+  struct alignas(64) StripeLock { // Own cache line per stripe.
+    std::mutex Mu;
+  };
+  static constexpr uint64_t ProbeLimit = 128;
+
+  std::vector<Slot> SlotsV;
+  uint64_t PerStripe = 64;
+  std::array<StripeLock, NumShards> Stripes;
 };
 
 /// The winning counterexample (lexicographically-least schedule).
@@ -180,7 +252,8 @@ struct Worker {
   std::mutex ArenaMu;
   std::deque<TraceEntry> Arena;
 
-  std::string Buf; ///< Reusable single-pass serialization buffer.
+  std::string Buf;     ///< Reusable serialization buffer (Exact keys).
+  std::string Scratch; ///< Per-machine fingerprint scratch buffer.
 
   /// This worker's trace ring (see CheckOptions::Trace); nullptr when
   /// tracing is off. Single-writer: only this worker records into it.
@@ -207,7 +280,10 @@ public:
   ParallelSearch(const CompiledProgram &Prog, const CheckOptions &Opts,
                  Executor *ExternalExec)
       : Prog(Prog), Opts(Opts), OwnedExec(Prog, execOptions(Opts)),
-        BaseExec(ExternalExec ? *ExternalExec : OwnedExec) {}
+        BaseExec(ExternalExec ? *ExternalExec : OwnedExec),
+        Mode(Opts.ExactStates ? VisitedMode::Exact : Opts.Visited),
+        DoVerifyHashes(Opts.VerifyHashes ||
+                       std::getenv("P_VERIFY_HASHES") != nullptr) {}
 
   CheckResult run();
 
@@ -321,18 +397,28 @@ private:
 
   /// Counts a distinct global configuration given its fingerprint.
   void noteConfig(Worker &W, uint64_t CfgHash, const Config &Cfg) {
-    ConfigShard &S = Configs[shardOf(CfgHash)];
     bool New;
-    {
+    if (Mode == VisitedMode::Compact) {
+      // Bounded: a saturated probe window undercounts and flags the
+      // omission; dominance is irrelevant here, so Delays = 0.
+      bool Saturated = false;
+      New = !CompactSeen.visited(CfgHash, 0, Saturated);
+      if (Saturated)
+        Omission.store(true, std::memory_order_relaxed);
+    } else {
+      ConfigShard &S = Configs[shardOf(CfgHash)];
       auto L = lockTimed(S.Mu, W);
       New = S.Seen.insert(CfgHash).second;
+      if (New)
+        S.Bytes += HashedEntryBytes;
     }
     if (!New)
       return;
     DistinctStates.fetch_add(1, std::memory_order_relaxed);
     if (Opts.TrackCoverage) {
       // Every state on a reachable call stack counts as visited.
-      for (const MachineState &M : Cfg.Machines) {
+      for (const CowMachine &CM : Cfg.Machines) {
+        const MachineState &M = *CM;
         if (!M.Alive)
           continue;
         auto &Cov = W.Coverage.Machines[M.MachineIndex];
@@ -345,11 +431,15 @@ private:
   /// Counts a quiescent configuration, deduplicated by fingerprint so
   /// the total is independent of how many paths reach it.
   void noteTerminal(Worker &W, uint64_t CfgHash) {
+    // Terminal sets stay exact in every mode: quiescent configurations
+    // are few, and TerminalHashes feeds the d=0 ≡ runtime tests.
     ConfigShard &S = Configs[shardOf(CfgHash)];
     bool New;
     {
       auto L = lockTimed(S.Mu, W);
       New = S.Terminals.insert(CfgHash).second;
+      if (New)
+        S.Bytes += HashedEntryBytes;
     }
     if (!New)
       return;
@@ -360,12 +450,19 @@ private:
 
   /// True when the node key was seen before with an equal-or-smaller
   /// delay budget spent (dominance pruning). \p Bytes is the full
-  /// serialized key, consulted only in exact mode.
+  /// serialized key, consulted only in Exact mode.
   bool pruned(Worker &W, uint64_t Key, const std::string &Bytes,
               int DelaysUsed) {
+    if (Mode == VisitedMode::Compact) {
+      bool Saturated = false;
+      bool Seen = CompactDedup.visited(Key, DelaysUsed, Saturated);
+      if (Saturated)
+        Omission.store(true, std::memory_order_relaxed);
+      return Seen;
+    }
     VisitedShard &S = Visited[shardOf(Key)];
     auto L = lockTimed(S.Mu, W);
-    if (Opts.ExactStates) {
+    if (Mode == VisitedMode::Exact) {
       auto [It, Inserted] = S.Exact.try_emplace(Bytes, DelaysUsed);
       if (Inserted) {
         S.Bytes += exactEntryBytes(It->first);
@@ -402,6 +499,15 @@ private:
       Best = std::move(R);
   }
 
+  /// Incremental config hash (cached per-machine fingerprints), with
+  /// the optional cache-oblivious cross-check counted per node.
+  uint64_t configHash(Worker &W, const Config &Cfg) {
+    uint64_t H = hashConfig(Cfg, W.Scratch);
+    if (DoVerifyHashes && hashConfigFresh(Cfg, W.Scratch) != H)
+      HashMismatches.fetch_add(1, std::memory_order_relaxed);
+    return H;
+  }
+
   void pushFaultChildren(Worker &W, const Node &N);
   void expandRun(Worker &W, Node &&N, int32_t Id);
   void expandDelayBounded(Worker &W, Node &&N);
@@ -427,12 +533,44 @@ private:
       S.MaxDepth =
           std::max(S.MaxDepth, W->MaxDepth.load(std::memory_order_relaxed));
     }
-    for (const VisitedShard &Sh : Visited)
-      S.VisitedBytes += Sh.Bytes.load(std::memory_order_relaxed);
+    S.VisitedBytes = visitedBytes();
+    S.OmissionPossible = Omission.load(std::memory_order_relaxed);
     S.Seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - StartTime)
                     .count();
     return S;
+  }
+
+  /// Honest visited-set footprint across every table that deduplicates
+  /// exploration: the per-shard dedup maps, the distinct-state and
+  /// terminal sets, and (Compact mode) the fixed slot arrays. Every
+  /// component is a running insert-time counter or a constant, so the
+  /// total is monotone non-decreasing over a run.
+  uint64_t visitedBytes() const {
+    uint64_t B = 0;
+    for (const VisitedShard &S : Visited)
+      B += S.Bytes.load(std::memory_order_relaxed);
+    for (const ConfigShard &S : Configs)
+      B += S.Bytes.load(std::memory_order_relaxed);
+    B += CompactDedup.bytes() + CompactSeen.bytes();
+    return B;
+  }
+
+  /// Process peak RSS in bytes (ru_maxrss is KiB on Linux, bytes on
+  /// macOS); 0 where getrusage is unavailable.
+  static uint64_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage RU;
+    if (getrusage(RUSAGE_SELF, &RU) != 0)
+      return 0;
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(RU.ru_maxrss);
+#else
+    return static_cast<uint64_t>(RU.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;
+#endif
   }
 
   /// Renders the human-readable counterexample by re-executing the
@@ -452,6 +590,15 @@ private:
   /// run(); nullptr when no registry was supplied.
   obs::Histogram *DepthHist = nullptr;
 
+  /// Effective visited-set mode (ExactStates overrides Opts.Visited).
+  const VisitedMode Mode;
+  /// Cross-check incremental vs. fresh hashes on every node.
+  const bool DoVerifyHashes;
+  /// Compact mode's bounded tables: node dedup keys and distinct-state
+  /// fingerprints, each sized to half of VisitedCapBytes.
+  CompactTable CompactDedup;
+  CompactTable CompactSeen;
+
   std::array<VisitedShard, NumShards> Visited;
   std::array<ConfigShard, NumShards> Configs;
 
@@ -459,6 +606,8 @@ private:
   std::atomic<uint64_t> NodesExplored{0};
   std::atomic<uint64_t> ErrorsFound{0};
   std::atomic<uint64_t> FaultsInjected{0};
+  std::atomic<bool> Omission{false};
+  std::atomic<uint64_t> HashMismatches{0};
   /// Nodes queued in some frontier or being expanded; 0 <=> done.
   std::atomic<int64_t> InFlight{0};
   std::atomic<bool> Stop{false};
@@ -483,7 +632,7 @@ void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
 
   if (F.Crash) {
     for (int32_t Id = NumM; Id-- > 0;) {
-      const MachineState &M = N.Cfg.Machines[Id];
+      const MachineState &M = *N.Cfg.Machines[Id];
       if (!M.Alive || !F.crashTypeAllowed(M.MachineIndex))
         continue;
       Node C = N; // copy
@@ -505,15 +654,16 @@ void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
     if (Dup ? !F.Duplicate : !F.Drop)
       continue;
     for (int32_t Id = NumM; Id-- > 0;) {
-      const MachineState &M = N.Cfg.Machines[Id];
+      const MachineState &M = *N.Cfg.Machines[Id];
       if (!M.Alive)
         continue;
       for (int32_t Q = static_cast<int32_t>(M.Queue.size()); Q-- > 0;) {
         if (!F.eventAllowed(M.Queue[Q].first))
           continue;
-        Node C = N; // copy
+        Node C = N; // copy: O(#machines) snapshot pointer bumps
         C.FaultsUsed += 1;
-        auto &CQ = C.Cfg.Machines[Id].Queue;
+        // mut() clones only this machine's snapshot; M still reads N's.
+        auto &CQ = C.Cfg.mutableMachine(Id).Queue;
         SchedDecision D;
         D.Machine = Id;
         D.Aux = Q;
@@ -559,7 +709,7 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
 
   switch (R.Outcome) {
   case Executor::StepOutcome::Error: {
-    noteConfig(W, hashConfig(N.Cfg, W.Buf), N.Cfg);
+    noteConfig(W, configHash(W, N.Cfg), N.Cfg);
     recordError(W, N);
     if (Opts.StopOnFirstError)
       Stop.store(true, std::memory_order_relaxed);
@@ -571,10 +721,10 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
     SchedDecision ChooseTrue, ChooseFalse;
     ChooseTrue.K = ChooseFalse.K = SchedDecision::Kind::Choose;
     ChooseTrue.Choice = true;
-    Node TrueChild = N; // copy
-    TrueChild.Cfg.Machines[Id].InjectedChoice = true;
+    Node TrueChild = N; // copy: O(#machines) snapshot pointer bumps
+    TrueChild.Cfg.mutableMachine(Id).InjectedChoice = true;
     TrueChild.TraceIdx = addTrace(W, TrueChild.TraceIdx, ChooseTrue);
-    N.Cfg.Machines[Id].InjectedChoice = false;
+    N.Cfg.mutableMachine(Id).InjectedChoice = false;
     N.TraceIdx = addTrace(W, N.TraceIdx, ChooseFalse);
     pushNode(W, std::move(TrueChild));
     pushNode(W, std::move(N));
@@ -613,9 +763,9 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
     // branch costs one fault. The same machine resumes either way.
     N.MustRun = Id;
     if (Opts.Faults.FailForeign && N.FaultsUsed < Opts.Faults.Budget) {
-      Node FailChild = N; // copy
+      Node FailChild = N; // copy: O(#machines) snapshot pointer bumps
       FailChild.FaultsUsed += 1;
-      FailChild.Cfg.Machines[Id].InjectedForeignFail = true;
+      FailChild.Cfg.mutableMachine(Id).InjectedForeignFail = true;
       SchedDecision FailDecision;
       FailDecision.K = SchedDecision::Kind::ForeignFault;
       FailDecision.Machine = Id;
@@ -624,7 +774,7 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
       FaultsInjected.fetch_add(1, std::memory_order_relaxed);
       pushNode(W, std::move(FailChild));
     }
-    N.Cfg.Machines[Id].InjectedForeignFail = false;
+    N.Cfg.mutableMachine(Id).InjectedForeignFail = false;
     SchedDecision OkDecision;
     OkDecision.K = SchedDecision::Kind::ForeignFault;
     OkDecision.Machine = Id;
@@ -637,10 +787,10 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
 }
 
 void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
-  // Single-pass serialization: the config bytes feed the distinct-state
-  // fingerprint, then the scheduler suffix is appended in place and the
-  // same buffer yields the dedup key.
-  uint64_t CfgHash = hashConfig(N.Cfg, W.Buf);
+  // Incremental fingerprint: the combination of the per-machine cached
+  // fingerprints — a successor re-hashes only the one machine its slice
+  // mutated (the CowMachine cache survives for the rest).
+  uint64_t CfgHash = configHash(W, N.Cfg);
   noteConfig(W, CfgHash, N.Cfg);
 
   // Normalize: drop disabled machines from the top of S.
@@ -663,21 +813,36 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
   }
 
   // Dedup key: config + scheduler stack + resumption obligation (the
-  // future depends on all three). Full 4-byte ids — truncation here
-  // once caused distinct stacks to collide.
-  for (int32_t Id : N.Sched)
+  // future depends on all three). Exact mode serializes the whole node
+  // into W.Buf — the map keys on the bytes; hashed modes fold the
+  // suffix into the config hash and never serialize. Full 4-byte ids —
+  // truncation here once caused distinct stacks to collide.
+  uint64_t Key;
+  if (Mode == VisitedMode::Exact) {
+    W.Buf.clear();
+    serializeConfig(N.Cfg, W.Buf);
+    for (int32_t Id : N.Sched)
+      for (int B = 0; B != 4; ++B)
+        W.Buf.push_back(static_cast<char>((Id >> (8 * B)) & 0xff));
     for (int B = 0; B != 4; ++B)
-      W.Buf.push_back(static_cast<char>((Id >> (8 * B)) & 0xff));
-  for (int B = 0; B != 4; ++B)
-    W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
-  // With a fault budget, the remaining budget is part of the node's
-  // future (the dominance value only tracks delays), so FaultsUsed
-  // joins the key. Appended only when fault exploration is on, keeping
-  // budget-0 runs bit-identical to a checker without the fault layer.
-  if (Opts.Faults.enabled())
-    for (int B = 0; B != 4; ++B)
-      W.Buf.push_back(static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
-  uint64_t Key = hashBytes(W.Buf.data(), W.Buf.size());
+      W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
+    // With a fault budget, the remaining budget is part of the node's
+    // future (the dominance value only tracks delays), so FaultsUsed
+    // joins the key. Appended only when fault exploration is on, keeping
+    // budget-0 runs bit-identical to a checker without the fault layer.
+    if (Opts.Faults.enabled())
+      for (int B = 0; B != 4; ++B)
+        W.Buf.push_back(static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
+    Key = hashBytes(W.Buf.data(), W.Buf.size());
+  } else {
+    uint64_t K = CfgHash;
+    for (int32_t Id : N.Sched)
+      K = hashCombine(K, static_cast<uint32_t>(Id));
+    K = hashCombine(K, static_cast<uint32_t>(N.MustRun));
+    if (Opts.Faults.enabled())
+      K = hashCombine(K, static_cast<uint32_t>(N.FaultsUsed));
+    Key = K;
+  }
   if (pruned(W, Key, W.Buf, N.DelaysUsed))
     return;
   NodesExplored.fetch_add(1, std::memory_order_relaxed);
@@ -710,15 +875,26 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
 }
 
 void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
-  uint64_t CfgHash = hashConfig(N.Cfg, W.Buf);
+  uint64_t CfgHash = configHash(W, N.Cfg);
   noteConfig(W, CfgHash, N.Cfg);
 
-  for (int B = 0; B != 4; ++B)
-    W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
-  if (Opts.Faults.enabled())
+  uint64_t Key;
+  if (Mode == VisitedMode::Exact) {
+    W.Buf.clear();
+    serializeConfig(N.Cfg, W.Buf);
     for (int B = 0; B != 4; ++B)
-      W.Buf.push_back(static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
-  uint64_t Key = hashBytes(W.Buf.data(), W.Buf.size());
+      W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
+    if (Opts.Faults.enabled())
+      for (int B = 0; B != 4; ++B)
+        W.Buf.push_back(
+            static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
+    Key = hashBytes(W.Buf.data(), W.Buf.size());
+  } else {
+    uint64_t K = hashCombine(CfgHash, static_cast<uint32_t>(N.MustRun));
+    if (Opts.Faults.enabled())
+      K = hashCombine(K, static_cast<uint32_t>(N.FaultsUsed));
+    Key = K;
+  }
   if (pruned(W, Key, W.Buf, N.DelaysUsed))
     return;
   NodesExplored.fetch_add(1, std::memory_order_relaxed);
@@ -838,12 +1014,12 @@ ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
     case SchedDecision::Kind::Choose:
       if (LastRun >= 0 &&
           LastRun < static_cast<int32_t>(Cfg.Machines.size()))
-        Cfg.Machines[LastRun].InjectedChoice = D.Choice;
+        Cfg.mutableMachine(LastRun).InjectedChoice = D.Choice;
       Lines.push_back(D.Choice ? "choose true" : "choose false");
       break;
     case SchedDecision::Kind::DropEvent:
     case SchedDecision::Kind::DupEvent: {
-      auto &Q = Cfg.Machines[D.Machine].Queue;
+      auto &Q = Cfg.mutableMachine(D.Machine).Queue;
       if (D.Aux < 0 || D.Aux >= static_cast<int32_t>(Q.size())) {
         Lines.push_back("fault: stale queue index (schedule corrupt?)");
         break;
@@ -867,7 +1043,7 @@ ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
     case SchedDecision::Kind::ForeignFault:
       if (D.Machine >= 0 &&
           D.Machine < static_cast<int32_t>(Cfg.Machines.size()))
-        Cfg.Machines[D.Machine].InjectedForeignFail = D.Choice;
+        Cfg.mutableMachine(D.Machine).InjectedForeignFail = D.Choice;
       Lines.push_back(D.Choice ? "fault: foreign call fails (returns ⊥)"
                                : "foreign call succeeds");
       break;
@@ -911,6 +1087,15 @@ CheckResult ParallelSearch::run() {
     DepthHist = &Opts.Metrics->histogram(
         "p_check_frontier_depth", obs::exponentialBounds(1, 2, 16),
         "Depth of nodes popped from the exploration frontier");
+
+  if (Mode == VisitedMode::Compact) {
+    // Split the byte cap between the node-dedup and distinct-state
+    // tables; both are bounded for the life of the run.
+    uint64_t Cap = Opts.VisitedCapBytes ? Opts.VisitedCapBytes
+                                        : 64ull * 1024 * 1024;
+    CompactDedup.init(Cap / 2);
+    CompactSeen.init(Cap - Cap / 2);
+  }
 
   NumWorkers = resolveWorkers();
   Workers.reserve(NumWorkers);
@@ -980,8 +1165,10 @@ CheckResult ParallelSearch::run() {
   }
   // Worker-count-independent order for the (set-valued) terminal list.
   std::sort(Result.TerminalHashes.begin(), Result.TerminalHashes.end());
-  for (const VisitedShard &S : Visited)
-    Stats.VisitedBytes += S.Bytes.load(std::memory_order_relaxed);
+  Stats.VisitedBytes = visitedBytes();
+  Stats.OmissionPossible = Omission.load(std::memory_order_relaxed);
+  Stats.HashMismatches = HashMismatches.load(std::memory_order_relaxed);
+  Stats.PeakRssBytes = peakRssBytes();
 
   if (Opts.TrackCoverage) {
     Result.Coverage.Machines.resize(Prog.Machines.size());
@@ -1029,6 +1216,12 @@ CheckResult ParallelSearch::run() {
         .inc(Stats.ContentionNs);
     M.gauge("p_check_visited_bytes", "Visited-table footprint of the run")
         .set(static_cast<double>(Stats.VisitedBytes));
+    M.gauge("p_check_peak_rss_bytes",
+            "Process peak resident set size after the run")
+        .set(static_cast<double>(Stats.PeakRssBytes));
+    M.gauge("p_check_omission_possible",
+            "1 when the bounded visited set saturated (Compact mode)")
+        .set(Stats.OmissionPossible ? 1 : 0);
     M.gauge("p_check_workers", "Resolved worker count of the run")
         .set(Stats.WorkersUsed);
     M.gauge("p_check_max_depth", "Deepest explored path")

@@ -39,12 +39,12 @@ ReplayResult p::replaySchedule(const CompiledProgram &Prog,
     case SchedDecision::Kind::Choose:
       if (LastRun >= 0 &&
           LastRun < static_cast<int32_t>(Result.Final.Machines.size()))
-        Result.Final.Machines[LastRun].InjectedChoice = D.Choice;
+        Result.Final.mutableMachine(LastRun).InjectedChoice = D.Choice;
       Result.Steps.push_back(D.Choice ? "choose true" : "choose false");
       continue;
     case SchedDecision::Kind::DropEvent:
     case SchedDecision::Kind::DupEvent: {
-      auto &Q = Result.Final.Machines[D.Machine].Queue;
+      auto &Q = Result.Final.mutableMachine(D.Machine).Queue;
       if (D.Aux < 0 || D.Aux >= static_cast<int32_t>(Q.size())) {
         Result.Steps.push_back("fault: stale queue index");
         continue;
@@ -70,7 +70,8 @@ ReplayResult p::replaySchedule(const CompiledProgram &Prog,
     case SchedDecision::Kind::ForeignFault:
       if (D.Machine >= 0 &&
           D.Machine < static_cast<int32_t>(Result.Final.Machines.size()))
-        Result.Final.Machines[D.Machine].InjectedForeignFail = D.Choice;
+        Result.Final.mutableMachine(D.Machine).InjectedForeignFail =
+            D.Choice;
       Result.Steps.push_back(D.Choice ? "fault: foreign call fails"
                                       : "foreign call succeeds");
       continue;

@@ -59,60 +59,105 @@ void serializeStateFrame(ByteSink &Sink, const StateFrame &F) {
     serializeExecFrame(Sink, E);
 }
 
+/// Seed for the config-level combination; any fixed odd constant works,
+/// but it must never change once state counts are recorded.
+constexpr uint64_t ConfigHashSeed = 0x50434647u; // "PCFG"
+
 } // namespace
+
+void p::serializeMachine(const MachineState &M, std::string &Out) {
+  ByteSink Sink(Out);
+  Sink.i32(M.MachineIndex);
+  // 0 = deleted, 1 = alive, 2 = crashed (a fault, restartable): a
+  // crashed machine must not merge with a deleted one, but without
+  // fault exploration the byte is 0/1 exactly as before.
+  Sink.u8(M.Alive ? 1 : (M.Crashed ? 2 : 0));
+  if (!M.Alive)
+    return;
+  Sink.u32(static_cast<uint32_t>(M.Frames.size()));
+  for (const StateFrame &F : M.Frames)
+    serializeStateFrame(Sink, F);
+  Sink.u32(static_cast<uint32_t>(M.Exec.size()));
+  for (const ExecFrame &F : M.Exec)
+    serializeExecFrame(Sink, F);
+  Sink.u32(static_cast<uint32_t>(M.Vars.size()));
+  for (const Value &V : M.Vars)
+    Sink.value(V);
+  Sink.value(M.Msg);
+  Sink.value(M.Arg);
+  Sink.u8(M.HasRaise ? 1 : 0);
+  Sink.i32(M.RaiseEvent);
+  Sink.value(M.RaiseArg);
+  Sink.u8(static_cast<uint8_t>(M.Transfer));
+  Sink.i32(M.TransferTarget);
+  Sink.u32(static_cast<uint32_t>(M.Queue.size()));
+  for (const auto &[E, V] : M.Queue) {
+    Sink.i32(E);
+    Sink.value(V);
+  }
+  // Packs both checker resumption registers into one byte; without
+  // fault exploration InjectedForeignFail is always unset, so the
+  // byte equals the pre-fault encoding of InjectedChoice alone.
+  Sink.u8(static_cast<uint8_t>(
+      (M.InjectedChoice ? (*M.InjectedChoice ? 2 : 1) : 0) +
+      3 * (M.InjectedForeignFail ? (*M.InjectedForeignFail ? 2 : 1)
+                                 : 0)));
+}
 
 void p::serializeConfig(const Config &Cfg, std::string &Out) {
   ByteSink Sink(Out);
   Sink.u8(static_cast<uint8_t>(Cfg.Error));
   Sink.u32(static_cast<uint32_t>(Cfg.Machines.size()));
-  for (const MachineState &M : Cfg.Machines) {
-    Sink.i32(M.MachineIndex);
-    // 0 = deleted, 1 = alive, 2 = crashed (a fault, restartable): a
-    // crashed machine must not merge with a deleted one, but without
-    // fault exploration the byte is 0/1 exactly as before.
-    Sink.u8(M.Alive ? 1 : (M.Crashed ? 2 : 0));
-    if (!M.Alive)
-      continue;
-    Sink.u32(static_cast<uint32_t>(M.Frames.size()));
-    for (const StateFrame &F : M.Frames)
-      serializeStateFrame(Sink, F);
-    Sink.u32(static_cast<uint32_t>(M.Exec.size()));
-    for (const ExecFrame &F : M.Exec)
-      serializeExecFrame(Sink, F);
-    Sink.u32(static_cast<uint32_t>(M.Vars.size()));
-    for (const Value &V : M.Vars)
-      Sink.value(V);
-    Sink.value(M.Msg);
-    Sink.value(M.Arg);
-    Sink.u8(M.HasRaise ? 1 : 0);
-    Sink.i32(M.RaiseEvent);
-    Sink.value(M.RaiseArg);
-    Sink.u8(static_cast<uint8_t>(M.Transfer));
-    Sink.i32(M.TransferTarget);
-    Sink.u32(static_cast<uint32_t>(M.Queue.size()));
-    for (const auto &[E, V] : M.Queue) {
-      Sink.i32(E);
-      Sink.value(V);
-    }
-    // Packs both checker resumption registers into one byte; without
-    // fault exploration InjectedForeignFail is always unset, so the
-    // byte equals the pre-fault encoding of InjectedChoice alone.
-    Sink.u8(static_cast<uint8_t>(
-        (M.InjectedChoice ? (*M.InjectedChoice ? 2 : 1) : 0) +
-        3 * (M.InjectedForeignFail ? (*M.InjectedForeignFail ? 2 : 1)
-                                   : 0)));
-  }
+  for (const CowMachine &M : Cfg.Machines)
+    serializeMachine(*M, Out);
+}
+
+uint64_t p::machineFingerprintFresh(const MachineState &M,
+                                    std::string &Scratch) {
+  Scratch.clear();
+  serializeMachine(M, Scratch);
+  uint64_t F = hashBytes(Scratch.data(), Scratch.size());
+  // 0 is the cache's "not computed" sentinel; remap so a valid
+  // fingerprint is never mistaken for it.
+  return F ? F : 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t p::machineFingerprint(const CowMachine &M, std::string &Scratch) {
+  if (uint64_t F = M.cachedFingerprint())
+    return F;
+  uint64_t F = machineFingerprintFresh(*M, Scratch);
+  M.cacheFingerprint(F);
+  return F;
+}
+
+namespace {
+
+template <typename PerMachineFp>
+uint64_t combineConfigHash(const Config &Cfg, PerMachineFp Fp) {
+  uint64_t H = hashCombine(ConfigHashSeed,
+                           static_cast<uint64_t>(Cfg.Error));
+  H = hashCombine(H, static_cast<uint64_t>(Cfg.Machines.size()));
+  for (const CowMachine &M : Cfg.Machines)
+    H = hashCombine(H, Fp(M));
+  return H;
+}
+
+} // namespace
+
+uint64_t p::hashConfig(const Config &Cfg, std::string &Scratch) {
+  return combineConfigHash(Cfg, [&](const CowMachine &M) {
+    return machineFingerprint(M, Scratch);
+  });
 }
 
 uint64_t p::hashConfig(const Config &Cfg) {
-  std::string Bytes;
-  Bytes.reserve(256);
-  serializeConfig(Cfg, Bytes);
-  return hashBytes(Bytes.data(), Bytes.size());
+  std::string Scratch;
+  Scratch.reserve(256);
+  return hashConfig(Cfg, Scratch);
 }
 
-uint64_t p::hashConfig(const Config &Cfg, std::string &Scratch) {
-  Scratch.clear();
-  serializeConfig(Cfg, Scratch);
-  return hashBytes(Scratch.data(), Scratch.size());
+uint64_t p::hashConfigFresh(const Config &Cfg, std::string &Scratch) {
+  return combineConfigHash(Cfg, [&](const CowMachine &M) {
+    return machineFingerprintFresh(*M, Scratch);
+  });
 }

@@ -12,7 +12,17 @@
 /// stacks, variable stores, msg/arg, pending raise/transfer, queues),
 /// so two configs serialize equally iff they are semantically equal —
 /// the explorer's visited set is exact modulo 64-bit hash collisions
-/// (or fully exact in ExactStates mode, which keys on the bytes).
+/// (or fully exact in VisitedMode::Exact, which keys on the bytes).
+///
+/// Fingerprints are *incremental*: the config hash is an ordered
+/// combination of per-machine fingerprints (plus the global error
+/// component), and each machine's fingerprint is cached inside its
+/// copy-on-write snapshot (CowMachine). A scheduler slice mutates one
+/// machine, so re-hashing a successor costs one machine serialization,
+/// not a whole-system pass. `serializeConfig` remains the oracle:
+/// `hashConfigFresh` recomputes every fingerprint from the bytes while
+/// ignoring and not touching the caches, and the checker's
+/// P_VERIFY_HASHES debug path cross-checks the two on every node.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,12 +39,37 @@ namespace p {
 /// Appends the canonical serialization of \p Cfg to \p Out.
 void serializeConfig(const Config &Cfg, std::string &Out);
 
-/// 64-bit fingerprint of \p Cfg's canonical serialization.
+/// Appends the canonical serialization of one machine configuration to
+/// \p Out — exactly the per-machine block serializeConfig emits, so the
+/// config bytes are the concatenation of the global header and each
+/// machine's block.
+void serializeMachine(const MachineState &M, std::string &Out);
+
+/// 64-bit fingerprint of one machine snapshot, computed from its
+/// canonical serialization (never returns 0; 0 is the CowMachine cache
+/// sentinel). \p Scratch is clobbered.
+uint64_t machineFingerprintFresh(const MachineState &M,
+                                 std::string &Scratch);
+
+/// As above, but consults and fills the snapshot's fingerprint cache:
+/// O(1) when the snapshot was hashed before and has not been mutated.
+uint64_t machineFingerprint(const CowMachine &M, std::string &Scratch);
+
+/// 64-bit fingerprint of \p Cfg: the ordered hashCombine of the global
+/// error component, the machine count, and every machine fingerprint.
+/// Uses the per-snapshot caches, so successors of a hashed config cost
+/// one machine re-hash. Deterministic across runs and worker counts.
 uint64_t hashConfig(const Config &Cfg);
 
-/// As above, but serializes into \p Scratch (cleared first) so hot
-/// loops reuse one allocation per thread instead of one per call.
+/// As above, with an explicit scratch buffer so hot loops reuse one
+/// allocation per thread instead of one per call.
 uint64_t hashConfig(const Config &Cfg, std::string &Scratch);
+
+/// Cache-oblivious oracle: recomputes every machine fingerprint from
+/// its serialization without reading or writing the caches. Equal to
+/// hashConfig by construction unless a cache went stale — the
+/// P_VERIFY_HASHES cross-check compares the two on every node.
+uint64_t hashConfigFresh(const Config &Cfg, std::string &Scratch);
 
 } // namespace p
 

@@ -154,7 +154,7 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
     LastError = HostError::UnknownMachine;
     return false;
   }
-  if (!Cfg.Machines[Target].Alive && !Cfg.Machines[Target].Crashed) {
+  if (!Cfg.Machines[Target]->Alive && !Cfg.Machines[Target]->Crashed) {
     LastError = HostError::DeadTarget;
     return false;
   }
@@ -168,7 +168,7 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
     auto WouldBlock = [&] {
       if (Cfg.hasError() || !Cfg.isLive(Target))
         return false;
-      const MachineState &M = Cfg.Machines[Target];
+      const MachineState &M = *Cfg.Machines[Target];
       if (M.Queue.size() < Cfg.MaxQueue)
         return false;
       for (const auto &[E, V] : M.Queue) // ⊎ no-op needs no room.
@@ -311,7 +311,7 @@ void Host::setContext(int32_t Id, void *Context) {
 std::string Host::currentStateName(int32_t Id) const {
   if (!Cfg.isLive(Id))
     return "";
-  const MachineState &M = Cfg.Machines[Id];
+  const MachineState &M = *Cfg.Machines[Id];
   if (M.Frames.empty())
     return "";
   return Prog.Machines[M.MachineIndex].States[M.Frames.back().State].Name;
@@ -339,7 +339,7 @@ void Host::exportMetrics(obs::MetricsRegistry &Registry) const {
   Registry.gauge("p_host_machines_live", "Machines currently alive")
       .set(static_cast<double>(
           std::count_if(Cfg.Machines.begin(), Cfg.Machines.end(),
-                        [](const MachineState &M) { return M.Alive; })));
+                        [](const CowMachine &M) { return M->Alive; })));
   Registry
       .counter("p_host_faults_dropped_total",
                "SMAddEvent calls swallowed by the fault plan")
@@ -367,7 +367,7 @@ void Host::exportMetrics(obs::MetricsRegistry &Registry) const {
 Value Host::readVar(int32_t Id, const std::string &VarName) const {
   if (!Cfg.isLive(Id))
     return Value::null();
-  const MachineState &M = Cfg.Machines[Id];
+  const MachineState &M = *Cfg.Machines[Id];
   const MachineInfo &Info = Prog.Machines[M.MachineIndex];
   for (size_t I = 0; I != Info.Vars.size(); ++I)
     if (Info.Vars[I].Name == VarName)

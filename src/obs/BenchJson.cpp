@@ -25,6 +25,8 @@ Json p::obs::checkStatsToJson(const CheckStats &Stats) {
   J.set("max_depth", Stats.MaxDepth);
   J.set("exhausted", Stats.Exhausted);
   J.set("visited_bytes", Stats.VisitedBytes);
+  J.set("peak_rss_bytes", Stats.PeakRssBytes);
+  J.set("omission_possible", Stats.OmissionPossible);
   J.set("workers_used", Stats.WorkersUsed);
   J.set("steal_count", Stats.StealCount);
   J.set("contention_ns", Stats.ContentionNs);
@@ -76,8 +78,9 @@ bool p::obs::validateBenchReport(const Json &Report, std::string &Why,
     return false;
   }
   static const char *CheckerKeys[] = {"distinct_states", "nodes_explored",
-                                      "workers_used", "steal_count",
-                                      "contention_ns"};
+                                      "workers_used",    "steal_count",
+                                      "contention_ns",   "visited_bytes",
+                                      "peak_rss_bytes"};
   for (size_t I = 0; I != Report.size(); ++I) {
     const Json &R = Report.at(I);
     std::string At = "record " + std::to_string(I) + ": ";

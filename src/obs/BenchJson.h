@@ -69,7 +69,8 @@ private:
 /// all carry bench/config/stats/seconds with the right types, and —
 /// when \p RequireCheckerStats — the checker stat keys every perf
 /// trajectory needs (distinct_states, nodes_explored, workers_used,
-/// steal_count, contention_ns). On failure returns false and puts a
+/// steal_count, contention_ns, visited_bytes, peak_rss_bytes). On
+/// failure returns false and puts a
 /// human-readable reason in \p Why.
 bool validateBenchReport(const Json &Report, std::string &Why,
                          bool RequireCheckerStats = false);

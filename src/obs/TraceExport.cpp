@@ -371,11 +371,11 @@ p::obs::renderScheduleMsc(const CompiledProgram &Prog,
       break;
     case SchedDecision::Kind::Choose:
       if (LastRun >= 0 && LastRun < static_cast<int32_t>(Cfg.Machines.size()))
-        Cfg.Machines[LastRun].InjectedChoice = D.Choice;
+        Cfg.mutableMachine(LastRun).InjectedChoice = D.Choice;
       break;
     case SchedDecision::Kind::DropEvent:
     case SchedDecision::Kind::DupEvent: {
-      auto &Q = Cfg.Machines[D.Machine].Queue;
+      auto &Q = Cfg.mutableMachine(D.Machine).Queue;
       if (D.Aux < 0 || D.Aux >= static_cast<int32_t>(Q.size()))
         break;
       const bool Dup = D.K == SchedDecision::Kind::DupEvent;
@@ -397,7 +397,7 @@ p::obs::renderScheduleMsc(const CompiledProgram &Prog,
       // injected failure at the next Run.
       if (D.Machine >= 0 &&
           D.Machine < static_cast<int32_t>(Cfg.Machines.size()))
-        Cfg.Machines[D.Machine].InjectedForeignFail = D.Choice;
+        Cfg.mutableMachine(D.Machine).InjectedForeignFail = D.Choice;
       break;
     case SchedDecision::Kind::Run: {
       LastRun = D.Machine;

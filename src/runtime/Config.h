@@ -15,8 +15,15 @@
 ///          pending transfer (the inserted Exit(m,n); continuations);
 ///   q    — Queue: the FIFO input buffer with ⊎-unique entries.
 ///
-/// Everything is a plain value: copying a Config snapshots the whole
-/// system, which is exactly what the model checker needs.
+/// Machine configurations are held behind copy-on-write snapshots
+/// (CowMachine): copying a Config is O(#machines) pointer bumps, and a
+/// machine's state is cloned only when someone is about to mutate it
+/// (CowMachine::mut — the checker's successor generation touches one
+/// machine per slice, so successor cost is proportional to what
+/// changed, not to the whole system). Each snapshot also carries a
+/// cached 64-bit fingerprint slot that mut() invalidates, which is what
+/// makes the checker's incremental state hashing safe (see
+/// checker/StateHash.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,7 +33,9 @@
 #include "runtime/Errors.h"
 #include "runtime/Value.h"
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -119,6 +128,99 @@ struct MachineState {
   bool operator==(const MachineState &O) const = default;
 };
 
+/// Copy-on-write handle to a MachineState. Copies share one immutable
+/// snapshot; `mut()` is the single "about to mutate machine i" hook:
+/// it clones the snapshot when it is shared and invalidates the cached
+/// fingerprint either way. Reads go through `operator*`/`operator->`
+/// and never clone.
+///
+/// Thread-safety: a snapshot shared between configurations owned by
+/// different checker workers is never mutated (mut() unshares first),
+/// and the fingerprint cache slot is atomic, so concurrent fingerprint
+/// computation is a benign same-value race. `mut()` itself must only be
+/// called by the thread that owns the enclosing Config.
+class CowMachine {
+public:
+  CowMachine() : Snap(std::make_shared<Snapshot>()) {}
+  explicit CowMachine(MachineState S)
+      : Snap(std::make_shared<Snapshot>(std::move(S))) {}
+
+  const MachineState &operator*() const { return Snap->S; }
+  const MachineState *operator->() const { return &Snap->S; }
+
+  /// Clone-before-mutate: unshares the snapshot if any other Config
+  /// still points at it, and invalidates the cached fingerprint.
+  MachineState &mut() {
+    if (Snap.use_count() != 1)
+      Snap = std::make_shared<Snapshot>(Snap->S); // cache not copied
+    else
+      Snap->Fp.store(0, std::memory_order_relaxed);
+    return Snap->S;
+  }
+
+  /// Cached 64-bit fingerprint of the snapshot; 0 = not computed.
+  /// Valid fingerprints are never 0 (the hasher remaps 0 — see
+  /// checker/StateHash.cpp), so one sentinel suffices.
+  uint64_t cachedFingerprint() const {
+    return Snap->Fp.load(std::memory_order_acquire);
+  }
+  void cacheFingerprint(uint64_t F) const {
+    Snap->Fp.store(F, std::memory_order_release);
+  }
+
+  /// True when both handles share one physical snapshot (used by the
+  /// checker's shared-representation memory accounting).
+  bool sharesSnapshotWith(const CowMachine &O) const {
+    return Snap == O.Snap;
+  }
+  /// Stable identity of the underlying snapshot allocation.
+  const void *snapshotKey() const { return Snap.get(); }
+  /// Heap bytes owned by this snapshot (counted once across sharers).
+  uint64_t snapshotBytes() const;
+
+  bool operator==(const CowMachine &O) const {
+    return Snap == O.Snap || Snap->S == O.Snap->S;
+  }
+
+private:
+  struct Snapshot {
+    Snapshot() = default;
+    explicit Snapshot(MachineState S) : S(std::move(S)) {}
+    /// Clones the state but not the fingerprint cache: the clone is
+    /// only made on the way to a mutation.
+    Snapshot(const Snapshot &O) : S(O.S) {}
+    Snapshot &operator=(const Snapshot &) = delete;
+
+    MachineState S;
+    mutable std::atomic<uint64_t> Fp{0};
+  };
+  std::shared_ptr<Snapshot> Snap;
+};
+
+inline uint64_t CowMachine::snapshotBytes() const {
+  // Estimated heap footprint of one snapshot, for shared-representation
+  // memory accounting (a snapshot shared by many configs is counted
+  // once, keyed by snapshotKey()).
+  auto ExecBytes = [](const ExecFrame &F) {
+    return (F.Operands.capacity() + F.Params.capacity()) * sizeof(Value);
+  };
+  const MachineState &S = Snap->S;
+  uint64_t B = sizeof(Snapshot);
+  B += S.Frames.capacity() * sizeof(StateFrame);
+  for (const StateFrame &F : S.Frames) {
+    B += F.Inherit.capacity() * sizeof(int32_t);
+    B += F.SavedCont.capacity() * sizeof(ExecFrame);
+    for (const ExecFrame &E : F.SavedCont)
+      B += ExecBytes(E);
+  }
+  B += S.Exec.capacity() * sizeof(ExecFrame);
+  for (const ExecFrame &E : S.Exec)
+    B += ExecBytes(E);
+  B += S.Vars.capacity() * sizeof(Value);
+  B += S.Queue.capacity() * sizeof(std::pair<int32_t, Value>);
+  return B;
+}
+
 /// What a send does when the receiving queue is at Config::MaxQueue.
 enum class OverflowPolicy : uint8_t {
   /// Raise ErrorKind::QueueOverflow (the verification default: prove
@@ -136,7 +238,10 @@ enum class OverflowPolicy : uint8_t {
 
 /// A global configuration M plus the error flag of Figure 6.
 struct Config {
-  std::vector<MachineState> Machines; ///< Machine id == index.
+  /// Machine id == index. Each entry is a copy-on-write handle: copying
+  /// a Config shares every snapshot; mutate through
+  /// `Machines[Id].mut()` (or the mutableMachine helper) only.
+  std::vector<CowMachine> Machines;
 
   ErrorKind Error = ErrorKind::None;
   std::string ErrorMessage;
@@ -156,8 +261,14 @@ struct Config {
   /// True when the id denotes a live machine.
   bool isLive(int32_t Id) const {
     return Id >= 0 && Id < static_cast<int32_t>(Machines.size()) &&
-           Machines[Id].Alive;
+           Machines[Id]->Alive;
   }
+
+  /// Read-only view of machine \p Id.
+  const MachineState &machine(int32_t Id) const { return *Machines[Id]; }
+  /// The "about to mutate machine Id" hook: unshares the snapshot and
+  /// invalidates its cached fingerprint.
+  MachineState &mutableMachine(int32_t Id) { return Machines[Id].mut(); }
 };
 
 } // namespace p

@@ -80,7 +80,7 @@ int32_t Executor::createMachine(
   if (Info.States[0].EntryBody >= 0)
     pushBodyFrame(M, Info.States[0].EntryBody, FrameKind::Entry);
 
-  Cfg.Machines.push_back(std::move(M));
+  Cfg.Machines.push_back(CowMachine(std::move(M)));
   int32_t Id = static_cast<int32_t>(Cfg.Machines.size()) - 1;
   if (Trace) {
     Trace->record(TraceKind::New, Id, MachineIndex);
@@ -104,7 +104,7 @@ bool Executor::enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
                "send to invalid machine id " + std::to_string(Target));
     return false;
   }
-  MachineState &M = Cfg.Machines[Target];
+  const MachineState &M = *Cfg.Machines[Target];
   if (M.Crashed)
     // Fault model: a crashed process neither receives nor errors the
     // sender — the message vanishes on the wire (unlike SEND-FAIL2,
@@ -116,7 +116,9 @@ bool Executor::enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
     return false;
   }
   // The ⊎ append: an identical (event, payload) pair already queued is
-  // not duplicated (guards against event flooding; Section 3.1).
+  // not duplicated (guards against event flooding; Section 3.1). Read
+  // through the snapshot — the COW clone happens only on the actual
+  // append below.
   for (const auto &[E, V] : M.Queue)
     if (E == Event && V == Arg)
       return true;
@@ -135,14 +137,14 @@ bool Executor::enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
                    " exceeded MaxQueue=" + std::to_string(Cfg.MaxQueue));
     return false;
   }
-  M.Queue.emplace_back(Event, Arg);
+  Cfg.Machines[Target].mut().Queue.emplace_back(Event, Arg);
   return true;
 }
 
 bool Executor::crashMachine(Config &Cfg, int32_t Id) const {
   if (!Cfg.isLive(Id))
     return false;
-  MachineState &M = Cfg.Machines[Id];
+  MachineState &M = Cfg.Machines[Id].mut();
   // Discard the whole machine configuration, like Opcode::Delete, but
   // remember that the death was a fault so sends keep dropping silently
   // and restartMachine can bring the id back.
@@ -167,9 +169,9 @@ bool Executor::restartMachine(
     const std::vector<std::pair<int32_t, Value>> &Inits) const {
   if (Id < 0 || Id >= static_cast<int32_t>(Cfg.Machines.size()))
     return false;
-  MachineState &M = Cfg.Machines[Id];
-  if (!M.Crashed)
+  if (!Cfg.Machines[Id]->Crashed)
     return false;
+  MachineState &M = Cfg.Machines[Id].mut();
   const MachineInfo &Info = Prog.Machines[M.MachineIndex];
 
   // Rebuild the machine configuration the way createMachine does, in
@@ -224,7 +226,7 @@ int Executor::findEligibleEvent(const Config &Cfg,
 bool Executor::isEnabled(const Config &Cfg, int32_t Id) const {
   if (!Cfg.isLive(Id))
     return false;
-  const MachineState &M = Cfg.Machines[Id];
+  const MachineState &M = *Cfg.Machines[Id];
   if (!M.Exec.empty() || M.HasRaise || M.Transfer != TransferKind::None)
     return true;
   return findEligibleEvent(Cfg, M) >= 0;
@@ -257,7 +259,7 @@ Executor::computeCallInherit(const MachineState &M) const {
 }
 
 void Executor::applyTransfer(Config &Cfg, int32_t Id) const {
-  MachineState &M = Cfg.Machines[Id];
+  MachineState &M = Cfg.Machines[Id].mut();
   const MachineInfo &Info = Prog.Machines[M.MachineIndex];
   TransferKind Kind = M.Transfer;
   int32_t Target = M.TransferTarget;
@@ -322,7 +324,7 @@ void Executor::applyTransfer(Config &Cfg, int32_t Id) const {
 }
 
 void Executor::dispatchRaise(Config &Cfg, int32_t Id) const {
-  MachineState &M = Cfg.Machines[Id];
+  MachineState &M = Cfg.Machines[Id].mut();
   const MachineInfo &Info = Prog.Machines[M.MachineIndex];
   assert(M.HasRaise && M.Exec.empty() &&
          M.Transfer == TransferKind::None);
@@ -489,7 +491,11 @@ Value evalBinary(BinaryOp Op, const Value &L, const Value &R) {
 } // namespace
 
 Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
-  MachineState &M = Cfg.Machines[Id];
+  // The COW clone for this slice: the first mut() on a shared snapshot
+  // copies it; every later one on the same (now unique) snapshot is a
+  // use_count check. References into the snapshot stay valid across
+  // Cfg.Machines growth because snapshots live on the heap.
+  MachineState &M = Cfg.Machines[Id].mut();
   const MachineInfo &Info = Prog.Machines[M.MachineIndex];
   ExecFrame &Frame = M.Exec.back();
   const Body &B = Info.Bodies[Frame.Body];
@@ -597,9 +603,10 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
     for (size_t K = Fields.size(); K-- > 0;)
       Inits[K] = {Fields[K], popValue()};
     int32_t Child = createMachine(Cfg, I.A, Inits);
-    // createMachine may reallocate Cfg.Machines; re-establish access.
-    Cfg.Machines[Id].Exec.back().Operands.push_back(Value::machine(Child));
-    ++Cfg.Machines[Id].Exec.back().PC;
+    // Frame stays valid: it lives in this machine's heap snapshot, which
+    // createMachine's push_back on Cfg.Machines does not move.
+    Frame.Operands.push_back(Value::machine(Child));
+    ++Frame.PC;
     Res.Kind = InstrResult::SchedulingPoint;
     Res.Other = Child;
     Res.Created = true;
@@ -626,7 +633,7 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
     // The message vanishes but the send still executed, so the slice
     // boundary is the same one a delivered send produces.
     if (To >= 0 && To < static_cast<int32_t>(Cfg.Machines.size()) &&
-        Cfg.Machines[To].Crashed) {
+        Cfg.Machines[To]->Crashed) {
       if (Trace)
         Trace->record(TraceKind::Send, Id, Event.asEvent(), To);
       ++Frame.PC;
@@ -704,8 +711,11 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
     auto It = ForeignFns.find({Info.Name, F.Name});
     if (It != ForeignFns.end()) {
       Value Result = It->second(Cfg, Id, Args);
-      Cfg.Machines[Id].Exec.back().Operands.push_back(Result);
-      ++Cfg.Machines[Id].Exec.back().PC;
+      // Re-establish mutable access: the foreign function received the
+      // Config and may have copied it (sharing our snapshot again).
+      MachineState &MM = Cfg.Machines[Id].mut();
+      MM.Exec.back().Operands.push_back(Result);
+      ++MM.Exec.back().PC;
       return Res;
     }
     if (Opts.StrictForeign)
@@ -791,7 +801,11 @@ Executor::StepResult Executor::step(Config &Cfg, int32_t Id) const {
   while (true) {
     if (Cfg.hasError())
       return {StepOutcome::Error};
-    MachineState &M = Cfg.Machines[Id];
+    // Dispatch on a read-only view; the COW clone happens inside the
+    // helper that actually mutates (execInstr/applyTransfer/
+    // dispatchRaise, or the dequeue below). A Blocked slice touches
+    // nothing and keeps the snapshot shared.
+    const MachineState &M = *Cfg.Machines[Id];
     if (!M.Alive)
       return {StepOutcome::Halted};
     if (++Steps > Opts.MaxStepsPerSlice) {
@@ -836,24 +850,25 @@ Executor::StepResult Executor::step(Config &Cfg, int32_t Id) const {
     int Index = findEligibleEvent(Cfg, M);
     if (Index < 0)
       return {StepOutcome::Blocked};
-    auto [Event, Arg] = M.Queue[Index];
-    M.Queue.erase(M.Queue.begin() + Index);
+    MachineState &MW = Cfg.Machines[Id].mut();
+    auto [Event, Arg] = MW.Queue[Index];
+    MW.Queue.erase(MW.Queue.begin() + Index);
     for (const DequeueObserverFn &Observer : DequeueObservers)
       Observer(Id, Event);
     if (Trace)
       Trace->record(TraceKind::Dequeue, Id, Event);
-    M.Msg = Value::event(Event);
-    M.Arg = Arg;
-    M.HasRaise = true;
-    M.RaiseEvent = Event;
-    M.RaiseArg = Arg;
+    MW.Msg = Value::event(Event);
+    MW.Arg = Arg;
+    MW.HasRaise = true;
+    MW.RaiseEvent = Event;
+    MW.RaiseArg = Arg;
   }
 }
 
 std::string Executor::describeMachine(const Config &Cfg, int32_t Id) const {
   if (Id < 0 || Id >= static_cast<int32_t>(Cfg.Machines.size()))
     return "<invalid machine id>";
-  const MachineState &M = Cfg.Machines[Id];
+  const MachineState &M = *Cfg.Machines[Id];
   if (!M.Alive)
     return "<deleted machine " + std::to_string(Id) + ">";
   const MachineInfo &Info = Prog.Machines[M.MachineIndex];

@@ -24,6 +24,8 @@
 #include <fstream>
 #include <random>
 
+#include <unistd.h>
+
 using namespace p;
 
 namespace {
@@ -59,7 +61,11 @@ protected:
     CodegenResult R = generateC(Ast, Opts);
     ASSERT_TRUE(R.ok());
 
-    Dir = ::testing::TempDir() + "/cross_backend";
+    // Per-process dir: ctest runs each TEST of this suite as its own
+    // process, and concurrent processes must not race on the generated
+    // sources or the compiled driver binary.
+    Dir = ::testing::TempDir() + "/cross_backend_" +
+          std::to_string(static_cast<long>(::getpid()));
     std::string Out;
     runCommand("mkdir -p " + Dir, Out);
     auto write = [](const std::string &Path, const std::string &Text) {

@@ -44,7 +44,7 @@ void runAll(const Executor &Exec, Config &Cfg, int MaxIters = 10000) {
 
 std::string stateName(const CompiledProgram &Prog, const Config &Cfg,
                       int32_t Id) {
-  const MachineState &M = Cfg.Machines[Id];
+  const MachineState &M = *Cfg.Machines[Id];
   if (!M.Alive || M.Frames.empty())
     return "";
   return Prog.Machines[M.MachineIndex].States[M.Frames.back().State].Name;
@@ -77,7 +77,7 @@ main machine M {
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
   // entry S (1), exit raises Bonus (2), transition to T runs entry (3),
   // Bonus dispatches in T -> U (4).
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], Value::integer(1234));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], Value::integer(1234));
   EXPECT_EQ(stateName(Prog, Cfg, 0), "U");
 }
 
@@ -105,8 +105,8 @@ main machine M {
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("In"));
   Exec.step(Cfg, 0);
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], Value::integer(1));
-  EXPECT_EQ(Cfg.Machines[0].Frames.size(), 1u);
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], Value::integer(1));
+  EXPECT_EQ(Cfg.Machines[0]->Frames.size(), 1u);
 }
 
 TEST(Forwarding, MsgAndArgForwardThroughSends) {
@@ -153,8 +153,8 @@ machine Catcher {
   runAll(Exec, Cfg);
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
   int Catcher = 1; // Created first by Source.
-  EXPECT_EQ(Cfg.Machines[Catcher].Vars[0], Value::integer(11));
-  EXPECT_EQ(Cfg.Machines[Catcher].Vars[1], Value::integer(22));
+  EXPECT_EQ(Cfg.Machines[Catcher]->Vars[0], Value::integer(11));
+  EXPECT_EQ(Cfg.Machines[Catcher]->Vars[1], Value::integer(22));
 }
 
 TEST(QueueDedup, DifferentPayloadsAreDistinctEntries) {
@@ -177,9 +177,9 @@ main machine M {
   Exec.enqueueEvent(Cfg, 0, 0, Value::integer(2));
   Exec.enqueueEvent(Cfg, 0, 0, Value::integer(1)); // deduped
   Exec.enqueueEvent(Cfg, 0, 0, Value::integer(3));
-  EXPECT_EQ(Cfg.Machines[0].Queue.size(), 3u);
+  EXPECT_EQ(Cfg.Machines[0]->Queue.size(), 3u);
   Exec.step(Cfg, 0);
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], Value::integer(6));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], Value::integer(6));
 }
 
 TEST(QueueDedup, RequeueAfterDequeueIsAllowed) {
@@ -202,7 +202,7 @@ main machine M {
     Exec.enqueueEvent(Cfg, 0, 0);
     Exec.step(Cfg, 0); // Consume before re-sending.
   }
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], Value::integer(3));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], Value::integer(3));
 }
 
 TEST(DeferredDelivery, OrderAmongDeferredEventsIsPreserved) {
@@ -234,16 +234,16 @@ main machine M {
   Config Cfg = Exec.makeInitialConfig();
   // First must be initialized before comparisons; do it via direct
   // variable poke (the host could do the same through initializers).
-  Cfg.Machines[0].Vars[0] = Value::integer(0);
-  Cfg.Machines[0].Vars[1] = Value::integer(0);
+  Cfg.mutableMachine(0).Vars[0] = Value::integer(0);
+  Cfg.mutableMachine(0).Vars[1] = Value::integer(0);
   Exec.step(Cfg, 0);
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("A"), Value::integer(7));
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("A"), Value::integer(9));
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Open"));
   Exec.step(Cfg, 0);
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], Value::integer(7));
-  EXPECT_EQ(Cfg.Machines[0].Vars[1], Value::integer(9));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], Value::integer(7));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[1], Value::integer(9));
 }
 
 TEST(CallTransitions, NestedPushesStackThreeDeep) {
@@ -272,13 +272,13 @@ main machine M {
   Exec.step(Cfg, 0);
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Down"));
   Exec.step(Cfg, 0);
-  EXPECT_EQ(Cfg.Machines[0].Frames.size(), 3u);
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], Value::integer(2));
+  EXPECT_EQ(Cfg.Machines[0]->Frames.size(), 3u);
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], Value::integer(2));
   // Up is unhandled in L2 and L1; it pops both (POP1) and steps L0.
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Up"));
   Exec.step(Cfg, 0);
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
-  EXPECT_EQ(Cfg.Machines[0].Frames.size(), 1u);
+  EXPECT_EQ(Cfg.Machines[0]->Frames.size(), 1u);
   EXPECT_EQ(stateName(Prog, Cfg, 0), "L0");
 }
 
@@ -303,7 +303,7 @@ main machine M {
   Config Cfg = Exec.makeInitialConfig();
   auto R = Exec.step(Cfg, 0);
   EXPECT_EQ(R.Outcome, Executor::StepOutcome::Blocked);
-  EXPECT_EQ(Cfg.Machines[0].Vars[1], Value::integer(4950));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[1], Value::integer(4950));
 }
 
 TEST(SelfSend, MachineCanMessageItself) {
@@ -331,7 +331,7 @@ main machine M {
   while (Exec.isEnabled(Cfg, 0) && !Cfg.hasError())
     Exec.step(Cfg, 0);
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], Value::integer(3));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], Value::integer(3));
 }
 
 } // namespace

@@ -77,7 +77,7 @@ TEST(PipelineSmoke, RunsPingPongToQuiescence) {
   ASSERT_LT(Guard, 1000) << "did not quiesce";
   EXPECT_FALSE(Cfg.hasError());
   // Client should be in Done with Count == 1.
-  EXPECT_EQ(Cfg.Machines[0].Vars[1], Value::integer(1));
+  EXPECT_EQ(Cfg.Machines[0]->Vars[1], Value::integer(1));
 }
 
 TEST(PipelineSmoke, CheckerFindsNoErrorInPingPong) {

@@ -47,7 +47,7 @@ TEST_P(BinaryOpSemantics, EvaluatesLikeTheReference) {
   Config Cfg = Exec.makeInitialConfig();
   Exec.step(Cfg, 0);
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
-  EXPECT_EQ(Cfg.Machines[0].Vars[0], C.Expected)
+  EXPECT_EQ(Cfg.Machines[0]->Vars[0], C.Expected)
       << C.A << " " << C.Op << " " << C.B;
 }
 
@@ -102,7 +102,7 @@ main machine M {
   Config Cfg = Exec.makeInitialConfig();
   Exec.step(Cfg, 0);
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
-  EXPECT_EQ(Cfg.Machines[0].Vars[1], Value::null()) << "op " << Op;
+  EXPECT_EQ(Cfg.Machines[0]->Vars[1], Value::null()) << "op " << Op;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOps, StrictOperators,

@@ -46,12 +46,12 @@ void runAll(const Executor &Exec, Config &Cfg, int MaxIters = 10000) {
 }
 
 Value var(const Config &Cfg, int32_t Id, int Index) {
-  return Cfg.Machines[Id].Vars[Index];
+  return Cfg.Machines[Id]->Vars[Index];
 }
 
 std::string stateName(const CompiledProgram &Prog, const Config &Cfg,
                       int32_t Id) {
-  const MachineState &M = Cfg.Machines[Id];
+  const MachineState &M = *Cfg.Machines[Id];
   if (!M.Alive || M.Frames.empty())
     return "";
   return Prog.Machines[M.MachineIndex].States[M.Frames.back().State].Name;
@@ -143,9 +143,9 @@ machine Sink {
   }
   ASSERT_FALSE(Cfg.hasError());
   // ⊎: (Ping,1) queued once; (Ping,2) is distinct.
-  ASSERT_EQ(Cfg.Machines[1].Queue.size(), 2u);
-  EXPECT_EQ(Cfg.Machines[1].Queue[0].second, Value::integer(1));
-  EXPECT_EQ(Cfg.Machines[1].Queue[1].second, Value::integer(2));
+  ASSERT_EQ(Cfg.Machines[1]->Queue.size(), 2u);
+  EXPECT_EQ(Cfg.Machines[1]->Queue[0].second, Value::integer(1));
+  EXPECT_EQ(Cfg.Machines[1]->Queue[1].second, Value::integer(2));
 }
 
 TEST(RuleSendFail, TargetNull) {
@@ -191,7 +191,7 @@ machine Victim {
   Config Cfg = Exec.makeInitialConfig();
   runAll(Exec, Cfg);
   ASSERT_FALSE(Cfg.hasError());
-  EXPECT_FALSE(Cfg.Machines[1].Alive);
+  EXPECT_FALSE(Cfg.Machines[1]->Alive);
   // A late send from the host hits SEND-FAIL2.
   EXPECT_FALSE(Exec.enqueueEvent(Cfg, 1, Prog.findEvent("Ping")));
   EXPECT_EQ(Cfg.Error, ErrorKind::SendToDeleted);
@@ -254,7 +254,7 @@ main machine M {
   EXPECT_EQ(var(Cfg, 0, 0), Value::integer(1)) << "X = 99 must not run";
   EXPECT_EQ(stateName(Prog, Cfg, 0), "T");
   // msg reflects the raised event.
-  EXPECT_EQ(Cfg.Machines[0].Msg, Value::event(Prog.findEvent("Go")));
+  EXPECT_EQ(Cfg.Machines[0]->Msg, Value::event(Prog.findEvent("Go")));
 }
 
 TEST(RuleLeave, JumpsToEndOfEntry) {
@@ -302,8 +302,8 @@ main machine M {
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
   // B was dequeued past the deferred A; A stays queued.
   EXPECT_EQ(var(Cfg, 0, 0), Value::integer(8));
-  ASSERT_EQ(Cfg.Machines[0].Queue.size(), 1u);
-  EXPECT_EQ(Cfg.Machines[0].Queue[0].first, Prog.findEvent("A"));
+  ASSERT_EQ(Cfg.Machines[0]->Queue.size(), 1u);
+  EXPECT_EQ(Cfg.Machines[0]->Queue[0].first, Prog.findEvent("A"));
 }
 
 TEST(RuleDequeue, TransitionOverridesDeferral) {
@@ -390,12 +390,12 @@ main machine M {
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("In"));
   Exec.step(Cfg, 0); // Enter Sub.
   ASSERT_EQ(stateName(Prog, Cfg, 0), "Sub");
-  ASSERT_EQ(Cfg.Machines[0].Frames.size(), 2u);
+  ASSERT_EQ(Cfg.Machines[0]->Frames.size(), 2u);
 
   // Def is inherited-deferred inside Sub.
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Def"), Value::integer(5));
   EXPECT_EQ(Exec.step(Cfg, 0).Outcome, Executor::StepOutcome::Blocked);
-  EXPECT_EQ(Cfg.Machines[0].Queue.size(), 1u);
+  EXPECT_EQ(Cfg.Machines[0]->Queue.size(), 1u);
 
   // Act runs the caller's action without leaving Sub.
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Act"), Value::integer(9));
@@ -408,7 +408,7 @@ main machine M {
   Exec.enqueueEvent(Cfg, 0, Prog.findEvent("Ret"));
   Exec.step(Cfg, 0);
   EXPECT_EQ(stateName(Prog, Cfg, 0), "Done");
-  EXPECT_EQ(Cfg.Machines[0].Frames.size(), 1u);
+  EXPECT_EQ(Cfg.Machines[0]->Frames.size(), 1u);
   EXPECT_EQ(var(Cfg, 0, 1), Value::integer(5)) << "deferred Def delivered "
                                                   "after the pop";
 }
@@ -561,7 +561,7 @@ main machine M {
   ASSERT_FALSE(Cfg.hasError()) << Cfg.ErrorMessage;
   EXPECT_EQ(var(Cfg, 0, 0), Value::integer(123))
       << "the statement after `call` resumes when the callee returns";
-  EXPECT_EQ(Cfg.Machines[0].Frames.size(), 1u);
+  EXPECT_EQ(Cfg.Machines[0]->Frames.size(), 1u);
 }
 
 TEST(CallStatement, ContinuationDiscardedOnPop) {
@@ -609,7 +609,7 @@ main machine M {
   Config Cfg = Exec.makeInitialConfig();
   Executor::StepResult R = Exec.step(Cfg, 0);
   EXPECT_EQ(R.Outcome, Executor::StepOutcome::Halted);
-  EXPECT_FALSE(Cfg.Machines[0].Alive);
+  EXPECT_FALSE(Cfg.Machines[0]->Alive);
   EXPECT_FALSE(Exec.isEnabled(Cfg, 0));
 }
 

@@ -73,7 +73,7 @@ TEST(StateHash, EqualConfigsSerializeEqually) {
   F.Inherit = {InheritNone, InheritDeferred, 3};
   M.Frames.push_back(F);
   M.Queue = {{1, Value::integer(9)}};
-  A.Machines.push_back(M);
+  A.Machines.push_back(CowMachine(M));
 
   Config B = A;
   EXPECT_EQ(hashConfig(A), hashConfig(B));
@@ -94,38 +94,38 @@ TEST(StateHash, SensitiveToEverySemanticComponent) {
   F.State = 0;
   F.Inherit = {InheritNone};
   M.Frames.push_back(F);
-  Base.Machines.push_back(M);
+  Base.Machines.push_back(CowMachine(M));
   uint64_t H0 = hashConfig(Base);
 
   {
     Config C = Base;
-    C.Machines[0].Vars[0] = Value::integer(2);
+    C.mutableMachine(0).Vars[0] = Value::integer(2);
     EXPECT_NE(hashConfig(C), H0) << "variable values";
   }
   {
     Config C = Base;
-    C.Machines[0].Frames[0].State = 1;
+    C.mutableMachine(0).Frames[0].State = 1;
     EXPECT_NE(hashConfig(C), H0) << "control state";
   }
   {
     Config C = Base;
-    C.Machines[0].Frames[0].Inherit[0] = InheritDeferred;
+    C.mutableMachine(0).Frames[0].Inherit[0] = InheritDeferred;
     EXPECT_NE(hashConfig(C), H0) << "inherited handler map";
   }
   {
     Config C = Base;
-    C.Machines[0].Queue.push_back({0, Value::null()});
+    C.mutableMachine(0).Queue.push_back({0, Value::null()});
     EXPECT_NE(hashConfig(C), H0) << "queue contents";
   }
   {
     Config C = Base;
-    C.Machines[0].HasRaise = true;
-    C.Machines[0].RaiseEvent = 0;
+    C.mutableMachine(0).HasRaise = true;
+    C.mutableMachine(0).RaiseEvent = 0;
     EXPECT_NE(hashConfig(C), H0) << "pending raise";
   }
   {
     Config C = Base;
-    C.Machines[0].Transfer = TransferKind::PopRaise;
+    C.mutableMachine(0).Transfer = TransferKind::PopRaise;
     EXPECT_NE(hashConfig(C), H0) << "pending transfer";
   }
   {
@@ -134,17 +134,17 @@ TEST(StateHash, SensitiveToEverySemanticComponent) {
     E.Body = 0;
     E.PC = 3;
     E.Operands = {Value::integer(4)};
-    C.Machines[0].Exec.push_back(E);
+    C.mutableMachine(0).Exec.push_back(E);
     EXPECT_NE(hashConfig(C), H0) << "resumable exec frames";
   }
   {
     Config C = Base;
-    C.Machines[0].InjectedChoice = true;
+    C.mutableMachine(0).InjectedChoice = true;
     EXPECT_NE(hashConfig(C), H0) << "injected choices";
   }
   {
     Config C = Base;
-    C.Machines[0].Alive = false;
+    C.mutableMachine(0).Alive = false;
     EXPECT_NE(hashConfig(C), H0) << "deleted machines";
   }
   {
@@ -155,7 +155,7 @@ TEST(StateHash, SensitiveToEverySemanticComponent) {
     ExecFrame Cont;
     Cont.Body = 1;
     G.SavedCont.push_back(Cont);
-    C.Machines[0].Frames.push_back(G);
+    C.mutableMachine(0).Frames.push_back(G);
     EXPECT_NE(hashConfig(C), H0) << "saved continuations";
   }
 }

@@ -165,8 +165,8 @@ main ghost machine G {
   ASSERT_TRUE(R.ErrorReached);
   EXPECT_EQ(R.Error, ErrorKind::AssertFailed);
   // Both choices were replayed as true.
-  EXPECT_EQ(R.Final.Machines[0].Vars[0], Value::boolean(true));
-  EXPECT_EQ(R.Final.Machines[0].Vars[1], Value::boolean(true));
+  EXPECT_EQ(R.Final.Machines[0]->Vars[0], Value::boolean(true));
+  EXPECT_EQ(R.Final.Machines[0]->Vars[1], Value::boolean(true));
 }
 
 TEST(Replay, CleanScheduleReplaysClean) {
@@ -189,7 +189,7 @@ main machine M {
   Schedule.push_back(Run); // dequeue Go, step to T
   ReplayResult R = replaySchedule(Prog, Schedule);
   EXPECT_FALSE(R.ErrorReached) << R.ErrorMessage;
-  EXPECT_EQ(R.Final.Machines[0].Vars[0], Value::integer(2));
+  EXPECT_EQ(R.Final.Machines[0]->Vars[0], Value::integer(2));
   EXPECT_EQ(R.Steps.size(), 2u);
 }
 
