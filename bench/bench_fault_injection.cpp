@@ -50,6 +50,7 @@ int WorkersFlag = 1;     ///< --workers N (0 = hardware_concurrency).
 bool QuickFlag = false;  ///< --quick: small sweep for smoke tests.
 std::string JsonPath;    ///< --json <file|->; empty = no report.
 std::FILE *Human = stdout;
+Reduction ReduceFlag = Reduction::Off; ///< --reduction off|sleep|symmetry|both.
 
 obs::BenchReport Report("fault_injection");
 
@@ -60,6 +61,15 @@ CompiledProgram compileOrExit(const std::string &Src) {
     std::exit(1);
   }
   return std::move(*R.Program);
+}
+
+Reduction parseReductionOrExit(const char *S) {
+  Reduction R;
+  if (parseReduction(S, R))
+    return R;
+  std::fprintf(stderr, "unknown --reduction '%s' (off|sleep|symmetry|both)\n",
+               S);
+  std::exit(2);
 }
 
 int32_t eventId(const CompiledProgram &Prog, const char *Name) {
@@ -80,6 +90,7 @@ void record(const char *Slug, int DelayBound, int Budget, uint64_t NodeCap,
   Config.set("fault_budget", Budget);
   Config.set("node_cap", NodeCap);
   Config.set("workers", WorkersFlag);
+  Config.set("reduction", reductionName(ReduceFlag));
   Report.addRun(std::move(Config), R.Stats);
 }
 
@@ -91,6 +102,8 @@ int main(int argc, char **argv) {
       WorkersFlag = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--reduction") && I + 1 < argc)
+      ReduceFlag = parseReductionOrExit(argv[++I]);
     else if (!std::strcmp(argv[I], "--quick"))
       QuickFlag = true;
   }
@@ -115,6 +128,7 @@ int main(int argc, char **argv) {
     Opts.StopOnFirstError = false;
     Opts.Workers = WorkersFlag;
     Opts.Faults.Budget = Budget; // Drop + duplicate, the defaults.
+    Opts.Reduce = ReduceFlag;
     CheckResult R = check(German, Opts);
     std::fprintf(Human, "%-10d %-12llu %-12llu %-10llu %-8llu %-10.3f %s\n",
                  Budget,
@@ -143,6 +157,7 @@ int main(int argc, char **argv) {
     Opts.Faults.Drop = false;
     Opts.Faults.Duplicate = true;
     Opts.Faults.Events.push_back(eventId(Buggy, "InvAck"));
+    Opts.Reduce = ReduceFlag;
     CheckResult R = check(Buggy, Opts);
     std::fprintf(Human, "%-10d %-12llu %-10.3f %s%s\n", Budget,
                  static_cast<unsigned long long>(R.Stats.DistinctStates),

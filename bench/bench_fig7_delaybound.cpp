@@ -48,6 +48,7 @@ std::string JsonPath;     ///< --json <file|->; empty = no report.
 std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
 uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
+Reduction ReduceFlag = Reduction::Off; ///< --reduction off|sleep|symmetry|both.
 
 const char *visitedModeName(VisitedMode M) {
   switch (M) {
@@ -70,6 +71,15 @@ VisitedMode parseVisitedMode(const char *S) {
     return VisitedMode::Fingerprint;
   std::fprintf(stderr,
                "unknown --visited-mode '%s' (exact|fingerprint|compact)\n",
+               S);
+  std::exit(2);
+}
+
+Reduction parseReductionOrExit(const char *S) {
+  Reduction R;
+  if (parseReduction(S, R))
+    return R;
+  std::fprintf(stderr, "unknown --reduction '%s' (off|sleep|symmetry|both)\n",
                S);
   std::exit(2);
 }
@@ -117,6 +127,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
     Opts.Faults.Budget = FaultBudgetFlag; // Drop/duplicate, the defaults.
     Opts.Visited = VisitedFlag;
     Opts.VisitedCapBytes = VisitedCapFlag;
+    Opts.Reduce = ReduceFlag;
     installProgress(Opts);
     CheckResult R = check(Prog, Opts);
     const char *Note = "";
@@ -142,6 +153,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
       Config.set("workers", WorkersFlag);
       Config.set("fault_budget", FaultBudgetFlag);
       Config.set("visited_mode", visitedModeName(VisitedFlag));
+      Config.set("reduction", reductionName(ReduceFlag));
       Report.addRun(std::move(Config), R.Stats);
     }
     if (Saturated || !R.Stats.Exhausted || R.Stats.Seconds > TimeBudget)
@@ -171,6 +183,8 @@ int main(int argc, char **argv) {
       VisitedFlag = parseVisitedMode(argv[++I]);
     else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
       VisitedCapFlag = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--reduction") && I + 1 < argc)
+      ReduceFlag = parseReductionOrExit(argv[++I]);
     else if (!std::strcmp(argv[I], "--quick"))
       QuickFlag = true;
     else if (!std::strcmp(argv[I], "--progress"))
@@ -237,6 +251,7 @@ int main(int argc, char **argv) {
       Opts.Faults.Budget = FaultBudgetFlag;
       Opts.Visited = VisitedFlag;
       Opts.VisitedCapBytes = VisitedCapFlag;
+      Opts.Reduce = ReduceFlag;
       installProgress(Opts);
       CheckResult R = check(Prog, Opts);
       if (!JsonPath.empty()) {
@@ -246,6 +261,7 @@ int main(int argc, char **argv) {
         Config.set("workers", WorkersFlag);
         Config.set("fault_budget", FaultBudgetFlag);
         Config.set("visited_mode", visitedModeName(VisitedFlag));
+        Config.set("reduction", reductionName(ReduceFlag));
         Config.set("seeded_bug", true);
         Report.addRun(std::move(Config), R.Stats);
       }

@@ -44,6 +44,7 @@ std::string JsonPath;      ///< --json <file|->; empty = no report.
 std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
 uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
+Reduction ReduceFlag = Reduction::Off; ///< --reduction off|sleep|symmetry|both.
 
 const char *visitedModeName(VisitedMode M) {
   switch (M) {
@@ -66,6 +67,15 @@ VisitedMode parseVisitedMode(const char *S) {
     return VisitedMode::Fingerprint;
   std::fprintf(stderr,
                "unknown --visited-mode '%s' (exact|fingerprint|compact)\n",
+               S);
+  std::exit(2);
+}
+
+Reduction parseReductionOrExit(const char *S) {
+  Reduction R;
+  if (parseReduction(S, R))
+    return R;
+  std::fprintf(stderr, "unknown --reduction '%s' (off|sleep|symmetry|both)\n",
                S);
   std::exit(2);
 }
@@ -101,6 +111,8 @@ int main(int argc, char **argv) {
       VisitedFlag = parseVisitedMode(argv[++I]);
     else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
       VisitedCapFlag = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--reduction") && I + 1 < argc)
+      ReduceFlag = parseReductionOrExit(argv[++I]);
     else if (!std::strcmp(argv[I], "--progress"))
       ProgressFlag = true;
   }
@@ -134,6 +146,7 @@ int main(int argc, char **argv) {
       Opts.Workers = WorkersFlag;
       Opts.Visited = VisitedFlag;
       Opts.VisitedCapBytes = VisitedCapFlag;
+      Opts.Reduce = ReduceFlag;
       if (ProgressFlag) {
         Opts.ProgressIntervalSeconds = 1.0;
         Opts.Progress = [](const CheckStats &S) {
@@ -161,6 +174,7 @@ int main(int argc, char **argv) {
         Config.set("node_cap", 600000);
         Config.set("workers", WorkersFlag);
         Config.set("visited_mode", visitedModeName(VisitedFlag));
+        Config.set("reduction", reductionName(ReduceFlag));
         Report.addRun(std::move(Config), R.Stats);
       }
     }

@@ -22,6 +22,7 @@
 //   --delay D             delay bound for the single run
 //   --visited-mode M      exact | fingerprint | compact
 //   --visited-cap BYTES   Compact byte cap (0 = 64 MiB default)
+//   --reduction R         off | sleep | symmetry | both (CheckOptions::Reduce)
 //   --expect-states S     exit 1 unless DistinctStates == S
 //   --max-seconds T       exit 1 when the run took longer than T
 //
@@ -64,6 +65,15 @@ static VisitedMode parseVisitedMode(const char *S) {
   std::exit(2);
 }
 
+static Reduction parseReductionOrExit(const char *S) {
+  Reduction R;
+  if (parseReduction(S, R))
+    return R;
+  std::fprintf(stderr, "unknown --reduction '%s' (off|sleep|symmetry|both)\n",
+               S);
+  std::exit(2);
+}
+
 static const char *visitedModeName(VisitedMode M) {
   switch (M) {
   case VisitedMode::Exact:
@@ -83,6 +93,7 @@ int main(int argc, char **argv) {
   int Clients = 0, Delay = 0; // --clients enables single-run mode.
   VisitedMode Visited = VisitedMode::Fingerprint;
   uint64_t VisitedCap = 0;
+  Reduction Reduce = Reduction::Off;
   long long ExpectStates = -1;
   double MaxSeconds = 0;
   for (int I = 1; I < argc; ++I) {
@@ -106,6 +117,8 @@ int main(int argc, char **argv) {
       Visited = parseVisitedMode(argv[++I]);
     else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
       VisitedCap = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--reduction") && I + 1 < argc)
+      Reduce = parseReductionOrExit(argv[++I]);
     else if (!std::strcmp(argv[I], "--expect-states") && I + 1 < argc)
       ExpectStates = std::atoll(argv[++I]);
     else if (!std::strcmp(argv[I], "--max-seconds") && I + 1 < argc)
@@ -120,13 +133,18 @@ int main(int argc, char **argv) {
     Opts.Workers = Workers;
     Opts.Visited = Visited;
     Opts.VisitedCapBytes = VisitedCap;
+    Opts.Reduce = Reduce;
     CheckResult R = check(Prog, Opts);
-    std::printf("german clients=%d d=%d mode=%s workers=%d states=%llu "
-                "nodes=%llu seconds=%.3f visited_bytes=%llu "
+    std::printf("german clients=%d d=%d mode=%s workers=%d reduction=%s "
+                "states=%llu nodes=%llu pruned=%llu collapsed=%llu "
+                "seconds=%.3f visited_bytes=%llu "
                 "peak_rss_bytes=%llu omission=%d error=%s\n",
                 Clients, Delay, visitedModeName(Visited), Workers,
+                reductionName(Reduce),
                 static_cast<unsigned long long>(R.Stats.DistinctStates),
                 static_cast<unsigned long long>(R.Stats.NodesExplored),
+                static_cast<unsigned long long>(R.Stats.PrunedByIndependence),
+                static_cast<unsigned long long>(R.Stats.SymmetryCollapsed),
                 R.Stats.Seconds,
                 static_cast<unsigned long long>(R.Stats.VisitedBytes),
                 static_cast<unsigned long long>(R.Stats.PeakRssBytes),

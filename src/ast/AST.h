@@ -494,6 +494,11 @@ struct MachineDecl {
   std::string Name;
   bool Ghost = false;
   bool Main = false; ///< Marks the machine created by the init statement.
+  /// Instances of this machine are interchangeable: the checker's
+  /// symmetry reduction may canonicalize permutations of them (the
+  /// declaration is a promise that instance identity carries no
+  /// semantic weight beyond the id values themselves).
+  bool Symmetric = false;
   std::vector<VarDecl> Vars;
   std::vector<ActionDecl> Actions;
   std::vector<StateDecl> States;

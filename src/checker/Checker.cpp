@@ -8,11 +8,23 @@
 
 #include "checker/ParallelSearch.h"
 
+#include <cstring>
+
 using namespace p;
 
 CheckResult p::check(const CompiledProgram &Prog, const CheckOptions &Opts,
                      Executor *Exec) {
   return runParallelSearch(Prog, Opts, Exec);
+}
+
+bool p::parseReduction(const char *Name, Reduction &Out) {
+  for (Reduction R : {Reduction::Off, Reduction::Sleep, Reduction::Symmetry,
+                      Reduction::Both})
+    if (!std::strcmp(Name, reductionName(R))) {
+      Out = R;
+      return true;
+    }
+  return false;
 }
 
 std::string CoverageReport::str(const CompiledProgram &Prog) const {

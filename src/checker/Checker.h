@@ -84,6 +84,51 @@ enum class VisitedMode : uint8_t {
   Compact,
 };
 
+/// Search-space reduction layers (see DESIGN.md "Reduction"). Both
+/// layers are opt-in: Off explores exactly what the PR-4 checker
+/// explored, bit-identical across worker counts.
+enum class Reduction : uint8_t {
+  /// No reduction (the default; the determinism-contract baseline).
+  Off,
+  /// Sleep-set pruning over the independence relation on scheduling
+  /// decisions: two slices commute when they touch disjoint machines
+  /// and neither sends to, creates, or crashes a machine the other
+  /// slices. Commuting successor orders are explored once; pruned
+  /// branches are counted in CheckStats::PrunedByIndependence.
+  Sleep,
+  /// Machine-symmetry canonicalization: instances of machine types
+  /// declared `symmetric` are folded into a canonical permutation
+  /// before visited-set lookup (values of machine type are renamed
+  /// consistently, which is a bisimulation — ids are opaque in P).
+  /// Nodes pruned as permuted images of an explored representative are
+  /// counted in CheckStats::SymmetryCollapsed. Search nodes themselves
+  /// stay in the original id space, so counterexample traces always
+  /// name concrete machines.
+  Symmetry,
+  /// Sleep + Symmetry composed.
+  Both,
+};
+
+/// Stable lower-case name of a Reduction value, as used by the bench
+/// `--reduction` flags and the JSON reports.
+inline const char *reductionName(Reduction R) {
+  switch (R) {
+  case Reduction::Off:
+    return "off";
+  case Reduction::Sleep:
+    return "sleep";
+  case Reduction::Symmetry:
+    return "symmetry";
+  case Reduction::Both:
+    return "both";
+  }
+  return "?";
+}
+
+/// Parses a `--reduction` flag value; false when \p Name is not one of
+/// off|sleep|symmetry|both (\p Out is untouched).
+bool parseReduction(const char *Name, Reduction &Out);
+
 /// Options controlling one check() run.
 struct CheckOptions {
   SearchStrategy Strategy = SearchStrategy::DelayBounded;
@@ -162,6 +207,12 @@ struct CheckOptions {
   /// overflow behaves per OverflowPolicy during exploration.
   uint32_t MaxQueue = 0;
   OverflowPolicy Overflow = OverflowPolicy::Error;
+  /// Search-space reduction (see Reduction). Off is bit-identical to a
+  /// checker without the reduction layer; Sleep/Symmetry/Both compose
+  /// with every visited mode, fault budget, and worker count, and keep
+  /// error verdicts identical to the unreduced search (the differential
+  /// suite in tests/reduction_test.cpp pins this).
+  Reduction Reduce = Reduction::Off;
 };
 
 /// One scheduling decision of an explored path. A sequence of these is
@@ -238,14 +289,28 @@ struct CheckStats {
   /// have omitted states, so exhaustion is no longer a proof of absence
   /// of errors. Always false in Exact/Fingerprint modes.
   bool OmissionPossible = false;
-  /// Process peak resident set size (ru_maxrss) sampled at the end of
-  /// the run; 0 where unavailable. Includes everything the process ever
-  /// touched, not just the visited set.
+  /// Process peak resident set size over *this run*: the kernel's RSS
+  /// high-water mark is reset when the run starts and sampled at its
+  /// end, so repeated check() calls in one process report their own
+  /// peaks rather than the process-lifetime maximum. Where the platform
+  /// cannot reset the mark (non-Linux) this degrades to the lifetime
+  /// peak; 0 where unavailable. Includes everything resident during the
+  /// run, not just the visited set.
   uint64_t PeakRssBytes = 0;
   /// Incremental-vs-fresh hash cross-check failures (VerifyHashes /
   /// P_VERIFY_HASHES only; must be 0 — anything else is a COW
   /// invalidation bug).
   uint64_t HashMismatches = 0;
+  /// Sleep-set reduction (Reduction::Sleep/Both): run branches skipped
+  /// because the machine was asleep — its slice commutes with every
+  /// decision since the branch where it ran first. 0 when the layer is
+  /// off.
+  uint64_t PrunedByIndependence = 0;
+  /// Symmetry reduction (Reduction::Symmetry/Both): nodes pruned under
+  /// a non-identity canonical permutation, i.e. recognized as permuted
+  /// images of an explored representative. 0 when the layer is off or
+  /// no machine type is declared `symmetric`.
+  uint64_t SymmetryCollapsed = 0;
 };
 
 /// Result of a check() run.

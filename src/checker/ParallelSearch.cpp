@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
@@ -27,6 +28,10 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#endif
+#if defined(__linux__)
+#include <cinttypes>
+#include <cstdio>
 #endif
 
 using namespace p;
@@ -62,6 +67,15 @@ struct TraceEntry {
   bool HasDecision = false;
 };
 
+/// One sleeping machine (Reduction::Sleep): the id and the footprint of
+/// the slice it would run — its own bit plus the send/create target's.
+/// A later execution whose footprint intersects it is dependent and
+/// wakes the machine (the entry is removed).
+struct SleepEntry {
+  int32_t Id = -1;
+  uint64_t Fp = 0;
+};
+
 /// A node of the schedule tree.
 struct Node {
   Config Cfg;
@@ -71,7 +85,38 @@ struct Node {
   int Depth = 0;
   int32_t MustRun = -1; ///< Machine to resume after a choice point.
   uint64_t TraceIdx = NoTraceRef;
+  /// Sleep set (Reduction::Sleep/Both only; always empty otherwise).
+  /// An entry's machine ran first in a sibling branch; re-running it
+  /// here before any dependent decision would commute back into that
+  /// branch, so its Run is pruned until something wakes it.
+  std::vector<SleepEntry> Sleep;
 };
+
+/// Footprint bit of a machine id. Ids outside [0, 63) cannot be
+/// represented; ~0 makes every intersection check conservative (wakes
+/// everyone, is never inserted).
+uint64_t idBit(int32_t Id) {
+  return (Id >= 0 && Id < 63) ? (1ull << Id) : ~0ull;
+}
+
+/// Removes every sleeper whose footprint intersects \p F (a dependent
+/// decision executed; the commutation argument no longer applies).
+void wakeSleepers(std::vector<SleepEntry> &Sleep, uint64_t F) {
+  if (Sleep.empty())
+    return;
+  Sleep.erase(std::remove_if(Sleep.begin(), Sleep.end(),
+                             [F](const SleepEntry &E) {
+                               return (E.Fp & F) != 0;
+                             }),
+              Sleep.end());
+}
+
+bool isAsleep(const std::vector<SleepEntry> &Sleep, int32_t Id) {
+  for (const SleepEntry &E : Sleep)
+    if (E.Id == Id)
+      return true;
+  return false;
+}
 
 //===----------------------------------------------------------------------===//
 // Schedule ordering
@@ -141,12 +186,30 @@ uint64_t exactEntryBytes(const std::string &Key) {
   return Bytes;
 }
 
+/// One (delays spent, sleep mask) pair under which a node key was
+/// actually explored. An exploration dominates a later visit when it
+/// spent no more delays AND slept on a subset of the machines: it
+/// expanded every child the later visit could, each with at least as
+/// much remaining budget.
+struct SleepDomEntry {
+  int Delays;
+  uint64_t Mask;
+};
+
 /// One shard of the visited table: node key -> fewest delays spent when
-/// the key was explored (the dominance value).
+/// the key was explored (the dominance value). Under Reduction::Sleep
+/// the dominance value is two-dimensional — (delays, sleep mask) — so
+/// the sleep maps keep a small Pareto frontier of explored pairs per
+/// key instead of a single integer. (Folding the mask into the key
+/// itself would be sound too, but splits the table: revisits whose mask
+/// merely *grew* re-explore from scratch, and measured on German d=4
+/// that inflates nodes ~27% instead of shrinking them.)
 struct VisitedShard {
   std::mutex Mu;
   std::unordered_map<uint64_t, int> Hashed;
   std::unordered_map<std::string, int> Exact;
+  std::unordered_map<uint64_t, std::vector<SleepDomEntry>> HashedSleep;
+  std::unordered_map<std::string, std::vector<SleepDomEntry>> ExactSleep;
   /// Running footprint of this shard. Written under Mu; atomic so the
   /// progress heartbeat can read it without taking every shard lock.
   std::atomic<uint64_t> Bytes{0};
@@ -178,7 +241,13 @@ public:
     SlotsV.assign(PerStripe * NumShards, Slot{});
   }
 
-  uint64_t bytes() const { return SlotsV.size() * sizeof(Slot); }
+  /// Reduction::Sleep: allocate the per-slot sleep-mask sidecar (kept
+  /// out of Slot so Off-mode runs pay nothing and stay bit-identical).
+  void initSleepMasks() { Masks.assign(SlotsV.size(), 0); }
+
+  uint64_t bytes() const {
+    return SlotsV.size() * sizeof(Slot) + Masks.size() * sizeof(uint64_t);
+  }
 
   /// Dominance check-and-insert: true when \p Key was seen before with
   /// an equal-or-smaller delay count — or when its probe window is full
@@ -211,6 +280,44 @@ public:
     return true;
   }
 
+  /// Two-dimensional dominance for Reduction::Sleep: seen iff the slot
+  /// holds an exploration with no more delays spent AND a sleep mask
+  /// that is a subset of \p Mask. A bounded table has no room for a
+  /// Pareto frontier, so a non-dominating revisit *replaces* the slot's
+  /// pair — sound, because the replacement also describes a real
+  /// exploration; at worst an incomparable earlier pair is forgotten
+  /// and some work repeats.
+  bool visitedSleep(uint64_t Key, int Delays, uint64_t Mask,
+                    bool &Saturated) {
+    if (Key == 0)
+      Key = 0x9e3779b97f4a7c15ULL;
+    const unsigned Stripe = shardOf(Key);
+    uint64_t Home = (Key * 0x2545f4914f6cdd1dULL) % PerStripe;
+    Slot *Base = SlotsV.data() + Stripe * PerStripe;
+    uint64_t *MaskBase = Masks.data() + Stripe * PerStripe;
+    const uint64_t Probes = std::min<uint64_t>(ProbeLimit, PerStripe);
+    std::lock_guard<std::mutex> L(Stripes[Stripe].Mu);
+    for (uint64_t I = 0; I != Probes; ++I) {
+      const uint64_t At = (Home + I) % PerStripe;
+      Slot &S = Base[At];
+      if (S.Fp == 0) {
+        S.Fp = Key;
+        S.Delays = static_cast<int32_t>(Delays);
+        MaskBase[At] = Mask;
+        return false;
+      }
+      if (S.Fp == Key) {
+        if (S.Delays <= Delays && (MaskBase[At] & ~Mask) == 0)
+          return true;
+        S.Delays = static_cast<int32_t>(Delays);
+        MaskBase[At] = Mask;
+        return false;
+      }
+    }
+    Saturated = true;
+    return true;
+  }
+
 private:
   struct Slot {
     uint64_t Fp = 0; ///< 0 = empty.
@@ -222,6 +329,7 @@ private:
   static constexpr uint64_t ProbeLimit = 128;
 
   std::vector<Slot> SlotsV;
+  std::vector<uint64_t> Masks; ///< Sleep-mask sidecar (initSleepMasks).
   uint64_t PerStripe = 64;
   std::array<StripeLock, NumShards> Stripes;
 };
@@ -255,6 +363,13 @@ struct Worker {
   std::string Buf;     ///< Reusable serialization buffer (Exact keys).
   std::string Scratch; ///< Per-machine fingerprint scratch buffer.
 
+  // Symmetry-reduction scratch (Reduction::Symmetry/Both).
+  std::string SymBuf;                        ///< Candidate node bytes.
+  std::vector<int32_t> Perm, Inv;            ///< Current π and π⁻¹.
+  std::vector<int32_t> WinPerm;              ///< π of the minimal key.
+  std::vector<std::vector<int32_t>> Classes; ///< Permutable id classes.
+  std::vector<std::vector<int32_t>> Arr;     ///< Odometer arrangements.
+
   /// This worker's trace ring (see CheckOptions::Trace); nullptr when
   /// tracing is off. Single-writer: only this worker records into it.
   obs::TraceSink *Trace = nullptr;
@@ -283,11 +398,29 @@ public:
         BaseExec(ExternalExec ? *ExternalExec : OwnedExec),
         Mode(Opts.ExactStates ? VisitedMode::Exact : Opts.Visited),
         DoVerifyHashes(Opts.VerifyHashes ||
-                       std::getenv("P_VERIFY_HASHES") != nullptr) {}
+                       std::getenv("P_VERIFY_HASHES") != nullptr),
+        SleepOn(Opts.Reduce == Reduction::Sleep ||
+                Opts.Reduce == Reduction::Both),
+        SymOn((Opts.Reduce == Reduction::Symmetry ||
+               Opts.Reduce == Reduction::Both) &&
+              anySymmetricType(Prog)) {
+    if (SymOn) {
+      TypeIsSym.resize(Prog.Machines.size(), 0);
+      for (size_t I = 0; I != Prog.Machines.size(); ++I)
+        TypeIsSym[I] = Prog.Machines[I].Symmetric ? 1 : 0;
+    }
+  }
 
   CheckResult run();
 
 private:
+  static bool anySymmetricType(const CompiledProgram &Prog) {
+    for (const MachineInfo &M : Prog.Machines)
+      if (M.Symmetric)
+        return true;
+    return false;
+  }
+
   static Executor::Options execOptions(const CheckOptions &Opts) {
     Executor::Options EO;
     EO.UseModelBodies = Opts.UseModelBodies;
@@ -484,6 +617,56 @@ private:
     return false;
   }
 
+  /// Pareto-frontier entries kept per key before a non-dominated visit
+  /// stops recording itself (it still explores; later equal visits may
+  /// just re-explore). Frontiers this deep are already rare.
+  static constexpr size_t MaxSleepFrontier = 8;
+
+  /// Reduction::Sleep's replacement for pruned(): the dominance value is
+  /// the pair (delays spent, sleep mask). A stored exploration with
+  /// fewer-or-equal delays and a subset mask expanded a superset of this
+  /// visit's children, each with at least as much budget left — and
+  /// sleep sets propagate monotonically, so its descendants slept less
+  /// too. Storing explored pairs (never merged minima, which would
+  /// claim coverage no single exploration had) keeps the rule sound.
+  bool prunedSleep(Worker &W, uint64_t Key, const std::string &Bytes,
+                   int DelaysUsed, uint64_t SleepMask) {
+    if (Mode == VisitedMode::Compact) {
+      bool Saturated = false;
+      bool Seen =
+          CompactDedup.visitedSleep(Key, DelaysUsed, SleepMask, Saturated);
+      if (Saturated)
+        Omission.store(true, std::memory_order_relaxed);
+      return Seen;
+    }
+    VisitedShard &S = Visited[shardOf(Key)];
+    auto L = lockTimed(S.Mu, W);
+    std::vector<SleepDomEntry> *Frontier;
+    if (Mode == VisitedMode::Exact) {
+      auto [It, Inserted] = S.ExactSleep.try_emplace(Bytes);
+      if (Inserted)
+        S.Bytes += exactEntryBytes(It->first) + sizeof(It->second);
+      Frontier = &It->second;
+    } else {
+      auto [It, Inserted] = S.HashedSleep.try_emplace(Key);
+      if (Inserted)
+        S.Bytes += HashedEntryBytes + sizeof(It->second);
+      Frontier = &It->second;
+    }
+    for (const SleepDomEntry &E : *Frontier)
+      if (E.Delays <= DelaysUsed && (E.Mask & ~SleepMask) == 0)
+        return true;
+    // This visit explores. Record it, retiring entries it dominates.
+    std::erase_if(*Frontier, [&](const SleepDomEntry &E) {
+      return DelaysUsed <= E.Delays && (SleepMask & ~E.Mask) == 0;
+    });
+    if (Frontier->size() < MaxSleepFrontier) {
+      Frontier->push_back({DelaysUsed, SleepMask});
+      S.Bytes += sizeof(SleepDomEntry);
+    }
+    return false;
+  }
+
   void recordError(Worker &W, const Node &N) {
     ErrorsFound.fetch_add(1, std::memory_order_relaxed);
     ErrorRecord R;
@@ -508,8 +691,75 @@ private:
     return H;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Symmetry canonicalization (Reduction::Symmetry/Both)
+  //===--------------------------------------------------------------------===//
+
+  /// Canonical keys of one node: the minimum over candidate machine
+  /// permutations π (products of per-class permutations of symmetric
+  /// instances) of the π-renamed node. Renaming a machine id everywhere
+  /// it occurs is a bisimulation — P programs can only compare ids for
+  /// equality — so two nodes with equal canonical keys have isomorphic
+  /// futures and may share one visited-set entry.
+  struct CanonKeys {
+    uint64_t CfgHash = 0; ///< Canonical config hash (noteConfig/terminals).
+    uint64_t Key = 0;     ///< Canonical node key (Exact: hash of W.Buf).
+    /// The node's sleep mask renamed through the winning π, so frontier
+    /// dominance (prunedSleep) compares masks in canonical id space —
+    /// orbit members reached via different permutations must agree on
+    /// which *canonical* machines are asleep.
+    uint64_t CanonMask = 0;
+    bool Identity = true; ///< The canonical form is the raw node itself.
+  };
+
+  /// Collects the permutable id classes of \p Cfg into W.Classes: for
+  /// each `symmetric` machine type, the ids of its instances (ascending;
+  /// classes of fewer than two instances are dropped). False when there
+  /// is nothing to permute (or the config is too large for footprint
+  /// masks), in which case the caller uses the unreduced key path.
+  bool buildSymClasses(Worker &W, const Config &Cfg) {
+    W.Classes.clear();
+    const size_t NumM = Cfg.Machines.size();
+    if (NumM > 62)
+      return false;
+    for (int32_t T = 0; T != static_cast<int32_t>(TypeIsSym.size()); ++T) {
+      if (!TypeIsSym[T])
+        continue;
+      std::vector<int32_t> Ids;
+      for (size_t Id = 0; Id != NumM; ++Id)
+        if (Cfg.Machines[Id]->MachineIndex == T)
+          Ids.push_back(static_cast<int32_t>(Id));
+      if (Ids.size() >= 2)
+        W.Classes.push_back(std::move(Ids));
+    }
+    return !W.Classes.empty();
+  }
+
+  /// Renames the set bits of a footprint/sleep mask through π.
+  static uint64_t permuteMask(uint64_t Mask,
+                              const std::vector<int32_t> &Perm) {
+    uint64_t Out = 0;
+    while (Mask) {
+      int B = std::countr_zero(Mask);
+      Mask &= Mask - 1;
+      Out |= idBit(B < static_cast<int>(Perm.size()) ? Perm[B]
+                                                     : static_cast<int32_t>(B));
+    }
+    return Out;
+  }
+
+  /// Upper bound on enumerated permutations per node. The enumeration
+  /// order is deterministic (odometer over per-class next_permutation,
+  /// identity first), so a capped prefix still canonicalizes
+  /// consistently — equal canonical keys always certify a genuine
+  /// permutation — it just merges fewer orbit members.
+  static constexpr int MaxSymCandidates = 1024;
+
+  CanonKeys canonicalNodeKeys(Worker &W, const Node &N, uint64_t SleepMask);
+
   void pushFaultChildren(Worker &W, const Node &N);
-  void expandRun(Worker &W, Node &&N, int32_t Id);
+  void expandRun(Worker &W, Node &&N, int32_t Id,
+                 Executor::StepResult *OutR = nullptr);
   void expandDelayBounded(Worker &W, Node &&N);
   void expandDepthBounded(Worker &W, Node &&N);
   void process(Worker &W, Node &&N);
@@ -522,6 +772,10 @@ private:
     CheckStats S;
     S.DistinctStates = DistinctStates.load(std::memory_order_relaxed);
     S.NodesExplored = NodesExplored.load(std::memory_order_relaxed);
+    S.PrunedByIndependence =
+        PrunedByIndependence.load(std::memory_order_relaxed);
+    S.SymmetryCollapsed =
+        SymmetryCollapsed.load(std::memory_order_relaxed);
     S.ErrorsFound = ErrorsFound.load(std::memory_order_relaxed);
     S.Exhausted = Exhausted.load(std::memory_order_relaxed);
     S.WorkersUsed = static_cast<int>(NumWorkers);
@@ -556,9 +810,41 @@ private:
     return B;
   }
 
-  /// Process peak RSS in bytes (ru_maxrss is KiB on Linux, bytes on
-  /// macOS); 0 where getrusage is unavailable.
+  /// Resets the kernel's RSS high-water mark so peakRssBytes() reports
+  /// this run's peak, not the process-lifetime peak left behind by
+  /// earlier check() calls in the same process. Linux only (writing "5"
+  /// to /proc/self/clear_refs); best-effort — where it is unavailable
+  /// the sample silently stays the lifetime peak.
+  static void resetPeakRss() {
+#if defined(__linux__)
+    if (std::FILE *F = std::fopen("/proc/self/clear_refs", "w")) {
+      std::fputs("5", F);
+      std::fclose(F);
+    }
+#endif
+  }
+
+  /// Process peak RSS in bytes since the last resetPeakRss(). Linux
+  /// reads VmHWM from /proc/self/status (the value clear_refs resets;
+  /// ru_maxrss is not reset by it), everything else falls back to
+  /// getrusage's lifetime ru_maxrss (KiB on Linux, bytes on macOS);
+  /// 0 where neither source is available.
   static uint64_t peakRssBytes() {
+#if defined(__linux__)
+    if (std::FILE *F = std::fopen("/proc/self/status", "r")) {
+      char Line[128];
+      uint64_t KiB = 0;
+      bool Found = false;
+      while (std::fgets(Line, sizeof(Line), F))
+        if (std::sscanf(Line, "VmHWM: %" SCNu64, &KiB) == 1) {
+          Found = true;
+          break;
+        }
+      std::fclose(F);
+      if (Found)
+        return KiB * 1024;
+    }
+#endif
 #if defined(__unix__) || defined(__APPLE__)
     struct rusage RU;
     if (getrusage(RUSAGE_SELF, &RU) != 0)
@@ -594,6 +880,13 @@ private:
   const VisitedMode Mode;
   /// Cross-check incremental vs. fresh hashes on every node.
   const bool DoVerifyHashes;
+  /// Sleep-set pruning requested (Reduction::Sleep/Both).
+  const bool SleepOn;
+  /// Symmetry canonicalization active: requested and the program
+  /// declares at least one symmetric machine type.
+  const bool SymOn;
+  /// Indexed by machine type: declared `symmetric`. Empty unless SymOn.
+  std::vector<char> TypeIsSym;
   /// Compact mode's bounded tables: node dedup keys and distinct-state
   /// fingerprints, each sized to half of VisitedCapBytes.
   CompactTable CompactDedup;
@@ -604,6 +897,8 @@ private:
 
   std::atomic<uint64_t> DistinctStates{0};
   std::atomic<uint64_t> NodesExplored{0};
+  std::atomic<uint64_t> PrunedByIndependence{0};
+  std::atomic<uint64_t> SymmetryCollapsed{0};
   std::atomic<uint64_t> ErrorsFound{0};
   std::atomic<uint64_t> FaultsInjected{0};
   std::atomic<bool> Omission{false};
@@ -616,6 +911,118 @@ private:
   std::mutex BestMu;
   ErrorRecord Best;
 };
+
+/// Enumerates candidate permutations (an odometer over per-class
+/// std::next_permutation, identity first, capped at MaxSymCandidates)
+/// and returns the minimal keys. Exact mode keeps the lexicographically
+/// least serialized node in W.Buf — the visited map keys on those bytes
+/// — and takes the canonical config hash from its config prefix (every
+/// candidate's config part has equal length, so the prefix of the
+/// minimal node bytes is the minimal config serialization). Hashed
+/// modes take the numeric minimum of the candidate hashes; cached
+/// per-machine fingerprints are reused for machines whose refs mask is
+/// disjoint from the permutation's support.
+ParallelSearch::CanonKeys
+ParallelSearch::canonicalNodeKeys(Worker &W, const Node &N,
+                                  uint64_t SleepMask) {
+  const Config &Cfg = N.Cfg;
+  const size_t NumM = Cfg.Machines.size();
+  const bool Exact = Mode == VisitedMode::Exact;
+  const bool Delay = Opts.Strategy == SearchStrategy::DelayBounded;
+
+  W.Perm.resize(NumM);
+  W.Inv.resize(NumM);
+  for (size_t I = 0; I != NumM; ++I)
+    W.Perm[I] = static_cast<int32_t>(I);
+  W.Arr.resize(W.Classes.size());
+  for (size_t C = 0; C != W.Classes.size(); ++C)
+    W.Arr[C] = W.Classes[C]; // Ascending ids: the identity arrangement.
+
+  CanonKeys Out;
+  bool First = true;
+  size_t CfgLen = 0; // Exact: length of the bytes' config prefix.
+  int Candidates = 0;
+  for (;;) {
+    // Materialize π: the j-th id of class C (ascending) maps to the
+    // j-th id of its current arrangement; everything else is fixed.
+    for (size_t C = 0; C != W.Classes.size(); ++C)
+      for (size_t J = 0; J != W.Classes[C].size(); ++J)
+        W.Perm[W.Classes[C][J]] = W.Arr[C][J];
+    for (size_t I = 0; I != NumM; ++I)
+      W.Inv[W.Perm[I]] = static_cast<int32_t>(I);
+
+    if (Exact) {
+      W.SymBuf.clear();
+      serializeConfigPermuted(Cfg, W.Perm, W.Inv, W.SymBuf);
+      if (First)
+        CfgLen = W.SymBuf.size();
+      auto PutI32 = [&](int32_t V) {
+        for (int B = 0; B != 4; ++B)
+          W.SymBuf.push_back(static_cast<char>((V >> (8 * B)) & 0xff));
+      };
+      if (Delay)
+        for (int32_t Id : N.Sched)
+          PutI32(W.Perm[Id]);
+      PutI32(N.MustRun >= 0 ? W.Perm[N.MustRun] : N.MustRun);
+      if (Opts.Faults.enabled())
+        PutI32(N.FaultsUsed);
+      if (First || W.SymBuf < W.Buf) {
+        Out.Identity = First;
+        std::swap(W.Buf, W.SymBuf);
+        if (SleepOn)
+          W.WinPerm = W.Perm;
+      }
+    } else {
+      uint64_t Support = 0;
+      for (size_t I = 0; I != NumM; ++I)
+        if (W.Perm[I] != static_cast<int32_t>(I))
+          Support |= 1ull << I;
+      uint64_t Hc =
+          hashConfigPermuted(Cfg, W.Perm, W.Inv, Support, W.Scratch);
+      uint64_t K = Hc;
+      if (Delay)
+        for (int32_t Id : N.Sched)
+          K = hashCombine(K, static_cast<uint32_t>(W.Perm[Id]));
+      K = hashCombine(
+          K, static_cast<uint32_t>(N.MustRun >= 0 ? W.Perm[N.MustRun]
+                                                  : N.MustRun));
+      if (Opts.Faults.enabled())
+        K = hashCombine(K, static_cast<uint32_t>(N.FaultsUsed));
+      if (First) {
+        Out.CfgHash = Hc;
+        Out.Key = K;
+        if (SleepOn)
+          W.WinPerm = W.Perm;
+      } else {
+        Out.CfgHash = std::min(Out.CfgHash, Hc);
+        if (K < Out.Key) {
+          Out.Key = K;
+          Out.Identity = false;
+          if (SleepOn)
+            W.WinPerm = W.Perm;
+        }
+      }
+    }
+    First = false;
+    if (++Candidates >= MaxSymCandidates)
+      break;
+    // Odometer: advance the last class; a wrap (next_permutation back
+    // to ascending) carries into the class before it.
+    int C = static_cast<int>(W.Arr.size());
+    while (C-- > 0)
+      if (std::next_permutation(W.Arr[C].begin(), W.Arr[C].end()))
+        break;
+    if (C < 0)
+      break;
+  }
+  if (Exact) {
+    Out.Key = hashBytes(W.Buf.data(), W.Buf.size());
+    Out.CfgHash = hashBytes(W.Buf.data(), CfgLen);
+  }
+  if (SleepOn)
+    Out.CanonMask = permuteMask(SleepMask, W.WinPerm);
+  return Out;
+}
 
 /// Pushes the fault children of a scheduling point: one per droppable
 /// queue entry, duplicable queue entry, and crashable live machine.
@@ -640,6 +1047,8 @@ void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
       W.Exec.crashMachine(C.Cfg, Id); // Records FaultInjected itself.
       for (auto It = C.Sched.begin(); It != C.Sched.end();)
         It = (*It == Id) ? C.Sched.erase(It) : std::next(It);
+      if (SleepOn) // The crash touches Id: dependent sleepers wake.
+        wakeSleepers(C.Sleep, idBit(Id));
       SchedDecision D;
       D.K = SchedDecision::Kind::Crash;
       D.Machine = Id;
@@ -683,6 +1092,8 @@ void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
                               Dup ? FaultKind::DuplicateEvent
                                   : FaultKind::DropEvent),
                           M.Queue[Q].first);
+        if (SleepOn) // The queue fault touches Id's state.
+          wakeSleepers(C.Sleep, idBit(Id));
         C.TraceIdx = addTrace(W, C.TraceIdx, D);
         FaultsInjected.fetch_add(1, std::memory_order_relaxed);
         pushNode(W, std::move(C));
@@ -691,10 +1102,23 @@ void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
   }
 }
 
-void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id) {
+void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id,
+                               Executor::StepResult *OutR) {
   if (W.Trace)
     W.Trace->record(obs::TraceKind::Slice, Id);
   Executor::StepResult R = W.Exec.step(N.Cfg, Id);
+  if (OutR)
+    *OutR = R;
+  if (SleepOn && !N.Sleep.empty()) {
+    // The slice's footprint: the machine itself plus its send/create
+    // target. Sleepers it intersects depended on this decision — the
+    // commutation that justified their nap no longer holds, so they
+    // wake in every child of this slice.
+    uint64_t F = idBit(Id);
+    if (R.Outcome == Executor::StepOutcome::SchedulingPoint)
+      F |= idBit(R.Other);
+    wakeSleepers(N.Sleep, F);
+  }
   W.Slices.fetch_add(1, std::memory_order_relaxed);
   N.Depth += 1;
   N.MustRun = -1;
@@ -791,7 +1215,18 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
   // fingerprints — a successor re-hashes only the one machine its slice
   // mutated (the CowMachine cache survives for the rest).
   uint64_t CfgHash = configHash(W, N.Cfg);
-  noteConfig(W, CfgHash, N.Cfg);
+
+  // A sleeper that is dead or has nothing to run cannot take the
+  // pruned decision anyway, and it can only become runnable again
+  // through a dependent decision (a send or a queue fault), which
+  // wakes it. Dropping such entries before keying keeps nodes that
+  // have equal futures from splitting the visited set.
+  if (SleepOn && !N.Sleep.empty())
+    N.Sleep.erase(std::remove_if(N.Sleep.begin(), N.Sleep.end(),
+                                 [&](const SleepEntry &E) {
+                                   return !W.Exec.isEnabled(N.Cfg, E.Id);
+                                 }),
+                  N.Sleep.end());
 
   // Normalize: drop disabled machines from the top of S.
   while (!N.Sched.empty() && !W.Exec.isEnabled(N.Cfg, N.Sched.front()))
@@ -806,45 +1241,71 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
         N.Sched.push_back(Id);
         break;
       }
-    if (N.Sched.empty()) {
-      noteTerminal(W, CfgHash); // Quiescent: every machine awaits events.
-      return;
+  }
+  const bool Terminal = N.Sched.empty();
+
+  // Dedup key: config + scheduler stack + resumption obligation (the
+  // future depends on all three). Exact mode serializes the whole
+  // node into W.Buf — the map keys on the bytes; hashed modes fold the
+  // suffix into the config hash and never serialize. Full 4-byte ids —
+  // truncation here once caused distinct stacks to collide. Under
+  // symmetry the keys are the canonical minimum over the orbit instead.
+  // The sleep mask is deliberately NOT part of the key: it joins the
+  // delay count as the second dominance dimension (see prunedSleep).
+  uint64_t Key = 0;
+  uint64_t NoteHash = CfgHash;
+  uint64_t SleepMask = 0;
+  if (SleepOn)
+    for (const SleepEntry &E : N.Sleep)
+      SleepMask |= idBit(E.Id);
+  bool SymNonId = false;
+  const bool Sym = SymOn && buildSymClasses(W, N.Cfg);
+  if (Sym) {
+    CanonKeys CK = canonicalNodeKeys(W, N, SleepMask);
+    NoteHash = CK.CfgHash;
+    Key = CK.Key;
+    SleepMask = CK.CanonMask;
+    SymNonId = !CK.Identity;
+  } else if (!Terminal) {
+    if (Mode == VisitedMode::Exact) {
+      W.Buf.clear();
+      serializeConfig(N.Cfg, W.Buf);
+      for (int32_t Id : N.Sched)
+        for (int B = 0; B != 4; ++B)
+          W.Buf.push_back(static_cast<char>((Id >> (8 * B)) & 0xff));
+      for (int B = 0; B != 4; ++B)
+        W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
+      // With a fault budget, the remaining budget is part of the node's
+      // future (the dominance value only tracks delays), so FaultsUsed
+      // joins the key. Appended only when fault exploration is on, keeping
+      // budget-0 runs bit-identical to a checker without the fault layer.
+      if (Opts.Faults.enabled())
+        for (int B = 0; B != 4; ++B)
+          W.Buf.push_back(
+              static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
+      Key = hashBytes(W.Buf.data(), W.Buf.size());
+    } else {
+      uint64_t K = CfgHash;
+      for (int32_t Id : N.Sched)
+        K = hashCombine(K, static_cast<uint32_t>(Id));
+      K = hashCombine(K, static_cast<uint32_t>(N.MustRun));
+      if (Opts.Faults.enabled())
+        K = hashCombine(K, static_cast<uint32_t>(N.FaultsUsed));
+      Key = K;
     }
   }
 
-  // Dedup key: config + scheduler stack + resumption obligation (the
-  // future depends on all three). Exact mode serializes the whole node
-  // into W.Buf — the map keys on the bytes; hashed modes fold the
-  // suffix into the config hash and never serialize. Full 4-byte ids —
-  // truncation here once caused distinct stacks to collide.
-  uint64_t Key;
-  if (Mode == VisitedMode::Exact) {
-    W.Buf.clear();
-    serializeConfig(N.Cfg, W.Buf);
-    for (int32_t Id : N.Sched)
-      for (int B = 0; B != 4; ++B)
-        W.Buf.push_back(static_cast<char>((Id >> (8 * B)) & 0xff));
-    for (int B = 0; B != 4; ++B)
-      W.Buf.push_back(static_cast<char>((N.MustRun >> (8 * B)) & 0xff));
-    // With a fault budget, the remaining budget is part of the node's
-    // future (the dominance value only tracks delays), so FaultsUsed
-    // joins the key. Appended only when fault exploration is on, keeping
-    // budget-0 runs bit-identical to a checker without the fault layer.
-    if (Opts.Faults.enabled())
-      for (int B = 0; B != 4; ++B)
-        W.Buf.push_back(static_cast<char>((N.FaultsUsed >> (8 * B)) & 0xff));
-    Key = hashBytes(W.Buf.data(), W.Buf.size());
-  } else {
-    uint64_t K = CfgHash;
-    for (int32_t Id : N.Sched)
-      K = hashCombine(K, static_cast<uint32_t>(Id));
-    K = hashCombine(K, static_cast<uint32_t>(N.MustRun));
-    if (Opts.Faults.enabled())
-      K = hashCombine(K, static_cast<uint32_t>(N.FaultsUsed));
-    Key = K;
-  }
-  if (pruned(W, Key, W.Buf, N.DelaysUsed))
+  noteConfig(W, NoteHash, N.Cfg);
+  if (Terminal) {
+    noteTerminal(W, NoteHash); // Quiescent: every machine awaits events.
     return;
+  }
+  if (SleepOn ? prunedSleep(W, Key, W.Buf, N.DelaysUsed, SleepMask)
+              : pruned(W, Key, W.Buf, N.DelaysUsed)) {
+    if (SymNonId)
+      SymmetryCollapsed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   NodesExplored.fetch_add(1, std::memory_order_relaxed);
   if (N.Depth >= Opts.DepthBound) {
     Exhausted.store(false, std::memory_order_relaxed);
@@ -853,10 +1314,14 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
 
   pushFaultChildren(W, N);
 
-  // Children are pushed so the zero-cost "run the top" branch is
-  // explored first (DFS pops last-pushed first): push delay first.
-  if (N.MustRun < 0 && N.DelaysUsed < Opts.DelayBound && N.Sched.size() > 1) {
-    Node Delayed = N; // copy
+  const int32_t Top = N.MustRun >= 0 ? N.MustRun : N.Sched.front();
+  const bool CanDelay =
+      N.MustRun < 0 && N.DelaysUsed < Opts.DelayBound && N.Sched.size() > 1;
+
+  // A helper shared by both orders below: the Delay child (rotate the
+  // top to the bottom for one unit of budget).
+  auto makeDelayed = [&](const Node &From) {
+    Node Delayed = From; // copy
     int32_t Moved = Delayed.Sched.front();
     Delayed.Sched.push_back(Moved);
     Delayed.Sched.pop_front();
@@ -867,19 +1332,101 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
     Delayed.TraceIdx = addTrace(W, Delayed.TraceIdx, DelayDecision);
     if (W.Trace)
       W.Trace->record(obs::TraceKind::Delay, Moved);
-    pushNode(W, std::move(Delayed));
+    return Delayed;
+  };
+
+  if (!SleepOn) {
+    // Children are pushed so the zero-cost "run the top" branch is
+    // explored first (DFS pops last-pushed first): push delay first.
+    if (CanDelay)
+      pushNode(W, makeDelayed(N));
+    expandRun(W, std::move(N), Top);
+    return;
   }
 
-  int32_t Top = N.MustRun >= 0 ? N.MustRun : N.Sched.front();
-  expandRun(W, std::move(N), Top);
+  if (N.MustRun < 0 && isAsleep(N.Sleep, Top)) {
+    // Running the top now would commute — decision by decision — back
+    // into the already-explored branch that put it to sleep; only the
+    // Delay alternative remains.
+    PrunedByIndependence.fetch_add(1, std::memory_order_relaxed);
+    if (CanDelay)
+      pushNode(W, makeDelayed(N));
+    return;
+  }
+  if (!CanDelay) {
+    expandRun(W, std::move(N), Top);
+    return;
+  }
+  // Run the top first so its slice outcome can decide whether the Delay
+  // sibling may put it to sleep. The insertion must be budget-safe: a
+  // path in the Delay subtree that would re-run Top before any
+  // dependent decision must commute into a run-first mirror that
+  // spends no *more* delays. That holds when the slice ends Blocked or
+  // Halted (the mirror run-first path needs no delay at all), and when
+  // it sends to a machine already in the pre-run stack (the mirror
+  // spends its one delay rotating Top away after running it — the
+  // stacks re-converge because the send pushed no new machine).
+  // Slices that create a machine or push their target freshly onto the
+  // stack change the stack shape and have no such mirror; choice and
+  // foreign-call pauses are not complete slices. Those never sleep.
+  Node Delayed = makeDelayed(N);
+  Executor::StepResult R;
+  expandRun(W, std::move(N), Top, &R);
+  bool Insert = Top >= 0 && Top < 63;
+  if (Insert) {
+    switch (R.Outcome) {
+    case Executor::StepOutcome::Blocked:
+    case Executor::StepOutcome::Halted:
+      break;
+    case Executor::StepOutcome::SchedulingPoint: {
+      bool TargetInStack = false;
+      for (int32_t S : Delayed.Sched)
+        TargetInStack |= (S == R.Other);
+      Insert = !R.Created && R.Other >= 0 && R.Other < 63 && TargetInStack;
+      break;
+    }
+    default:
+      Insert = false;
+      break;
+    }
+  }
+  if (Insert) {
+    SleepEntry E;
+    E.Id = Top;
+    E.Fp = idBit(Top);
+    if (R.Outcome == Executor::StepOutcome::SchedulingPoint)
+      E.Fp |= idBit(R.Other);
+    Delayed.Sleep.push_back(E);
+  }
+  pushNode(W, std::move(Delayed));
 }
 
 void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
   uint64_t CfgHash = configHash(W, N.Cfg);
-  noteConfig(W, CfgHash, N.Cfg);
+
+  // Same stale-sleeper normalization as the delaying scheduler.
+  if (SleepOn && !N.Sleep.empty())
+    N.Sleep.erase(std::remove_if(N.Sleep.begin(), N.Sleep.end(),
+                                 [&](const SleepEntry &E) {
+                                   return !W.Exec.isEnabled(N.Cfg, E.Id);
+                                 }),
+                  N.Sleep.end());
 
   uint64_t Key;
-  if (Mode == VisitedMode::Exact) {
+  uint64_t NoteHash = CfgHash;
+  uint64_t SleepMask = 0;
+  if (SleepOn)
+    for (const SleepEntry &E : N.Sleep)
+      SleepMask |= idBit(E.Id);
+  bool SymNonId = false;
+  const bool Sym = SymOn && buildSymClasses(W, N.Cfg);
+  if (Sym) {
+    CanonKeys CK = canonicalNodeKeys(W, N, SleepMask);
+    NoteHash = CK.CfgHash;
+    Key = CK.Key;
+    SleepMask = CK.CanonMask;
+    SymNonId = !CK.Identity;
+  } else if (Mode == VisitedMode::Exact) {
     W.Buf.clear();
     serializeConfig(N.Cfg, W.Buf);
     for (int B = 0; B != 4; ++B)
@@ -895,8 +1442,13 @@ void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
       K = hashCombine(K, static_cast<uint32_t>(N.FaultsUsed));
     Key = K;
   }
-  if (pruned(W, Key, W.Buf, N.DelaysUsed))
+  noteConfig(W, NoteHash, N.Cfg);
+  if (SleepOn ? prunedSleep(W, Key, W.Buf, N.DelaysUsed, SleepMask)
+              : pruned(W, Key, W.Buf, N.DelaysUsed)) {
+    if (SymNonId)
+      SymmetryCollapsed.fetch_add(1, std::memory_order_relaxed);
     return;
+  }
   NodesExplored.fetch_add(1, std::memory_order_relaxed);
   if (N.Depth >= Opts.DepthBound) {
     Exhausted.store(false, std::memory_order_relaxed);
@@ -911,18 +1463,48 @@ void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
 
   pushFaultChildren(W, N);
 
+  // Sibling sleep sets (Reduction::Sleep): after a machine's subtree is
+  // explored here, later siblings inherit it as a sleeper — re-running
+  // it before any dependent decision would commute into the explored
+  // subtree. N.Sleep doubles as the accumulator: each child copies the
+  // set as of its turn. Only complete slices (Blocked, Halted, one
+  // send/create) accumulate; a paused slice (choice, foreign call) is
+  // not one atomic transition of the independence relation.
   bool Any = false;
   for (int32_t Id = static_cast<int32_t>(N.Cfg.Machines.size()); Id-- > 0;) {
     if (!W.Exec.isEnabled(N.Cfg, Id))
       continue;
     Any = true;
+    if (SleepOn && isAsleep(N.Sleep, Id)) {
+      PrunedByIndependence.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     Node Child = N; // copy per enabled machine
-    expandRun(W, std::move(Child), Id);
+    Executor::StepResult R;
+    expandRun(W, std::move(Child), Id, SleepOn ? &R : nullptr);
     if (Stop.load(std::memory_order_relaxed))
       return;
+    if (SleepOn && Id < 63) {
+      bool Insert = false;
+      uint64_t Fp = idBit(Id);
+      switch (R.Outcome) {
+      case Executor::StepOutcome::Blocked:
+      case Executor::StepOutcome::Halted:
+        Insert = true;
+        break;
+      case Executor::StepOutcome::SchedulingPoint:
+        Insert = R.Other >= 0 && R.Other < 63;
+        Fp |= idBit(R.Other);
+        break;
+      default:
+        break;
+      }
+      if (Insert)
+        N.Sleep.push_back({Id, Fp});
+    }
   }
   if (!Any)
-    noteTerminal(W, CfgHash);
+    noteTerminal(W, NoteHash);
 }
 
 void ParallelSearch::process(Worker &W, Node &&N) {
@@ -1082,6 +1664,7 @@ ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
 
 CheckResult ParallelSearch::run() {
   StartTime = std::chrono::steady_clock::now();
+  resetPeakRss(); // PeakRssBytes reports this run, not process history.
 
   if (Opts.Metrics)
     DepthHist = &Opts.Metrics->histogram(
@@ -1095,6 +1678,8 @@ CheckResult ParallelSearch::run() {
                                         : 64ull * 1024 * 1024;
     CompactDedup.init(Cap / 2);
     CompactSeen.init(Cap - Cap / 2);
+    if (SleepOn)
+      CompactDedup.initSleepMasks();
   }
 
   NumWorkers = resolveWorkers();
@@ -1148,6 +1733,10 @@ CheckResult ParallelSearch::run() {
   CheckStats &Stats = Result.Stats;
   Stats.DistinctStates = DistinctStates.load(std::memory_order_relaxed);
   Stats.NodesExplored = NodesExplored.load(std::memory_order_relaxed);
+  Stats.PrunedByIndependence =
+      PrunedByIndependence.load(std::memory_order_relaxed);
+  Stats.SymmetryCollapsed =
+      SymmetryCollapsed.load(std::memory_order_relaxed);
   Stats.ErrorsFound = ErrorsFound.load(std::memory_order_relaxed);
   Stats.FaultsInjected = FaultsInjected.load(std::memory_order_relaxed);
   Stats.Exhausted = Exhausted.load(std::memory_order_relaxed);
@@ -1233,6 +1822,12 @@ CheckResult ParallelSearch::run() {
         .inc(Stats.FaultsInjected);
     M.gauge("p_check_fault_budget", "Fault budget of the run")
         .set(Opts.Faults.Budget);
+    M.counter("p_check_pruned_independence_total",
+              "Run branches pruned by sleep-set independence")
+        .inc(Stats.PrunedByIndependence);
+    M.counter("p_check_symmetry_collapsed_total",
+              "Nodes collapsed onto a symmetric representative")
+        .inc(Stats.SymmetryCollapsed);
   }
 
   return Result;

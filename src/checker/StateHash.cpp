@@ -12,10 +12,15 @@ using namespace p;
 
 namespace {
 
-/// Little-endian append helpers over a std::string buffer.
+/// Little-endian append helpers over a std::string buffer. When a
+/// permutation is attached (the symmetry reduction's π), machine-typed
+/// values are renamed through it as they are written; without one the
+/// bytes are exactly the canonical serialization.
 class ByteSink {
 public:
   explicit ByteSink(std::string &Out) : Out(Out) {}
+  ByteSink(std::string &Out, const std::vector<int32_t> *Perm)
+      : Out(Out), Perm(Perm) {}
 
   void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
   void u32(uint32_t V) {
@@ -29,11 +34,16 @@ public:
   }
   void value(const Value &V) {
     u8(static_cast<uint8_t>(V.Kind));
-    u64(static_cast<uint64_t>(V.Data));
+    int64_t D = V.Data;
+    if (Perm && V.Kind == ValueKind::Machine && D >= 0 &&
+        D < static_cast<int64_t>(Perm->size()))
+      D = (*Perm)[static_cast<size_t>(D)];
+    u64(static_cast<uint64_t>(D));
   }
 
 private:
   std::string &Out;
+  const std::vector<int32_t> *Perm = nullptr;
 };
 
 void serializeExecFrame(ByteSink &Sink, const ExecFrame &F) {
@@ -63,10 +73,7 @@ void serializeStateFrame(ByteSink &Sink, const StateFrame &F) {
 /// but it must never change once state counts are recorded.
 constexpr uint64_t ConfigHashSeed = 0x50434647u; // "PCFG"
 
-} // namespace
-
-void p::serializeMachine(const MachineState &M, std::string &Out) {
-  ByteSink Sink(Out);
+void serializeMachineImpl(ByteSink &Sink, const MachineState &M) {
   Sink.i32(M.MachineIndex);
   // 0 = deleted, 1 = alive, 2 = crashed (a fault, restartable): a
   // crashed machine must not merge with a deleted one, but without
@@ -104,12 +111,38 @@ void p::serializeMachine(const MachineState &M, std::string &Out) {
                                  : 0)));
 }
 
+} // namespace
+
+void p::serializeMachine(const MachineState &M, std::string &Out) {
+  ByteSink Sink(Out);
+  serializeMachineImpl(Sink, M);
+}
+
+void p::serializeMachineMapped(const MachineState &M,
+                               const std::vector<int32_t> &Perm,
+                               std::string &Out) {
+  ByteSink Sink(Out, &Perm);
+  serializeMachineImpl(Sink, M);
+}
+
 void p::serializeConfig(const Config &Cfg, std::string &Out) {
   ByteSink Sink(Out);
   Sink.u8(static_cast<uint8_t>(Cfg.Error));
   Sink.u32(static_cast<uint32_t>(Cfg.Machines.size()));
   for (const CowMachine &M : Cfg.Machines)
     serializeMachine(*M, Out);
+}
+
+void p::serializeConfigPermuted(const Config &Cfg,
+                                const std::vector<int32_t> &Perm,
+                                const std::vector<int32_t> &InvPerm,
+                                std::string &Out) {
+  ByteSink Sink(Out, &Perm);
+  Sink.u8(static_cast<uint8_t>(Cfg.Error));
+  Sink.u32(static_cast<uint32_t>(Cfg.Machines.size()));
+  // Slot k of π·Cfg holds the (value-renamed) state of machine π⁻¹(k).
+  for (size_t K = 0; K != Cfg.Machines.size(); ++K)
+    serializeMachineImpl(Sink, *Cfg.Machines[InvPerm[K]]);
 }
 
 uint64_t p::machineFingerprintFresh(const MachineState &M,
@@ -160,4 +193,84 @@ uint64_t p::hashConfigFresh(const Config &Cfg, std::string &Scratch) {
   return combineConfigHash(Cfg, [&](const CowMachine &M) {
     return machineFingerprintFresh(*M, Scratch);
   });
+}
+
+//===----------------------------------------------------------------------===//
+// Symmetry support
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void noteRef(uint64_t &Mask, const Value &V) {
+  if (V.Kind != ValueKind::Machine)
+    return;
+  if (V.Data >= 0 && V.Data < 62)
+    Mask |= 1ull << V.Data;
+  else
+    Mask |= RefsOverflowBit;
+}
+
+void noteRefs(uint64_t &Mask, const ExecFrame &F) {
+  for (const Value &V : F.Operands)
+    noteRef(Mask, V);
+  for (const Value &V : F.Params)
+    noteRef(Mask, V);
+  noteRef(Mask, F.Result);
+}
+
+} // namespace
+
+uint64_t p::machineRefsMaskFresh(const MachineState &M) {
+  // Mirrors serializeMachine: the mask covers exactly the ids that can
+  // appear in the serialized bytes (a dead machine serializes as a
+  // header only, so it references nothing).
+  uint64_t Mask = RefsComputedBit;
+  if (!M.Alive)
+    return Mask;
+  for (const StateFrame &F : M.Frames)
+    for (const ExecFrame &E : F.SavedCont)
+      noteRefs(Mask, E);
+  for (const ExecFrame &F : M.Exec)
+    noteRefs(Mask, F);
+  for (const Value &V : M.Vars)
+    noteRef(Mask, V);
+  noteRef(Mask, M.Msg);
+  noteRef(Mask, M.Arg);
+  noteRef(Mask, M.RaiseArg);
+  for (const auto &[E, V] : M.Queue)
+    noteRef(Mask, V);
+  return Mask;
+}
+
+uint64_t p::machineRefsMask(const CowMachine &M) {
+  if (uint64_t R = M.cachedRefsMask())
+    return R;
+  uint64_t R = machineRefsMaskFresh(*M);
+  M.cacheRefsMask(R);
+  return R;
+}
+
+uint64_t p::hashConfigPermuted(const Config &Cfg,
+                               const std::vector<int32_t> &Perm,
+                               const std::vector<int32_t> &InvPerm,
+                               uint64_t Support, std::string &Scratch) {
+  uint64_t H = hashCombine(ConfigHashSeed,
+                           static_cast<uint64_t>(Cfg.Error));
+  H = hashCombine(H, static_cast<uint64_t>(Cfg.Machines.size()));
+  for (size_t K = 0; K != Cfg.Machines.size(); ++K) {
+    const CowMachine &M = Cfg.Machines[InvPerm[K]];
+    uint64_t F;
+    if ((machineRefsMask(M) & Support) == 0) {
+      // No renamed id appears in the bytes (the slot move is encoded by
+      // the combination order, not the bytes) — reuse the cache.
+      F = machineFingerprint(M, Scratch);
+    } else {
+      Scratch.clear();
+      serializeMachineMapped(*M, Perm, Scratch);
+      uint64_t Raw = hashBytes(Scratch.data(), Scratch.size());
+      F = Raw ? Raw : 0x9e3779b97f4a7c15ULL;
+    }
+    H = hashCombine(H, F);
+  }
+  return H;
 }

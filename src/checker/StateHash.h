@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace p {
 
@@ -70,6 +71,54 @@ uint64_t hashConfig(const Config &Cfg, std::string &Scratch);
 /// hashConfig by construction unless a cache went stale — the
 /// P_VERIFY_HASHES cross-check compares the two on every node.
 uint64_t hashConfigFresh(const Config &Cfg, std::string &Scratch);
+
+//===----------------------------------------------------------------------===//
+// Symmetry support (CheckOptions::Reduce — see DESIGN.md "Reduction")
+//===----------------------------------------------------------------------===//
+
+/// Marker bit of a computed refs mask (a computed mask is never 0, so
+/// the CowMachine cache can use 0 as its sentinel).
+inline constexpr uint64_t RefsComputedBit = 1ull << 63;
+/// Set when the state references a machine id outside [0, 62): such a
+/// machine must be treated as touched by every permutation.
+inline constexpr uint64_t RefsOverflowBit = 1ull << 62;
+
+/// Mask of machine ids referenced by \p M's state (one bit per id in
+/// [0, 62), plus RefsOverflowBit for ids outside that range and
+/// RefsComputedBit always). A machine whose refs mask is disjoint from
+/// a permutation's support serializes to the same bytes under that
+/// permutation, so its cached fingerprint can be reused.
+uint64_t machineRefsMaskFresh(const MachineState &M);
+
+/// As above, but consults and fills the snapshot's refs-mask cache.
+uint64_t machineRefsMask(const CowMachine &M);
+
+/// Appends the serialization of \p M with every machine-typed value
+/// renamed through \p Perm (Perm[old] = new; ids outside [0,
+/// Perm.size()) pass through). With the identity permutation the bytes
+/// equal serializeMachine's exactly.
+void serializeMachineMapped(const MachineState &M,
+                            const std::vector<int32_t> &Perm,
+                            std::string &Out);
+
+/// Appends the canonical serialization of the permuted configuration
+/// π·Cfg: machine old-id i's block lands at slot Perm[i] (\p InvPerm is
+/// the inverse: slot k reads machine InvPerm[k]), and every
+/// machine-typed value is renamed through Perm. With the identity this
+/// equals serializeConfig.
+void serializeConfigPermuted(const Config &Cfg,
+                             const std::vector<int32_t> &Perm,
+                             const std::vector<int32_t> &InvPerm,
+                             std::string &Out);
+
+/// Fingerprint of π·Cfg, the ordered combination serializeConfigPermuted
+/// implies. \p Support is the mask of ids moved by Perm (bits as in
+/// machineRefsMask): machines whose refs mask is disjoint from it reuse
+/// their cached fingerprint, so the identity costs one cached pass.
+uint64_t hashConfigPermuted(const Config &Cfg,
+                            const std::vector<int32_t> &Perm,
+                            const std::vector<int32_t> &InvPerm,
+                            uint64_t Support, std::string &Scratch);
 
 } // namespace p
 

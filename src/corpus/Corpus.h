@@ -85,6 +85,20 @@ enum class UsbHubBug {
 /// and hardware machines.
 std::string usbHub(int NumPorts = 2, UsbHubBug Bug = UsbHubBug::None);
 
+enum class WorkerPoolBug {
+  None,
+  /// The boss's completion counter is asserted one too tight: the last
+  /// worker's Done fires the assertion.
+  UndercountedPool,
+};
+
+/// A boss/worker pool whose boss keeps no per-worker roster (counts and
+/// a transient grant target only), so the `symmetric` workers are
+/// interchangeable at the value level — the canonicalization benchmark
+/// for CheckOptions::Reduce, by contrast with German's pinned rosters.
+std::string workerPool(int NumWorkers = 3,
+                       WorkerPoolBug Bug = WorkerPoolBug::None);
+
 } // namespace corpus
 } // namespace p
 

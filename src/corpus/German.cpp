@@ -229,7 +229,7 @@ machine Home {
   }
 }
 
-machine Client {
+symmetric machine Client {
   var Home: id;
   ghost var Aud: id;
 

@@ -163,7 +163,7 @@ machine Hub {
 
 // ------------------------------------------------------------------ PSM
 
-machine Port {
+symmetric machine Port {
   var HubV: id;
   var DevV: id;
   var HasDev: bool;
@@ -282,7 +282,7 @@ machine Port {
 
 // ------------------------------------------------------------------ DSM
 
-machine Device {
+symmetric machine Device {
   var PortV: id;
   var Tries: int;
   ghost var HW: id;

@@ -1,0 +1,101 @@
+//===- corpus/WorkerPool.cpp - Roster-free symmetric worker pool -----------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// A boss/worker pool built to exercise the checker's machine-symmetry
+// reduction (CheckOptions::Reduce). The boss tracks only *counts* and a
+// transient grant target — never a per-worker roster — so permuting the
+// worker instances maps reachable configurations onto reachable
+// configurations and the canonicalizer collapses their orbits. Contrast
+// with the German corpus, whose Home directory pins each client id in a
+// position-unrolled roster (Client1..N), freezing the symmetry at the
+// value level; see DESIGN.md "Reduction".
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace p;
+
+std::string corpus::workerPool(int NumWorkers, WorkerPoolBug Bug) {
+  if (NumWorkers < 1)
+    NumWorkers = 1;
+
+  std::string Src = R"(
+event unit;
+
+// Worker -> Boss; both carry the sending worker itself. (The payload on
+// Done matters: queue entries are ⊎-unique per (event, payload), so a
+// payloadless Done from one worker would swallow another's.)
+event Request(id);
+event Done(id);
+
+// Boss -> Worker.
+event Grant;
+
+main ghost machine Boss {
+  var Pending: id;
+  var Remaining: int;
+
+  state BInit {
+    entry {
+      Remaining = )" + std::to_string(NumWorkers) + R"(;
+)";
+  for (int I = 0; I != NumWorkers; ++I)
+    Src += "      new Worker(BossV = this);\n";
+  Src += R"(      raise(unit);
+    }
+    on unit goto Serve;
+  }
+
+  // One flat serving state: grants and completions interleave freely,
+  // and the boss's memory of a worker lives only from its Request to
+  // the matching Grant.
+  state Serve {
+    entry { }
+    on Request do GrantIt;
+    on Done do CountDone;
+  }
+
+  action GrantIt {
+    Pending = arg;
+    send(Pending, Grant);
+    Pending = null;
+  }
+
+  action CountDone {
+)";
+  // The seeded bug undercounts the pool: the N-th completion trips the
+  // assertion, at any interleaving (delay bound 0 suffices).
+  Src += Bug == WorkerPoolBug::UndercountedPool
+             ? "    assert(Remaining > 1);\n"
+             : "    assert(Remaining > 0);\n";
+  Src += R"(    Remaining = Remaining - 1;
+  }
+}
+
+symmetric machine Worker {
+  var BossV: id;
+
+  state Asking {
+    entry { send(BossV, Request, this); }
+    on Grant goto Working;
+  }
+
+  state Working {
+    entry {
+      send(BossV, Done, this);
+      raise(unit);
+    }
+    on unit goto Idle;
+  }
+
+  state Idle {
+    entry { }
+  }
+}
+)";
+  return Src;
+}

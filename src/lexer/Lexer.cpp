@@ -27,6 +27,8 @@ const char *p::tokenKindName(TokenKind Kind) {
     return "'ghost'";
   case TokenKind::KwMain:
     return "'main'";
+  case TokenKind::KwSymmetric:
+    return "'symmetric'";
   case TokenKind::KwVar:
     return "'var'";
   case TokenKind::KwState:
@@ -151,6 +153,7 @@ static const std::unordered_map<std::string, TokenKind> &keywordTable() {
   static const std::unordered_map<std::string, TokenKind> Table = {
       {"event", TokenKind::KwEvent},     {"machine", TokenKind::KwMachine},
       {"ghost", TokenKind::KwGhost},     {"main", TokenKind::KwMain},
+      {"symmetric", TokenKind::KwSymmetric},
       {"var", TokenKind::KwVar},         {"state", TokenKind::KwState},
       {"action", TokenKind::KwAction},   {"entry", TokenKind::KwEntry},
       {"exit", TokenKind::KwExit},       {"defer", TokenKind::KwDefer},

@@ -32,6 +32,7 @@ enum class TokenKind {
   KwMachine,
   KwGhost,
   KwMain,
+  KwSymmetric,
   KwVar,
   KwState,
   KwAction,

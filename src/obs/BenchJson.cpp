@@ -31,6 +31,8 @@ Json p::obs::checkStatsToJson(const CheckStats &Stats) {
   J.set("steal_count", Stats.StealCount);
   J.set("contention_ns", Stats.ContentionNs);
   J.set("faults_injected", Stats.FaultsInjected);
+  J.set("pruned_by_independence", Stats.PrunedByIndependence);
+  J.set("symmetry_collapsed", Stats.SymmetryCollapsed);
   return J;
 }
 
@@ -77,10 +79,15 @@ bool p::obs::validateBenchReport(const Json &Report, std::string &Why,
     Why = "report has no run records";
     return false;
   }
-  static const char *CheckerKeys[] = {"distinct_states", "nodes_explored",
-                                      "workers_used",    "steal_count",
-                                      "contention_ns",   "visited_bytes",
-                                      "peak_rss_bytes"};
+  static const char *CheckerKeys[] = {"distinct_states",
+                                      "nodes_explored",
+                                      "workers_used",
+                                      "steal_count",
+                                      "contention_ns",
+                                      "visited_bytes",
+                                      "peak_rss_bytes",
+                                      "pruned_by_independence",
+                                      "symmetry_collapsed"};
   for (size_t I = 0; I != Report.size(); ++I) {
     const Json &R = Report.at(I);
     std::string At = "record " + std::to_string(I) + ": ";

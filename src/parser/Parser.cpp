@@ -81,20 +81,30 @@ Program Parser::parseProgram() {
     }
     bool Ghost = false;
     bool Main = false;
-    while (check(TokenKind::KwGhost) || check(TokenKind::KwMain)) {
+    bool Symmetric = false;
+    while (check(TokenKind::KwGhost) || check(TokenKind::KwMain) ||
+           check(TokenKind::KwSymmetric)) {
       if (match(TokenKind::KwGhost))
         Ghost = true;
       else if (match(TokenKind::KwMain))
         Main = true;
+      else if (match(TokenKind::KwSymmetric))
+        Symmetric = true;
     }
     if (check(TokenKind::KwEvent)) {
       if (Main)
         Diags.error(current().Loc, "'main' cannot qualify an event");
+      if (Symmetric)
+        Diags.error(current().Loc, "'symmetric' cannot qualify an event");
       parseEventDecl(Prog, Ghost);
       continue;
     }
     if (check(TokenKind::KwMachine)) {
-      parseMachineDecl(Prog, Ghost, Main);
+      if (Main && Symmetric)
+        Diags.error(current().Loc,
+                    "'symmetric' cannot qualify the main machine (it is "
+                    "a singleton)");
+      parseMachineDecl(Prog, Ghost, Main, Symmetric);
       continue;
     }
     Diags.error(current().Loc,
@@ -130,11 +140,13 @@ void Parser::parseEventDecl(Program &Prog, bool Ghost) {
   expect(TokenKind::Semi, "after event declaration");
 }
 
-void Parser::parseMachineDecl(Program &Prog, bool Ghost, bool Main) {
+void Parser::parseMachineDecl(Program &Prog, bool Ghost, bool Main,
+                              bool Symmetric) {
   consume(); // 'machine'
   MachineDecl M;
   M.Ghost = Ghost;
   M.Main = Main;
+  M.Symmetric = Symmetric;
   M.Loc = current().Loc;
   if (!check(TokenKind::Identifier)) {
     Diags.error(current().Loc, "expected machine name");

@@ -56,7 +56,8 @@ private:
   void syncToStmtBoundary();
 
   void parseEventDecl(Program &Prog, bool Ghost);
-  void parseMachineDecl(Program &Prog, bool Ghost, bool Main);
+  void parseMachineDecl(Program &Prog, bool Ghost, bool Main,
+                        bool Symmetric);
   void parseVarDecl(MachineDecl &M, bool Ghost);
   void parseStateDecl(MachineDecl &M);
   void parseActionDecl(MachineDecl &M);

@@ -285,6 +285,7 @@ CompiledProgram p::lower(const Program &Prog, const LowerOptions &Opts) {
     MachineInfo Info;
     Info.Name = M.Name;
     Info.Ghost = M.Ghost;
+    Info.Symmetric = M.Symmetric;
     for (const VarDecl &V : M.Vars)
       Info.Vars.push_back({V.Name, V.Type, V.Ghost});
 

@@ -100,6 +100,10 @@ struct ForeignFunInfo {
 struct MachineInfo {
   std::string Name;
   bool Ghost = false;
+  /// Declared `symmetric`: instances are interchangeable, so the
+  /// checker's symmetry reduction may canonicalize permutations of
+  /// them (see CheckOptions::Reduce).
+  bool Symmetric = false;
   std::vector<VarInfo> Vars;
   std::vector<StateInfo> States;
   std::vector<std::string> ActionNames;

@@ -151,10 +151,12 @@ public:
   /// Clone-before-mutate: unshares the snapshot if any other Config
   /// still points at it, and invalidates the cached fingerprint.
   MachineState &mut() {
-    if (Snap.use_count() != 1)
-      Snap = std::make_shared<Snapshot>(Snap->S); // cache not copied
-    else
+    if (Snap.use_count() != 1) {
+      Snap = std::make_shared<Snapshot>(Snap->S); // caches not copied
+    } else {
       Snap->Fp.store(0, std::memory_order_relaxed);
+      Snap->Refs.store(0, std::memory_order_relaxed);
+    }
     return Snap->S;
   }
 
@@ -166,6 +168,18 @@ public:
   }
   void cacheFingerprint(uint64_t F) const {
     Snap->Fp.store(F, std::memory_order_release);
+  }
+
+  /// Cached mask of machine ids this snapshot's state references (see
+  /// checker/StateHash.h machineRefsMask); 0 = not computed (computed
+  /// masks always carry the marker bit). Used by the symmetry reduction
+  /// to reuse cached fingerprints for machines untouched by a candidate
+  /// permutation. Same benign-race discipline as the fingerprint slot.
+  uint64_t cachedRefsMask() const {
+    return Snap->Refs.load(std::memory_order_acquire);
+  }
+  void cacheRefsMask(uint64_t R) const {
+    Snap->Refs.store(R, std::memory_order_release);
   }
 
   /// True when both handles share one physical snapshot (used by the
@@ -193,6 +207,7 @@ private:
 
     MachineState S;
     mutable std::atomic<uint64_t> Fp{0};
+    mutable std::atomic<uint64_t> Refs{0};
   };
   std::shared_ptr<Snapshot> Snap;
 };
