@@ -20,7 +20,9 @@
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "host/LatencyProbe.h"
 #include "obs/BenchJson.h"
+#include "obs/Report.h"
 
 #include <cstdio>
 #include <cstring>
@@ -31,9 +33,11 @@ using namespace p;
 namespace {
 
 std::string JsonPath;      ///< --json <file|->; empty = no report.
+std::string ReportPath;    ///< --report <base>: <base>.{json,html}.
 std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 
 obs::BenchReport Report("depth_vs_delay");
+obs::RunReport RunRep("depth_vs_delay");
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -45,15 +49,26 @@ CompiledProgram compileOrExit(const std::string &Src) {
 }
 
 void addRecord(const char *Program, const char *Strategy, int Bound,
-               uint64_t MaxNodes, const CheckStats &Stats) {
-  if (JsonPath.empty())
+               uint64_t MaxNodes, const CompiledProgram &Prog,
+               const CheckResult &R) {
+  if (JsonPath.empty() && ReportPath.empty())
     return;
   obs::Json Config = obs::Json::object();
   Config.set("program", Program);
   Config.set("strategy", Strategy);
   Config.set("bound", Bound);
   Config.set("max_nodes", MaxNodes);
-  Report.addRun(std::move(Config), Stats);
+  if (!ReportPath.empty())
+    RunRep.addCheckRun(Prog, Config, R);
+  if (!JsonPath.empty())
+    Report.addRun(std::move(Config), Prog, R);
+}
+
+/// Coverage/profile ride along whenever a machine-readable artifact is
+/// requested; both are observers and leave counters untouched.
+void installObs(CheckOptions &Opts) {
+  Opts.TrackCoverage = !JsonPath.empty() || !ReportPath.empty();
+  Opts.Profile = !ReportPath.empty();
 }
 
 void compareOn(const char *Name, const char *Slug,
@@ -64,6 +79,7 @@ void compareOn(const char *Name, const char *Slug,
   for (int D = 0; D <= 3; ++D) {
     CheckOptions Opts;
     Opts.DelayBound = D;
+    installObs(Opts);
     CheckResult R = check(Prog, Opts);
     std::fprintf(Human,
                  "  delay  d=%-4d %-10s nodes=%-9llu states=%-9llu "
@@ -72,7 +88,7 @@ void compareOn(const char *Name, const char *Slug,
                  static_cast<unsigned long long>(R.Stats.NodesExplored),
                  static_cast<unsigned long long>(R.Stats.DistinctStates),
                  R.Stats.Seconds);
-    addRecord(Slug, "delay", D, 0, R.Stats);
+    addRecord(Slug, "delay", D, 0, Prog, R);
     if (R.ErrorFound)
       break;
   }
@@ -84,6 +100,7 @@ void compareOn(const char *Name, const char *Slug,
     Opts.Strategy = SearchStrategy::DepthBounded;
     Opts.DepthBound = Depth;
     Opts.MaxNodes = 2000000;
+    installObs(Opts);
     CheckResult R = check(Prog, Opts);
     bool NodeCapped = R.Stats.NodesExplored >= Opts.MaxNodes;
     std::fprintf(Human,
@@ -93,7 +110,7 @@ void compareOn(const char *Name, const char *Slug,
                  static_cast<unsigned long long>(R.Stats.NodesExplored),
                  static_cast<unsigned long long>(R.Stats.DistinctStates),
                  R.Stats.Seconds, NodeCapped ? " (node-capped)" : "");
-    addRecord(Slug, "depth", Depth, Opts.MaxNodes, R.Stats);
+    addRecord(Slug, "depth", Depth, Opts.MaxNodes, Prog, R);
     if (R.ErrorFound || NodeCapped || R.Stats.Seconds > 30)
       break;
   }
@@ -103,9 +120,12 @@ void compareOn(const char *Name, const char *Slug,
 } // namespace
 
 int main(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
+  for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--report") && I + 1 < argc)
+      ReportPath = argv[++I];
+  }
   if (JsonPath == "-")
     Human = stderr; // Keep stdout machine-clean for the report.
   std::fprintf(Human, "=== Ablation: depth-bounded vs delay-bounded search "
@@ -130,5 +150,7 @@ int main(int argc, char **argv) {
                  JsonPath.c_str());
     return 1;
   }
+  if (!ReportPath.empty() && !writeReportWithProbe(RunRep, ReportPath))
+    return 1;
   return 0;
 }

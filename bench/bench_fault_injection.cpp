@@ -35,7 +35,9 @@
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "host/LatencyProbe.h"
 #include "obs/BenchJson.h"
+#include "obs/Report.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,10 +51,12 @@ namespace {
 int WorkersFlag = 1;     ///< --workers N (0 = hardware_concurrency).
 bool QuickFlag = false;  ///< --quick: small sweep for smoke tests.
 std::string JsonPath;    ///< --json <file|->; empty = no report.
+std::string ReportPath;  ///< --report <base>: <base>.{json,html}.
 std::FILE *Human = stdout;
 Reduction ReduceFlag = Reduction::Off; ///< --reduction off|sleep|symmetry|both.
 
 obs::BenchReport Report("fault_injection");
+obs::RunReport RunRep("fault_injection");
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -81,8 +85,8 @@ int32_t eventId(const CompiledProgram &Prog, const char *Name) {
 }
 
 void record(const char *Slug, int DelayBound, int Budget, uint64_t NodeCap,
-            const CheckResult &R) {
-  if (JsonPath.empty())
+            const CompiledProgram &Prog, const CheckResult &R) {
+  if (JsonPath.empty() && ReportPath.empty())
     return;
   obs::Json Config = obs::Json::object();
   Config.set("program", Slug);
@@ -91,7 +95,18 @@ void record(const char *Slug, int DelayBound, int Budget, uint64_t NodeCap,
   Config.set("node_cap", NodeCap);
   Config.set("workers", WorkersFlag);
   Config.set("reduction", reductionName(ReduceFlag));
-  Report.addRun(std::move(Config), R.Stats);
+  if (!ReportPath.empty())
+    RunRep.addCheckRun(Prog, Config, R);
+  if (!JsonPath.empty())
+    Report.addRun(std::move(Config), Prog, R);
+}
+
+/// Coverage/profile whenever a machine-readable artifact is requested;
+/// the profile's faults_used histogram and fault_kinds block are the
+/// fault-site coverage a report cites.
+void installObs(CheckOptions &Opts) {
+  Opts.TrackCoverage = !JsonPath.empty() || !ReportPath.empty();
+  Opts.Profile = !ReportPath.empty();
 }
 
 } // namespace
@@ -102,6 +117,8 @@ int main(int argc, char **argv) {
       WorkersFlag = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--report") && I + 1 < argc)
+      ReportPath = argv[++I];
     else if (!std::strcmp(argv[I], "--reduction") && I + 1 < argc)
       ReduceFlag = parseReductionOrExit(argv[++I]);
     else if (!std::strcmp(argv[I], "--quick"))
@@ -129,6 +146,7 @@ int main(int argc, char **argv) {
     Opts.Workers = WorkersFlag;
     Opts.Faults.Budget = Budget; // Drop + duplicate, the defaults.
     Opts.Reduce = ReduceFlag;
+    installObs(Opts);
     CheckResult R = check(German, Opts);
     std::fprintf(Human, "%-10d %-12llu %-12llu %-10llu %-8llu %-10.3f %s\n",
                  Budget,
@@ -137,7 +155,7 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(R.Stats.FaultsInjected),
                  static_cast<unsigned long long>(R.Stats.ErrorsFound),
                  R.Stats.Seconds, R.Stats.Exhausted ? "" : "node-cap");
-    record("german2", DelayBound, Budget, NodeCap, R);
+    record("german2", DelayBound, Budget, NodeCap, German, R);
   }
 
   std::fprintf(Human,
@@ -158,6 +176,7 @@ int main(int argc, char **argv) {
     Opts.Faults.Duplicate = true;
     Opts.Faults.Events.push_back(eventId(Buggy, "InvAck"));
     Opts.Reduce = ReduceFlag;
+    installObs(Opts);
     CheckResult R = check(Buggy, Opts);
     std::fprintf(Human, "%-10d %-12llu %-10.3f %s%s\n", Budget,
                  static_cast<unsigned long long>(R.Stats.DistinctStates),
@@ -167,7 +186,7 @@ int main(int argc, char **argv) {
                                                    : "clean"),
                  R.ErrorFound ? " (schedule replayable)" : "");
     record("german2_droppable_invack", Opts.DelayBound, Budget,
-           Opts.MaxNodes, R);
+           Opts.MaxNodes, Buggy, R);
   }
 
   if (!JsonPath.empty() && !Report.writeTo(JsonPath)) {
@@ -175,5 +194,7 @@ int main(int argc, char **argv) {
                  JsonPath.c_str());
     return 1;
   }
+  if (!ReportPath.empty() && !writeReportWithProbe(RunRep, ReportPath))
+    return 1;
   return 0;
 }

@@ -28,7 +28,9 @@
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "host/LatencyProbe.h"
 #include "obs/BenchJson.h"
+#include "obs/Report.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +46,9 @@ int WorkersFlag = 1;      ///< --workers N (0 = hardware_concurrency).
 int FaultBudgetFlag = 0;  ///< --fault-budget k: transport faults per path.
 bool QuickFlag = false;   ///< --quick: small sweep for smoke tests.
 bool ProgressFlag = false; ///< --progress: heartbeat lines on stderr.
+bool ProfileFlag = false; ///< --profile: per-machine table on stderr.
 std::string JsonPath;     ///< --json <file|->; empty = no report.
+std::string ReportPath;   ///< --report <base>: <base>.{json,html}.
 std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
 uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
@@ -85,6 +89,7 @@ Reduction parseReductionOrExit(const char *S) {
 }
 
 obs::BenchReport Report("fig7_delaybound");
+obs::RunReport RunRep("fig7_delaybound");
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -101,12 +106,25 @@ void installProgress(CheckOptions &Opts) {
   Opts.ProgressIntervalSeconds = 1.0;
   Opts.Progress = [](const CheckStats &S) {
     std::fprintf(stderr,
-                 "progress: %.1fs states=%llu nodes=%llu depth=%d "
-                 "visited=%.1fMB\n",
+                 "progress: %.1fs states=%llu (%.0f/s) nodes=%llu "
+                 "frontier=%llu depth=%d visited=%.1fMB\n",
                  S.Seconds, static_cast<unsigned long long>(S.DistinctStates),
-                 static_cast<unsigned long long>(S.NodesExplored), S.MaxDepth,
+                 S.Seconds > 0
+                     ? static_cast<double>(S.DistinctStates) / S.Seconds
+                     : 0.0,
+                 static_cast<unsigned long long>(S.NodesExplored),
+                 static_cast<unsigned long long>(S.FrontierNodes), S.MaxDepth,
                  S.VisitedBytes / (1024.0 * 1024.0));
   };
+}
+
+/// Observability options shared by every run: coverage whenever a
+/// machine-readable artifact is requested (both schemas carry the
+/// block), the profiler for --profile or --report.
+void installObs(CheckOptions &Opts) {
+  Opts.TrackCoverage = !JsonPath.empty() || !ReportPath.empty();
+  Opts.Profile = ProfileFlag || !ReportPath.empty();
+  installProgress(Opts);
 }
 
 /// Sweeps the delay bound until saturation (two consecutive equal state
@@ -128,8 +146,11 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
     Opts.Visited = VisitedFlag;
     Opts.VisitedCapBytes = VisitedCapFlag;
     Opts.Reduce = ReduceFlag;
-    installProgress(Opts);
+    installObs(Opts);
     CheckResult R = check(Prog, Opts);
+    if (ProfileFlag)
+      std::fprintf(stderr, "# %s d=%d profile\n%s", Slug, D,
+                   R.Profile.str(Prog).c_str());
     const char *Note = "";
     if (!R.Stats.Exhausted)
       Note = "node-cap";
@@ -145,7 +166,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
     if (R.ErrorFound)
       std::fprintf(Human, "  !! unexpected error: %s\n",
                    R.ErrorMessage.c_str());
-    if (!JsonPath.empty()) {
+    if (!JsonPath.empty() || !ReportPath.empty()) {
       obs::Json Config = obs::Json::object();
       Config.set("program", Slug);
       Config.set("delay_bound", D);
@@ -154,7 +175,10 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
       Config.set("fault_budget", FaultBudgetFlag);
       Config.set("visited_mode", visitedModeName(VisitedFlag));
       Config.set("reduction", reductionName(ReduceFlag));
-      Report.addRun(std::move(Config), R.Stats);
+      if (!ReportPath.empty())
+        RunRep.addCheckRun(Prog, Config, R);
+      if (!JsonPath.empty())
+        Report.addRun(std::move(Config), Prog, R);
     }
     if (Saturated || !R.Stats.Exhausted || R.Stats.Seconds > TimeBudget)
       break;
@@ -179,6 +203,8 @@ int main(int argc, char **argv) {
       FaultBudgetFlag = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--report") && I + 1 < argc)
+      ReportPath = argv[++I];
     else if (!std::strcmp(argv[I], "--visited-mode") && I + 1 < argc)
       VisitedFlag = parseVisitedMode(argv[++I]);
     else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
@@ -189,6 +215,8 @@ int main(int argc, char **argv) {
       QuickFlag = true;
     else if (!std::strcmp(argv[I], "--progress"))
       ProgressFlag = true;
+    else if (!std::strcmp(argv[I], "--profile"))
+      ProfileFlag = true;
   }
   if (JsonPath == "-")
     Human = stderr; // Keep stdout machine-clean for the report.
@@ -210,6 +238,8 @@ int main(int argc, char **argv) {
         compileOrExit(corpus::elevator()), MaxDelay, NodeCap, TimeBudget);
   sweep("Switch-and-LED (Section 4.1)", "switchled",
         compileOrExit(corpus::switchLed()), MaxDelay, NodeCap, TimeBudget);
+  sweep("Worker pool (symmetric workers)", "workerpool",
+        compileOrExit(corpus::workerPool(3)), MaxDelay, NodeCap, TimeBudget);
   if (!QuickFlag)
     sweep("German cache coherence (2 clients)", "german2",
           compileOrExit(corpus::german(2)), MaxDelay, NodeCap, TimeBudget);
@@ -252,9 +282,9 @@ int main(int argc, char **argv) {
       Opts.Visited = VisitedFlag;
       Opts.VisitedCapBytes = VisitedCapFlag;
       Opts.Reduce = ReduceFlag;
-      installProgress(Opts);
+      installObs(Opts);
       CheckResult R = check(Prog, Opts);
-      if (!JsonPath.empty()) {
+      if (!JsonPath.empty() || !ReportPath.empty()) {
         obs::Json Config = obs::Json::object();
         Config.set("program", Bug.Name);
         Config.set("delay_bound", D);
@@ -263,7 +293,10 @@ int main(int argc, char **argv) {
         Config.set("visited_mode", visitedModeName(VisitedFlag));
         Config.set("reduction", reductionName(ReduceFlag));
         Config.set("seeded_bug", true);
-        Report.addRun(std::move(Config), R.Stats);
+        if (!ReportPath.empty())
+          RunRep.addCheckRun(Prog, Config, R);
+        if (!JsonPath.empty())
+          Report.addRun(std::move(Config), Prog, R);
       }
       if (R.ErrorFound) {
         std::fprintf(Human, "%-34s %-8d %-12llu %-10.3f %s\n", Bug.Name, D,
@@ -282,5 +315,7 @@ int main(int argc, char **argv) {
                  JsonPath.c_str());
     return 1;
   }
+  if (!ReportPath.empty() && !writeReportWithProbe(RunRep, ReportPath))
+    return 1;
   return 0;
 }

@@ -27,7 +27,9 @@
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "host/LatencyProbe.h"
 #include "obs/BenchJson.h"
+#include "obs/Report.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +43,7 @@ namespace {
 int WorkersFlag = 1;       ///< --workers N (0 = hardware_concurrency).
 bool ProgressFlag = false; ///< --progress: heartbeat lines on stderr.
 std::string JsonPath;      ///< --json <file|->; empty = no report.
+std::string ReportPath;    ///< --report <base>: <base>.{json,html}.
 std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
 uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
@@ -107,6 +110,8 @@ int main(int argc, char **argv) {
       WorkersFlag = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
       JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--report") && I + 1 < argc)
+      ReportPath = argv[++I];
     else if (!std::strcmp(argv[I], "--visited-mode") && I + 1 < argc)
       VisitedFlag = parseVisitedMode(argv[++I]);
     else if (!std::strcmp(argv[I], "--visited-cap") && I + 1 < argc)
@@ -119,6 +124,7 @@ int main(int argc, char **argv) {
   if (JsonPath == "-")
     Human = stderr; // Keep stdout machine-clean for the report.
   obs::BenchReport Report("fig8_usb");
+  obs::RunReport RunRep("fig8_usb");
 
   std::fprintf(Human,
                "=== Figure 8: USB hub machine sizes and exploration cost "
@@ -147,13 +153,22 @@ int main(int argc, char **argv) {
       Opts.Visited = VisitedFlag;
       Opts.VisitedCapBytes = VisitedCapFlag;
       Opts.Reduce = ReduceFlag;
+      Opts.TrackCoverage = !JsonPath.empty() || !ReportPath.empty();
+      Opts.Profile = !ReportPath.empty();
       if (ProgressFlag) {
         Opts.ProgressIntervalSeconds = 1.0;
         Opts.Progress = [](const CheckStats &S) {
-          std::fprintf(stderr, "progress: %.1fs states=%llu nodes=%llu\n",
-                       S.Seconds,
-                       static_cast<unsigned long long>(S.DistinctStates),
-                       static_cast<unsigned long long>(S.NodesExplored));
+          std::fprintf(
+              stderr,
+              "progress: %.1fs states=%llu (%.0f/s) nodes=%llu "
+              "frontier=%llu visited=%.1fMB\n",
+              S.Seconds, static_cast<unsigned long long>(S.DistinctStates),
+              S.Seconds > 0
+                  ? static_cast<double>(S.DistinctStates) / S.Seconds
+                  : 0.0,
+              static_cast<unsigned long long>(S.NodesExplored),
+              static_cast<unsigned long long>(S.FrontierNodes),
+              S.VisitedBytes / (1024.0 * 1024.0));
         };
       }
       CheckResult R = check(Prog, Opts);
@@ -167,7 +182,7 @@ int main(int argc, char **argv) {
       if (R.ErrorFound)
         std::fprintf(Human, "  !! unexpected error: %s\n",
                      R.ErrorMessage.c_str());
-      if (!JsonPath.empty()) {
+      if (!JsonPath.empty() || !ReportPath.empty()) {
         obs::Json Config = obs::Json::object();
         Config.set("ports", Ports);
         Config.set("delay_bound", D);
@@ -175,7 +190,10 @@ int main(int argc, char **argv) {
         Config.set("workers", WorkersFlag);
         Config.set("visited_mode", visitedModeName(VisitedFlag));
         Config.set("reduction", reductionName(ReduceFlag));
-        Report.addRun(std::move(Config), R.Stats);
+        if (!ReportPath.empty())
+          RunRep.addCheckRun(Prog, Config, R);
+        if (!JsonPath.empty())
+          Report.addRun(std::move(Config), Prog, R);
       }
     }
     std::fprintf(Human, "\n");
@@ -192,5 +210,7 @@ int main(int argc, char **argv) {
                  JsonPath.c_str());
     return 1;
   }
+  if (!ReportPath.empty() && !writeReportWithProbe(RunRep, ReportPath))
+    return 1;
   return 0;
 }

@@ -29,6 +29,7 @@
 #include "frontend/Frontend.h"
 #include "host/Host.h"
 #include "obs/BenchJson.h"
+#include "obs/Report.h"
 
 #include <benchmark/benchmark.h>
 
@@ -451,16 +452,55 @@ int runJsonMode(const std::string &Path) {
   return 0;
 }
 
+/// --report mode: a live interpreter-driver run whose host section
+/// (dispatch latency p50/p99, queue high-water, events/sec) and
+/// p_host_* metrics dump become the run report. This bench has no
+/// check() runs, so the runs array stays empty — valid per the schema
+/// because the host section is present.
+int runReportMode(const std::string &Base) {
+  obs::RunReport RunRep("sec41_overhead");
+  Host H(erasedSwitchLed());
+  int32_t Id = H.createMachine("SwitchLedDriver");
+  constexpr int Cycles = 25000;
+  for (int I = 0; I != Cycles && Id >= 0; ++I) {
+    H.addEvent(Id, "SwitchedOn");
+    H.addEvent(Id, "LedOk");
+    H.addEvent(Id, "SwitchedOff");
+    H.addEvent(Id, "LedOk");
+  }
+  if (H.hasError()) {
+    std::fprintf(stderr, "interpreter driver errored: %s\n",
+                 H.errorMessage().c_str());
+    return 1;
+  }
+  RunRep.setHost(H);
+  obs::MetricsRegistry Registry;
+  H.exportMetrics(Registry);
+  RunRep.setMetrics(Registry);
+  std::string Why;
+  if (!RunRep.writeTo(Base, &Why)) {
+    std::fprintf(stderr, "cannot write report %s: %s\n", Base.c_str(),
+                 Why.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  // Strip --json and --fault-seed before google-benchmark sees (and
-  // rejects) them.
+  // Strip --json, --report and --fault-seed before google-benchmark
+  // sees (and rejects) them.
   std::string JsonPath;
+  std::string ReportPath;
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
       JsonPath = argv[++I];
+      continue;
+    }
+    if (!std::strcmp(argv[I], "--report") && I + 1 < argc) {
+      ReportPath = argv[++I];
       continue;
     }
     if (!std::strcmp(argv[I], "--fault-seed") && I + 1 < argc) {
@@ -469,6 +509,12 @@ int main(int argc, char **argv) {
       continue;
     }
     Args.push_back(argv[I]);
+  }
+  if (!ReportPath.empty()) {
+    if (int Rc = runReportMode(ReportPath))
+      return Rc;
+    if (JsonPath.empty())
+      return 0;
   }
   if (!JsonPath.empty())
     return runJsonMode(JsonPath);

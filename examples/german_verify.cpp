@@ -25,13 +25,19 @@
 //   --reduction R         off | sleep | symmetry | both (CheckOptions::Reduce)
 //   --expect-states S     exit 1 unless DistinctStates == S
 //   --max-seconds T       exit 1 when the run took longer than T
+//   --profile             per-machine search profile table on stderr
+//   --report <base>       self-contained run report: <base>.json +
+//                         <base>.html (stats, profile, named uncovered
+//                         transitions, live host latency, metrics)
 //
 //===----------------------------------------------------------------------===//
 
 #include "checker/Checker.h"
 #include "corpus/Corpus.h"
 #include "frontend/Frontend.h"
+#include "host/LatencyProbe.h"
 #include "obs/Metrics.h"
+#include "obs/Report.h"
 #include "obs/Trace.h"
 #include "obs/TraceExport.h"
 
@@ -96,6 +102,8 @@ int main(int argc, char **argv) {
   Reduction Reduce = Reduction::Off;
   long long ExpectStates = -1;
   double MaxSeconds = 0;
+  bool Profile = false;
+  std::string ReportPath;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
@@ -123,6 +131,10 @@ int main(int argc, char **argv) {
       ExpectStates = std::atoll(argv[++I]);
     else if (!std::strcmp(argv[I], "--max-seconds") && I + 1 < argc)
       MaxSeconds = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--profile"))
+      Profile = true;
+    else if (!std::strcmp(argv[I], "--report") && I + 1 < argc)
+      ReportPath = argv[++I];
   }
 
   if (Clients > 0) {
@@ -134,7 +146,11 @@ int main(int argc, char **argv) {
     Opts.Visited = Visited;
     Opts.VisitedCapBytes = VisitedCap;
     Opts.Reduce = Reduce;
+    Opts.Profile = Profile || !ReportPath.empty();
+    Opts.TrackCoverage = !ReportPath.empty();
     CheckResult R = check(Prog, Opts);
+    if (Profile)
+      std::fprintf(stderr, "%s", R.Profile.str(Prog).c_str());
     std::printf("german clients=%d d=%d mode=%s workers=%d reduction=%s "
                 "states=%llu nodes=%llu pruned=%llu collapsed=%llu "
                 "seconds=%.3f visited_bytes=%llu "
@@ -167,22 +183,43 @@ int main(int argc, char **argv) {
                    R.Stats.Seconds, MaxSeconds);
       return 1;
     }
+    if (!ReportPath.empty()) {
+      obs::RunReport RunRep("german_verify");
+      obs::Json Config = obs::Json::object();
+      Config.set("program", "german");
+      Config.set("clients", Clients);
+      Config.set("delay_bound", Delay);
+      Config.set("workers", Workers);
+      Config.set("visited_mode", visitedModeName(Visited));
+      Config.set("reduction", reductionName(Reduce));
+      RunRep.addCheckRun(Prog, std::move(Config), R);
+      if (!writeReportWithProbe(RunRep, ReportPath))
+        return 1;
+    }
     return 0;
   }
 
   obs::MetricsRegistry Registry;
+  obs::RunReport RunRep("german_verify");
   auto withObs = [&](CheckOptions &Opts) {
     if (Metrics)
       Opts.Metrics = &Registry;
+    Opts.Profile = Profile || !ReportPath.empty();
+    Opts.TrackCoverage = !ReportPath.empty();
     if (Progress) {
       Opts.ProgressIntervalSeconds = 1.0;
       Opts.Progress = [](const CheckStats &S) {
         std::fprintf(stderr,
-                     "progress: %.1fs states=%llu nodes=%llu depth=%d\n",
+                     "progress: %.1fs states=%llu (%.0f/s) nodes=%llu "
+                     "frontier=%llu depth=%d visited=%.1fMB\n",
                      S.Seconds,
                      static_cast<unsigned long long>(S.DistinctStates),
+                     S.Seconds > 0
+                         ? static_cast<double>(S.DistinctStates) / S.Seconds
+                         : 0.0,
                      static_cast<unsigned long long>(S.NodesExplored),
-                     S.MaxDepth);
+                     static_cast<unsigned long long>(S.FrontierNodes),
+                     S.MaxDepth, S.VisitedBytes / (1024.0 * 1024.0));
       };
     }
   };
@@ -200,6 +237,17 @@ int main(int argc, char **argv) {
       Opts.Workers = Workers;
       withObs(Opts);
       CheckResult R = check(Prog, Opts);
+      if (Profile)
+        std::fprintf(stderr, "# german clients=%d d=%d profile\n%s", N,
+                     Delay, R.Profile.str(Prog).c_str());
+      if (!ReportPath.empty()) {
+        obs::Json Config = obs::Json::object();
+        Config.set("program", "german");
+        Config.set("clients", N);
+        Config.set("delay_bound", Delay);
+        Config.set("workers", Workers);
+        RunRep.addCheckRun(Prog, std::move(Config), R);
+      }
       std::printf("  %-8d %-6d %-10llu %-10llu %s\n", N, Delay,
                   static_cast<unsigned long long>(R.Stats.DistinctStates),
                   static_cast<unsigned long long>(R.Stats.Slices),
@@ -223,6 +271,15 @@ int main(int argc, char **argv) {
     if (WantTrace)
       Opts.Trace = &Recorder;
     CheckResult R = check(Buggy, Opts);
+    if (!ReportPath.empty()) {
+      obs::Json Config = obs::Json::object();
+      Config.set("program", "german_skip_owner_invalidation");
+      Config.set("clients", 2);
+      Config.set("delay_bound", Delay);
+      Config.set("workers", Workers);
+      Config.set("seeded_bug", true);
+      RunRep.addCheckRun(Buggy, std::move(Config), R);
+    }
     if (!R.ErrorFound) {
       std::printf("  d=%d: not exposed\n", Delay);
       continue;
@@ -258,6 +315,9 @@ int main(int argc, char **argv) {
 
   if (Metrics)
     std::printf("\n-- metrics --\n%s", Registry.renderPrometheus().c_str());
+
+  if (!ReportPath.empty() && !writeReportWithProbe(RunRep, ReportPath))
+    return 1;
 
   std::printf("\ngerman_verify ok\n");
   return 0;

@@ -37,6 +37,7 @@
 #define P_CHECKER_CHECKER_H
 
 #include "fault/Fault.h"
+#include "obs/Profile.h"
 #include "pir/Program.h"
 #include "runtime/Errors.h"
 #include "runtime/Executor.h"
@@ -167,6 +168,14 @@ struct CheckOptions {
   /// Collect structural coverage (which P states were reached and which
   /// (state, event) dispatches fired) into CheckResult::Coverage.
   bool TrackCoverage = false;
+  /// Search profiler (see obs/Profile.h): attribute nodes, states,
+  /// slice time, and reduction savings to machine types, into
+  /// CheckResult::Profile. An observer like tracing: off (the default)
+  /// leaves CheckStats bit-identical and costs one predictable branch
+  /// per hook; on adds a steady_clock read around each slice, so the
+  /// *timing* fields perturb wall-clock slightly while every counter
+  /// stays exact.
+  bool Profile = false;
   /// Exploration workers. 1 (the default) runs the classic serial DFS on
   /// the calling thread; 0 asks for std::thread::hardware_concurrency();
   /// N > 1 spawns N workers, each with its own Executor and DFS stack,
@@ -311,6 +320,11 @@ struct CheckStats {
   /// images of an explored representative. 0 when the layer is off or
   /// no machine type is declared `symmetric`.
   uint64_t SymmetryCollapsed = 0;
+  /// Nodes queued across the work-stealing frontiers at snapshot time.
+  /// Only meaningful inside progress callbacks (the heartbeat's "how
+  /// much breadth is pending" signal); 0 in the final stats of a
+  /// completed run by construction.
+  uint64_t FrontierNodes = 0;
 };
 
 /// Result of a check() run.
@@ -332,6 +346,8 @@ struct CheckResult {
   std::vector<uint64_t> TerminalHashes;
   /// Structural coverage (TrackCoverage).
   CoverageReport Coverage;
+  /// Search profile (CheckOptions::Profile; Enabled is false otherwise).
+  obs::SearchProfile Profile;
   CheckStats Stats;
 };
 

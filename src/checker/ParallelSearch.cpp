@@ -84,6 +84,11 @@ struct Node {
   int FaultsUsed = 0; ///< Faults injected along this path (≤ Budget).
   int Depth = 0;
   int32_t MustRun = -1; ///< Machine to resume after a choice point.
+  /// Profiling only (CheckOptions::Profile): the machine *type* whose
+  /// slice (or injected fault) produced this node's configuration; -1
+  /// for the root. Attribution metadata — never part of a dedup key or
+  /// serialization, so it cannot change what is explored.
+  int32_t ByType = -1;
   uint64_t TraceIdx = NoTraceRef;
   /// Sleep set (Reduction::Sleep/Both only; always empty otherwise).
   /// An entry's machine ran first in a sibling branch; re-running it
@@ -368,6 +373,7 @@ struct Worker {
   std::vector<int32_t> Perm, Inv;            ///< Current π and π⁻¹.
   std::vector<int32_t> WinPerm;              ///< π of the minimal key.
   std::vector<std::vector<int32_t>> Classes; ///< Permutable id classes.
+  std::vector<int32_t> ClassTypes;           ///< Machine type per class.
   std::vector<std::vector<int32_t>> Arr;     ///< Odometer arrangements.
 
   /// This worker's trace ring (see CheckOptions::Trace); nullptr when
@@ -384,6 +390,9 @@ struct Worker {
   std::atomic<int> MaxDepth{0};
   std::vector<uint64_t> TerminalHashes;
   CoverageReport Coverage;
+  /// Per-worker profile (CheckOptions::Profile): single-writer, no
+  /// locks; merged in worker-index order after the join.
+  obs::SearchProfile Prof;
 };
 
 //===----------------------------------------------------------------------===//
@@ -403,7 +412,8 @@ public:
                 Opts.Reduce == Reduction::Both),
         SymOn((Opts.Reduce == Reduction::Symmetry ||
                Opts.Reduce == Reduction::Both) &&
-              anySymmetricType(Prog)) {
+              anySymmetricType(Prog)),
+        ProfileOn(Opts.Profile) {
     if (SymOn) {
       TypeIsSym.resize(Prog.Machines.size(), 0);
       for (size_t I = 0; I != Prog.Machines.size(); ++I)
@@ -529,7 +539,11 @@ private:
   }
 
   /// Counts a distinct global configuration given its fingerprint.
-  void noteConfig(Worker &W, uint64_t CfgHash, const Config &Cfg) {
+  /// \p ByType is the profiler's producer attribution (the type whose
+  /// slice created the configuration; -1 for the root), ignored unless
+  /// profiling is on.
+  void noteConfig(Worker &W, uint64_t CfgHash, const Config &Cfg,
+                  int32_t ByType) {
     bool New;
     if (Mode == VisitedMode::Compact) {
       // Bounded: a saturated probe window undercounts and flags the
@@ -548,6 +562,8 @@ private:
     if (!New)
       return;
     DistinctStates.fetch_add(1, std::memory_order_relaxed);
+    if (ProfileOn)
+      W.Prof.Machines[W.Prof.rowOf(ByType)].States += 1;
     if (Opts.TrackCoverage) {
       // Every state on a reachable call stack counts as visited.
       for (const CowMachine &CM : Cfg.Machines) {
@@ -719,6 +735,7 @@ private:
   /// masks), in which case the caller uses the unreduced key path.
   bool buildSymClasses(Worker &W, const Config &Cfg) {
     W.Classes.clear();
+    W.ClassTypes.clear();
     const size_t NumM = Cfg.Machines.size();
     if (NumM > 62)
       return false;
@@ -729,10 +746,19 @@ private:
       for (size_t Id = 0; Id != NumM; ++Id)
         if (Cfg.Machines[Id]->MachineIndex == T)
           Ids.push_back(static_cast<int32_t>(Id));
-      if (Ids.size() >= 2)
+      if (Ids.size() >= 2) {
         W.Classes.push_back(std::move(Ids));
+        W.ClassTypes.push_back(T);
+      }
     }
     return !W.Classes.empty();
+  }
+
+  /// Profiler: credit a symmetry collapse to every symmetric type that
+  /// contributed a permutable class (they earned the fold).
+  void profileCollapse(Worker &W) {
+    for (int32_t T : W.ClassTypes)
+      W.Prof.Machines[W.Prof.rowOf(T)].SymmetryCollapsed += 1;
   }
 
   /// Renames the set bits of a footprint/sleep mask through π.
@@ -789,6 +815,8 @@ private:
     }
     S.VisitedBytes = visitedBytes();
     S.OmissionPossible = Omission.load(std::memory_order_relaxed);
+    S.FrontierNodes = static_cast<uint64_t>(
+        std::max<int64_t>(InFlight.load(std::memory_order_relaxed), 0));
     S.Seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - StartTime)
                     .count();
@@ -885,6 +913,8 @@ private:
   /// Symmetry canonicalization active: requested and the program
   /// declares at least one symmetric machine type.
   const bool SymOn;
+  /// Search profiler requested (CheckOptions::Profile).
+  const bool ProfileOn;
   /// Indexed by machine type: declared `symmetric`. Empty unless SymOn.
   std::vector<char> TypeIsSym;
   /// Compact mode's bounded tables: node dedup keys and distinct-state
@@ -1054,6 +1084,10 @@ void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
       D.Machine = Id;
       C.TraceIdx = addTrace(W, C.TraceIdx, D);
       FaultsInjected.fetch_add(1, std::memory_order_relaxed);
+      if (ProfileOn) { // The fault acted on Id: its type gets the node.
+        C.ByType = M.MachineIndex;
+        W.Prof.FaultKinds[2] += 1;
+      }
       pushNode(W, std::move(C));
     }
   }
@@ -1096,6 +1130,10 @@ void ParallelSearch::pushFaultChildren(Worker &W, const Node &N) {
           wakeSleepers(C.Sleep, idBit(Id));
         C.TraceIdx = addTrace(W, C.TraceIdx, D);
         FaultsInjected.fetch_add(1, std::memory_order_relaxed);
+        if (ProfileOn) {
+          C.ByType = M.MachineIndex;
+          W.Prof.FaultKinds[Dup ? 1 : 0] += 1;
+        }
         pushNode(W, std::move(C));
       }
     }
@@ -1106,7 +1144,26 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id,
                                Executor::StepResult *OutR) {
   if (W.Trace)
     W.Trace->record(obs::TraceKind::Slice, Id);
+  int32_t SliceType = -1;
+  std::chrono::steady_clock::time_point SliceT0;
+  if (ProfileOn) {
+    SliceType = N.Cfg.Machines[Id]->MachineIndex;
+    SliceT0 = std::chrono::steady_clock::now();
+  }
   Executor::StepResult R = W.Exec.step(N.Cfg, Id);
+  if (ProfileOn) {
+    const uint64_t Ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - SliceT0)
+            .count();
+    obs::MachineProfile &Row = W.Prof.Machines[W.Prof.rowOf(SliceType)];
+    Row.Slices += 1;
+    Row.SliceNs += Ns;
+    W.Prof.SliceSeconds.observe(static_cast<double>(Ns) * 1e-9);
+    // Every child of this slice — and the node keyed from its result —
+    // is this type's doing.
+    N.ByType = SliceType;
+  }
   if (OutR)
     *OutR = R;
   if (SleepOn && !N.Sleep.empty()) {
@@ -1133,7 +1190,7 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id,
 
   switch (R.Outcome) {
   case Executor::StepOutcome::Error: {
-    noteConfig(W, configHash(W, N.Cfg), N.Cfg);
+    noteConfig(W, configHash(W, N.Cfg), N.Cfg, N.ByType);
     recordError(W, N);
     if (Opts.StopOnFirstError)
       Stop.store(true, std::memory_order_relaxed);
@@ -1196,6 +1253,8 @@ void ParallelSearch::expandRun(Worker &W, Node &&N, int32_t Id,
       FailDecision.Choice = true;
       FailChild.TraceIdx = addTrace(W, FailChild.TraceIdx, FailDecision);
       FaultsInjected.fetch_add(1, std::memory_order_relaxed);
+      if (ProfileOn)
+        W.Prof.FaultKinds[3] += 1;
       pushNode(W, std::move(FailChild));
     }
     N.Cfg.mutableMachine(Id).InjectedForeignFail = false;
@@ -1295,18 +1354,24 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
     }
   }
 
-  noteConfig(W, NoteHash, N.Cfg);
+  noteConfig(W, NoteHash, N.Cfg, N.ByType);
   if (Terminal) {
     noteTerminal(W, NoteHash); // Quiescent: every machine awaits events.
     return;
   }
   if (SleepOn ? prunedSleep(W, Key, W.Buf, N.DelaysUsed, SleepMask)
               : pruned(W, Key, W.Buf, N.DelaysUsed)) {
-    if (SymNonId)
+    if (SymNonId) {
       SymmetryCollapsed.fetch_add(1, std::memory_order_relaxed);
+      if (ProfileOn)
+        profileCollapse(W);
+    }
     return;
   }
   NodesExplored.fetch_add(1, std::memory_order_relaxed);
+  if (ProfileOn)
+    W.Prof.noteNode(N.ByType, N.Depth, N.DelaysUsed,
+                    Opts.Faults.enabled() ? N.FaultsUsed : -1);
   if (N.Depth >= Opts.DepthBound) {
     Exhausted.store(false, std::memory_order_relaxed);
     return;
@@ -1349,6 +1414,9 @@ void ParallelSearch::expandDelayBounded(Worker &W, Node &&N) {
     // into the already-explored branch that put it to sleep; only the
     // Delay alternative remains.
     PrunedByIndependence.fetch_add(1, std::memory_order_relaxed);
+    if (ProfileOn) // The sleeper's type earned the prune.
+      W.Prof.Machines[W.Prof.rowOf(N.Cfg.Machines[Top]->MachineIndex)]
+          .SleepPruned += 1;
     if (CanDelay)
       pushNode(W, makeDelayed(N));
     return;
@@ -1442,14 +1510,20 @@ void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
       K = hashCombine(K, static_cast<uint32_t>(N.FaultsUsed));
     Key = K;
   }
-  noteConfig(W, NoteHash, N.Cfg);
+  noteConfig(W, NoteHash, N.Cfg, N.ByType);
   if (SleepOn ? prunedSleep(W, Key, W.Buf, N.DelaysUsed, SleepMask)
               : pruned(W, Key, W.Buf, N.DelaysUsed)) {
-    if (SymNonId)
+    if (SymNonId) {
       SymmetryCollapsed.fetch_add(1, std::memory_order_relaxed);
+      if (ProfileOn)
+        profileCollapse(W);
+    }
     return;
   }
   NodesExplored.fetch_add(1, std::memory_order_relaxed);
+  if (ProfileOn)
+    W.Prof.noteNode(N.ByType, N.Depth, N.DelaysUsed,
+                    Opts.Faults.enabled() ? N.FaultsUsed : -1);
   if (N.Depth >= Opts.DepthBound) {
     Exhausted.store(false, std::memory_order_relaxed);
     return;
@@ -1477,6 +1551,9 @@ void ParallelSearch::expandDepthBounded(Worker &W, Node &&N) {
     Any = true;
     if (SleepOn && isAsleep(N.Sleep, Id)) {
       PrunedByIndependence.fetch_add(1, std::memory_order_relaxed);
+      if (ProfileOn)
+        W.Prof.Machines[W.Prof.rowOf(N.Cfg.Machines[Id]->MachineIndex)]
+            .SleepPruned += 1;
       continue;
     }
     Node Child = N; // copy per enabled machine
@@ -1704,6 +1781,16 @@ CheckResult ParallelSearch::run() {
           Cov.TransitionsFired.insert({State, Event});
       });
     }
+    if (ProfileOn) {
+      W->Prof.init(Prog.Machines.size());
+      // Hot-transition counting over the same (type, state, event) keys
+      // the coverage observer uses; single-writer into this worker's map.
+      W->Exec.addDispatchObserver([W](int32_t Type, int32_t State,
+                                      int32_t Event, TransitionKind Kind) {
+        if (Kind != TransitionKind::None)
+          W->Prof.Transitions[{Type, State, Event}] += 1;
+      });
+    }
   }
 
   Node Root;
@@ -1758,6 +1845,15 @@ CheckResult ParallelSearch::run() {
   Stats.OmissionPossible = Omission.load(std::memory_order_relaxed);
   Stats.HashMismatches = HashMismatches.load(std::memory_order_relaxed);
   Stats.PeakRssBytes = peakRssBytes();
+
+  if (ProfileOn) {
+    // Deterministic merge: worker-index order, plain sums. Totals of
+    // deterministic stats (states) merge deterministically; node-side
+    // splits inherit the scheduling races CheckStats documents.
+    Result.Profile.init(Prog.Machines.size());
+    for (const auto &W : Workers)
+      Result.Profile.merge(W->Prof);
+  }
 
   if (Opts.TrackCoverage) {
     Result.Coverage.Machines.resize(Prog.Machines.size());

@@ -39,8 +39,47 @@ const char *p::hostErrorName(HostError E) {
 }
 
 Host::Host(const CompiledProgram &Prog, uint64_t Seed)
-    : Prog(Prog), Exec(Prog), Rng(Seed) {
+    : Prog(Prog), Exec(Prog), Rng(Seed),
+      DispatchLatency(obs::exponentialBounds(1e-7, 4, 16)) {
   Exec.setChoiceProvider([this] { return (Rng() & 1) != 0; });
+  // The dequeue observer fires inside the pump with PumpMutex held, so
+  // the pending list needs no lock of its own.
+  Exec.addDequeueObserver([this](int32_t Machine, int32_t Event) {
+    noteDequeue(Machine, Event);
+  });
+}
+
+void Host::noteEnqueue(int32_t Target, int32_t Event) {
+  constexpr size_t MaxPending = 4096;
+  if (Pending.size() >= MaxPending)
+    Pending.erase(Pending.begin());
+  Pending.push_back({Target, Event, std::chrono::steady_clock::now()});
+  noteQueueDepth(Target);
+}
+
+void Host::noteQueueDepth(int32_t Id) {
+  if (Id < 0 || Id >= static_cast<int32_t>(Cfg.Machines.size()))
+    return;
+  if (QueueHighWater.size() < Cfg.Machines.size())
+    QueueHighWater.resize(Cfg.Machines.size(), 0);
+  const auto Depth =
+      static_cast<uint32_t>(Cfg.Machines[Id]->Queue.size());
+  QueueHighWater[Id] = std::max(QueueHighWater[Id], Depth);
+  Stats.QueueDepthHighWater =
+      std::max<uint64_t>(Stats.QueueDepthHighWater, Depth);
+}
+
+void Host::noteDequeue(int32_t Machine, int32_t Event) {
+  for (auto It = Pending.begin(); It != Pending.end(); ++It) {
+    if (It->Target != Machine || It->Event != Event)
+      continue;
+    DispatchLatency.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      It->T)
+            .count());
+    Pending.erase(It);
+    return;
+  }
 }
 
 void Host::registerForeign(const std::string &Machine,
@@ -62,6 +101,7 @@ void Host::drain() {
     Contexts.resize(Cfg.Machines.size(), nullptr);
     switch (R.Outcome) {
     case Executor::StepOutcome::SchedulingPoint: {
+      noteQueueDepth(R.Other); // Internal sends deepen queues too.
       bool InSched =
           std::find(Sched.begin(), Sched.end(), R.Other) != Sched.end();
       if (!InSched)
@@ -132,6 +172,7 @@ void Host::flushDelayed() {
 bool Host::deliver(int32_t Target, int32_t Event, const Value &Arg) {
   if (!Exec.enqueueEvent(Cfg, Target, Event, Arg))
     return false;
+  noteEnqueue(Target, Event);
   arm(Target);
   drain();
   QueueCv.notify_all();
@@ -221,6 +262,12 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
         Exec.crashMachine(Cfg, Target);
         Sched.erase(std::remove(Sched.begin(), Sched.end(), Target),
                     Sched.end());
+        // Its queue is gone: open enqueues can never be dequeued.
+        Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                                     [&](const PendingDispatch &P) {
+                                       return P.Target == Target;
+                                     }),
+                      Pending.end());
         QueueCv.notify_all();
         return !Cfg.hasError();
       case FaultKind::RestartMachine:
@@ -233,6 +280,7 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
   if (!Exec.enqueueEvent(Cfg, Target, Event, Arg))
     return false;
   ++Stats.EventsDelivered;
+  noteEnqueue(Target, Event);
   arm(Target);
   drain();
   QueueCv.notify_all();
@@ -277,8 +325,35 @@ bool Host::crashMachine(int32_t Id) {
   Exec.crashMachine(Cfg, Id);
   Sched.erase(std::remove(Sched.begin(), Sched.end(), Id), Sched.end());
   ++Stats.MachinesCrashed;
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [&](const PendingDispatch &P) {
+                                 return P.Target == Id;
+                               }),
+                Pending.end());
   QueueCv.notify_all(); // A blocked send to this queue can stop waiting.
   return true;
+}
+
+double Host::eventsPerSecondLocked() const {
+  const double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    StartTime)
+          .count();
+  if (Secs <= 0)
+    return 0;
+  return static_cast<double>(Stats.EventsDelivered) / Secs;
+}
+
+double Host::eventsPerSecond() const {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  return eventsPerSecondLocked();
+}
+
+std::vector<uint32_t> Host::queueHighWater() const {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  std::vector<uint32_t> Out = QueueHighWater;
+  Out.resize(Cfg.Machines.size(), 0);
+  return Out;
 }
 
 bool Host::restartMachine(int32_t Id) {
@@ -362,6 +437,19 @@ void Host::exportMetrics(obs::MetricsRegistry &Registry) const {
       .counter("p_host_overflow_dropped_total",
                "Events discarded by OverflowPolicy::DropNewest")
       .inc(Cfg.OverflowDropped);
+  Registry
+      .gauge("p_host_queue_depth_highwater",
+             "Deepest any machine queue ever got")
+      .set(static_cast<double>(Stats.QueueDepthHighWater));
+  Registry
+      .gauge("p_host_events_per_sec",
+             "Accepted deliveries per wall-clock second")
+      .set(eventsPerSecondLocked());
+  Registry
+      .histogram("p_host_dispatch_latency_seconds",
+                 DispatchLatency.bounds(),
+                 "Enqueue-to-dispatch latency of host-delivered events")
+      .merge(DispatchLatency);
 }
 
 Value Host::readVar(int32_t Id, const std::string &VarName) const {

@@ -25,8 +25,10 @@
 #define P_HOST_HOST_H
 
 #include "fault/FaultPlan.h"
+#include "obs/Metrics.h"
 #include "runtime/Executor.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -55,6 +57,9 @@ struct HostStats {
   uint64_t EventsDelayed = 0;    ///< Deliveries deferred to a later pump.
   uint64_t MachinesCrashed = 0;  ///< Crash faults (plan or crashMachine).
   uint64_t MachinesRestarted = 0;
+  /// Deepest any machine queue ever got (observed at enqueue and at
+  /// send scheduling points inside the pump).
+  uint64_t QueueDepthHighWater = 0;
 };
 
 /// Why the last host API call was rejected before touching the program
@@ -162,8 +167,27 @@ public:
   void attachTrace(obs::TraceRecorder &Recorder);
   void detachTrace();
 
-  /// Writes the host counters into \p Registry as p_host_* metrics.
+  /// Writes the host counters into \p Registry as p_host_* metrics,
+  /// including the enqueue→dispatch latency histogram
+  /// (p_host_dispatch_latency_seconds), the queue-depth high-water
+  /// gauge, and the events/sec rate.
   void exportMetrics(obs::MetricsRegistry &Registry) const;
+
+  /// Enqueue→dispatch latency of host-delivered events: the wall-clock
+  /// time between addEvent placing an event on the target queue and
+  /// the pump dequeuing it. Matching is FIFO per (target, event) pair,
+  /// so an internally re-sent identical event can be credited the host
+  /// enqueue's timestamp — best-effort attribution, like any sampler.
+  const obs::Histogram &dispatchLatency() const { return DispatchLatency; }
+
+  /// Accepted deliveries per wall-clock second since construction.
+  double eventsPerSecond() const;
+
+  /// Per-machine-id queue-depth high-water marks (index = machine id;
+  /// ids the host never saw an enqueue for read 0).
+  std::vector<uint32_t> queueHighWater() const;
+
+  const CompiledProgram &program() const { return Prog; }
 
 private:
   /// Runs the scheduler stack to quiescence (the d = 0 causal
@@ -176,6 +200,16 @@ private:
   /// Enqueues + pumps one delivery (PumpMutex held); the shared tail of
   /// addEvent and the duplicate/delayed fault paths.
   bool deliver(int32_t Target, int32_t Event, const Value &Arg);
+  /// Records a host enqueue for latency matching and updates the queue
+  /// high-water marks (PumpMutex held).
+  void noteEnqueue(int32_t Target, int32_t Event);
+  /// Folds machine \p Id's current queue depth into the high-water
+  /// marks (PumpMutex held).
+  void noteQueueDepth(int32_t Id);
+  /// Dequeue-observer body: closes the oldest matching pending enqueue
+  /// into DispatchLatency (runs inside the pump, PumpMutex held).
+  void noteDequeue(int32_t Machine, int32_t Event);
+  double eventsPerSecondLocked() const;
 
   const CompiledProgram &Prog;
   Executor Exec;
@@ -199,6 +233,20 @@ private:
   /// Original variable initializers per host-created machine id, used
   /// by restartMachine.
   std::vector<std::vector<std::pair<int32_t, Value>>> CreationInits;
+
+  /// A host enqueue whose dequeue has not been observed yet.
+  struct PendingDispatch {
+    int32_t Target;
+    int32_t Event;
+    std::chrono::steady_clock::time_point T;
+  };
+  /// FIFO of open enqueues, capped (oldest dropped) so a machine that
+  /// never drains cannot grow it without bound.
+  std::vector<PendingDispatch> Pending;
+  obs::Histogram DispatchLatency;
+  std::vector<uint32_t> QueueHighWater; ///< Index = machine id.
+  const std::chrono::steady_clock::time_point StartTime =
+      std::chrono::steady_clock::now();
 };
 
 } // namespace p

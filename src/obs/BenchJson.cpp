@@ -7,6 +7,7 @@
 #include "obs/BenchJson.h"
 
 #include "checker/Checker.h"
+#include "obs/Report.h"
 
 #include <cstdio>
 #include <fstream>
@@ -43,6 +44,18 @@ void BenchReport::addRun(Json Config, const CheckStats &Stats) {
   R.set("stats", checkStatsToJson(Stats));
   R.set("seconds", Stats.Seconds);
   Runs.push(std::move(R));
+}
+
+void BenchReport::addRun(Json Config, const CompiledProgram &Prog,
+                         const CheckResult &R) {
+  Json Rec = Json::object();
+  Rec.set("bench", Bench);
+  Rec.set("config", std::move(Config));
+  Rec.set("stats", checkStatsToJson(R.Stats));
+  Rec.set("seconds", R.Stats.Seconds);
+  if (!R.Coverage.Machines.empty())
+    Rec.set("coverage", coverageToJson(Prog, R.Coverage));
+  Runs.push(std::move(Rec));
 }
 
 void BenchReport::addRun(Json Config, Json Stats, double Seconds) {
@@ -118,6 +131,9 @@ bool p::obs::validateBenchReport(const Json &Report, std::string &Why,
           return false;
         }
     }
+    if (R.has("coverage") &&
+        !validateCoverageJson(R.get("coverage"), Why, At))
+      return false;
   }
   Why.clear();
   return true;

@@ -30,7 +30,9 @@
 #include <string>
 
 namespace p {
+struct CheckResult;
 struct CheckStats;
+struct CompiledProgram;
 } // namespace p
 
 namespace p::obs {
@@ -47,6 +49,12 @@ public:
 
   /// Adds a record for a check() run; seconds comes from the stats.
   void addRun(Json Config, const CheckStats &Stats);
+
+  /// Adds a record for a check() run, attaching a named coverage block
+  /// (see obs/Report.h) when the result carries one
+  /// (CheckOptions::TrackCoverage).
+  void addRun(Json Config, const CompiledProgram &Prog,
+              const CheckResult &R);
 
   /// Adds a record with free-form stats (non-checker benches).
   void addRun(Json Config, Json Stats, double Seconds);
@@ -69,8 +77,9 @@ private:
 /// all carry bench/config/stats/seconds with the right types, and —
 /// when \p RequireCheckerStats — the checker stat keys every perf
 /// trajectory needs (distinct_states, nodes_explored, workers_used,
-/// steal_count, contention_ns, visited_bytes, peak_rss_bytes). On
-/// failure returns false and puts a
+/// steal_count, contention_ns, visited_bytes, peak_rss_bytes). Records
+/// with a coverage block must pass the obs/Report.h coverage shape
+/// check. On failure returns false and puts a
 /// human-readable reason in \p Why.
 bool validateBenchReport(const Json &Report, std::string &Why,
                          bool RequireCheckerStats = false);

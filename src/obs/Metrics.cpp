@@ -28,6 +28,42 @@ void Histogram::observe(double X) {
   Sum.fetch_add(X, std::memory_order_relaxed);
 }
 
+void Histogram::merge(const Histogram &O) {
+  if (Bounds != O.Bounds)
+    return;
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].fetch_add(O.bucketCount(I), std::memory_order_relaxed);
+  N.fetch_add(O.count(), std::memory_order_relaxed);
+  Sum.fetch_add(O.sum(), std::memory_order_relaxed);
+}
+
+double p::obs::histogramQuantile(const Histogram &H, double Q) {
+  const uint64_t Total = H.count();
+  if (Total == 0)
+    return 0;
+  Q = std::min(std::max(Q, 0.0), 1.0);
+  const double Rank = Q * static_cast<double>(Total);
+  const std::vector<double> &Bounds = H.bounds();
+  uint64_t Cum = 0;
+  for (size_t I = 0; I != Bounds.size() + 1; ++I) {
+    const uint64_t Prev = Cum;
+    const uint64_t Here = H.bucketCount(I);
+    Cum += Here;
+    if (static_cast<double>(Cum) < Rank)
+      continue;
+    if (I >= Bounds.size()) // +Inf bucket: clamp to the last edge.
+      return Bounds.empty() ? 0 : Bounds.back();
+    const double Lo = I == 0 ? 0 : Bounds[I - 1];
+    const double Hi = Bounds[I];
+    if (Here == 0)
+      return Hi;
+    const double Frac =
+        (Rank - static_cast<double>(Prev)) / static_cast<double>(Here);
+    return Lo + (Hi - Lo) * std::min(std::max(Frac, 0.0), 1.0);
+  }
+  return Bounds.empty() ? 0 : Bounds.back();
+}
+
 std::vector<double> p::obs::exponentialBounds(double Start, double Factor,
                                               size_t Count) {
   std::vector<double> Bounds;

@@ -61,6 +61,11 @@ public:
 
   void observe(double X);
 
+  /// Adds \p O's buckets, count, and sum into this histogram. Both
+  /// sides must have identical bounds (mismatched merges are ignored);
+  /// used to copy a privately-owned histogram into a registry one.
+  void merge(const Histogram &O);
+
   const std::vector<double> &bounds() const { return Bounds; }
   /// Non-cumulative count of bucket \p I (I == bounds().size() is the
   /// +Inf bucket).
@@ -81,6 +86,12 @@ private:
 /// \p Count entries — the usual shape for depth/size distributions.
 std::vector<double> exponentialBounds(double Start, double Factor,
                                       size_t Count);
+
+/// Linearly interpolated quantile (0 <= Q <= 1) of \p H from its
+/// cumulative buckets; observations in the +Inf bucket clamp to the
+/// last finite bound. 0 for an empty histogram. The host's p50/p99
+/// latency figures come from here.
+double histogramQuantile(const Histogram &H, double Q);
 
 /// Named instruments. Lookup-or-create is idempotent: asking for an
 /// existing name returns the same instrument (the help text of the

@@ -1,0 +1,438 @@
+//===- tests/obs_report_test.cpp - Profiler and run-report tests ------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The observatory contracts: the search profiler is a pure observer
+// (CheckStats bit-identical with Profile on or off, across reductions,
+// visited modes, and worker counts) whose merged attribution reconciles
+// exactly with the stat counters; coverage reports name dead handlers;
+// the Host exports queue high-water and dispatch-latency metrics; and
+// RunReport documents validate, render, and round-trip through disk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checker/Checker.h"
+#include "corpus/Corpus.h"
+#include "frontend/Frontend.h"
+#include "host/Host.h"
+#include "host/LatencyProbe.h"
+#include "obs/Metrics.h"
+#include "obs/Profile.h"
+#include "obs/Report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace p;
+
+namespace {
+
+CompiledProgram compile(const std::string &Src,
+                        const LowerOptions &Opts = {}) {
+  CompileResult R = compileString(Src, Opts);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  return std::move(*R.Program);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileHistogram
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileHistogramTest, ObserveMergeQuantile) {
+  obs::ProfileHistogram A;
+  A.init({1.0, 2.0, 4.0});
+  ASSERT_EQ(A.Counts.size(), 4u); // Three bounds + the +Inf bucket.
+
+  A.observe(0.5);
+  A.observe(1.5);
+  A.observe(3.0);
+  A.observe(100.0); // +Inf bucket.
+  EXPECT_EQ(A.N, 4u);
+  EXPECT_DOUBLE_EQ(A.Sum, 105.0);
+  EXPECT_EQ(A.Counts[0], 1u);
+  EXPECT_EQ(A.Counts[1], 1u);
+  EXPECT_EQ(A.Counts[2], 1u);
+  EXPECT_EQ(A.Counts[3], 1u);
+
+  obs::ProfileHistogram B;
+  B.init({1.0, 2.0, 4.0});
+  B.observe(0.25);
+  A.merge(B);
+  EXPECT_EQ(A.N, 5u);
+  EXPECT_EQ(A.Counts[0], 2u);
+
+  // The +Inf bucket clamps to the last finite bound.
+  EXPECT_LE(A.quantile(1.0), 4.0);
+  EXPECT_GT(A.quantile(0.5), 0.0);
+
+  obs::ProfileHistogram Empty;
+  Empty.init({1.0});
+  EXPECT_EQ(Empty.quantile(0.5), 0.0);
+}
+
+TEST(ProfileHistogramTest, AtomicHistogramMergeAndQuantile) {
+  obs::Histogram A({1.0, 10.0});
+  obs::Histogram B({1.0, 10.0});
+  for (int I = 0; I != 10; ++I)
+    A.observe(0.5);
+  B.observe(5.0);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 11u);
+  EXPECT_DOUBLE_EQ(A.sum(), 10.0);
+  // 10 of 11 observations sit in the first bucket: the median
+  // interpolates inside it, the p99 lands in the second.
+  EXPECT_LE(histogramQuantile(A, 0.5), 1.0);
+  EXPECT_GT(histogramQuantile(A, 0.99), 1.0);
+
+  obs::Histogram Empty({1.0});
+  EXPECT_EQ(histogramQuantile(Empty, 0.5), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler determinism: Profile is an observer
+//===----------------------------------------------------------------------===//
+
+// Fields deterministic on exhausted serial searches; all must be
+// bit-identical with the profiler on or off.
+void expectStatsIdentical(const CheckStats &A, const CheckStats &B) {
+  EXPECT_EQ(A.DistinctStates, B.DistinctStates);
+  EXPECT_EQ(A.NodesExplored, B.NodesExplored);
+  EXPECT_EQ(A.Slices, B.Slices);
+  EXPECT_EQ(A.Terminals, B.Terminals);
+  EXPECT_EQ(A.ErrorsFound, B.ErrorsFound);
+  EXPECT_EQ(A.MaxDepth, B.MaxDepth);
+  EXPECT_EQ(A.Exhausted, B.Exhausted);
+  EXPECT_EQ(A.VisitedBytes, B.VisitedBytes);
+  EXPECT_EQ(A.PrunedByIndependence, B.PrunedByIndependence);
+  EXPECT_EQ(A.SymmetryCollapsed, B.SymmetryCollapsed);
+  EXPECT_EQ(A.FaultsInjected, B.FaultsInjected);
+}
+
+TEST(ProfileTest, OffIsBitIdenticalAcrossReduceVisitedWorkers) {
+  CompiledProgram Prog = compile(corpus::workerPool(3));
+  for (Reduction Reduce : {Reduction::Off, Reduction::Both}) {
+    for (VisitedMode Visited :
+         {VisitedMode::Fingerprint, VisitedMode::Exact}) {
+      for (int Workers : {1, 2}) {
+        CheckOptions Opts;
+        Opts.DelayBound = 1;
+        Opts.Workers = Workers;
+        Opts.Reduce = Reduce;
+        Opts.Visited = Visited;
+        Opts.StopOnFirstError = false;
+        CheckOptions WithProf = Opts;
+        WithProf.Profile = true;
+
+        CheckResult Off = check(Prog, Opts);
+        CheckResult On = check(Prog, WithProf);
+        SCOPED_TRACE("reduce=" + std::string(reductionName(Reduce)) +
+                     " visited=" + std::to_string(int(Visited)) +
+                     " workers=" + std::to_string(Workers));
+        ASSERT_TRUE(Off.Stats.Exhausted);
+        ASSERT_TRUE(On.Stats.Exhausted);
+        EXPECT_FALSE(Off.Profile.Enabled);
+        EXPECT_TRUE(On.Profile.Enabled);
+        if (Workers == 1) {
+          expectStatsIdentical(Off.Stats, On.Stats);
+        } else {
+          // Parallel runs pin the worker-count-independent fields (the
+          // determinism contract in DESIGN.md).
+          EXPECT_EQ(Off.Stats.DistinctStates, On.Stats.DistinctStates);
+          EXPECT_EQ(Off.Stats.Terminals, On.Stats.Terminals);
+          EXPECT_EQ(Off.Stats.ErrorsFound, On.Stats.ErrorsFound);
+          EXPECT_EQ(Off.Stats.Exhausted, On.Stats.Exhausted);
+        }
+      }
+    }
+  }
+}
+
+TEST(ProfileTest, AttributionReconcilesWithStats) {
+  CompiledProgram Prog = compile(corpus::workerPool(3));
+  CheckOptions Opts;
+  Opts.DelayBound = 1;
+  Opts.Reduce = Reduction::Both;
+  Opts.Profile = true;
+  Opts.StopOnFirstError = false;
+  CheckResult R = check(Prog, Opts);
+  ASSERT_TRUE(R.Stats.Exhausted);
+  const obs::SearchProfile &P = R.Profile;
+  ASSERT_TRUE(P.Enabled);
+  ASSERT_EQ(P.Machines.size(), Prog.Machines.size() + 1);
+
+  // Every explored node is credited somewhere, and all but the root to
+  // a real machine type: the trailing row holds exactly the root, which
+  // is what makes the >= 99% acceptance bar hold on any real run.
+  EXPECT_EQ(P.totalNodes(), R.Stats.NodesExplored);
+  EXPECT_EQ(P.attributedNodes() + 1, P.totalNodes());
+
+  uint64_t States = 0, Slices = 0, Sleep = 0, Sym = 0;
+  for (const obs::MachineProfile &M : P.Machines) {
+    States += M.States;
+    Slices += M.Slices;
+    Sleep += M.SleepPruned;
+    Sym += M.SymmetryCollapsed;
+  }
+  EXPECT_EQ(States, R.Stats.DistinctStates);
+  EXPECT_EQ(Slices, R.Stats.Slices);
+  EXPECT_EQ(Sleep, R.Stats.PrunedByIndependence);
+  EXPECT_EQ(Sym, R.Stats.SymmetryCollapsed);
+
+  // One depth/delay observation per explored node.
+  EXPECT_EQ(P.Depth.N, R.Stats.NodesExplored);
+  EXPECT_EQ(P.DelaysUsed.N, R.Stats.NodesExplored);
+  // No faults configured: the fault histogram stays untouched.
+  EXPECT_EQ(P.FaultsUsed.N, 0u);
+  // The pool actually dispatched something.
+  EXPECT_FALSE(P.Transitions.empty());
+  uint64_t SliceTimed = 0;
+  EXPECT_EQ(P.SliceSeconds.N, Slices);
+  for (const obs::MachineProfile &M : P.Machines)
+    SliceTimed += M.Slices;
+  EXPECT_EQ(SliceTimed, Slices);
+
+  // toJson resolves names and reconciles its own totals.
+  obs::Json J = P.toJson(Prog);
+  EXPECT_EQ(J.get("nodes_total").asNumber(),
+            static_cast<double>(R.Stats.NodesExplored));
+  EXPECT_TRUE(J.get("machines").isArray());
+  EXPECT_TRUE(J.get("hot_transitions").isArray());
+  EXPECT_GT(J.get("hot_transitions").size(), 0u);
+}
+
+TEST(ProfileTest, MergedParallelAttributionStillReconciles) {
+  CompiledProgram Prog = compile(corpus::workerPool(3));
+  CheckOptions Opts;
+  Opts.DelayBound = 1;
+  Opts.Workers = 2;
+  Opts.Profile = true;
+  Opts.StopOnFirstError = false;
+  CheckResult R = check(Prog, Opts);
+  ASSERT_TRUE(R.Stats.Exhausted);
+  // NodesExplored races across workers, but whatever it counted, the
+  // profile counted identically (the hooks share the fetch_add sites).
+  EXPECT_EQ(R.Profile.totalNodes(), R.Stats.NodesExplored);
+  EXPECT_EQ(R.Profile.attributedNodes() + 1, R.Profile.totalNodes());
+  uint64_t States = 0;
+  for (const obs::MachineProfile &M : R.Profile.Machines)
+    States += M.States;
+  EXPECT_EQ(States, R.Stats.DistinctStates);
+}
+
+//===----------------------------------------------------------------------===//
+// Coverage: dead handlers are named
+//===----------------------------------------------------------------------===//
+
+// Sink's Idle state handles Never, but nothing ever sends it: after an
+// exhausted search the (Idle, Never) handler is dead and the coverage
+// report must say so by name.
+const char *DeadHandlerSrc = R"(
+event Go, Never;
+main ghost machine Driver {
+  var R: id;
+  state S {
+    entry {
+      R = new Sink();
+      send(R, Go);
+    }
+  }
+}
+machine Sink {
+  state Idle {
+    entry { }
+    on Go goto Idle;
+    on Never goto Idle;
+  }
+}
+)";
+
+TEST(ReportCoverageTest, DeadHandlerIsNamedUncovered) {
+  CompiledProgram Prog = compile(DeadHandlerSrc);
+  CheckOptions Opts;
+  Opts.DelayBound = 2;
+  Opts.TrackCoverage = true;
+  Opts.StopOnFirstError = false;
+  CheckResult R = check(Prog, Opts);
+  ASSERT_TRUE(R.Stats.Exhausted);
+  EXPECT_EQ(R.Stats.ErrorsFound, 0u);
+
+  obs::Json Cov = obs::coverageToJson(Prog, R.Coverage);
+  std::string Why;
+  EXPECT_TRUE(obs::validateCoverageJson(Cov, Why)) << Why;
+
+  bool FoundSink = false, FoundDead = false;
+  for (size_t I = 0; I != Cov.size(); ++I) {
+    const obs::Json &M = Cov.at(I);
+    if (M.get("machine").asString() != "Sink")
+      continue;
+    FoundSink = true;
+    const obs::Json &U = M.get("uncovered_transitions");
+    ASSERT_TRUE(U.isArray());
+    for (size_t J = 0; J != U.size(); ++J) {
+      const obs::Json &T = U.at(J);
+      if (T.get("state").asString() == "Idle" &&
+          T.get("event").asString() == "Never") {
+        FoundDead = true;
+        EXPECT_EQ(T.get("kind").asString(), "step");
+      }
+      // The fired (Idle, Go) step must NOT be reported uncovered.
+      EXPECT_FALSE(T.get("state").asString() == "Idle" &&
+                   T.get("event").asString() == "Go");
+    }
+  }
+  EXPECT_TRUE(FoundSink);
+  EXPECT_TRUE(FoundDead);
+}
+
+//===----------------------------------------------------------------------===//
+// Host metrics: queue high-water and dispatch latency
+//===----------------------------------------------------------------------===//
+
+TEST(HostMetricsTest, QueueHighWaterAndDispatchLatencyExport) {
+  HostLatencyProbe Probe(50);
+  const Host &H = Probe.host();
+  EXPECT_GT(H.stats().EventsDelivered, 0u);
+  EXPECT_GE(H.stats().QueueDepthHighWater, 1u);
+  EXPECT_GT(H.dispatchLatency().count(), 0u);
+  EXPECT_GT(H.eventsPerSecond(), 0.0);
+
+  obs::MetricsRegistry Reg;
+  H.exportMetrics(Reg);
+  const obs::Gauge *HighWater = Reg.findGauge("p_host_queue_depth_highwater");
+  ASSERT_NE(HighWater, nullptr);
+  EXPECT_GE(HighWater->value(), 1.0);
+
+  const obs::Histogram *Lat =
+      Reg.findHistogram("p_host_dispatch_latency_seconds");
+  ASSERT_NE(Lat, nullptr);
+  EXPECT_EQ(Lat->count(), H.dispatchLatency().count());
+  // Dispatch happens after enqueue, so every latency is positive and
+  // the quantiles are well-defined.
+  EXPECT_GT(Lat->sum(), 0.0);
+  EXPECT_GT(histogramQuantile(*Lat, 0.99), 0.0);
+  EXPECT_LE(histogramQuantile(*Lat, 0.5), histogramQuantile(*Lat, 0.99));
+
+  std::string Text = Reg.renderPrometheus();
+  EXPECT_NE(Text.find("p_host_queue_depth_highwater"), std::string::npos);
+  EXPECT_NE(Text.find("p_host_dispatch_latency_seconds"), std::string::npos);
+  EXPECT_NE(Text.find("p_host_events_per_sec"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// RunReport: schema, HTML, disk round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(RunReportTest, JsonValidatesAndHtmlNamesCoverage) {
+  CompiledProgram Prog = compile(DeadHandlerSrc);
+  CheckOptions Opts;
+  Opts.DelayBound = 1;
+  Opts.TrackCoverage = true;
+  Opts.Profile = true;
+  Opts.StopOnFirstError = false;
+  CheckResult R = check(Prog, Opts);
+  ASSERT_TRUE(R.Stats.Exhausted);
+
+  obs::RunReport Rep("obs_report_test");
+  obs::Json Config = obs::Json::object();
+  Config.set("delay_bound", 1);
+  Rep.addCheckRun(Prog, std::move(Config), R);
+
+  HostLatencyProbe Probe(20);
+  Rep.setHost(Probe.host());
+  obs::MetricsRegistry Reg;
+  Probe.host().exportMetrics(Reg);
+  Rep.setMetrics(Reg);
+
+  obs::Json Doc = Rep.json();
+  std::string Why;
+  EXPECT_TRUE(obs::validateRunReport(Doc, Why)) << Why;
+  EXPECT_EQ(Doc.get("schema").asString(), "p-run-report-v1");
+  EXPECT_EQ(Doc.get("tool").asString(), "obs_report_test");
+  ASSERT_EQ(Doc.get("runs").size(), 1u);
+  const obs::Json &Run = Doc.get("runs").at(0);
+  EXPECT_TRUE(Run.get("profile").isObject());
+  EXPECT_TRUE(Run.get("coverage").isArray());
+  EXPECT_TRUE(Doc.get("host").get("dispatch_latency").get("p50_seconds")
+                  .isNumber());
+
+  std::string Html = Rep.html();
+  EXPECT_NE(Html.find("id=\"coverage\""), std::string::npos);
+  EXPECT_NE(Html.find("Never"), std::string::npos); // The dead handler.
+  EXPECT_NE(Html.find("obs_report_test"), std::string::npos);
+  EXPECT_NE(Html.find("dispatch latency"), std::string::npos);
+}
+
+TEST(RunReportTest, WriteToRoundTripsThroughDisk) {
+  CompiledProgram Prog = compile(DeadHandlerSrc);
+  CheckOptions Opts;
+  Opts.DelayBound = 1;
+  Opts.TrackCoverage = true;
+  Opts.StopOnFirstError = false;
+  CheckResult R = check(Prog, Opts);
+
+  obs::RunReport Rep("roundtrip");
+  Rep.addCheckRun(Prog, obs::Json::object(), R);
+  HostLatencyProbe Probe(10);
+  Rep.setHost(Probe.host());
+
+  // A trailing .json on the base is stripped, not doubled.
+  std::string Base = ::testing::TempDir() + "p_obs_report_test.json";
+  std::string Why;
+  ASSERT_TRUE(Rep.writeTo(Base, &Why)) << Why;
+
+  std::string Stem = ::testing::TempDir() + "p_obs_report_test";
+  std::string JsonText = readFile(Stem + ".json");
+  ASSERT_FALSE(JsonText.empty());
+  obs::Json Parsed;
+  ASSERT_TRUE(obs::Json::parse(JsonText, Parsed, &Why)) << Why;
+  EXPECT_TRUE(obs::validateRunReport(Parsed, Why)) << Why;
+
+  std::string HtmlText = readFile(Stem + ".html");
+  EXPECT_NE(HtmlText.find("id=\"coverage\""), std::string::npos);
+  std::remove((Stem + ".json").c_str());
+  std::remove((Stem + ".html").c_str());
+}
+
+TEST(RunReportTest, ValidatorRejectsMalformedDocuments) {
+  std::string Why;
+
+  // Empty runs without a host section: nothing to report on.
+  obs::RunReport Empty("empty");
+  EXPECT_FALSE(obs::validateRunReport(Empty.json(), Why));
+  EXPECT_FALSE(Why.empty());
+
+  // Empty runs WITH a host section is the host-only-tool shape.
+  HostLatencyProbe Probe(10);
+  obs::RunReport HostOnly("host_only");
+  HostOnly.setHost(Probe.host());
+  EXPECT_TRUE(obs::validateRunReport(HostOnly.json(), Why)) << Why;
+
+  // Wrong schema tag.
+  obs::Json Doc = HostOnly.json();
+  Doc.set("schema", "not-a-report");
+  EXPECT_FALSE(obs::validateRunReport(Doc, Why));
+
+  // A run record missing its stats block.
+  obs::Json Bad = HostOnly.json();
+  obs::Json Runs = obs::Json::array();
+  obs::Json Rec = obs::Json::object();
+  Rec.set("config", obs::Json::object());
+  Rec.set("seconds", 0.0);
+  Runs.push(std::move(Rec));
+  Bad.set("runs", std::move(Runs));
+  EXPECT_FALSE(obs::validateRunReport(Bad, Why));
+}
+
+} // namespace
