@@ -99,6 +99,12 @@ enum class WorkerPoolBug {
 std::string workerPool(int NumWorkers = 3,
                        WorkerPoolBug Bug = WorkerPoolBug::None);
 
+/// A host-driven publish/subscribe broker: one real Broker machine
+/// fanning every host Publish(int) out to \p NumSubscribers real
+/// Subscriber machines. No ghosts — the load generator for the host
+/// throughput bench (bench_host_throughput).
+std::string pubSub(int NumSubscribers = 4);
+
 } // namespace corpus
 } // namespace p
 

@@ -1,0 +1,82 @@
+//===- corpus/PubSub.cpp - Host-driven publish/subscribe broker ------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The host-throughput corpus program (bench/bench_host_throughput.cpp):
+// a real (non-ghost) Broker machine fanning every host-published
+// message out to N real Subscriber machines. Nothing here is ghost, so
+// the erased program is the program — the host can create the broker
+// and pepper it with Publish events from many OS threads, which is
+// exactly the server-class ingress pattern the reactor pump exists for.
+//
+// Payloads matter: queue entries are ⊎-unique per (event, payload), so
+// a load generator must number its Publish payloads or consecutive
+// identical messages coalesce into one delivery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace p;
+
+std::string corpus::pubSub(int NumSubscribers) {
+  if (NumSubscribers < 1)
+    NumSubscribers = 1;
+
+  std::string Src = R"(
+event unit;
+
+// Host/OS -> Broker; the payload is the message sequence number.
+event Publish(int);
+// Broker -> Subscriber, carrying the same sequence number.
+event Deliver(int);
+
+main machine Broker {
+)";
+  for (int I = 1; I <= NumSubscribers; ++I)
+    Src += "  var Sub" + std::to_string(I) + ": id;\n";
+  Src += R"(  var Published: int;
+
+  state Starting {
+    entry {
+      Published = 0;
+)";
+  for (int I = 1; I <= NumSubscribers; ++I)
+    Src += "      Sub" + std::to_string(I) + " = new Subscriber();\n";
+  Src += R"(      raise(unit);
+    }
+    on unit goto Serving;
+  }
+
+  state Serving {
+    entry { }
+    on Publish do Fanout;
+  }
+
+  action Fanout {
+    Published = Published + 1;
+)";
+  for (int I = 1; I <= NumSubscribers; ++I)
+    Src += "    send(Sub" + std::to_string(I) + ", Deliver, arg);\n";
+  Src += R"(  }
+}
+
+machine Subscriber {
+  var Received: int;
+  var Last: int;
+
+  state Listening {
+    entry { Received = 0; }
+    on Deliver do Consume;
+  }
+
+  action Consume {
+    Received = Received + 1;
+    Last = arg;
+  }
+}
+)";
+  return Src;
+}

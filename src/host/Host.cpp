@@ -38,21 +38,37 @@ const char *p::hostErrorName(HostError E) {
   return "unknown";
 }
 
-Host::Host(const CompiledProgram &Prog, uint64_t Seed)
-    : Prog(Prog), Exec(Prog), Rng(Seed),
+Host::Host(const CompiledProgram &Prog, HostOptions Options)
+    : Prog(Prog), Opt(Options), Exec(Prog), Rng(Options.Seed),
       DispatchLatency(obs::exponentialBounds(1e-7, 4, 16)) {
-  Exec.setChoiceProvider([this] { return (Rng() & 1) != 0; });
-  // The dequeue observer fires inside the pump with PumpMutex held, so
-  // the pending list needs no lock of its own.
+  // Reactor workers share the provider, hence the lock; serial mode
+  // pays one uncontended acquire per `*`.
+  Exec.setChoiceProvider([this] {
+    std::lock_guard<std::mutex> Lk(RngMu);
+    return (Rng() & 1) != 0;
+  });
+  // Serial mode: fires inside the pump with PumpMutex held, so the
+  // pending list needs no lock of its own. Reactor mode: fires on the
+  // owning worker, which routes to its per-machine slot state.
   Exec.addDequeueObserver([this](int32_t Machine, int32_t Event) {
+    if (ReactorOn.load(std::memory_order_acquire)) {
+      R->onDequeue(Machine, Event);
+      return;
+    }
     noteDequeue(Machine, Event);
   });
 }
 
+Host::~Host() {
+  if (R)
+    R->stop();
+}
+
 void Host::noteEnqueue(int32_t Target, int32_t Event) {
-  constexpr size_t MaxPending = 4096;
-  if (Pending.size() >= MaxPending)
+  if (Pending.size() >= Opt.LatencyPendingCap) {
     Pending.erase(Pending.begin());
+    ++Stats.LatencyDropped;
+  }
   Pending.push_back({Target, Event, std::chrono::steady_clock::now()});
   noteQueueDepth(Target);
 }
@@ -149,7 +165,18 @@ int32_t Host::createMachine(
         Resolved.emplace_back(static_cast<int32_t>(I), V);
   }
 
+  // The executor appends under the reactor's structural mutex when one
+  // is installed; the create hook builds the mailbox slot and schedules
+  // the entry statement on a worker.
   int32_t Id = Exec.createMachine(Cfg, MachineIndex, Resolved);
+  if (Id < 0) // ResourceExhausted: reactor machine table full.
+    return -1;
+  if (ReactorOn.load(std::memory_order_acquire)) {
+    CreationInits[Id] = Resolved; // Pre-sized by startReactor.
+    bumpStat(Stats.MachinesCreated);
+    LastError = HostError::None;
+    return Id;
+  }
   Contexts.resize(Cfg.Machines.size(), nullptr);
   CreationInits.resize(Cfg.Machines.size());
   CreationInits[Id] = Resolved;
@@ -162,10 +189,16 @@ int32_t Host::createMachine(
 }
 
 void Host::flushDelayed() {
-  while (!Delayed.empty() && !Cfg.hasError()) {
-    auto [Target, Event, Arg] = std::move(Delayed.front());
-    Delayed.erase(Delayed.begin());
-    deliver(Target, Event, Arg);
+  // Advance the wheel and deliver what fell due (delay faults schedule
+  // with deadline = now, so "flushed after the next pump" still holds;
+  // addEventAfter timers wait for their real deadline).
+  std::vector<TimerEntry> Due;
+  Wheel.advanceTo(std::chrono::steady_clock::now(), Due);
+  for (TimerEntry &E : Due) {
+    ++Stats.TimersExpired;
+    if (Cfg.hasError())
+      break; // Fail-stop; the rest stays undelivered, like before.
+    deliver(E.Target, E.Event, E.Arg);
   }
 }
 
@@ -181,6 +214,14 @@ bool Host::deliver(int32_t Target, int32_t Event, const Value &Arg) {
 
 bool Host::addEvent(int32_t Target, const std::string &EventName,
                     Value Arg) {
+  if (ReactorOn.load(std::memory_order_acquire)) {
+    int Event = Prog.findEvent(EventName);
+    if (Event < 0) {
+      LastError = HostError::UnknownEvent;
+      return false;
+    }
+    return addEventReactor(Target, Event, Arg);
+  }
   std::unique_lock<std::mutex> Lock(PumpMutex);
   int Event = Prog.findEvent(EventName);
   if (Event < 0) {
@@ -249,13 +290,20 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
         flushDelayed();
         return Ok && !Cfg.hasError();
       }
-      case FaultKind::DelayEvent:
+      case FaultKind::DelayEvent: {
         ++Stats.EventsDelayed;
+        ++Stats.TimersScheduled;
         if (T)
           T->record(obs::TraceKind::FaultInjected, Target,
                     static_cast<int32_t>(FaultKind::DelayEvent), Event);
-        Delayed.emplace_back(Target, Event, Arg);
+        TimerEntry D;
+        D.Target = Target;
+        D.Event = Event;
+        D.Arg = Arg;
+        D.Deadline = std::chrono::steady_clock::now();
+        Wheel.schedule(std::move(D));
         return !Cfg.hasError();
+      }
       case FaultKind::CrashMachine:
         // The process died before the delivery: both vanish.
         ++Stats.MachinesCrashed;
@@ -288,7 +336,176 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
   return !Cfg.hasError();
 }
 
+bool Host::addEventReactor(int32_t Target, int32_t Event,
+                           const Value &Arg) {
+  if (Target < 0 || Target >= R->machineCount()) {
+    LastError = HostError::UnknownMachine;
+    return false;
+  }
+  Reactor::Life L = R->life(Target);
+  if (L == Reactor::Life::Dead) {
+    LastError = HostError::DeadTarget;
+    return false;
+  }
+  LastError = HostError::None;
+  std::atomic_ref<uint64_t>(AddEventCalls)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (HasPlan) {
+    FaultAction A;
+    {
+      std::lock_guard<std::mutex> Lk(PlanMu);
+      A = Plan.decide(
+          std::atomic_ref<uint64_t>(AddEventCalls)
+              .load(std::memory_order_relaxed),
+          Event);
+    }
+    if (A.Inject && L == Reactor::Life::Live) {
+      switch (A.Kind) {
+      case FaultKind::DropEvent:
+        bumpStat(Stats.EventsDropped);
+        return !Cfg.hasError();
+      case FaultKind::DuplicateEvent: {
+        bumpStat(Stats.EventsDuplicated);
+        bumpStat(Stats.EventsDelivered);
+        auto Now = std::chrono::steady_clock::now();
+        R->postEvent(Target, Event, Arg, Now);
+        // Unlike the serial pump (which empties the queue between the
+        // two copies), the second copy may still coalesce under ⊎ if
+        // the first has not been dequeued by transfer time.
+        R->postEvent(Target, Event, Arg, Now);
+        return !Cfg.hasError();
+      }
+      case FaultKind::DelayEvent: {
+        bumpStat(Stats.EventsDelayed);
+        bumpStat(Stats.TimersScheduled);
+        TimerEntry D;
+        D.Target = Target;
+        D.Event = Event;
+        D.Arg = Arg;
+        D.Deadline = std::chrono::steady_clock::now();
+        Wheel.schedule(std::move(D));
+        R->timerArmed();
+        return !Cfg.hasError();
+      }
+      case FaultKind::CrashMachine:
+        bumpStat(Stats.MachinesCrashed);
+        R->postCrash(Target);
+        return !Cfg.hasError();
+      case FaultKind::RestartMachine:
+      case FaultKind::FailForeign:
+        break; // Not produced by FaultPlan::decide.
+      }
+    }
+  }
+  bumpStat(Stats.EventsDelivered);
+  R->postEvent(Target, Event, Arg, std::chrono::steady_clock::now());
+  return !Cfg.hasError();
+}
+
+bool Host::addEventAfter(int32_t Target, const std::string &EventName,
+                         Value Arg, std::chrono::nanoseconds Delay) {
+  const bool OnReactor = ReactorOn.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> Lock(PumpMutex, std::defer_lock);
+  if (!OnReactor)
+    Lock.lock();
+  int Event = Prog.findEvent(EventName);
+  if (Event < 0) {
+    LastError = HostError::UnknownEvent;
+    return false;
+  }
+  if (OnReactor) {
+    if (Target < 0 || Target >= R->machineCount()) {
+      LastError = HostError::UnknownMachine;
+      return false;
+    }
+    if (R->life(Target) == Reactor::Life::Dead) {
+      LastError = HostError::DeadTarget;
+      return false;
+    }
+  } else {
+    if (Target < 0 ||
+        Target >= static_cast<int32_t>(Cfg.Machines.size())) {
+      LastError = HostError::UnknownMachine;
+      return false;
+    }
+    if (!Cfg.Machines[Target]->Alive && !Cfg.Machines[Target]->Crashed) {
+      LastError = HostError::DeadTarget;
+      return false;
+    }
+  }
+  LastError = HostError::None;
+  TimerEntry E;
+  E.Target = Target;
+  E.Event = Event;
+  E.Arg = std::move(Arg);
+  E.Deadline = std::chrono::steady_clock::now() + Delay;
+  Wheel.schedule(std::move(E));
+  if (OnReactor) {
+    bumpStat(Stats.TimersScheduled);
+    R->timerArmed();
+  } else {
+    ++Stats.TimersScheduled;
+  }
+  return true;
+}
+
+bool Host::startReactor(ReactorOptions Options) {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  if (R)
+    return false;
+  // Tracing is serial-mode only: sinks are single-writer and workers
+  // would race on one.
+  Exec.setTraceSink(nullptr);
+  Sched.clear(); // The reactor schedules enabled machines itself.
+  size_t MaxM = std::max(Options.MaxMachines, Cfg.Machines.size());
+  Options.MaxMachines = MaxM;
+  // Pre-size host bookkeeping indexed by machine id: worker-side `new`
+  // must not force a resize under readers.
+  Contexts.resize(MaxM, nullptr);
+  CreationInits.resize(MaxM);
+  R = std::make_unique<Reactor>(Exec, Cfg, Wheel, DispatchLatency,
+                                Options);
+  ReactorOn.store(true, std::memory_order_release);
+  R->start();
+  if (!Wheel.empty())
+    R->timerArmed(); // Timers scheduled while serial carry over.
+  return true;
+}
+
+bool Host::stopReactor() {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  if (!R)
+    return true;
+  R->stop(); // Joins every worker; mailboxes fold into the queues.
+  Stats.SlicesRun += R->slicesRun();
+  Stats.LatencyDropped += R->latencyDropped();
+  Stats.TimersExpired += R->timersExpired();
+  Stats.MailboxSpills += R->mailboxSpills();
+  Stats.QueueDepthHighWater =
+      std::max(Stats.QueueDepthHighWater, R->queueHighWaterMax());
+  if (QueueHighWater.size() < Cfg.Machines.size())
+    QueueHighWater.resize(Cfg.Machines.size(), 0);
+  for (int32_t Id = 0, N = R->machineCount(); Id != N; ++Id)
+    QueueHighWater[Id] = std::max(QueueHighWater[Id], R->queueHighWater(Id));
+  ReactorOn.store(false, std::memory_order_release);
+  R.reset();
+  // Resume the serial pump on whatever the folded mailboxes left.
+  for (int32_t Id = static_cast<int32_t>(Cfg.Machines.size()); Id-- > 0;)
+    if (Exec.isEnabled(Cfg, Id))
+      arm(Id);
+  drain();
+  QueueCv.notify_all();
+  return !Cfg.hasError();
+}
+
 bool Host::runToCompletion() {
+  if (ReactorOn.load(std::memory_order_acquire)) {
+    // Deliver every already-due timer, then wait for the workers to
+    // drain all accepted events (the reactor-mode barrier).
+    R->flushDueTimers();
+    R->waitQuiesce();
+    return !Cfg.hasError();
+  }
   std::lock_guard<std::mutex> Lock(PumpMutex);
   flushDelayed();
   for (int32_t Id = static_cast<int32_t>(Cfg.Machines.size()); Id-- > 0;)
@@ -300,8 +517,7 @@ bool Host::runToCompletion() {
 }
 
 HostError Host::lastHostError() const {
-  std::lock_guard<std::mutex> Lock(PumpMutex);
-  return LastError;
+  return LastError.load(std::memory_order_acquire);
 }
 
 void Host::setFaultPlan(FaultPlan P) {
@@ -319,12 +535,22 @@ void Host::setQueueLimit(uint32_t MaxQueue, OverflowPolicy Policy) {
 }
 
 bool Host::crashMachine(int32_t Id) {
+  if (ReactorOn.load(std::memory_order_acquire)) {
+    if (R->life(Id) != Reactor::Life::Live)
+      return false;
+    bumpStat(Stats.MachinesCrashed);
+    // Asynchronous fail-stop: the owning worker executes the crash
+    // (cancels timers, drains the mailbox, releases blocked senders).
+    R->postCrash(Id);
+    return true;
+  }
   std::lock_guard<std::mutex> Lock(PumpMutex);
   if (!Cfg.isLive(Id))
     return false;
   Exec.crashMachine(Cfg, Id);
   Sched.erase(std::remove(Sched.begin(), Sched.end(), Id), Sched.end());
   ++Stats.MachinesCrashed;
+  Wheel.cancelFor(Id); // Fail-stop cancels its pending timers too.
   Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
                                [&](const PendingDispatch &P) {
                                  return P.Target == Id;
@@ -341,7 +567,7 @@ double Host::eventsPerSecondLocked() const {
           .count();
   if (Secs <= 0)
     return 0;
-  return static_cast<double>(Stats.EventsDelivered) / Secs;
+  return static_cast<double>(readStat(Stats.EventsDelivered)) / Secs;
 }
 
 double Host::eventsPerSecond() const {
@@ -349,9 +575,50 @@ double Host::eventsPerSecond() const {
   return eventsPerSecondLocked();
 }
 
+HostStats Host::foldedStatsLocked() const {
+  // Field-by-field atomic reads: reactor-mode producers bump these
+  // concurrently through bumpStat.
+  HostStats S;
+  S.EventsDelivered = readStat(Stats.EventsDelivered);
+  S.SlicesRun = readStat(Stats.SlicesRun);
+  S.MachinesCreated = readStat(Stats.MachinesCreated);
+  S.EventsDropped = readStat(Stats.EventsDropped);
+  S.EventsDuplicated = readStat(Stats.EventsDuplicated);
+  S.EventsDelayed = readStat(Stats.EventsDelayed);
+  S.MachinesCrashed = readStat(Stats.MachinesCrashed);
+  S.MachinesRestarted = readStat(Stats.MachinesRestarted);
+  S.QueueDepthHighWater = readStat(Stats.QueueDepthHighWater);
+  S.LatencyDropped = readStat(Stats.LatencyDropped);
+  S.MailboxSpills = readStat(Stats.MailboxSpills);
+  S.TimersScheduled = readStat(Stats.TimersScheduled);
+  S.TimersExpired = readStat(Stats.TimersExpired);
+  if (R) {
+    S.SlicesRun += R->slicesRun();
+    S.LatencyDropped += R->latencyDropped();
+    S.TimersExpired += R->timersExpired();
+    S.MailboxSpills += R->mailboxSpills();
+    S.QueueDepthHighWater =
+        std::max(S.QueueDepthHighWater, R->queueHighWaterMax());
+  }
+  return S;
+}
+
+const HostStats &Host::stats() const {
+  std::lock_guard<std::mutex> Lock(PumpMutex);
+  Folded = foldedStatsLocked();
+  return Folded;
+}
+
 std::vector<uint32_t> Host::queueHighWater() const {
   std::lock_guard<std::mutex> Lock(PumpMutex);
   std::vector<uint32_t> Out = QueueHighWater;
+  if (R) {
+    int32_t N = R->machineCount();
+    Out.resize(std::max<size_t>(Out.size(), N), 0);
+    for (int32_t Id = 0; Id != N; ++Id)
+      Out[Id] = std::max(Out[Id], R->queueHighWater(Id));
+    return Out;
+  }
   Out.resize(Cfg.Machines.size(), 0);
   return Out;
 }
@@ -363,6 +630,14 @@ bool Host::restartMachine(int32_t Id) {
                               Id < static_cast<int32_t>(CreationInits.size())
                           ? CreationInits[Id]
                           : NoInits;
+  if (ReactorOn.load(std::memory_order_acquire)) {
+    // Requires the crash to have been processed (postCrash is async;
+    // runToCompletion between crash and restart makes it determinate).
+    if (!R->restartMachine(Id, Inits))
+      return false;
+    bumpStat(Stats.MachinesRestarted);
+    return !Cfg.hasError();
+  }
   if (!Exec.restartMachine(Cfg, Id, Inits))
     return false;
   ++Stats.MachinesRestarted;
@@ -404,43 +679,63 @@ void Host::detachTrace() {
 
 void Host::exportMetrics(obs::MetricsRegistry &Registry) const {
   std::lock_guard<std::mutex> Lock(PumpMutex);
+  const HostStats S = foldedStatsLocked();
   Registry.counter("p_host_events_total", "SMAddEvent calls accepted")
-      .inc(Stats.EventsDelivered);
+      .inc(S.EventsDelivered);
   Registry
       .counter("p_host_slices_total", "Run-to-completion slices executed")
-      .inc(Stats.SlicesRun);
+      .inc(S.SlicesRun);
   Registry.counter("p_host_machines_total", "Machines created")
-      .inc(Stats.MachinesCreated);
-  Registry.gauge("p_host_machines_live", "Machines currently alive")
-      .set(static_cast<double>(
-          std::count_if(Cfg.Machines.begin(), Cfg.Machines.end(),
-                        [](const CowMachine &M) { return M->Alive; })));
+      .inc(S.MachinesCreated);
+  if (!R) // Racy against worker-side `new` while the reactor runs.
+    Registry.gauge("p_host_machines_live", "Machines currently alive")
+        .set(static_cast<double>(
+            std::count_if(Cfg.Machines.begin(), Cfg.Machines.end(),
+                          [](const CowMachine &M) { return M->Alive; })));
   Registry
       .counter("p_host_faults_dropped_total",
                "SMAddEvent calls swallowed by the fault plan")
-      .inc(Stats.EventsDropped);
+      .inc(S.EventsDropped);
   Registry
       .counter("p_host_faults_duplicated_total",
                "SMAddEvent calls delivered twice by the fault plan")
-      .inc(Stats.EventsDuplicated);
+      .inc(S.EventsDuplicated);
   Registry
       .counter("p_host_faults_delayed_total",
                "Deliveries deferred to a later pump by the fault plan")
-      .inc(Stats.EventsDelayed);
+      .inc(S.EventsDelayed);
   Registry
       .counter("p_host_faults_crashed_total",
                "Machines crashed (fault plan or crashMachine)")
-      .inc(Stats.MachinesCrashed);
+      .inc(S.MachinesCrashed);
   Registry.counter("p_host_restarts_total", "Machines restarted")
-      .inc(Stats.MachinesRestarted);
+      .inc(S.MachinesRestarted);
   Registry
       .counter("p_host_overflow_dropped_total",
                "Events discarded by OverflowPolicy::DropNewest")
-      .inc(Cfg.OverflowDropped);
+      .inc(std::atomic_ref<uint64_t>(
+               const_cast<uint64_t &>(Cfg.OverflowDropped))
+               .load(std::memory_order_relaxed));
+  Registry
+      .counter("p_host_latency_dropped_total",
+               "Dispatch-latency samples evicted past the pending cap")
+      .inc(S.LatencyDropped);
+  Registry
+      .counter("p_host_mailbox_spills_total",
+               "Mailbox ring overflows that took the spill list")
+      .inc(S.MailboxSpills);
+  Registry
+      .counter("p_host_timers_scheduled_total",
+               "Timer-wheel entries scheduled")
+      .inc(S.TimersScheduled);
+  Registry
+      .counter("p_host_timers_expired_total",
+               "Timer-wheel entries expired and delivered")
+      .inc(S.TimersExpired);
   Registry
       .gauge("p_host_queue_depth_highwater",
              "Deepest any machine queue ever got")
-      .set(static_cast<double>(Stats.QueueDepthHighWater));
+      .set(static_cast<double>(S.QueueDepthHighWater));
   Registry
       .gauge("p_host_events_per_sec",
              "Accepted deliveries per wall-clock second")

@@ -25,14 +25,18 @@
 #define P_HOST_HOST_H
 
 #include "fault/FaultPlan.h"
+#include "host/Reactor.h"
+#include "host/TimerWheel.h"
 #include "obs/Metrics.h"
 #include "runtime/Executor.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <string>
@@ -60,6 +64,26 @@ struct HostStats {
   /// Deepest any machine queue ever got (observed at enqueue and at
   /// send scheduling points inside the pump).
   uint64_t QueueDepthHighWater = 0;
+  /// Dispatch-latency samples evicted because the pending-match FIFO
+  /// hit HostOptions::LatencyPendingCap (p_host_latency_dropped_total).
+  uint64_t LatencyDropped = 0;
+  /// Reactor mode: mailbox ring overflows that took the spill list.
+  uint64_t MailboxSpills = 0;
+  /// Timer-wheel entries scheduled (addEventAfter + delay faults).
+  uint64_t TimersScheduled = 0;
+  /// Timer-wheel entries that expired and were delivered.
+  uint64_t TimersExpired = 0;
+};
+
+/// Construction-time host tuning (the Seed parameter grown up).
+struct HostOptions {
+  /// Drives any `*` expressions left in the program.
+  uint64_t Seed = 0;
+  /// Cap on the serial pump's dispatch-latency matching FIFO (the
+  /// oldest open enqueue is dropped past it and counted in
+  /// HostStats::LatencyDropped). The reactor's per-machine cap lives in
+  /// ReactorOptions::LatencyPendingCap.
+  size_t LatencyPendingCap = 4096;
 };
 
 /// Why the last host API call was rejected before touching the program
@@ -81,7 +105,10 @@ public:
   /// \p Seed drives any `*` expressions left in the program (there are
   /// none after erasure of a well-typed program; the provider exists for
   /// experimentation).
-  explicit Host(const CompiledProgram &Prog, uint64_t Seed = 0);
+  explicit Host(const CompiledProgram &Prog, uint64_t Seed = 0)
+      : Host(Prog, HostOptions{Seed, 4096}) {}
+  Host(const CompiledProgram &Prog, HostOptions Options);
+  ~Host();
 
   /// Registers a native foreign function (Section 4, "Foreign
   /// functions").
@@ -101,6 +128,40 @@ public:
   bool addEvent(int32_t Target, const std::string &EventName,
                 Value Arg = Value::null());
 
+  /// Schedules \p EventName for delivery to \p Target after \p Delay on
+  /// the hierarchical timer wheel (resolution: TimerWheel's tick, 1ms).
+  /// Serial mode delivers due timers at the next pump (addEvent /
+  /// runToCompletion); reactor mode delivers from the tick thread.
+  /// Timer deliveries are not counted in EventsDelivered — see
+  /// HostStats::TimersScheduled / TimersExpired.
+  bool addEventAfter(int32_t Target, const std::string &EventName,
+                     Value Arg, std::chrono::nanoseconds Delay);
+
+  /// Switches the host to the multi-threaded reactor pump (see
+  /// host/Reactor.h): per-machine lock-free mailboxes, N workers, and a
+  /// timer tick thread. Call from a quiescent host (no concurrent API
+  /// calls during the switch). Differences from the serial contract,
+  /// documented in DESIGN.md "Host runtime":
+  ///  - addEvent/createMachine return on *acceptance*; processing is
+  ///    asynchronous. runToCompletion (= waitQuiesce) is the barrier.
+  ///  - observation APIs (currentStateName, readVar, config()) are
+  ///    meaningful after a barrier, not mid-flight.
+  ///  - attachTrace is serial-mode only (startReactor detaches).
+  /// Returns false if a reactor is already running.
+  bool startReactor(ReactorOptions Options = {});
+
+  /// Stops the reactor, folds its counters into stats(), moves leftover
+  /// mailbox events back into the semantic queues, and resumes the
+  /// serial pump (draining whatever became runnable). Returns
+  /// !hasError(). No-op returning true when no reactor is running.
+  bool stopReactor();
+
+  bool reactorActive() const {
+    return ReactorOn.load(std::memory_order_acquire);
+  }
+  /// The reactor instance while active (tests/benchmarks), else null.
+  Reactor *reactor() { return R.get(); }
+
   /// SMGetContext: the external-memory pointer foreign code may attach
   /// to a machine (the paper's StateMachineContext void*).
   void *getContext(int32_t Id) const;
@@ -112,7 +173,9 @@ public:
 
   /// True once the configuration entered an error state.
   bool hasError() const { return Cfg.hasError(); }
-  ErrorKind error() const { return Cfg.Error; }
+  ErrorKind error() const { return Cfg.errorKind(); }
+  /// Valid once error() has been observed non-None (the reactor's
+  /// release/acquire pair orders the message before the flag).
   const std::string &errorMessage() const { return Cfg.ErrorMessage; }
 
   /// Why the most recent createMachine/addEvent call was rejected
@@ -154,7 +217,9 @@ public:
   Value readVar(int32_t Id, const std::string &VarName) const;
 
   const Config &config() const { return Cfg; }
-  const HostStats &stats() const { return Stats; }
+  /// Current statistics; while a reactor runs, its live counters are
+  /// folded in (the returned reference stays valid until the next call).
+  const HostStats &stats() const;
   Executor &executor() { return Exec; }
 
   /// Attaches structured-event tracing (see obs/Trace.h): opens one
@@ -210,26 +275,49 @@ private:
   /// into DispatchLatency (runs inside the pump, PumpMutex held).
   void noteDequeue(int32_t Machine, int32_t Event);
   double eventsPerSecondLocked() const;
+  /// addEvent's reactor-mode body: lock-free acceptance path (no
+  /// PumpMutex, so producers scale).
+  bool addEventReactor(int32_t Target, int32_t Event, const Value &Arg);
+  /// Stats plus the running reactor's counters (PumpMutex held).
+  HostStats foldedStatsLocked() const;
+
+  /// HostStats fields touched by concurrent reactor-mode producers go
+  /// through these (plain fields otherwise, so serial stays free).
+  static void bumpStat(uint64_t &F, uint64_t N = 1) {
+    std::atomic_ref<uint64_t>(F).fetch_add(N, std::memory_order_relaxed);
+  }
+  static uint64_t readStat(const uint64_t &F) {
+    return std::atomic_ref<uint64_t>(const_cast<uint64_t &>(F))
+        .load(std::memory_order_relaxed);
+  }
 
   const CompiledProgram &Prog;
+  const HostOptions Opt;
   Executor Exec;
   Config Cfg;
   HostStats Stats;
+  mutable HostStats Folded; ///< stats() scratch (PumpMutex held).
   std::vector<void *> Contexts;
   std::deque<int32_t> Sched; ///< The d = 0 scheduler stack.
   std::mt19937_64 Rng;
+  std::mutex RngMu; ///< Reactor workers share the choice provider.
   mutable std::mutex PumpMutex; ///< Serializes host entry points.
   /// Wakes addEvent calls blocked on a full queue (OverflowPolicy::
   /// Block) whenever a pump ran or a machine crashed/restarted.
   std::condition_variable QueueCv;
 
-  HostError LastError = HostError::None;
+  std::atomic<HostError> LastError{HostError::None};
   FaultPlan Plan;
   bool HasPlan = false;
   uint64_t AddEventCalls = 0; ///< Accepted calls; the plan's ordinal.
-  /// Deliveries postponed by FaultKind::DelayEvent, flushed after the
-  /// next pump (so a delayed event genuinely arrives later).
-  std::vector<std::tuple<int32_t, int32_t, Value>> Delayed;
+  std::mutex PlanMu; ///< Guards Plan/AddEventCalls in reactor mode.
+  /// Deliveries postponed by FaultKind::DelayEvent (deadline = now) and
+  /// addEventAfter timers. Serial mode delivers due entries after the
+  /// next pump (flushDelayed == advance the wheel); reactor mode
+  /// delivers from the tick thread.
+  TimerWheel Wheel;
+  std::unique_ptr<Reactor> R;
+  std::atomic<bool> ReactorOn{false};
   /// Original variable initializers per host-created machine id, used
   /// by restartMachine.
   std::vector<std::vector<std::pair<int32_t, Value>>> CreationInits;

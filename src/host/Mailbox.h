@@ -1,0 +1,208 @@
+//===- host/Mailbox.h - Lock-free MPSC mailbox per machine -----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-machine ingress queue of the reactor host (see
+/// host/Reactor.h): many producers — "OS" threads calling
+/// Host::addEvent, workers forwarding cross-machine sends, the timer
+/// thread — and exactly one consumer, the worker that currently owns
+/// the machine. The hot path is a bounded ring with sequence-numbered
+/// slots (the Vyukov bounded-queue discipline): producers claim a slot
+/// with one CAS on the tail, the consumer walks the head with plain
+/// atomic loads, and the slot's sequence number is the only
+/// synchronization between the two sides.
+///
+/// Memory ordering (referenced from DESIGN.md "Host runtime"):
+///
+///   * A producer claims slot i by CAS(tail, t, t+1) (relaxed — the
+///     claim only orders against other claims), writes the payload,
+///     then publishes with Seq.store(t + 1, release).
+///   * The consumer reads Seq with acquire; observing t + 1 makes the
+///     payload write visible. After moving the payload out it retires
+///     the slot with Seq.store(t + Capacity, release), which is what a
+///     producer on the next lap acquires before reusing the slot.
+///   * Consumer exclusivity is not provided here: it comes from the
+///     reactor's ownership-by-worker invariant (a machine's state is
+///     QUEUED/RUNNING for at most one worker, and the hand-off CASes on
+///     that state form a release/acquire chain).
+///
+/// A bounded ring must shed or block when full. Blocking is only
+/// allowed at the host boundary (OverflowPolicy::Block, enforced by the
+/// reactor's credit counter before the push), and shedding would break
+/// delivery guarantees, so a full ring spills into a mutex-guarded
+/// side list. Per-producer FIFO survives the spill: once a producer has
+/// spilled, every later push (any producer) also spills until the
+/// consumer has drained the side list, and the consumer only reads the
+/// side list when the ring is empty — so an older ring entry can never
+/// be overtaken by a younger spilled one, or vice versa.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_HOST_MAILBOX_H
+#define P_HOST_MAILBOX_H
+
+#include "runtime/Value.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace p {
+
+/// One event in flight between a producer and the machine's semantic
+/// queue. `T` is the producer-side enqueue timestamp the dispatch
+/// latency histogram is matched against; `FromHost` marks host-boundary
+/// deliveries (Host::addEvent, duplicates, timer expiries) as opposed
+/// to forwarded machine-to-machine sends; `Credited` records that the
+/// producer acquired an OverflowPolicy::Block credit which the consumer
+/// must release when the event leaves the mailbox for any reason.
+struct MailboxEntry {
+  int32_t Event = -1;
+  Value Arg;
+  std::chrono::steady_clock::time_point T;
+  bool FromHost = false;
+  bool Credited = false;
+};
+
+/// Bounded multi-producer single-consumer ring with an unbounded
+/// mutex-guarded spill list (see file comment for the FIFO argument).
+/// The ring is the lock-free hot path; the spill list only exists so a
+/// send never has to block or shed inside the runtime.
+class Mailbox {
+public:
+  explicit Mailbox(size_t CapacityPow2) : Cap(roundUpPow2(CapacityPow2)) {
+    Cells.reset(new Cell[Cap]);
+    for (size_t I = 0; I != Cap; ++I)
+      Cells[I].Seq.store(I, std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return Cap; }
+
+  /// Multi-producer push; never fails and never blocks. Returns true
+  /// when the entry took the lock-free ring, false when it spilled (a
+  /// perf signal, not an error).
+  bool push(MailboxEntry E) {
+    // Once anything has spilled, later pushes must follow it into the
+    // side list or the consumer would reorder them ahead of it.
+    if (SpillActive.load(std::memory_order_acquire))
+      return pushSpill(std::move(E));
+    size_t T = Tail.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[T & (Cap - 1)];
+      size_t Seq = C.Seq.load(std::memory_order_acquire);
+      intptr_t Diff = static_cast<intptr_t>(Seq) - static_cast<intptr_t>(T);
+      if (Diff == 0) {
+        if (Tail.compare_exchange_weak(T, T + 1,
+                                       std::memory_order_relaxed))
+          break;
+        // T was reloaded by the failed CAS; retry.
+      } else if (Diff < 0) {
+        // The slot is still occupied from the previous lap: ring full.
+        return pushSpill(std::move(E));
+      } else {
+        T = Tail.load(std::memory_order_relaxed);
+      }
+    }
+    Cell &C = Cells[T & (Cap - 1)];
+    C.E = std::move(E);
+    C.Seq.store(T + 1, std::memory_order_release);
+    Size.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Single-consumer pop. Ring first; the spill list only when the
+  /// ring is momentarily empty (the order the FIFO argument needs).
+  bool pop(MailboxEntry &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    Cell &C = Cells[H & (Cap - 1)];
+    size_t Seq = C.Seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(Seq) - static_cast<intptr_t>(H + 1) == 0) {
+      Out = std::move(C.E);
+      C.E = MailboxEntry{}; // Drop any payload the Value may hold.
+      C.Seq.store(H + Cap, std::memory_order_release);
+      Head.store(H + 1, std::memory_order_relaxed);
+      Size.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return popSpill(Out);
+  }
+
+  /// Events currently buffered (ring + spill); exact for the consumer,
+  /// a floor for producers (their own push is already counted).
+  size_t size() const {
+    return Size.load(std::memory_order_acquire) +
+           SpillSize.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Times push() fell back to the side list (perf counter).
+  uint64_t spillCount() const {
+    return Spills.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Cell {
+    std::atomic<size_t> Seq{0};
+    MailboxEntry E;
+  };
+
+  static size_t roundUpPow2(size_t N) {
+    size_t P = 1;
+    while (P < N)
+      P <<= 1;
+    return P < 2 ? 2 : P;
+  }
+
+  bool pushSpill(MailboxEntry E) {
+    std::lock_guard<std::mutex> Lock(SpillMu);
+    Spill.push_back(std::move(E));
+    SpillSize.fetch_add(1, std::memory_order_release);
+    SpillActive.store(true, std::memory_order_release);
+    Spills.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  bool popSpill(MailboxEntry &Out) {
+    if (!SpillActive.load(std::memory_order_acquire))
+      return false;
+    std::lock_guard<std::mutex> Lock(SpillMu);
+    if (Spill.empty()) {
+      // Producers that sample SpillActive before this store keep
+      // spilling; that is harmless (order still preserved).
+      SpillActive.store(false, std::memory_order_release);
+      return false;
+    }
+    Out = std::move(Spill.front());
+    Spill.pop_front();
+    SpillSize.fetch_sub(1, std::memory_order_release);
+    if (Spill.empty())
+      SpillActive.store(false, std::memory_order_release);
+    return true;
+  }
+
+  const size_t Cap;
+  std::unique_ptr<Cell[]> Cells;
+  alignas(64) std::atomic<size_t> Tail{0}; ///< Producers CAS this.
+  alignas(64) std::atomic<size_t> Head{0}; ///< Single consumer only.
+  alignas(64) std::atomic<size_t> Size{0};
+
+  std::mutex SpillMu;
+  std::deque<MailboxEntry> Spill;
+  std::atomic<size_t> SpillSize{0};
+  std::atomic<bool> SpillActive{false};
+  std::atomic<uint64_t> Spills{0};
+};
+
+} // namespace p
+
+#endif // P_HOST_MAILBOX_H

@@ -1,0 +1,664 @@
+//===- host/Reactor.cpp - Thread-pool reactor pump for the host ------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/Reactor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace p {
+
+Reactor::Reactor(Executor &Exec, Config &Cfg, TimerWheel &Wheel,
+                 obs::Histogram &Latency, ReactorOptions Opt)
+    : Exec(Exec), Cfg(Cfg), Wheel(Wheel), Latency(Latency), Opt(Opt) {}
+
+Reactor::~Reactor() { stop(); }
+
+//===----------------------------------------------------------------------===//
+// Slot setup and the ready deque
+//===----------------------------------------------------------------------===//
+
+void Reactor::installSlot(int32_t Id, Life L) {
+  Slots[Id] = std::make_unique<Slot>(Opt.MailboxCapacity);
+  Slots[Id]->LifeState.store(L, std::memory_order_release);
+  // Publish the id after the slot is fully built: readers bounds-check
+  // against machineCount(), so the acquire load pairs with this store.
+  size_t Count = static_cast<size_t>(Id) + 1;
+  size_t Cur = NMachines.load(std::memory_order_relaxed);
+  while (Cur < Count &&
+         !NMachines.compare_exchange_weak(Cur, Count,
+                                          std::memory_order_release))
+    ;
+}
+
+void Reactor::readyPush(int32_t Id) {
+  {
+    std::lock_guard<std::mutex> Lk(ReadyMu);
+    Ready.push_back(Id);
+  }
+  ReadyCv.notify_one();
+}
+
+int32_t Reactor::readyPop() {
+  std::unique_lock<std::mutex> Lk(ReadyMu);
+  ReadyCv.wait(Lk, [&] {
+    return Shutdown.load(std::memory_order_relaxed) || !Ready.empty();
+  });
+  if (Shutdown.load(std::memory_order_relaxed))
+    return -1;
+  int32_t Id = Ready.front();
+  Ready.pop_front();
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Notify protocol (see Reactor.h file comment)
+//===----------------------------------------------------------------------===//
+
+void Reactor::notify(int32_t Id) {
+  if (Id < 0 || Id >= machineCount())
+    return;
+  Slot &S = *Slots[Id];
+  uint32_t Cur = S.State.load(std::memory_order_relaxed);
+  for (;;) {
+    switch (Cur) {
+    case IdleState:
+      if (S.State.compare_exchange_weak(Cur, QueuedState,
+                                        std::memory_order_acq_rel)) {
+        Active.fetch_add(1, std::memory_order_acq_rel);
+        readyPush(Id);
+        return;
+      }
+      break; // Cur reloaded; retry.
+    case RunningState:
+      if (S.State.compare_exchange_weak(Cur, RunningPendingState,
+                                        std::memory_order_acq_rel))
+        return; // Owner re-runs before releasing.
+      break;
+    case QueuedState:
+    case RunningPendingState:
+      return; // Wakeup already pending.
+    default:
+      return;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Worker loop
+//===----------------------------------------------------------------------===//
+
+void Reactor::workerMain() {
+  for (;;) {
+    int32_t Id = readyPop();
+    if (Id < 0)
+      return;
+    Slot &S = *Slots[Id];
+    uint32_t Expected = QueuedState;
+    if (!S.State.compare_exchange_strong(Expected, RunningState,
+                                         std::memory_order_acq_rel))
+      continue; // Stale entry; the notifier that re-queues re-pushes.
+    runMachine(Id, S);
+  }
+}
+
+bool Reactor::ownerEnabled(int32_t Id, Slot &S) const {
+  if (S.LifeState.load(std::memory_order_relaxed) != Life::Live)
+    return false;
+  const MachineState &M = *Cfg.Machines[Id];
+  if (!M.Alive)
+    return false;
+  if (!M.Exec.empty() || M.HasRaise || M.Transfer != TransferKind::None)
+    return true;
+  return Exec.findEligibleEvent(Cfg, M) >= 0;
+}
+
+void Reactor::runMachine(int32_t Id, Slot &S) {
+  size_t Slices = 0;
+  for (;;) {
+    if (Shutdown.load(std::memory_order_relaxed) || Cfg.hasError()) {
+      // Fail-stop / teardown: release ownership unconditionally. Any
+      // pending notification is dropped — stop() folds leftover
+      // mailboxes, and an errored config never runs again.
+      S.State.store(IdleState, std::memory_order_release);
+      if (Active.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        quiesceNotifyIfIdle();
+      return;
+    }
+
+    transferMailbox(Id, S);
+
+    bool Halted = false;
+    while (Slices < Opt.SliceBatch && !Cfg.hasError() &&
+           ownerEnabled(Id, S)) {
+      ++Slices;
+      SlicesRunA.fetch_add(1, std::memory_order_relaxed);
+      Executor::StepResult R = Exec.step(Cfg, Id);
+      if (R.Outcome == Executor::StepOutcome::Halted) {
+        // `delete`: the machine is gone for good (sends now error).
+        S.LifeState.store(Life::Dead, std::memory_order_release);
+        Wheel.cancelFor(Id);
+        Halted = true;
+        creditNotify(); // Blocked producers must observe the death.
+        break;
+      }
+      if (R.Outcome == Executor::StepOutcome::Error ||
+          R.Outcome == Executor::StepOutcome::Blocked)
+        break;
+      // SchedulingPoint (send/new): the send hook already routed any
+      // cross-machine traffic; keep draining this machine's slice
+      // budget. ChoicePoint/ForeignCall do not occur in host mode.
+    }
+
+    if (Halted) {
+      // Shed whatever the mailbox still holds (the serial equivalent:
+      // those events would sit undeliverable in a dead machine's queue).
+      transferMailbox(Id, S);
+      if (S.HasHeld) {
+        releaseCredit(S, S.Held);
+        S.HasHeld = false;
+      }
+      S.PendingLat.clear();
+    }
+
+    bool HasMail = S.HasHeld || !S.Box.empty();
+    bool Enabled = !Cfg.hasError() && ownerEnabled(Id, S);
+    if ((HasMail || Enabled) && !Shutdown.load(std::memory_order_relaxed) &&
+        !Cfg.hasError()) {
+      if (Slices >= Opt.SliceBatch) {
+        // Fairness: hand the machine back to the pool.
+        S.State.store(QueuedState, std::memory_order_release);
+        readyPush(Id); // Active stays held across the requeue.
+        return;
+      }
+      if (Enabled || !S.Box.empty())
+        continue;
+      // Only a held entry remains and the machine is not enabled: a
+      // dequeue is needed to free space, and dequeues only happen when
+      // new eligible events arrive (which notify()s us). Go idle.
+    }
+
+    uint32_t Expected = RunningState;
+    if (S.State.compare_exchange_strong(Expected, IdleState,
+                                        std::memory_order_acq_rel)) {
+      if (Active.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        quiesceNotifyIfIdle();
+      return;
+    }
+    // RunningPending: a notification raced in; absorb it and re-run.
+    S.State.store(RunningState, std::memory_order_release);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mailbox -> semantic queue transfer (owner side)
+//===----------------------------------------------------------------------===//
+
+void Reactor::transferMailbox(int32_t Id, Slot &S) {
+  if (S.HasHeld) {
+    MailboxEntry E = std::move(S.Held);
+    S.HasHeld = false;
+    if (!placeEntry(Id, S, E)) {
+      S.Held = std::move(E);
+      S.HasHeld = true;
+      return; // Still stalled; preserve FIFO by not skipping ahead.
+    }
+  }
+  MailboxEntry E;
+  size_t Moved = 0;
+  while (Moved < Opt.TransferBatch && S.Box.pop(E)) {
+    ++Moved;
+    if (!placeEntry(Id, S, E)) {
+      S.Held = std::move(E);
+      S.HasHeld = true;
+      return;
+    }
+  }
+}
+
+bool Reactor::placeEntry(int32_t Id, Slot &S, MailboxEntry &E) {
+  if (E.Event == ControlCrash) {
+    doCrash(Id, S);
+    return true;
+  }
+  if (S.LifeState.load(std::memory_order_relaxed) != Life::Live) {
+    releaseCredit(S, E);
+    return true; // Crashed/dead target swallows the event (serial parity).
+  }
+  {
+    const MachineState &M = *Cfg.Machines[Id];
+    // The ⊎ append: identical (event, payload) already queued is a no-op.
+    for (const auto &[Ev, V] : M.Queue)
+      if (Ev == E.Event && V == E.Arg) {
+        releaseCredit(S, E);
+        return true;
+      }
+    if (Cfg.MaxQueue != 0 && M.Queue.size() >= Cfg.MaxQueue) {
+      switch (Cfg.Overflow) {
+      case OverflowPolicy::DropNewest:
+        Cfg.countOverflowDrop();
+        releaseCredit(S, E);
+        return true;
+      case OverflowPolicy::Block:
+        if (E.FromHost)
+          return false; // Hold (credit kept) until a dequeue frees space.
+        [[fallthrough]]; // Machine-to-machine Block behaves like Error.
+      case OverflowPolicy::Error:
+        Exec.reportError(Cfg, Id, ErrorKind::QueueOverflow,
+                         "queue of machine id " + std::to_string(Id) +
+                             " exceeded MaxQueue=" +
+                             std::to_string(Cfg.MaxQueue));
+        releaseCredit(S, E);
+        return true;
+      }
+    }
+  }
+  Cfg.Machines[Id].mut().Queue.emplace_back(E.Event, E.Arg);
+  if (E.Credited)
+    ++S.CreditedInQueue;
+  if (E.FromHost) {
+    if (S.PendingLat.size() >= Opt.LatencyPendingCap) {
+      S.PendingLat.erase(S.PendingLat.begin());
+      LatencyDroppedA.fetch_add(1, std::memory_order_relaxed);
+    }
+    S.PendingLat.push_back({E.Event, E.T});
+  }
+  auto Depth = static_cast<uint32_t>(Cfg.Machines[Id]->Queue.size());
+  if (Depth > S.HighWater.load(std::memory_order_relaxed))
+    S.HighWater.store(Depth, std::memory_order_relaxed);
+  return true;
+}
+
+void Reactor::enqueueOwn(int32_t Id, int32_t Event, const Value &Arg) {
+  const MachineState &M = *Cfg.Machines[Id];
+  for (const auto &[Ev, V] : M.Queue)
+    if (Ev == Event && V == Arg)
+      return;
+  if (Cfg.MaxQueue != 0 && M.Queue.size() >= Cfg.MaxQueue) {
+    if (Cfg.Overflow == OverflowPolicy::DropNewest) {
+      Cfg.countOverflowDrop();
+      return;
+    }
+    Exec.reportError(Cfg, Id, ErrorKind::QueueOverflow,
+                     "queue of machine id " + std::to_string(Id) +
+                         " exceeded MaxQueue=" +
+                         std::to_string(Cfg.MaxQueue));
+    return;
+  }
+  Cfg.Machines[Id].mut().Queue.emplace_back(Event, Arg);
+  auto Depth = static_cast<uint32_t>(Cfg.Machines[Id]->Queue.size());
+  Slot &S = *Slots[Id];
+  if (Depth > S.HighWater.load(std::memory_order_relaxed))
+    S.HighWater.store(Depth, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash / restart
+//===----------------------------------------------------------------------===//
+
+void Reactor::doCrash(int32_t Id, Slot &S) {
+  if (Cfg.Machines[Id]->Alive)
+    Exec.crashMachine(Cfg, Id);
+  if (Cfg.Machines[Id]->Crashed)
+    S.LifeState.store(Life::Crashed, std::memory_order_release);
+  Wheel.cancelFor(Id);
+  // Release everything the dead machine owed: credits held by queued
+  // events, the stalled entry, and whatever is still in the mailbox.
+  if (S.CreditedInQueue != 0) {
+    S.InFlight.fetch_sub(S.CreditedInQueue, std::memory_order_acq_rel);
+    S.CreditedInQueue = 0;
+  }
+  if (S.HasHeld) {
+    releaseCredit(S, S.Held);
+    S.HasHeld = false;
+  }
+  MailboxEntry E;
+  while (S.Box.pop(E))
+    if (E.Event != ControlCrash)
+      releaseCredit(S, E);
+  S.PendingLat.clear();
+  creditNotify();
+}
+
+void Reactor::postCrash(int32_t Target) {
+  if (Target < 0 || Target >= machineCount())
+    return;
+  Slot &S = *Slots[Target];
+  MailboxEntry E;
+  E.Event = ControlCrash;
+  S.Box.push(std::move(E));
+  notify(Target);
+}
+
+bool Reactor::restartMachine(
+    int32_t Id, const std::vector<std::pair<int32_t, Value>> &Inits) {
+  if (Id < 0 || Id >= machineCount())
+    return false;
+  Slot &S = *Slots[Id];
+  // Acquire exclusive ownership exactly like a worker would, so no
+  // worker can be touching the machine while we rebuild it.
+  for (;;) {
+    uint32_t Expected = IdleState;
+    if (S.State.compare_exchange_weak(Expected, RunningState,
+                                      std::memory_order_acq_rel))
+      break;
+    std::this_thread::yield();
+  }
+  bool Ok;
+  {
+    // restartMachine bounds-checks against Machines.size(), which races
+    // with workers executing `new`; the structural mutex serializes it.
+    std::lock_guard<std::mutex> Lk(StructuralMu);
+    Ok = Exec.restartMachine(Cfg, Id, Inits);
+  }
+  if (Ok)
+    S.LifeState.store(Life::Live, std::memory_order_release);
+  // Hand the machine to the pool (entry statement pending on success;
+  // harmless no-op run otherwise).
+  S.State.store(QueuedState, std::memory_order_release);
+  Active.fetch_add(1, std::memory_order_acq_rel);
+  readyPush(Id);
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Credits (OverflowPolicy::Block) and latency samples
+//===----------------------------------------------------------------------===//
+
+void Reactor::releaseCredit(Slot &S, const MailboxEntry &E) {
+  if (!E.Credited)
+    return;
+  S.InFlight.fetch_sub(1, std::memory_order_acq_rel);
+  creditNotify();
+}
+
+void Reactor::creditNotify() {
+  { std::lock_guard<std::mutex> Lk(CreditsMu); }
+  CreditsCv.notify_all();
+}
+
+void Reactor::onDequeue(int32_t Machine, int32_t Event) {
+  if (Machine < 0 || Machine >= machineCount())
+    return;
+  Slot &S = *Slots[Machine];
+  if (S.CreditedInQueue != 0) {
+    --S.CreditedInQueue;
+    S.InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    creditNotify();
+  }
+  for (auto It = S.PendingLat.begin(); It != S.PendingLat.end(); ++It) {
+    if (It->Event != Event)
+      continue;
+    Latency.observe(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - It->T)
+                        .count());
+    S.PendingLat.erase(It);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Host-boundary ingress
+//===----------------------------------------------------------------------===//
+
+void Reactor::postEvent(int32_t Target, int32_t Event, const Value &Arg,
+                        std::chrono::steady_clock::time_point T) {
+  Slot &S = *Slots[Target];
+  bool Credited = false;
+  if (Cfg.MaxQueue != 0 && Cfg.Overflow == OverflowPolicy::Block) {
+    std::unique_lock<std::mutex> Lk(CreditsMu);
+    CreditsCv.wait(Lk, [&] {
+      if (Shutdown.load(std::memory_order_relaxed) || Cfg.hasError())
+        return true; // Give up waiting; deliver uncredited (it drains).
+      if (S.LifeState.load(std::memory_order_acquire) != Life::Live)
+        return true; // Dead/crashed target: the event vanishes anyway.
+      uint32_t Cur = S.InFlight.load(std::memory_order_relaxed);
+      while (Cur < Cfg.MaxQueue) {
+        if (S.InFlight.compare_exchange_weak(Cur, Cur + 1,
+                                             std::memory_order_acq_rel)) {
+          Credited = true;
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+  MailboxEntry E;
+  E.Event = Event;
+  E.Arg = Arg;
+  E.T = T;
+  E.FromHost = true;
+  E.Credited = Credited;
+  S.Box.push(std::move(E));
+  notify(Target);
+}
+
+//===----------------------------------------------------------------------===//
+// Timers
+//===----------------------------------------------------------------------===//
+
+void Reactor::flushDueTimers() {
+  std::lock_guard<std::mutex> Lk(TimerFlushMu);
+  std::vector<TimerEntry> Out;
+  Wheel.advanceTo(std::chrono::steady_clock::now(), Out);
+  for (TimerEntry &E : Out) {
+    TimersExpiredA.fetch_add(1, std::memory_order_relaxed);
+    if (E.Target < 0 || E.Target >= machineCount())
+      continue;
+    Slot &S = *Slots[E.Target];
+    if (S.LifeState.load(std::memory_order_acquire) != Life::Live)
+      continue;
+    MailboxEntry M;
+    M.Event = E.Event;
+    M.Arg = E.Arg;
+    M.T = std::chrono::steady_clock::now();
+    M.FromHost = E.FromHost;
+    M.Credited = false; // The tick thread never blocks on credits.
+    S.Box.push(std::move(M));
+    notify(E.Target);
+  }
+}
+
+void Reactor::timerMain() {
+  while (!Shutdown.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> Lk(TimerMu);
+      TimerCv.wait(Lk, [&] {
+        return Shutdown.load(std::memory_order_relaxed) || !Wheel.empty();
+      });
+    }
+    if (Shutdown.load(std::memory_order_relaxed))
+      return;
+    std::this_thread::sleep_for(Wheel.tick());
+    flushDueTimers();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Quiescence
+//===----------------------------------------------------------------------===//
+
+void Reactor::quiesceNotifyIfIdle() {
+  { std::lock_guard<std::mutex> Lk(QuiesceMu); }
+  QuiesceCv.notify_all();
+}
+
+void Reactor::waitQuiesce() {
+  std::unique_lock<std::mutex> Lk(QuiesceMu);
+  QuiesceCv.wait(Lk, [&] {
+    return Active.load(std::memory_order_acquire) == 0 ||
+           Shutdown.load(std::memory_order_relaxed);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+void Reactor::start() {
+  if (Started)
+    return;
+  Started = true;
+  NWorkers = Opt.Workers > 0
+                 ? Opt.Workers
+                 : static_cast<int>(
+                       std::max(1u, std::thread::hardware_concurrency()));
+
+  size_t MaxM = std::max(Opt.MaxMachines, Cfg.Machines.size());
+  // The machine table must never reallocate while workers read it
+  // lock-free: reserve up front, and createMachine (under the
+  // structural mutex) fail-stops at capacity.
+  Cfg.Machines.reserve(MaxM);
+  Slots.resize(MaxM); // null slots; installed on publish
+  for (size_t I = 0; I != Cfg.Machines.size(); ++I) {
+    const MachineState &M = *Cfg.Machines[I];
+    installSlot(static_cast<int32_t>(I),
+                M.Alive ? Life::Live
+                        : (M.Crashed ? Life::Crashed : Life::Dead));
+  }
+
+  Exec.setErrorMutex(&ErrorMu);
+  Exec.setStructuralMutex(&StructuralMu);
+  Exec.setSendHook([this](Config &C, int32_t From, int32_t To, int32_t Event,
+                          const Value &Arg) -> bool {
+    int32_t N = machineCount();
+    if (To < 0 || To >= N) {
+      Exec.reportError(C, From, ErrorKind::SendToNull,
+                       "send to invalid machine id " + std::to_string(To));
+      return true;
+    }
+    Slot &S = *Slots[To];
+    Life L = S.LifeState.load(std::memory_order_acquire);
+    if (L == Life::Crashed)
+      return true; // Fault model: sends to crashed machines vanish.
+    if (L != Life::Live) {
+      Exec.reportError(C, From, ErrorKind::SendToDeleted,
+                       "send to deleted machine id " + std::to_string(To));
+      return true;
+    }
+    if (To == From) {
+      enqueueOwn(To, Event, Arg);
+      return true;
+    }
+    MailboxEntry E;
+    E.Event = Event;
+    E.Arg = Arg;
+    E.T = std::chrono::steady_clock::now();
+    E.FromHost = false;
+    S.Box.push(std::move(E));
+    notify(To);
+    return true;
+  });
+  Exec.setCreateHook([this](Config &, int32_t Id) {
+    // Runs under the structural mutex, right after push_back: build the
+    // slot before any send can target the id, then schedule the entry
+    // statement.
+    installSlot(Id, Life::Live);
+    notify(Id);
+  });
+
+  Shutdown.store(false, std::memory_order_release);
+
+  // Schedule machines with pre-existing work before workers spin up
+  // (safe to use isEnabled here: no concurrent structural mutation yet).
+  std::vector<int32_t> Pending;
+  for (int32_t I = 0, N = machineCount(); I != N; ++I)
+    if (Exec.isEnabled(Cfg, I))
+      Pending.push_back(I);
+
+  for (int I = 0; I != NWorkers; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+  TimerThread = std::thread([this] { timerMain(); });
+
+  for (int32_t Id : Pending)
+    notify(Id);
+}
+
+void Reactor::stop() {
+  if (!Started || Stopped)
+    return;
+  Stopped = true;
+  Shutdown.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lk(ReadyMu);
+  }
+  ReadyCv.notify_all();
+  {
+    std::lock_guard<std::mutex> Lk(TimerMu);
+  }
+  TimerCv.notify_all();
+  creditNotify();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  if (TimerThread.joinable())
+    TimerThread.join();
+
+  Exec.setSendHook(nullptr);
+  Exec.setCreateHook(nullptr);
+  Exec.setErrorMutex(nullptr);
+  Exec.setStructuralMutex(nullptr);
+
+  // Fold leftover mailbox contents back into the semantic queues so a
+  // serial pump (or observation APIs) sees every accepted event. Block
+  // policy appends past the bound here rather than raising a spurious
+  // teardown error; DropNewest still sheds and counts.
+  for (int32_t Id = 0, N = machineCount(); Id != N; ++Id) {
+    Slot &S = *Slots[Id];
+    auto Fold = [&](MailboxEntry &E) {
+      if (E.Event == ControlCrash) {
+        if (Cfg.Machines[Id]->Alive) {
+          Exec.crashMachine(Cfg, Id);
+          S.LifeState.store(Life::Crashed, std::memory_order_relaxed);
+        }
+        return;
+      }
+      if (S.LifeState.load(std::memory_order_relaxed) != Life::Live)
+        return;
+      const MachineState &M = *Cfg.Machines[Id];
+      for (const auto &[Ev, V] : M.Queue)
+        if (Ev == E.Event && V == E.Arg)
+          return;
+      if (Cfg.MaxQueue != 0 && M.Queue.size() >= Cfg.MaxQueue &&
+          Cfg.Overflow == OverflowPolicy::DropNewest) {
+        Cfg.countOverflowDrop();
+        return;
+      }
+      Cfg.Machines[Id].mut().Queue.emplace_back(E.Event, E.Arg);
+    };
+    if (S.HasHeld) {
+      Fold(S.Held);
+      S.HasHeld = false;
+    }
+    MailboxEntry E;
+    while (S.Box.pop(E))
+      Fold(E);
+    S.InFlight.store(0, std::memory_order_relaxed);
+    S.CreditedInQueue = 0;
+    S.PendingLat.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Counters
+//===----------------------------------------------------------------------===//
+
+uint64_t Reactor::mailboxSpills() const {
+  uint64_t Total = 0;
+  for (int32_t Id = 0, N = machineCount(); Id != N; ++Id)
+    Total += Slots[Id]->Box.spillCount();
+  return Total;
+}
+
+uint64_t Reactor::queueHighWaterMax() const {
+  uint64_t Max = 0;
+  for (int32_t Id = 0, N = machineCount(); Id != N; ++Id)
+    Max = std::max<uint64_t>(
+        Max, Slots[Id]->HighWater.load(std::memory_order_relaxed));
+  return Max;
+}
+
+} // namespace p

@@ -1,0 +1,280 @@
+//===- host/Reactor.h - Thread-pool reactor pump for the host --------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-threaded event pump behind Host::startReactor. N worker
+/// threads run ready machines; every machine has a lock-free MPSC
+/// mailbox (host/Mailbox.h) for its ingress and an ownership word that
+/// guarantees at most one worker executes a machine's handlers at a
+/// time — the paper's per-machine run-to-completion discipline, scaled
+/// out.
+///
+/// ## Ownership-by-worker invariant
+///
+/// Each machine slot carries a four-state word:
+///
+///   Idle ──notify──> Queued ──worker──> Running ──> Idle
+///                                          │  ▲
+///                                 notify   ▼  │ worker re-runs
+///                                     RunningPending
+///
+/// Producers (host threads, workers forwarding sends, the timer
+/// thread) push into the mailbox first and then call notify(), which
+/// CASes Idle→Queued (scheduling the machine) or Running→
+/// RunningPending (the owner re-runs before releasing). A worker
+/// releases ownership with a Running→Idle CAS that fails if a
+/// notification arrived after its last empty-mailbox check, so wakeups
+/// cannot be lost. Only the owning worker touches the machine's
+/// semantic state (MachineState), its pending-latency list, and its
+/// credit bookkeeping; everything shared is atomic or behind a mutex.
+///
+/// Cross-machine sends executed inside a handler are rerouted by an
+/// Executor send hook into the target's mailbox before the executor
+/// can read the target's state, so workers never dereference machines
+/// they do not own. ⊎ dedup and MaxQueue overflow policies are applied
+/// owner-side when the mailbox transfers into the semantic queue — the
+/// queue itself remains exactly the semantics' FIFO.
+///
+/// OverflowPolicy::Block remains a host-boundary-only wait: producers
+/// acquire per-machine credits (mailbox + semantic-queue occupancy
+/// ≤ MaxQueue) before pushing, and the owner releases credits when
+/// credited events are deduped, shed, or dequeued. Timer deliveries
+/// bypass credits (the tick thread must never block).
+///
+/// Quiescence: an Active counter tracks machines in Queued/Running;
+/// waitQuiesce() returns when it reaches zero, which is when every
+/// event accepted by a returned addEvent call has been fully processed
+/// (or the config errored — fail-stop drains the schedule).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_HOST_REACTOR_H
+#define P_HOST_REACTOR_H
+
+#include "host/Mailbox.h"
+#include "host/TimerWheel.h"
+#include "obs/Metrics.h"
+#include "runtime/Executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p {
+
+struct ReactorOptions {
+  /// Worker threads; 0 = hardware_concurrency (min 1).
+  int Workers = 0;
+  /// Ring slots per machine mailbox (rounded up to a power of two);
+  /// overflow spills to a mutex-guarded side list, preserving order.
+  size_t MailboxCapacity = 1024;
+  /// Pre-reserved machine-table capacity. The table cannot grow while
+  /// workers read it lock-free, so `new` past this bound fail-stops
+  /// with ErrorKind::ResourceExhausted.
+  size_t MaxMachines = size_t(1) << 16;
+  /// Cap on the per-machine latency matcher FIFO (overflow counted in
+  /// latencyDropped / p_host_latency_dropped_total).
+  size_t LatencyPendingCap = 4096;
+  /// Mailbox entries transferred into the semantic queue per pump
+  /// iteration (the batch-dequeue knob).
+  size_t TransferBatch = 256;
+  /// Run-to-completion slices per ownership before the machine is
+  /// requeued for fairness.
+  size_t SliceBatch = 1024;
+};
+
+class Reactor {
+public:
+  /// Lifecycle of a machine id as the lock-free readers see it.
+  enum class Life : uint8_t {
+    Empty = 0,  ///< Id not yet published.
+    Live = 1,
+    Dead = 2,   ///< Deleted itself (`delete`); sends are program errors.
+    Crashed = 3 ///< Fail-stopped; sends vanish, restart possible.
+  };
+
+  Reactor(Executor &Exec, Config &Cfg, TimerWheel &Wheel,
+          obs::Histogram &Latency, ReactorOptions Opt);
+  ~Reactor();
+
+  /// Installs the executor hooks, publishes the existing machines, and
+  /// launches the worker pool + timer thread. Call with no other
+  /// threads driving the host.
+  void start();
+  /// Stops all threads and folds leftover mailbox contents back into
+  /// the semantic queues so serial mode can resume. Idempotent.
+  void stop();
+  bool running() const { return Started && !Stopped; }
+
+  int32_t machineCount() const {
+    return static_cast<int32_t>(NMachines.load(std::memory_order_acquire));
+  }
+  Life life(int32_t Id) const {
+    if (Id < 0 || Id >= machineCount())
+      return Life::Empty;
+    return Slots[Id]->LifeState.load(std::memory_order_acquire);
+  }
+
+  /// Host-boundary delivery: waits for a Block credit when the policy
+  /// demands it, pushes to the target's mailbox, schedules the target.
+  /// \p T is the producer-side timestamp for the latency histogram.
+  /// Always returns having accepted the event (crashed targets swallow
+  /// it downstream, matching serial addEvent).
+  void postEvent(int32_t Target, int32_t Event, const Value &Arg,
+                 std::chrono::steady_clock::time_point T);
+
+  /// Asynchronous fail-stop: enqueues a crash control message; the
+  /// owning worker kills the machine, cancels its timers, drains its
+  /// mailbox, and releases blocked producers.
+  void postCrash(int32_t Target);
+
+  /// Restarts a crashed machine (acquires exclusive ownership from the
+  /// calling thread, then schedules the entry statement).
+  bool restartMachine(int32_t Id,
+                      const std::vector<std::pair<int32_t, Value>> &Inits);
+
+  /// Schedules machine \p Id if it is idle (mailbox-push-then-notify
+  /// protocol; see file comment).
+  void notify(int32_t Id);
+
+  /// Wakes the timer thread after TimerWheel::schedule.
+  void timerArmed() { TimerCv.notify_all(); }
+
+  /// Advances the wheel to now and delivers expired entries to their
+  /// mailboxes (also the tick thread's body).
+  void flushDueTimers();
+
+  /// Blocks until no machine is queued or running.
+  void waitQuiesce();
+
+  /// Dequeue-observer body, called by the owning worker via the host:
+  /// releases a Block credit and closes the oldest matching latency
+  /// sample.
+  void onDequeue(int32_t Machine, int32_t Event);
+
+  // Counters folded into HostStats by the host.
+  uint64_t slicesRun() const {
+    return SlicesRunA.load(std::memory_order_relaxed);
+  }
+  uint64_t latencyDropped() const {
+    return LatencyDroppedA.load(std::memory_order_relaxed);
+  }
+  uint64_t timersExpired() const {
+    return TimersExpiredA.load(std::memory_order_relaxed);
+  }
+  uint64_t mailboxSpills() const;
+  uint64_t queueHighWaterMax() const;
+  uint32_t queueHighWater(int32_t Id) const {
+    if (Id < 0 || Id >= machineCount())
+      return 0;
+    return Slots[Id]->HighWater.load(std::memory_order_relaxed);
+  }
+  int workers() const { return NWorkers; }
+
+private:
+  enum RunState : uint32_t {
+    IdleState = 0,
+    QueuedState = 1,
+    RunningState = 2,
+    RunningPendingState = 3,
+  };
+
+  /// Crash control message event id (never a real event: real ids >= 0).
+  static constexpr int32_t ControlCrash = -2;
+
+  struct PendingLatency {
+    int32_t Event;
+    std::chrono::steady_clock::time_point T;
+  };
+
+  struct Slot {
+    explicit Slot(size_t MailboxCap) : Box(MailboxCap) {}
+    Mailbox Box;
+    std::atomic<uint32_t> State{IdleState};
+    std::atomic<Life> LifeState{Life::Empty};
+    /// OverflowPolicy::Block credits currently held by events in the
+    /// mailbox or the semantic queue.
+    std::atomic<uint32_t> InFlight{0};
+    std::atomic<uint32_t> HighWater{0};
+
+    // ---- owner-only state (guarded by the ownership invariant) ----
+    uint32_t CreditedInQueue = 0; ///< Credits owed at dequeue time.
+    bool HasHeld = false;         ///< Transfer stalled on a full queue.
+    MailboxEntry Held;
+    std::vector<PendingLatency> PendingLat;
+  };
+
+  void installSlot(int32_t Id, Life L);
+  void readyPush(int32_t Id);
+  int32_t readyPop(); ///< Blocks; -1 on shutdown.
+  void workerMain();
+  void timerMain();
+  void runMachine(int32_t Id, Slot &S);
+  /// Moves up to TransferBatch mailbox entries into the semantic queue
+  /// (⊎ dedup + overflow policy applied here). Owner only.
+  void transferMailbox(int32_t Id, Slot &S);
+  /// Enqueues one popped entry; returns false when the entry must be
+  /// held (Block policy, full queue). Owner only.
+  bool placeEntry(int32_t Id, Slot &S, MailboxEntry &E);
+  void doCrash(int32_t Id, Slot &S);
+  /// isEnabled without the Config::Machines bounds check (the vector's
+  /// size field races with concurrent `new`; the owner already knows
+  /// Id is published). Owner only.
+  bool ownerEnabled(int32_t Id, Slot &S) const;
+  void releaseCredit(Slot &S, const MailboxEntry &E);
+  void creditNotify();
+  void quiesceNotifyIfIdle();
+  /// Self-send path of the send hook: the owner enqueues into its own
+  /// semantic queue with serial-mode dedup/overflow semantics.
+  void enqueueOwn(int32_t Id, int32_t Event, const Value &Arg);
+
+  Executor &Exec;
+  Config &Cfg;
+  TimerWheel &Wheel;
+  obs::Histogram &Latency;
+  const ReactorOptions Opt;
+  int NWorkers = 1;
+
+  std::vector<std::unique_ptr<Slot>> Slots; ///< Pre-sized to MaxMachines.
+  std::atomic<size_t> NMachines{0};
+
+  std::mutex ReadyMu;
+  std::condition_variable ReadyCv;
+  std::deque<int32_t> Ready;
+
+  std::atomic<uint64_t> Active{0}; ///< Machines queued or running.
+  std::mutex QuiesceMu;
+  std::condition_variable QuiesceCv;
+
+  std::mutex CreditsMu;
+  std::condition_variable CreditsCv;
+
+  std::mutex ErrorMu;      ///< Installed on the executor.
+  std::mutex StructuralMu; ///< Installed on the executor.
+
+  std::mutex TimerMu; ///< Tick thread sleep/wake.
+  std::condition_variable TimerCv;
+  std::mutex TimerFlushMu; ///< Serializes expiry delivery batches.
+
+  std::vector<std::thread> Workers;
+  std::thread TimerThread;
+  std::atomic<bool> Shutdown{false};
+  bool Started = false;
+  bool Stopped = false;
+
+  std::atomic<uint64_t> SlicesRunA{0};
+  std::atomic<uint64_t> LatencyDroppedA{0};
+  std::atomic<uint64_t> TimersExpiredA{0};
+};
+
+} // namespace p
+
+#endif // P_HOST_REACTOR_H

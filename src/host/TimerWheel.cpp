@@ -1,0 +1,147 @@
+//===- host/TimerWheel.cpp ---------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/TimerWheel.h"
+
+#include <algorithm>
+
+using namespace p;
+
+TimerWheel::TimerWheel(size_t NShards, Clock::duration Tick)
+    : TickLen(Tick.count() > 0 ? Tick : std::chrono::milliseconds(1)) {
+  if (NShards == 0)
+    NShards = 1;
+  Shards.reserve(NShards);
+  for (size_t I = 0; I != NShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+void TimerWheel::place(Shard &S, TimerEntry E,
+                       std::vector<TimerEntry> *Expired) {
+  uint64_t DeadTick = tickOf(E.Deadline);
+  if (DeadTick <= S.CurTick) {
+    if (Expired)
+      Expired->push_back(std::move(E));
+    else
+      S.DueNow.push_back(std::move(E));
+    return;
+  }
+  uint64_t Delta = DeadTick - S.CurTick;
+  for (int L = 0; L != Levels; ++L) {
+    // Level L spans 2^(8*(L+1)) ticks ahead of CurTick.
+    uint64_t Span = uint64_t(1) << (SlotBits * (L + 1));
+    if (Delta < Span) {
+      slot(S, L, DeadTick).push_back(std::move(E));
+      return;
+    }
+  }
+  S.FarFuture.push_back(std::move(E));
+}
+
+void TimerWheel::schedule(TimerEntry E) {
+  E.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  Shard &S = *Shards[static_cast<size_t>(
+      static_cast<uint32_t>(E.Target < 0 ? 0 : E.Target) % Shards.size())];
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    place(S, std::move(E), nullptr);
+  }
+  Count.fetch_add(1, std::memory_order_release);
+}
+
+void TimerWheel::advanceShard(Shard &S, uint64_t NowTick,
+                              std::vector<TimerEntry> &Expired) {
+  while (S.CurTick < NowTick) {
+    ++S.CurTick;
+    // Cascade: whenever a coarser level's granularity boundary is
+    // crossed, its current slot re-places one level finer (or expires).
+    for (int L = 1; L != Levels; ++L) {
+      if ((S.CurTick & ((uint64_t(1) << (SlotBits * L)) - 1)) != 0)
+        break;
+      std::deque<TimerEntry> Moved;
+      Moved.swap(slot(S, L, S.CurTick));
+      for (TimerEntry &E : Moved)
+        place(S, std::move(E), &Expired);
+      // Level-3 lap complete: far-future entries may be in range now.
+      if (L == Levels - 1) {
+        std::deque<TimerEntry> Far;
+        Far.swap(S.FarFuture);
+        for (TimerEntry &E : Far)
+          place(S, std::move(E), &Expired);
+      }
+    }
+    std::deque<TimerEntry> &Due = slot(S, 0, S.CurTick);
+    while (!Due.empty()) {
+      Expired.push_back(std::move(Due.front()));
+      Due.pop_front();
+    }
+  }
+}
+
+void TimerWheel::advanceTo(Clock::time_point Now,
+                           std::vector<TimerEntry> &Out) {
+  const uint64_t NowTick = tickOf(Now);
+  const size_t Before = Out.size();
+  for (auto &SPtr : Shards) {
+    Shard &S = *SPtr;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    while (!S.DueNow.empty()) {
+      Out.push_back(std::move(S.DueNow.front()));
+      S.DueNow.pop_front();
+    }
+    if (S.CurTick >= NowTick)
+      continue;
+    // Empty shards jump straight to NowTick: an idle host must not pay
+    // one loop iteration per elapsed millisecond.
+    bool HasWork = !S.FarFuture.empty();
+    if (!HasWork)
+      for (const auto &Q : S.Slots)
+        if (!Q.empty()) {
+          HasWork = true;
+          break;
+        }
+    if (!HasWork) {
+      S.CurTick = NowTick;
+      continue;
+    }
+    advanceShard(S, NowTick, Out);
+  }
+  const size_t Expired = Out.size() - Before;
+  if (Expired)
+    Count.fetch_sub(Expired, std::memory_order_release);
+  std::sort(Out.begin() + Before, Out.end(),
+            [](const TimerEntry &A, const TimerEntry &B) {
+              if (A.Deadline != B.Deadline)
+                return A.Deadline < B.Deadline;
+              return A.Seq < B.Seq;
+            });
+}
+
+size_t TimerWheel::cancelFor(int32_t Target) {
+  Shard &S = *Shards[static_cast<size_t>(
+      static_cast<uint32_t>(Target < 0 ? 0 : Target) % Shards.size())];
+  size_t Dropped = 0;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto Drop = [&](std::deque<TimerEntry> &Q) {
+      for (auto It = Q.begin(); It != Q.end();) {
+        if (It->Target == Target) {
+          It = Q.erase(It);
+          ++Dropped;
+        } else {
+          ++It;
+        }
+      }
+    };
+    for (auto &Q : S.Slots)
+      Drop(Q);
+    Drop(S.FarFuture);
+    Drop(S.DueNow);
+  }
+  if (Dropped)
+    Count.fetch_sub(Dropped, std::memory_order_release);
+  return Dropped;
+}

@@ -1,0 +1,139 @@
+//===- host/TimerWheel.h - Sharded hierarchical timer wheel ----------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delayed deliveries for the host: FaultKind::DelayEvent and
+/// Host::addEventAfter park events here instead of in the old
+/// flush-after-next-pump vector, so a delay has a real duration and the
+/// reactor's timer thread can expire thousands of them per tick without
+/// scanning a sorted set.
+///
+/// Layout: the classic hierarchical timing wheel (four levels of 256
+/// slots over a ~1ms tick, covering ~50 days before the far-future
+/// overflow list is needed). An entry at delta d ticks lands in the
+/// level whose span covers d, in the slot its absolute deadline tick
+/// indexes at that level's granularity; when a level-0 lap completes,
+/// the next level-1 slot cascades down, and so on up. Insertion and
+/// expiry are O(1) amortized regardless of how many timers are pending
+/// — the property a server-class host needs and a deadline-ordered
+/// multiset does not have.
+///
+/// Sharding: entries hash by target machine (Target % NShards), one
+/// mutex per shard, so producers scheduling delays for different
+/// machines do not contend and cancelFor (crash fail-stop: a crashed
+/// machine's pending deliveries vanish) locks exactly one shard.
+///
+/// Expiry order: advanceTo merges the shards and sorts the batch by
+/// (Deadline, Seq) — earlier deadlines deliver first, ties break by
+/// schedule order, so equal-delay events from one producer keep their
+/// FIFO order. Resolution is one tick (default 1ms): deadlines within
+/// the same tick may expire together, in Seq order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_HOST_TIMERWHEEL_H
+#define P_HOST_TIMERWHEEL_H
+
+#include "runtime/Value.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace p {
+
+/// One delayed delivery. FromHost/Credited mirror MailboxEntry (the
+/// expiry is pushed into the target's mailbox in reactor mode).
+struct TimerEntry {
+  int32_t Target = -1;
+  int32_t Event = -1;
+  Value Arg;
+  std::chrono::steady_clock::time_point Deadline;
+  uint64_t Seq = 0; ///< Assigned by schedule(); total order of scheduling.
+  bool FromHost = true;
+};
+
+class TimerWheel {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TimerWheel(size_t NShards = 4,
+                      Clock::duration Tick = std::chrono::milliseconds(1));
+
+  /// Parks \p E until its Deadline; fills in E.Seq. Thread-safe.
+  void schedule(TimerEntry E);
+
+  /// Moves every entry whose deadline is <= \p Now into \p Out, sorted
+  /// by (Deadline, Seq). Appends; does not clear \p Out. Thread-safe,
+  /// but concurrent advanceTo calls may interleave batches — the host
+  /// calls it from one place per mode (the pump or the tick thread).
+  void advanceTo(Clock::time_point Now, std::vector<TimerEntry> &Out);
+
+  /// Discards every pending entry for \p Target (crash fail-stop).
+  /// Returns how many were dropped.
+  size_t cancelFor(int32_t Target);
+
+  /// Pending entries across all shards (approximate under concurrency).
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  Clock::duration tick() const { return TickLen; }
+
+private:
+  static constexpr int Levels = 4;
+  static constexpr int SlotBits = 8;
+  static constexpr size_t SlotsPerLevel = size_t(1) << SlotBits;
+  static constexpr size_t SlotMask = SlotsPerLevel - 1;
+
+  struct Shard {
+    std::mutex Mu;
+    uint64_t CurTick = 0;
+    /// [level][slot] -> entries whose deadline tick lands there.
+    std::vector<std::deque<TimerEntry>> Slots =
+        std::vector<std::deque<TimerEntry>>(Levels * SlotsPerLevel);
+    /// Deadlines beyond the wheel horizon (~50 days at 1ms).
+    std::deque<TimerEntry> FarFuture;
+    /// Entries already due when scheduled (FaultKind::DelayEvent uses a
+    /// now() deadline): the next advanceTo delivers them even when no
+    /// tick boundary has passed, so delay resolution never rounds a
+    /// zero delay up to one tick.
+    std::deque<TimerEntry> DueNow;
+  };
+
+  uint64_t tickOf(Clock::time_point T) const {
+    if (T <= Start)
+      return 0;
+    return static_cast<uint64_t>((T - Start) / TickLen);
+  }
+
+  std::deque<TimerEntry> &slot(Shard &S, int Level, uint64_t Tick) {
+    size_t Idx = (Tick >> (SlotBits * Level)) & SlotMask;
+    return S.Slots[static_cast<size_t>(Level) * SlotsPerLevel + Idx];
+  }
+
+  /// Places \p E relative to S.CurTick, or straight into \p Expired when
+  /// already due. Shard mutex held.
+  void place(Shard &S, TimerEntry E, std::vector<TimerEntry> *Expired);
+
+  /// Steps one shard forward to \p NowTick, cascading levels and
+  /// collecting due entries. Shard mutex held.
+  void advanceShard(Shard &S, uint64_t NowTick,
+                    std::vector<TimerEntry> &Expired);
+
+  const Clock::time_point Start = Clock::now();
+  const Clock::duration TickLen;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<uint64_t> NextSeq{0};
+  std::atomic<size_t> Count{0};
+};
+
+} // namespace p
+
+#endif // P_HOST_TIMERWHEEL_H

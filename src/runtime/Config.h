@@ -258,6 +258,11 @@ struct Config {
   /// `Machines[Id].mut()` (or the mutableMachine helper) only.
   std::vector<CowMachine> Machines;
 
+  /// The error flag of Figure 6. Plain field so Config stays trivially
+  /// copyable state, but cross-thread access (reactor workers polling
+  /// while another raises) goes through errorKind()/storeErrorKind()
+  /// below, which wrap it in a std::atomic_ref. Single-threaded code may
+  /// keep reading/writing it directly.
   ErrorKind Error = ErrorKind::None;
   std::string ErrorMessage;
   int32_t ErrorMachine = -1;
@@ -271,7 +276,27 @@ struct Config {
   /// excluded from serialization/equality, exported as a host metric.
   uint64_t OverflowDropped = 0;
 
-  bool hasError() const { return Error != ErrorKind::None; }
+  /// Error flag accessors, safe under the reactor host's concurrency:
+  /// the release store in storeErrorKind pairs with the acquire load
+  /// here, so a reader that observes the flag also observes
+  /// ErrorMessage/ErrorMachine (written before the store, serialized by
+  /// Executor's error mutex when one is installed).
+  ErrorKind errorKind() const {
+    return std::atomic_ref<ErrorKind>(const_cast<ErrorKind &>(Error))
+        .load(std::memory_order_acquire);
+  }
+  void storeErrorKind(ErrorKind Kind) {
+    std::atomic_ref<ErrorKind>(Error).store(Kind,
+                                            std::memory_order_release);
+  }
+  /// Atomic increment for OverflowDropped (DropNewest shedding can
+  /// happen on several reactor workers at once).
+  void countOverflowDrop() {
+    std::atomic_ref<uint64_t>(OverflowDropped)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool hasError() const { return errorKind() != ErrorKind::None; }
 
   /// True when the id denotes a live machine.
   bool isLive(int32_t Id) const {

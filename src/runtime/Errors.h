@@ -51,6 +51,11 @@ enum class ErrorKind {
   /// unbounded memory growth under overload (see DESIGN.md "Fault
   /// model").
   QueueOverflow,
+  /// Extension: `new` failed because the reactor host's pre-reserved
+  /// machine table is full (ReactorOptions::MaxMachines). The table
+  /// cannot grow while worker threads read it lock-free, so exhaustion
+  /// is fail-stop rather than a reallocation race.
+  ResourceExhausted,
 };
 
 /// Short identifier, e.g. "unhandled-event".
@@ -80,6 +85,8 @@ inline const char *errorKindName(ErrorKind Kind) {
     return "liveness-violation";
   case ErrorKind::QueueOverflow:
     return "queue-overflow";
+  case ErrorKind::ResourceExhausted:
+    return "resource-exhausted";
   }
   return "unknown";
 }

@@ -38,9 +38,21 @@ void Executor::registerForeign(const std::string &Machine,
 
 void Executor::raiseError(Config &Cfg, int32_t Id, ErrorKind Kind,
                           std::string Message) const {
-  Cfg.Error = Kind;
-  Cfg.ErrorMessage = std::move(Message);
-  Cfg.ErrorMachine = Id;
+  if (ErrorMu) {
+    // Reactor mode: first error wins, and the message fields are
+    // published before the flag (storeErrorKind is a release store that
+    // hasError()'s acquire load pairs with).
+    std::lock_guard<std::mutex> Lock(*ErrorMu);
+    if (Cfg.hasError())
+      return;
+    Cfg.ErrorMessage = std::move(Message);
+    Cfg.ErrorMachine = Id;
+    Cfg.storeErrorKind(Kind);
+  } else {
+    Cfg.ErrorMessage = std::move(Message);
+    Cfg.ErrorMachine = Id;
+    Cfg.storeErrorKind(Kind);
+  }
   if (Trace)
     Trace->record(TraceKind::Error, Id, static_cast<int32_t>(Kind));
 }
@@ -80,8 +92,29 @@ int32_t Executor::createMachine(
   if (Info.States[0].EntryBody >= 0)
     pushBodyFrame(M, Info.States[0].EntryBody, FrameKind::Entry);
 
-  Cfg.Machines.push_back(CowMachine(std::move(M)));
-  int32_t Id = static_cast<int32_t>(Cfg.Machines.size()) - 1;
+  int32_t Id;
+  {
+    // Reactor mode: the push_back must not move the handle array under
+    // lock-free readers, so growth past the pre-reserved capacity is a
+    // fail-stop error instead of a reallocation.
+    std::unique_lock<std::mutex> Lock;
+    if (StructuralMu) {
+      Lock = std::unique_lock<std::mutex>(*StructuralMu);
+      if (Cfg.Machines.size() == Cfg.Machines.capacity()) {
+        Lock.unlock();
+        raiseError(Cfg, static_cast<int32_t>(Cfg.Machines.size()),
+                   ErrorKind::ResourceExhausted,
+                   "machine table full (" +
+                       std::to_string(Cfg.Machines.capacity()) +
+                       " reserved); raise ReactorOptions::MaxMachines");
+        return -1;
+      }
+    }
+    Cfg.Machines.push_back(CowMachine(std::move(M)));
+    Id = static_cast<int32_t>(Cfg.Machines.size()) - 1;
+    if (CreateHook)
+      CreateHook(Cfg, Id);
+  }
   if (Trace) {
     Trace->record(TraceKind::New, Id, MachineIndex);
     Trace->record(TraceKind::StateEnter, Id, 0, MachineIndex);
@@ -124,7 +157,7 @@ bool Executor::enqueueEvent(Config &Cfg, int32_t Target, int32_t Event,
       return true;
   if (Cfg.MaxQueue != 0 && M.Queue.size() >= Cfg.MaxQueue) {
     if (Cfg.Overflow == OverflowPolicy::DropNewest) {
-      ++Cfg.OverflowDropped;
+      Cfg.countOverflowDrop();
       if (Trace)
         Trace->record(TraceKind::QueueOverflow, Target, Event,
                       static_cast<int32_t>(Cfg.Overflow));
@@ -603,6 +636,12 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
     for (size_t K = Fields.size(); K-- > 0;)
       Inits[K] = {Fields[K], popValue()};
     int32_t Child = createMachine(Cfg, I.A, Inits);
+    if (Child < 0) {
+      // Machine table exhausted (reactor mode); the error config is
+      // already raised.
+      Res.Kind = InstrResult::Error;
+      return Res;
+    }
     // Frame stays valid: it lives in this machine's heap snapshot, which
     // createMachine's push_back on Cfg.Machines does not move.
     Frame.Operands.push_back(Value::machine(Child));
@@ -628,6 +667,18 @@ Executor::InstrResult Executor::execInstr(Config &Cfg, int32_t Id) const {
                   "send target is not a machine id at " + Loc.str() +
                       " in " + B.Name);
     int32_t To = Target.asMachine();
+    // Reactor mode: the hook routes the send through the target's
+    // mailbox (or enqueues self-sends owner-side) so this worker never
+    // touches another machine's state — including the liveness checks
+    // below, which would race with concurrent crash/create.
+    if (SendHook && SendHook(Cfg, Id, To, Event.asEvent(), Payload)) {
+      if (Trace)
+        Trace->record(TraceKind::Send, Id, Event.asEvent(), To);
+      ++Frame.PC;
+      Res.Kind = InstrResult::SchedulingPoint;
+      Res.Other = To;
+      return Res;
+    }
     // Fault model: a crashed process neither receives nor errors the
     // sender (unlike a deleted one — SEND-FAIL2 stays a program bug).
     // The message vanishes but the send still executed, so the slice

@@ -27,6 +27,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -145,6 +146,48 @@ public:
     addDispatchObserver(std::move(Observer));
   }
 
+  /// Reroutes `send` instructions executed inside step() (the reactor
+  /// host's cross-machine path). Called with (Cfg, From, To, Event,
+  /// Payload) before the executor touches the target machine's state,
+  /// so a hook that routes every send through per-machine mailboxes
+  /// keeps workers from reading or writing machines they do not own.
+  /// Return true when the hook delivered (or deliberately dropped) the
+  /// event — the send still completes as a scheduling point; return
+  /// false to fall through to the default in-place enqueue (serial
+  /// mode, or a hook that opts out for this target).
+  using SendHookFn = std::function<bool(Config &, int32_t From, int32_t To,
+                                        int32_t Event, const Value &Arg)>;
+  void setSendHook(SendHookFn Hook) { SendHook = std::move(Hook); }
+
+  /// Called after createMachine appended the new machine (under the
+  /// structural mutex when one is installed): the reactor uses it to
+  /// set up the machine's mailbox/ownership slot before the id becomes
+  /// visible to other threads.
+  using CreateHookFn = std::function<void(Config &, int32_t Id)>;
+  void setCreateHook(CreateHookFn Hook) { CreateHook = std::move(Hook); }
+
+  /// Serializes raiseError across reactor workers. When set, the first
+  /// error wins — later raiseError calls on an already-errored Config
+  /// are dropped — and the ErrorKind flag is published with a release
+  /// store after the message fields. nullptr (default) restores plain
+  /// single-threaded writes.
+  void setErrorMutex(std::mutex *Mu) { ErrorMu = Mu; }
+
+  /// Serializes createMachine's push_back on Config::Machines across
+  /// threads. When set, createMachine additionally refuses to grow the
+  /// vector past its reserved capacity (raising
+  /// ErrorKind::ResourceExhausted) because reallocation would move the
+  /// handle array under lock-free readers.
+  void setStructuralMutex(std::mutex *Mu) { StructuralMu = Mu; }
+
+  /// Raises a semantic error from host-side code that detects it
+  /// outside step() (e.g. the reactor classifying a send to a deleted
+  /// machine at the mailbox boundary). Honors the error mutex.
+  void reportError(Config &Cfg, int32_t Id, ErrorKind Kind,
+                   std::string Message) const {
+    raiseError(Cfg, Id, Kind, std::move(Message));
+  }
+
   /// Attaches a structured-event trace sink (see obs/Trace.h): send,
   /// dequeue, raise, new, state entry/exit, halt, and error events are
   /// recorded with timestamps as they execute. The sink must be owned
@@ -232,6 +275,10 @@ private:
   std::vector<DispatchObserverFn> DispatchObservers;
   std::map<std::pair<std::string, std::string>, ForeignFn> ForeignFns;
   obs::TraceSink *Trace = nullptr;
+  SendHookFn SendHook;
+  CreateHookFn CreateHook;
+  std::mutex *ErrorMu = nullptr;
+  std::mutex *StructuralMu = nullptr;
 };
 
 } // namespace p

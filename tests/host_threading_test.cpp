@@ -14,10 +14,12 @@
 
 #include "frontend/Frontend.h"
 #include "host/Host.h"
+#include "host/TimerWheel.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -112,6 +114,386 @@ main machine Target {
     EXPECT_EQ(H.readVar(Ids[T], "Hits"), Value::integer(50));
   }
   EXPECT_EQ(H.stats().MachinesCreated, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reactor pump: the lock-free MPSC mailbox path (Host::startReactor).
+//===----------------------------------------------------------------------===//
+
+const char *CounterSrc = R"(
+event Inc(int);
+main machine CounterM {
+  var Total: int;
+  var Count: int;
+  state S {
+    entry { Total = 0; Count = 0; }
+    on Inc do Add;
+  }
+  action Add {
+    Total = Total + arg;
+    Count = Count + 1;
+  }
+}
+)";
+
+TEST(ReactorPump, MultiProducerExactDelivery) {
+  CompiledProgram Prog = compileErased(CounterSrc);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  ASSERT_GE(Id, 0);
+  ASSERT_TRUE(H.runToCompletion());
+
+  ReactorOptions O;
+  O.Workers = 2;
+  O.MailboxCapacity = 64; // Small ring: the stress exercises the spill path.
+  H.startReactor(O);
+
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 500;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != PerThread; ++I) {
+        int Payload = T * PerThread + I + 1; // Unique: ⊎ cannot merge.
+        if (!H.addEvent(Id, "Inc", Value::integer(Payload)))
+          ++Failures;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_TRUE(H.runToCompletion());
+  H.stopReactor();
+
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_FALSE(H.hasError()) << H.errorMessage();
+  int64_t N = NumThreads * PerThread;
+  EXPECT_EQ(H.readVar(Id, "Count"), Value::integer(N));
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(N * (N + 1) / 2));
+  EXPECT_EQ(H.stats().EventsDelivered, static_cast<uint64_t>(N));
+}
+
+TEST(ReactorPump, PerProducerFifoOrder) {
+  // Two producers with disjoint payload ranges; the machine asserts each
+  // producer's stream arrives strictly increasing. MPSC ring + spill
+  // list must preserve per-producer FIFO even when the ring wraps.
+  CompiledProgram Prog = compileErased(R"(
+event Put(int);
+main machine FifoM {
+  var LastA: int;
+  var LastB: int;
+  state S {
+    entry { LastA = 0; LastB = 0; }
+    on Put do Check;
+  }
+  action Check {
+    if (arg < 100000) {
+      assert(arg > LastA);
+      LastA = arg;
+    } else {
+      assert(arg > LastB);
+      LastB = arg;
+    }
+  }
+}
+)");
+  Host H(Prog);
+  int32_t Id = H.createMachine("FifoM");
+  ASSERT_TRUE(H.runToCompletion());
+
+  ReactorOptions O;
+  O.Workers = 2;
+  O.MailboxCapacity = 32; // Force ring wrap + spills mid-stream.
+  H.startReactor(O);
+
+  constexpr int PerThread = 800;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 2; ++T)
+    Threads.emplace_back([&, T] {
+      int Base = T == 0 ? 0 : 100000;
+      for (int I = 1; I <= PerThread; ++I)
+        if (!H.addEvent(Id, "Put", Value::integer(Base + I)))
+          ++Failures;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_TRUE(H.runToCompletion()) << H.errorMessage();
+  H.stopReactor();
+
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_FALSE(H.hasError()) << H.errorMessage();
+  EXPECT_EQ(H.readVar(Id, "LastA"), Value::integer(PerThread));
+  EXPECT_EQ(H.readVar(Id, "LastB"), Value::integer(100000 + PerThread));
+}
+
+TEST(ReactorPump, OverflowDropNewestAccountsEveryEvent) {
+  CompiledProgram Prog = compileErased(CounterSrc);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  ASSERT_TRUE(H.runToCompletion());
+  H.setQueueLimit(1, OverflowPolicy::DropNewest);
+
+  ReactorOptions O;
+  O.Workers = 2;
+  H.startReactor(O);
+
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 250;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != PerThread; ++I)
+        H.addEvent(Id, "Inc", Value::integer(T * PerThread + I + 1));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_TRUE(H.runToCompletion()) << H.errorMessage();
+  H.stopReactor();
+
+  EXPECT_FALSE(H.hasError()) << H.errorMessage();
+  // Every accepted event either reached the machine or was counted as a
+  // drop — nothing vanishes in the mailbox/queue hand-off.
+  Value Count = H.readVar(Id, "Count");
+  uint64_t Dropped = H.config().OverflowDropped;
+  EXPECT_EQ(Count.asInt() + static_cast<int64_t>(Dropped),
+            int64_t(NumThreads) * PerThread);
+}
+
+TEST(ReactorPump, OverflowBlockDeliversAll) {
+  CompiledProgram Prog = compileErased(CounterSrc);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  ASSERT_TRUE(H.runToCompletion());
+  H.setQueueLimit(2, OverflowPolicy::Block);
+
+  ReactorOptions O;
+  O.Workers = 2;
+  H.startReactor(O);
+
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 200;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != PerThread; ++I)
+        if (!H.addEvent(Id, "Inc", Value::integer(T * PerThread + I + 1)))
+          ++Failures;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_TRUE(H.runToCompletion()) << H.errorMessage();
+  H.stopReactor();
+
+  // Block back-pressures the producer instead of shedding or erroring:
+  // exact delivery, zero drops.
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_FALSE(H.hasError()) << H.errorMessage();
+  int64_t N = int64_t(NumThreads) * PerThread;
+  EXPECT_EQ(H.readVar(Id, "Count"), Value::integer(N));
+  EXPECT_EQ(H.config().OverflowDropped, 0u);
+}
+
+TEST(ReactorPump, OverflowErrorRaisesQueueOverflow) {
+  // Machine-to-machine overflow, deterministic with one worker: the
+  // broker's single slice sends three uniquely-numbered events to the
+  // subscriber before any worker can drain it, so MaxQueue=1 under
+  // OverflowPolicy::Error must raise at the batch transfer.
+  CompiledProgram Prog = compileErased(R"(
+event Kick;
+event Deliver(int);
+main machine BrokerM {
+  var Sub: id;
+  state S {
+    entry { Sub = new SubM(); }
+    on Kick do Fanout;
+  }
+  action Fanout {
+    send(Sub, Deliver, 1);
+    send(Sub, Deliver, 2);
+    send(Sub, Deliver, 3);
+  }
+}
+machine SubM {
+  var Seen: int;
+  state S {
+    entry { Seen = 0; }
+    on Deliver do Note;
+  }
+  action Note { Seen = Seen + 1; }
+}
+)");
+  Host H(Prog);
+  int32_t Id = H.createMachine("BrokerM");
+  ASSERT_TRUE(H.runToCompletion());
+  H.setQueueLimit(1, OverflowPolicy::Error);
+
+  ReactorOptions O;
+  O.Workers = 1;
+  H.startReactor(O);
+  // No return-value assert: acceptance races with the worker raising the
+  // overflow error (addEvent reports "no error observed yet").
+  H.addEvent(Id, "Kick");
+  EXPECT_FALSE(H.runToCompletion());
+  H.stopReactor();
+
+  EXPECT_TRUE(H.hasError());
+  EXPECT_EQ(H.error(), ErrorKind::QueueOverflow) << H.errorMessage();
+}
+
+TEST(ReactorPump, CrashCancelsTimersAndRestartRuns) {
+  CompiledProgram Prog = compileErased(CounterSrc);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  ASSERT_TRUE(H.runToCompletion());
+
+  H.startReactor({});
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(5)));
+  EXPECT_TRUE(H.runToCompletion());
+
+  // A delayed delivery parks in the timer wheel; crashing the target
+  // must cancel it (fail-stop: a crashed machine's pending deliveries
+  // vanish, they do not resurrect on restart).
+  EXPECT_TRUE(H.addEventAfter(Id, "Inc", Value::integer(7),
+                              std::chrono::milliseconds(200)));
+  EXPECT_TRUE(H.crashMachine(Id));
+  EXPECT_TRUE(H.runToCompletion()); // Crash is processed at the mailbox.
+
+  ASSERT_TRUE(H.restartMachine(Id));
+  EXPECT_TRUE(H.addEvent(Id, "Inc", Value::integer(9)));
+  EXPECT_TRUE(H.runToCompletion());
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_TRUE(H.runToCompletion()); // Past the deadline: nothing to expire.
+  H.stopReactor();
+
+  EXPECT_FALSE(H.hasError()) << H.errorMessage();
+  // Restart re-ran entry (Count reset), then delivered exactly the
+  // post-restart event; the canceled timer never fired.
+  EXPECT_EQ(H.readVar(Id, "Count"), Value::integer(1));
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(9));
+  EXPECT_EQ(H.stats().TimersExpired, 0u);
+  EXPECT_EQ(H.stats().MachinesCrashed, 1u);
+  EXPECT_EQ(H.stats().MachinesRestarted, 1u);
+}
+
+TEST(ReactorPump, DelayedDeliveryThroughTimerWheel) {
+  CompiledProgram Prog = compileErased(CounterSrc);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  ASSERT_TRUE(H.runToCompletion());
+
+  H.startReactor({});
+  EXPECT_TRUE(H.addEventAfter(Id, "Inc", Value::integer(3),
+                              std::chrono::milliseconds(5)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(H.runToCompletion()); // flushDueTimers + quiescence barrier.
+  H.stopReactor();
+
+  EXPECT_FALSE(H.hasError()) << H.errorMessage();
+  EXPECT_EQ(H.readVar(Id, "Count"), Value::integer(1));
+  EXPECT_EQ(H.readVar(Id, "Total"), Value::integer(3));
+  EXPECT_EQ(H.stats().TimersScheduled, 1u);
+  EXPECT_EQ(H.stats().TimersExpired, 1u);
+}
+
+TEST(HostSerial, AddEventAfterDelaysUntilDeadline) {
+  CompiledProgram Prog = compileErased(CounterSrc);
+  Host H(Prog);
+  int32_t Id = H.createMachine("CounterM");
+  ASSERT_TRUE(H.runToCompletion());
+
+  EXPECT_TRUE(H.addEventAfter(Id, "Inc", Value::integer(4),
+                              std::chrono::milliseconds(25)));
+  EXPECT_TRUE(H.runToCompletion());
+  // Not yet due: the wheel holds it past this pump.
+  EXPECT_EQ(H.readVar(Id, "Count"), Value::integer(0));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(H.runToCompletion());
+  EXPECT_EQ(H.readVar(Id, "Count"), Value::integer(1));
+  EXPECT_EQ(H.stats().TimersExpired, 1u);
+
+  // Serial crash also sweeps the wheel.
+  EXPECT_TRUE(H.addEventAfter(Id, "Inc", Value::integer(8),
+                              std::chrono::milliseconds(10)));
+  EXPECT_TRUE(H.crashMachine(Id));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(H.runToCompletion());
+  EXPECT_EQ(H.stats().TimersExpired, 1u); // Still just the first one.
+}
+
+//===----------------------------------------------------------------------===//
+// Timer wheel units (no host).
+//===----------------------------------------------------------------------===//
+
+TEST(TimerWheelUnit, ExpiresInDeadlineThenSeqOrder) {
+  TimerWheel W(/*NShards=*/2, /*Tick=*/std::chrono::milliseconds(1));
+  auto Now = TimerWheel::Clock::now();
+  auto Mk = [&](int32_t Tag, int Ms) {
+    TimerEntry E;
+    E.Target = Tag % 2; // Both shards participate.
+    E.Event = Tag;
+    E.Deadline = Now + std::chrono::milliseconds(Ms);
+    W.schedule(E);
+  };
+  Mk(0, 50);
+  Mk(1, 5);
+  Mk(2, 5); // Same deadline as Tag 1: scheduled later, expires later.
+  Mk(3, 900);
+
+  std::vector<TimerEntry> Out;
+  W.advanceTo(Now + std::chrono::seconds(2), Out);
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out[0].Event, 1);
+  EXPECT_EQ(Out[1].Event, 2);
+  EXPECT_EQ(Out[2].Event, 0);
+  EXPECT_EQ(Out[3].Event, 3);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(TimerWheelUnit, AlreadyDueDeliversWithoutTickBoundary) {
+  // FaultKind::DelayEvent schedules with a now() deadline; the very next
+  // advanceTo must return it even if no wheel tick has elapsed —
+  // otherwise a zero delay rounds up to one tick and the serial pump's
+  // delay-fault semantics change.
+  TimerWheel W;
+  auto Now = TimerWheel::Clock::now();
+  TimerEntry E;
+  E.Target = 0;
+  E.Event = 42;
+  E.Deadline = Now;
+  W.schedule(E);
+
+  std::vector<TimerEntry> Out;
+  W.advanceTo(Now, Out);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Event, 42);
+}
+
+TEST(TimerWheelUnit, CancelForDropsOnlyThatTarget) {
+  TimerWheel W(/*NShards=*/2);
+  auto Now = TimerWheel::Clock::now();
+  auto Mk = [&](int32_t Target, int Ms) {
+    TimerEntry E;
+    E.Target = Target;
+    E.Event = Target;
+    E.Deadline = Now + std::chrono::milliseconds(Ms);
+    W.schedule(E);
+  };
+  Mk(1, 10);
+  Mk(1, 20);
+  Mk(1, 400); // Higher wheel level than the first two.
+  Mk(2, 15);
+  Mk(2, 30);
+
+  EXPECT_EQ(W.cancelFor(1), 3u);
+  std::vector<TimerEntry> Out;
+  W.advanceTo(Now + std::chrono::seconds(1), Out);
+  ASSERT_EQ(Out.size(), 2u);
+  for (const TimerEntry &E : Out)
+    EXPECT_EQ(E.Target, 2);
+  EXPECT_TRUE(W.empty());
 }
 
 } // namespace

@@ -10,6 +10,10 @@
 // perf trajectory consumes. This is the consumer the acceptance
 // criterion asks for: the schema cannot drift without failing CI.
 //
+// Host benches (bench_host_throughput) record free-form host stats, not
+// checker stats; pass --free-stats as the first argument to validate
+// the envelope without requiring the checker keys.
+//
 //===----------------------------------------------------------------------===//
 
 #include "obs/BenchJson.h"
@@ -20,12 +24,20 @@
 #include <string>
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <bench-binary> [extra args]\n", argv[0]);
+  bool RequireCheckerStats = true;
+  int First = 1;
+  if (argc > 1 && !std::strcmp(argv[1], "--free-stats")) {
+    RequireCheckerStats = false;
+    First = 2;
+  }
+  if (argc < First + 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--free-stats] <bench-binary> [extra args]\n",
+                 argv[0]);
     return 2;
   }
-  std::string Cmd = argv[1];
-  for (int I = 2; I < argc; ++I)
+  std::string Cmd = argv[First];
+  for (int I = First + 1; I < argc; ++I)
     Cmd += std::string(" ") + argv[I];
   Cmd += " --quick --json - 2>/dev/null";
 
@@ -55,13 +67,12 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::string Why;
-  if (!p::obs::validateBenchReport(Report, Why,
-                                   /*RequireCheckerStats=*/true)) {
+  if (!p::obs::validateBenchReport(Report, Why, RequireCheckerStats)) {
     std::fprintf(stderr, "FAIL: schema violation: %s\n", Why.c_str());
     return 1;
   }
 
   std::printf("OK: %zu schema-valid run records from %s\n", Report.size(),
-              argv[1]);
+              argv[First]);
   return 0;
 }
