@@ -38,6 +38,7 @@
 #include "host/LatencyProbe.h"
 #include "obs/BenchJson.h"
 #include "obs/Report.h"
+#include "support/Interrupt.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,9 +55,47 @@ std::string JsonPath;    ///< --json <file|->; empty = no report.
 std::string ReportPath;  ///< --report <base>: <base>.{json,html}.
 std::FILE *Human = stdout;
 Reduction ReduceFlag = Reduction::Off; ///< --reduction off|sleep|symmetry|both.
+std::string CheckpointBase;        ///< --checkpoint <base>: per-run files.
+double CheckpointIntervalFlag = 30; ///< --checkpoint-interval seconds.
+bool ResumeFlag = false;           ///< --resume: continue per-run files.
 
 obs::BenchReport Report("fault_injection");
 obs::RunReport RunRep("fault_injection");
+
+/// Per-run checkpoint files (<base>.<slug>.ckpt): an interrupted sweep
+/// re-run with --resume reloads completed runs instantly and continues
+/// the interrupted one. --resume only resumes files that exist.
+void installCrashSafety(CheckOptions &Opts, const std::string &RunSlug) {
+  Opts.InterruptFlag = &interrupt::flag();
+  if (CheckpointBase.empty())
+    return;
+  Opts.CheckpointPath = CheckpointBase + "." + RunSlug + ".ckpt";
+  Opts.CheckpointIntervalSeconds = CheckpointIntervalFlag;
+  if (ResumeFlag) {
+    if (std::FILE *F = std::fopen(Opts.CheckpointPath.c_str(), "rb")) {
+      std::fclose(F);
+      Opts.Resume = true;
+    }
+  }
+}
+
+/// Failed resumes are hard errors (exit 3, never a silent restart);
+/// interrupts flush the partial report rows (atomic writes) and exit
+/// 128+signal after a partial-stats block on stderr.
+void handleRunExit(const CheckResult &R) {
+  if (!R.ResumeError.empty()) {
+    std::fprintf(stderr, "resume failed: %s\n", R.ResumeError.c_str());
+    std::exit(3);
+  }
+  if (!R.Stats.Interrupted)
+    return;
+  if (!JsonPath.empty())
+    Report.writeTo(JsonPath);
+  if (!ReportPath.empty())
+    writeReportWithProbe(RunRep, ReportPath);
+  interrupt::printInterruptedStats(R.Stats);
+  std::exit(interrupt::exitCode());
+}
 
 CompiledProgram compileOrExit(const std::string &Src) {
   CompileResult R = compileString(Src);
@@ -123,9 +162,16 @@ int main(int argc, char **argv) {
       ReduceFlag = parseReductionOrExit(argv[++I]);
     else if (!std::strcmp(argv[I], "--quick"))
       QuickFlag = true;
+    else if (!std::strcmp(argv[I], "--checkpoint") && I + 1 < argc)
+      CheckpointBase = argv[++I];
+    else if (!std::strcmp(argv[I], "--checkpoint-interval") && I + 1 < argc)
+      CheckpointIntervalFlag = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--resume"))
+      ResumeFlag = true;
   }
   if (JsonPath == "-")
     Human = stderr; // Keep stdout machine-clean for the report.
+  interrupt::installHandlers();
 
   const int DelayBound = QuickFlag ? 1 : 3;
   const uint64_t NodeCap = QuickFlag ? 100000 : 2000000;
@@ -147,7 +193,9 @@ int main(int argc, char **argv) {
     Opts.Faults.Budget = Budget; // Drop + duplicate, the defaults.
     Opts.Reduce = ReduceFlag;
     installObs(Opts);
+    installCrashSafety(Opts, "german2-k" + std::to_string(Budget));
     CheckResult R = check(German, Opts);
+    handleRunExit(R);
     std::fprintf(Human, "%-10d %-12llu %-12llu %-10llu %-8llu %-10.3f %s\n",
                  Budget,
                  static_cast<unsigned long long>(R.Stats.DistinctStates),
@@ -177,7 +225,9 @@ int main(int argc, char **argv) {
     Opts.Faults.Events.push_back(eventId(Buggy, "InvAck"));
     Opts.Reduce = ReduceFlag;
     installObs(Opts);
+    installCrashSafety(Opts, "droppable-invack-k" + std::to_string(Budget));
     CheckResult R = check(Buggy, Opts);
+    handleRunExit(R);
     std::fprintf(Human, "%-10d %-12llu %-10.3f %s%s\n", Budget,
                  static_cast<unsigned long long>(R.Stats.DistinctStates),
                  R.Stats.Seconds,

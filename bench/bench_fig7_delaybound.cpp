@@ -31,6 +31,7 @@
 #include "host/LatencyProbe.h"
 #include "obs/BenchJson.h"
 #include "obs/Report.h"
+#include "support/Interrupt.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +54,9 @@ std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
 uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
 Reduction ReduceFlag = Reduction::Off; ///< --reduction off|sleep|symmetry|both.
+std::string CheckpointBase;        ///< --checkpoint <base>: per-run files.
+double CheckpointIntervalFlag = 30; ///< --checkpoint-interval seconds.
+bool ResumeFlag = false;           ///< --resume: continue per-run files.
 
 const char *visitedModeName(VisitedMode M) {
   switch (M) {
@@ -127,6 +131,45 @@ void installObs(CheckOptions &Opts) {
   installProgress(Opts);
 }
 
+/// Crash safety shared by every run. Each run checkpoints to its own
+/// file (<base>.<slug>.ckpt) so a sweep interrupted mid-flight can be
+/// re-run with --resume: completed runs reload their final checkpoint
+/// (reproducing the same stats instantly) and the interrupted one
+/// continues where it stopped. --resume only resumes files that exist;
+/// runs without one start fresh.
+void installCrashSafety(CheckOptions &Opts, const std::string &RunSlug) {
+  Opts.InterruptFlag = &interrupt::flag();
+  if (CheckpointBase.empty())
+    return;
+  Opts.CheckpointPath = CheckpointBase + "." + RunSlug + ".ckpt";
+  Opts.CheckpointIntervalSeconds = CheckpointIntervalFlag;
+  if (ResumeFlag) {
+    if (std::FILE *F = std::fopen(Opts.CheckpointPath.c_str(), "rb")) {
+      std::fclose(F);
+      Opts.Resume = true;
+    }
+  }
+}
+
+/// Handles a finished run's crash-safety verdicts: a failed resume is a
+/// hard configuration error (exit 3, never a silent restart), and an
+/// interrupt flushes whatever report rows exist (the writes are atomic)
+/// before exiting 128+signal with a partial-stats block on stderr.
+void handleRunExit(const CheckResult &R) {
+  if (!R.ResumeError.empty()) {
+    std::fprintf(stderr, "resume failed: %s\n", R.ResumeError.c_str());
+    std::exit(3);
+  }
+  if (!R.Stats.Interrupted)
+    return;
+  if (!JsonPath.empty())
+    Report.writeTo(JsonPath);
+  if (!ReportPath.empty())
+    writeReportWithProbe(RunRep, ReportPath);
+  interrupt::printInterruptedStats(R.Stats);
+  std::exit(interrupt::exitCode());
+}
+
 /// Sweeps the delay bound until saturation (two consecutive equal state
 /// counts with the search exhausted), a node cap, or a time budget.
 void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
@@ -147,6 +190,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
     Opts.VisitedCapBytes = VisitedCapFlag;
     Opts.Reduce = ReduceFlag;
     installObs(Opts);
+    installCrashSafety(Opts, std::string(Slug) + "-d" + std::to_string(D));
     CheckResult R = check(Prog, Opts);
     if (ProfileFlag)
       std::fprintf(stderr, "# %s d=%d profile\n%s", Slug, D,
@@ -180,6 +224,7 @@ void sweep(const char *Name, const char *Slug, const CompiledProgram &Prog,
       if (!JsonPath.empty())
         Report.addRun(std::move(Config), Prog, R);
     }
+    handleRunExit(R);
     if (Saturated || !R.Stats.Exhausted || R.Stats.Seconds > TimeBudget)
       break;
     Prev = R.Stats.DistinctStates;
@@ -217,9 +262,16 @@ int main(int argc, char **argv) {
       ProgressFlag = true;
     else if (!std::strcmp(argv[I], "--profile"))
       ProfileFlag = true;
+    else if (!std::strcmp(argv[I], "--checkpoint") && I + 1 < argc)
+      CheckpointBase = argv[++I];
+    else if (!std::strcmp(argv[I], "--checkpoint-interval") && I + 1 < argc)
+      CheckpointIntervalFlag = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--resume"))
+      ResumeFlag = true;
   }
   if (JsonPath == "-")
     Human = stderr; // Keep stdout machine-clean for the report.
+  interrupt::installHandlers();
 
   std::fprintf(Human, "=== Figure 7: states explored vs delay bound ===\n");
   std::fprintf(Human,
@@ -283,6 +335,11 @@ int main(int argc, char **argv) {
       Opts.VisitedCapBytes = VisitedCapFlag;
       Opts.Reduce = ReduceFlag;
       installObs(Opts);
+      std::string BugSlug = Bug.Name;
+      for (char &C : BugSlug)
+        if (C == '/')
+          C = '-';
+      installCrashSafety(Opts, BugSlug + "-d" + std::to_string(D));
       CheckResult R = check(Prog, Opts);
       if (!JsonPath.empty() || !ReportPath.empty()) {
         obs::Json Config = obs::Json::object();
@@ -298,6 +355,7 @@ int main(int argc, char **argv) {
         if (!JsonPath.empty())
           Report.addRun(std::move(Config), Prog, R);
       }
+      handleRunExit(R);
       if (R.ErrorFound) {
         std::fprintf(Human, "%-34s %-8d %-12llu %-10.3f %s\n", Bug.Name, D,
                      static_cast<unsigned long long>(R.Stats.DistinctStates),

@@ -30,6 +30,7 @@
 #include "host/LatencyProbe.h"
 #include "obs/BenchJson.h"
 #include "obs/Report.h"
+#include "support/Interrupt.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +49,26 @@ std::FILE *Human = stdout; ///< Tables; stderr when the JSON owns stdout.
 VisitedMode VisitedFlag = VisitedMode::Fingerprint; ///< --visited-mode.
 uint64_t VisitedCapFlag = 0; ///< --visited-cap bytes (Compact; 0=64MiB).
 Reduction ReduceFlag = Reduction::Off; ///< --reduction off|sleep|symmetry|both.
+std::string CheckpointBase;        ///< --checkpoint <base>: per-run files.
+double CheckpointIntervalFlag = 30; ///< --checkpoint-interval seconds.
+bool ResumeFlag = false;           ///< --resume: continue per-run files.
+
+/// Per-run checkpoint files (<base>.<slug>.ckpt): an interrupted sweep
+/// re-run with --resume reloads completed runs instantly and continues
+/// the interrupted one. --resume only resumes files that exist.
+void installCrashSafety(CheckOptions &Opts, const std::string &RunSlug) {
+  Opts.InterruptFlag = &interrupt::flag();
+  if (CheckpointBase.empty())
+    return;
+  Opts.CheckpointPath = CheckpointBase + "." + RunSlug + ".ckpt";
+  Opts.CheckpointIntervalSeconds = CheckpointIntervalFlag;
+  if (ResumeFlag) {
+    if (std::FILE *F = std::fopen(Opts.CheckpointPath.c_str(), "rb")) {
+      std::fclose(F);
+      Opts.Resume = true;
+    }
+  }
+}
 
 const char *visitedModeName(VisitedMode M) {
   switch (M) {
@@ -120,11 +141,35 @@ int main(int argc, char **argv) {
       ReduceFlag = parseReductionOrExit(argv[++I]);
     else if (!std::strcmp(argv[I], "--progress"))
       ProgressFlag = true;
+    else if (!std::strcmp(argv[I], "--checkpoint") && I + 1 < argc)
+      CheckpointBase = argv[++I];
+    else if (!std::strcmp(argv[I], "--checkpoint-interval") && I + 1 < argc)
+      CheckpointIntervalFlag = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--resume"))
+      ResumeFlag = true;
   }
   if (JsonPath == "-")
     Human = stderr; // Keep stdout machine-clean for the report.
+  interrupt::installHandlers();
   obs::BenchReport Report("fig8_usb");
   obs::RunReport RunRep("fig8_usb");
+  // Failed resumes are hard errors (exit 3, never a silent restart);
+  // interrupts flush the partial report rows (atomic writes) and exit
+  // 128+signal after a partial-stats block on stderr.
+  auto handleRunExit = [&](const CheckResult &R) {
+    if (!R.ResumeError.empty()) {
+      std::fprintf(stderr, "resume failed: %s\n", R.ResumeError.c_str());
+      std::exit(3);
+    }
+    if (!R.Stats.Interrupted)
+      return;
+    if (!JsonPath.empty())
+      Report.writeTo(JsonPath);
+    if (!ReportPath.empty())
+      writeReportWithProbe(RunRep, ReportPath);
+    interrupt::printInterruptedStats(R.Stats);
+    std::exit(interrupt::exitCode());
+  };
 
   std::fprintf(Human,
                "=== Figure 8: USB hub machine sizes and exploration cost "
@@ -171,6 +216,8 @@ int main(int argc, char **argv) {
               S.VisitedBytes / (1024.0 * 1024.0));
         };
       }
+      installCrashSafety(Opts, "usbhub-p" + std::to_string(Ports) + "-d" +
+                                   std::to_string(D));
       CheckResult R = check(Prog, Opts);
       std::fprintf(Human, "%-8d %-12llu %-12llu %-10.3f %-12llu %s\n", D,
                    static_cast<unsigned long long>(R.Stats.DistinctStates),
@@ -195,6 +242,7 @@ int main(int argc, char **argv) {
         if (!JsonPath.empty())
           Report.addRun(std::move(Config), Prog, R);
       }
+      handleRunExit(R);
     }
     std::fprintf(Human, "\n");
   }

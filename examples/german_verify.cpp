@@ -25,6 +25,16 @@
 //   --reduction R         off | sleep | symmetry | both (CheckOptions::Reduce)
 //   --expect-states S     exit 1 unless DistinctStates == S
 //   --max-seconds T       exit 1 when the run took longer than T
+//
+// Crash safety (single-run mode; see DESIGN.md "Checkpoint & resume"):
+//   --checkpoint <file>   periodic + final search checkpoints
+//   --checkpoint-interval S   seconds between checkpoints (default 30)
+//   --resume              continue from --checkpoint instead of scratch
+//                         (corrupt/mismatched checkpoints exit 3)
+//   --frontier-mem BYTES  spill cold frontier nodes to disk past this cap
+// SIGINT/SIGTERM are handled cooperatively in every mode: the search
+// stops at the next scheduling point, writes a final checkpoint when
+// --checkpoint is set, prints partial stats, and exits 128+signal.
 //   --profile             per-machine search profile table on stderr
 //   --report <base>       self-contained run report: <base>.json +
 //                         <base>.html (stats, profile, named uncovered
@@ -40,6 +50,7 @@
 #include "obs/Report.h"
 #include "obs/Trace.h"
 #include "obs/TraceExport.h"
+#include "support/Interrupt.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -104,6 +115,10 @@ int main(int argc, char **argv) {
   double MaxSeconds = 0;
   bool Profile = false;
   std::string ReportPath;
+  std::string CheckpointPath;
+  double CheckpointInterval = 30;
+  bool Resume = false;
+  uint64_t FrontierMem = 0;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       Workers = std::atoi(argv[++I]);
@@ -135,7 +150,17 @@ int main(int argc, char **argv) {
       Profile = true;
     else if (!std::strcmp(argv[I], "--report") && I + 1 < argc)
       ReportPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--checkpoint") && I + 1 < argc)
+      CheckpointPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--checkpoint-interval") && I + 1 < argc)
+      CheckpointInterval = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--resume"))
+      Resume = true;
+    else if (!std::strcmp(argv[I], "--frontier-mem") && I + 1 < argc)
+      FrontierMem = std::strtoull(argv[++I], nullptr, 10);
   }
+
+  interrupt::installHandlers();
 
   if (Clients > 0) {
     // Single-run mode: one check, one parseable line, a hard verdict.
@@ -148,7 +173,23 @@ int main(int argc, char **argv) {
     Opts.Reduce = Reduce;
     Opts.Profile = Profile || !ReportPath.empty();
     Opts.TrackCoverage = !ReportPath.empty();
+    Opts.CheckpointPath = CheckpointPath;
+    Opts.CheckpointIntervalSeconds = CheckpointInterval;
+    Opts.Resume = Resume;
+    Opts.FrontierMemLimitBytes = FrontierMem;
+    Opts.InterruptFlag = &interrupt::flag();
     CheckResult R = check(Prog, Opts);
+    if (!R.ResumeError.empty()) {
+      std::fprintf(stderr, "resume failed: %s\n", R.ResumeError.c_str());
+      return 3;
+    }
+    if (R.Stats.Interrupted) {
+      // Partial results, not a verdict: report what was covered and
+      // exit by the shell's death-by-signal convention. The final
+      // checkpoint (when --checkpoint is set) already holds the rest.
+      interrupt::printInterruptedStats(R.Stats);
+      return interrupt::exitCode();
+    }
     if (Profile)
       std::fprintf(stderr, "%s", R.Profile.str(Prog).c_str());
     std::printf("german clients=%d d=%d mode=%s workers=%d reduction=%s "
@@ -201,7 +242,16 @@ int main(int argc, char **argv) {
 
   obs::MetricsRegistry Registry;
   obs::RunReport RunRep("german_verify");
+  // Ctrl-C mid-sweep: report the interrupted run's partial stats and
+  // exit by the death-by-signal convention instead of dying silently.
+  auto bailIfInterrupted = [](const CheckResult &R) {
+    if (!R.Stats.Interrupted)
+      return;
+    interrupt::printInterruptedStats(R.Stats);
+    std::exit(interrupt::exitCode());
+  };
   auto withObs = [&](CheckOptions &Opts) {
+    Opts.InterruptFlag = &interrupt::flag();
     if (Metrics)
       Opts.Metrics = &Registry;
     Opts.Profile = Profile || !ReportPath.empty();
@@ -237,6 +287,7 @@ int main(int argc, char **argv) {
       Opts.Workers = Workers;
       withObs(Opts);
       CheckResult R = check(Prog, Opts);
+      bailIfInterrupted(R);
       if (Profile)
         std::fprintf(stderr, "# german clients=%d d=%d profile\n%s", N,
                      Delay, R.Profile.str(Prog).c_str());
@@ -271,6 +322,7 @@ int main(int argc, char **argv) {
     if (WantTrace)
       Opts.Trace = &Recorder;
     CheckResult R = check(Buggy, Opts);
+    bailIfInterrupted(R);
     if (!ReportPath.empty()) {
       obs::Json Config = obs::Json::object();
       Config.set("program", "german_skip_owner_invalidation");

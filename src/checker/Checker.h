@@ -42,6 +42,7 @@
 #include "runtime/Errors.h"
 #include "runtime/Executor.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <set>
@@ -222,6 +223,38 @@ struct CheckOptions {
   /// error verdicts identical to the unreduced search (the differential
   /// suite in tests/reduction_test.cpp pins this).
   Reduction Reduce = Reduction::Off;
+  /// Crash safety (see checker/Checkpoint.h and DESIGN.md "Checkpoint &
+  /// resume"). When non-empty, the search periodically snapshots its
+  /// frontier, visited tables, and counters to this path (atomically:
+  /// temp + fsync + rename), and writes a final snapshot when it stops
+  /// for any reason — completion, MaxNodes, or interruption. A later run
+  /// with Resume set picks the search up where it left off; on
+  /// exhausted searches the resumed run's DistinctStates / Terminals /
+  /// TerminalHashes are bit-identical to an uninterrupted run.
+  std::string CheckpointPath;
+  /// Seconds between periodic checkpoints (0 = final-only). Fractional
+  /// values work; the timer is polled from worker 0's loop.
+  double CheckpointIntervalSeconds = 0;
+  /// Start from the checkpoint at CheckpointPath instead of the initial
+  /// configuration. A missing, truncated, corrupted, version-skewed, or
+  /// wrong-program checkpoint fails the run with
+  /// CheckResult::ResumeError — it is never silently ignored.
+  bool Resume = false;
+  /// Cooperative interruption: when set, worker 0 polls this flag (see
+  /// support/Interrupt.h for the SIGINT/SIGTERM wiring). Once true the
+  /// search stops draining its frontier, joins its workers, writes a
+  /// final checkpoint if CheckpointPath is set, and returns with
+  /// CheckStats::Interrupted (and Exhausted = false).
+  const std::atomic<bool> *InterruptFlag = nullptr;
+  /// Out-of-core frontier (see checker/FrontierStore.h): when > 0 and
+  /// the in-memory frontier's estimated footprint exceeds this many
+  /// bytes, cold nodes (the oldest — breadth a DFS will not revisit
+  /// soon) are spilled to segment files under SpillDir and reloaded when
+  /// workers run dry. 0 disables spilling.
+  uint64_t FrontierMemLimitBytes = 0;
+  /// Directory for frontier spill segments. Empty = alongside
+  /// CheckpointPath when set, else the system temp directory.
+  std::string SpillDir;
 };
 
 /// One scheduling decision of an explored path. A sequence of these is
@@ -325,6 +358,25 @@ struct CheckStats {
   /// much breadth is pending" signal); 0 in the final stats of a
   /// completed run by construction.
   uint64_t FrontierNodes = 0;
+  /// True when CheckOptions::InterruptFlag ended the run early (implies
+  /// !Exhausted). The frontier at the stop is preserved in the final
+  /// checkpoint when CheckpointPath is set.
+  bool Interrupted = false;
+  /// True when this run started from a checkpoint (CheckOptions::Resume)
+  /// rather than the initial configuration. Cumulative counters
+  /// (DistinctStates, NodesExplored, Seconds, ...) then cover the whole
+  /// logical search, not just this process.
+  bool Resumed = false;
+  /// Checkpoints successfully published this run (periodic + final).
+  uint64_t CheckpointsWritten = 0;
+  /// Size in bytes of the most recent checkpoint file (0 when none).
+  uint64_t LastCheckpointBytes = 0;
+  /// Out-of-core frontier (CheckOptions::FrontierMemLimitBytes):
+  /// cumulative nodes spilled to disk and bytes written to spill
+  /// segments. Scheduling-race-dependent when Workers > 1, like
+  /// NodesExplored.
+  uint64_t FrontierSpilledNodes = 0;
+  uint64_t FrontierSpillBytes = 0;
 };
 
 /// Result of a check() run.
@@ -349,6 +401,12 @@ struct CheckResult {
   /// Search profile (CheckOptions::Profile; Enabled is false otherwise).
   obs::SearchProfile Profile;
   CheckStats Stats;
+  /// Non-empty when CheckOptions::Resume was set but the checkpoint
+  /// could not be used (missing file, CRC mismatch from truncation or
+  /// corruption, format-version skew, or a program/options fingerprint
+  /// mismatch). The search does NOT run in that case — a defective
+  /// checkpoint is reported, never silently discarded or reused.
+  std::string ResumeError;
 };
 
 /// Explores \p Prog from its initial configuration under \p Opts.

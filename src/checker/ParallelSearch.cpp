@@ -6,6 +6,8 @@
 
 #include "checker/ParallelSearch.h"
 
+#include "checker/Checkpoint.h"
+#include "checker/FrontierStore.h"
 #include "checker/StateHash.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -17,6 +19,8 @@
 #include <bit>
 #include <cassert>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <memory>
@@ -323,6 +327,38 @@ public:
     return true;
   }
 
+  /// Checkpoint capture: flattens the slot arrays into a plain image.
+  /// Single-threaded (all workers parked or joined) — no stripe locks.
+  void exportImage(ckpt::CheckpointData::CompactImage &Img) const {
+    Img.PerStripe = PerStripe;
+    Img.Fps.resize(SlotsV.size());
+    Img.Delays.resize(SlotsV.size());
+    for (size_t I = 0; I != SlotsV.size(); ++I) {
+      Img.Fps[I] = SlotsV[I].Fp;
+      Img.Delays[I] = SlotsV[I].Delays;
+    }
+    Img.Masks = Masks;
+  }
+
+  /// Checkpoint restore: the slot layout is stripe-positional, so the
+  /// image's shape must match this table's (guaranteed when the options
+  /// fingerprint matched; checked anyway). Call after init().
+  bool importImage(const ckpt::CheckpointData::CompactImage &Img) {
+    if (Img.Fps.empty() && Img.Delays.empty())
+      return true; // Nothing captured (e.g. a non-Compact checkpoint).
+    if (Img.PerStripe != PerStripe || Img.Fps.size() != SlotsV.size() ||
+        Img.Delays.size() != SlotsV.size() ||
+        (!Img.Masks.empty() && Img.Masks.size() != Masks.size()))
+      return false;
+    for (size_t I = 0; I != SlotsV.size(); ++I) {
+      SlotsV[I].Fp = Img.Fps[I];
+      SlotsV[I].Delays = Img.Delays[I];
+    }
+    if (!Img.Masks.empty())
+      Masks = Img.Masks;
+    return true;
+  }
+
 private:
   struct Slot {
     uint64_t Fp = 0; ///< 0 = empty.
@@ -492,8 +528,14 @@ private:
 
   void pushNode(Worker &W, Node &&N) {
     InFlight.fetch_add(1, std::memory_order_acq_rel);
-    auto L = lockTimed(W.FrontierMu, W);
-    W.Frontier.push_back(std::move(N));
+    {
+      auto L = lockTimed(W.FrontierMu, W);
+      W.Frontier.push_back(std::move(N));
+    }
+    if (Spill) {
+      InMemNodes.fetch_add(1, std::memory_order_relaxed);
+      maybeSpill(W);
+    }
   }
 
   bool popLocal(Worker &W, Node &N) {
@@ -502,6 +544,8 @@ private:
       return false;
     N = std::move(W.Frontier.back());
     W.Frontier.pop_back();
+    if (Spill)
+      InMemNodes.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -533,6 +577,8 @@ private:
           W.Frontier.push_back(std::move(B));
       }
       W.StealCount.fetch_add(1, std::memory_order_relaxed);
+      if (Spill) // Net one node left the in-memory frontiers (N itself).
+        InMemNodes.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
     return false;
@@ -817,7 +863,18 @@ private:
     S.OmissionPossible = Omission.load(std::memory_order_relaxed);
     S.FrontierNodes = static_cast<uint64_t>(
         std::max<int64_t>(InFlight.load(std::memory_order_relaxed), 0));
-    S.Seconds = std::chrono::duration<double>(
+    S.Interrupted = Interrupted.load(std::memory_order_relaxed);
+    S.Resumed = DidResume;
+    S.CheckpointsWritten =
+        CheckpointsWritten.load(std::memory_order_relaxed);
+    S.LastCheckpointBytes =
+        LastCheckpointBytes.load(std::memory_order_relaxed);
+    S.FrontierSpilledNodes =
+        PriorSpilledNodes + (Spill ? Spill->spilledNodes() : 0);
+    S.FrontierSpillBytes =
+        PriorSpillBytes + (Spill ? Spill->spilledBytes() : 0);
+    S.Seconds = PriorSeconds +
+                std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - StartTime)
                     .count();
     return S;
@@ -940,6 +997,63 @@ private:
 
   std::mutex BestMu;
   ErrorRecord Best;
+
+  //===--------------------------------------------------------------------===//
+  // Crash safety: checkpoints, interruption, frontier spilling
+  //===--------------------------------------------------------------------===//
+
+  ckpt::FrontierNode toFrontierNode(const Node &N);
+  Node fromFrontierNode(Worker &W, ckpt::FrontierNode &&F);
+  void requestCheckpoint();
+  void checkpointBarrier(Worker &W);
+  void workerExited();
+  bool captureCheckpoint(ckpt::CheckpointData &D);
+  void performCheckpoint();
+  bool restoreCheckpoint(ckpt::CheckpointData &&D, std::string &Why);
+  void maybeSpill(Worker &W);
+  bool tryReloadSpill(Worker &W, Node &N);
+
+  /// Program+options compatibility token; 0 unless checkpointing or
+  /// resuming (computed once in run()).
+  uint64_t Fingerprint = 0;
+  /// Out-of-core frontier (CheckOptions::FrontierMemLimitBytes); null
+  /// when spilling is off or the spill file could not be created.
+  std::unique_ptr<FrontierStore> Spill;
+  /// Rough per-node footprint, measured from the first frontier node's
+  /// serialized size; InMemNodes * this against the limit decides when
+  /// to spill.
+  uint64_t NodeBytesEstimate = 1024;
+  /// Nodes currently resident across the in-memory frontiers.
+  /// Maintained only when Spill is active.
+  std::atomic<int64_t> InMemNodes{0};
+  /// One-shot stderr warnings (checkpoint/spill I/O failure).
+  std::atomic<bool> WarnedCkptFailure{false};
+  std::atomic<bool> WarnedSpillFailure{false};
+
+  std::atomic<bool> Interrupted{false};
+  std::atomic<uint64_t> CheckpointsWritten{0};
+  std::atomic<uint64_t> LastCheckpointBytes{0};
+  /// Restored from a resumed checkpoint; added to this process's own
+  /// elapsed time and spill counters so cumulative stats cover the
+  /// whole logical search.
+  double PriorSeconds = 0;
+  uint64_t PriorSpilledNodes = 0;
+  uint64_t PriorSpillBytes = 0;
+  bool DidResume = false;
+
+  /// Periodic-checkpoint barrier. Worker 0's loop requests a checkpoint
+  /// (CkptFlag); every worker parks at its loop top; the last to park
+  /// has exclusive access and snapshots the engine; a worker *exiting*
+  /// the loop while others are parked completes the barrier on their
+  /// behalf (workerExited), so the barrier can never outlive its
+  /// participants.
+  std::mutex CkptMu;
+  std::condition_variable CkptCv;
+  std::atomic<bool> CkptFlag{false};
+  bool CkptRequested = false; ///< Guarded by CkptMu.
+  unsigned CkptParked = 0;    ///< Guarded by CkptMu.
+  uint64_t CkptGen = 0;       ///< Guarded by CkptMu.
+  unsigned ActiveWorkers = 0; ///< Guarded by CkptMu.
 };
 
 /// Enumerates candidate permutations (an odometer over per-class
@@ -1612,16 +1726,55 @@ void ParallelSearch::workerLoop(Worker &W) {
       std::chrono::duration<double>(Opts.ProgressIntervalSeconds));
   auto NextBeat = std::chrono::steady_clock::now() + Interval;
 
+  // Periodic checkpoints ride worker 0's loop the same way; the flag
+  // then pulls every worker into the barrier. Interrupt polling is also
+  // worker 0's job: one relaxed load per iteration, and the Stop flag
+  // fans the decision out.
+  const bool CkptTimer = W.Id == 0 && !Opts.CheckpointPath.empty() &&
+                         Opts.CheckpointIntervalSeconds > 0;
+  const auto CkptInterval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(Opts.CheckpointIntervalSeconds));
+  auto NextCkpt = std::chrono::steady_clock::now() + CkptInterval;
+  const bool PollInterrupt = W.Id == 0 && Opts.InterruptFlag != nullptr;
+  const bool CkptOn = !Opts.CheckpointPath.empty() &&
+                      Opts.CheckpointIntervalSeconds > 0;
+
   int IdleSpins = 0;
   while (!Stop.load(std::memory_order_relaxed)) {
     if (Heartbeat && std::chrono::steady_clock::now() >= NextBeat) {
       Opts.Progress(snapshotStats());
       NextBeat = std::chrono::steady_clock::now() + Interval;
     }
+    if (PollInterrupt &&
+        Opts.InterruptFlag->load(std::memory_order_relaxed)) {
+      // Cooperative interruption: stop draining the frontier. What is
+      // left in flight lands in the final checkpoint (written
+      // single-threaded after the join).
+      Interrupted.store(true, std::memory_order_relaxed);
+      Stop.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (CkptTimer && std::chrono::steady_clock::now() >= NextCkpt) {
+      requestCheckpoint();
+      NextCkpt = std::chrono::steady_clock::now() + CkptInterval;
+    }
+    if (CkptOn && CkptFlag.load(std::memory_order_acquire))
+      checkpointBarrier(W);
+    if (Opts.MaxNodes &&
+        NodesExplored.load(std::memory_order_relaxed) >= Opts.MaxNodes) {
+      // Checked *before* popping so the cut discards nothing: every
+      // pending node stays in some frontier, which is what lets a
+      // checkpointed MaxNodes run resume losslessly.
+      Stop.store(true, std::memory_order_relaxed);
+      break;
+    }
     Node N;
     bool Have = popLocal(W, N);
     if (!Have && NumWorkers > 1)
       Have = trySteal(W, N);
+    if (!Have && Spill)
+      Have = tryReloadSpill(W, N);
     if (!Have) {
       if (InFlight.load(std::memory_order_acquire) == 0)
         break;
@@ -1632,16 +1785,10 @@ void ParallelSearch::workerLoop(Worker &W) {
       continue;
     }
     IdleSpins = 0;
-    if (Opts.MaxNodes &&
-        NodesExplored.load(std::memory_order_relaxed) >= Opts.MaxNodes) {
-      Exhausted.store(false, std::memory_order_relaxed);
-      Stop.store(true, std::memory_order_relaxed);
-      InFlight.fetch_sub(1, std::memory_order_acq_rel);
-      break;
-    }
     process(W, std::move(N));
     InFlight.fetch_sub(1, std::memory_order_acq_rel);
   }
+  workerExited();
 }
 
 std::vector<std::string>
@@ -1739,6 +1886,444 @@ ParallelSearch::renderTrace(const std::vector<SchedDecision> &Schedule) {
   return Lines;
 }
 
+//===----------------------------------------------------------------------===//
+// Crash safety: checkpoints, interruption, frontier spilling
+//===----------------------------------------------------------------------===//
+
+ckpt::FrontierNode ParallelSearch::toFrontierNode(const Node &N) {
+  ckpt::FrontierNode F;
+  F.Cfg = N.Cfg; // COW handles: shares snapshots, no deep copy.
+  F.Sched.assign(N.Sched.begin(), N.Sched.end());
+  F.DelaysUsed = N.DelaysUsed;
+  F.FaultsUsed = N.FaultsUsed;
+  F.Depth = N.Depth;
+  F.MustRun = N.MustRun;
+  F.ByType = N.ByType;
+  F.Sleep.reserve(N.Sleep.size());
+  for (const SleepEntry &E : N.Sleep)
+    F.Sleep.emplace_back(E.Id, E.Fp);
+  // Decisions from the root, so the node survives outside this
+  // process's trace arenas.
+  F.Schedule = materializeSchedule(N.TraceIdx);
+  return F;
+}
+
+Node ParallelSearch::fromFrontierNode(Worker &W, ckpt::FrontierNode &&F) {
+  Node N;
+  N.Cfg = std::move(F.Cfg);
+  N.Sched.assign(F.Sched.begin(), F.Sched.end());
+  N.DelaysUsed = F.DelaysUsed;
+  N.FaultsUsed = F.FaultsUsed;
+  N.Depth = F.Depth;
+  N.MustRun = F.MustRun;
+  N.ByType = F.ByType;
+  N.Sleep.reserve(F.Sleep.size());
+  for (const auto &[Id, Fp] : F.Sleep)
+    N.Sleep.push_back({Id, Fp});
+  // Rebuild the decision chain in W's arena so a counterexample found
+  // below this node still materializes a complete schedule.
+  uint64_t Ref = NoTraceRef;
+  for (const SchedDecision &D : F.Schedule)
+    Ref = addTrace(W, Ref, D);
+  N.TraceIdx = Ref;
+  return N;
+}
+
+void ParallelSearch::requestCheckpoint() {
+  {
+    std::lock_guard<std::mutex> L(CkptMu);
+    if (CkptRequested)
+      return;
+    CkptRequested = true;
+  }
+  CkptFlag.store(true, std::memory_order_release);
+}
+
+void ParallelSearch::checkpointBarrier(Worker &) {
+  std::unique_lock<std::mutex> L(CkptMu);
+  if (!CkptRequested)
+    return;
+  const uint64_t Gen = CkptGen;
+  if (++CkptParked == ActiveWorkers) {
+    // Everyone else is parked in the wait below (holding no locks), so
+    // the last arrival snapshots the engine with exclusive access.
+    performCheckpoint();
+    CkptParked = 0;
+    CkptRequested = false;
+    CkptFlag.store(false, std::memory_order_release);
+    ++CkptGen;
+    CkptCv.notify_all();
+  } else {
+    CkptCv.wait(L, [&] { return CkptGen != Gen; });
+  }
+}
+
+void ParallelSearch::workerExited() {
+  std::lock_guard<std::mutex> L(CkptMu);
+  --ActiveWorkers;
+  if (!CkptRequested)
+    return;
+  // A worker leaving mid-request would strand the others in the
+  // barrier: complete it on their behalf, or drop the request when
+  // this was the last worker (the final checkpoint written after the
+  // join supersedes it).
+  if (ActiveWorkers == 0 || CkptParked == ActiveWorkers) {
+    if (ActiveWorkers > 0)
+      performCheckpoint();
+    CkptParked = 0;
+    CkptRequested = false;
+    CkptFlag.store(false, std::memory_order_release);
+    ++CkptGen;
+    CkptCv.notify_all();
+  }
+}
+
+bool ParallelSearch::captureCheckpoint(ckpt::CheckpointData &D) {
+  D.Fingerprint = Fingerprint;
+
+  D.DistinctStates = DistinctStates.load(std::memory_order_relaxed);
+  D.NodesExplored = NodesExplored.load(std::memory_order_relaxed);
+  D.ErrorsFound = ErrorsFound.load(std::memory_order_relaxed);
+  D.FaultsInjected = FaultsInjected.load(std::memory_order_relaxed);
+  D.PrunedByIndependence =
+      PrunedByIndependence.load(std::memory_order_relaxed);
+  D.SymmetryCollapsed = SymmetryCollapsed.load(std::memory_order_relaxed);
+  D.HashMismatches = HashMismatches.load(std::memory_order_relaxed);
+  D.OmissionPossible = Omission.load(std::memory_order_relaxed);
+  // Depth-truncation state only: a Stop (interrupt, MaxNodes, error)
+  // leaves its pending work in this very checkpoint, so it is not a
+  // permanent loss and must not poison the resumed run's verdict.
+  D.Exhausted = Exhausted.load(std::memory_order_relaxed);
+  // Count this checkpoint in its own image, so the cumulative counter
+  // survives the restart it enables.
+  D.CheckpointsWritten =
+      CheckpointsWritten.load(std::memory_order_relaxed) + 1;
+
+  for (const auto &W : Workers) {
+    D.Slices += W->Slices.load(std::memory_order_relaxed);
+    D.Terminals += W->Terminals.load(std::memory_order_relaxed);
+    D.StealCount += W->StealCount.load(std::memory_order_relaxed);
+    D.ContentionNs += W->ContentionNs.load(std::memory_order_relaxed);
+    D.MaxDepth = std::max(D.MaxDepth,
+                          W->MaxDepth.load(std::memory_order_relaxed));
+    D.TerminalHashes.insert(D.TerminalHashes.end(),
+                            W->TerminalHashes.begin(),
+                            W->TerminalHashes.end());
+  }
+  D.ElapsedSeconds =
+      PriorSeconds + std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - StartTime)
+                         .count();
+
+  for (VisitedShard &S : Visited) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    for (const auto &[Key, Delays] : S.Hashed)
+      D.Hashed.emplace_back(Key, Delays);
+    for (const auto &[Key, Delays] : S.Exact)
+      D.Exact.emplace_back(Key, Delays);
+    for (const auto &[Key, Doms] : S.HashedSleep) {
+      std::vector<ckpt::CheckpointData::SleepDom> Out;
+      Out.reserve(Doms.size());
+      for (const SleepDomEntry &E : Doms)
+        Out.push_back({E.Delays, E.Mask});
+      D.HashedSleep.emplace_back(Key, std::move(Out));
+    }
+    for (const auto &[Key, Doms] : S.ExactSleep) {
+      std::vector<ckpt::CheckpointData::SleepDom> Out;
+      Out.reserve(Doms.size());
+      for (const SleepDomEntry &E : Doms)
+        Out.push_back({E.Delays, E.Mask});
+      D.ExactSleep.emplace_back(Key, std::move(Out));
+    }
+  }
+  for (ConfigShard &S : Configs) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    D.Seen.insert(D.Seen.end(), S.Seen.begin(), S.Seen.end());
+    D.TerminalSet.insert(D.TerminalSet.end(), S.Terminals.begin(),
+                         S.Terminals.end());
+  }
+  if (Mode == VisitedMode::Compact) {
+    CompactDedup.exportImage(D.CompactDedup);
+    CompactSeen.exportImage(D.CompactSeen);
+  }
+
+  if (Opts.TrackCoverage) {
+    D.Coverage.Machines.resize(Prog.Machines.size());
+    for (const auto &W : Workers)
+      for (size_t M = 0; M != W->Coverage.Machines.size(); ++M) {
+        auto &Into = D.Coverage.Machines[M];
+        const auto &From = W->Coverage.Machines[M];
+        Into.StatesVisited.insert(From.StatesVisited.begin(),
+                                  From.StatesVisited.end());
+        Into.TransitionsFired.insert(From.TransitionsFired.begin(),
+                                     From.TransitionsFired.end());
+      }
+  }
+  {
+    std::lock_guard<std::mutex> L(BestMu);
+    D.BestFound = Best.Found;
+    D.BestKind = Best.Kind;
+    D.BestMessage = Best.Message;
+    D.BestDelays = Best.DelaysUsed;
+    D.BestFaults = Best.FaultsUsed;
+    D.BestSchedule = Best.Schedule;
+  }
+
+  // The frontier: in-memory deques in worker order, front to back (a
+  // serial resume replays the exact DFS stack), then spilled segments.
+  for (const auto &WP : Workers) {
+    Worker &W = *WP;
+    std::lock_guard<std::mutex> L(W.FrontierMu);
+    for (const Node &N : W.Frontier)
+      D.Frontier.push_back(toFrontierNode(N));
+  }
+  if (Spill) {
+    std::vector<ckpt::FrontierNode> Spilled;
+    std::string Why;
+    if (!Spill->snapshot(Spilled, &Why)) {
+      // A checkpoint that silently lost spilled nodes would resume an
+      // incomplete search and still claim exhaustion — refuse instead.
+      if (!WarnedCkptFailure.exchange(true))
+        std::fprintf(stderr,
+                     "warning: skipping checkpoint (cannot snapshot "
+                     "spilled frontier: %s)\n",
+                     Why.c_str());
+      return false;
+    }
+    for (ckpt::FrontierNode &FN : Spilled)
+      D.Frontier.push_back(std::move(FN));
+    D.FrontierSpilledNodes = PriorSpilledNodes + Spill->spilledNodes();
+    D.FrontierSpillBytes = PriorSpillBytes + Spill->spilledBytes();
+  } else {
+    D.FrontierSpilledNodes = PriorSpilledNodes;
+    D.FrontierSpillBytes = PriorSpillBytes;
+  }
+  return true;
+}
+
+void ParallelSearch::performCheckpoint() {
+  ckpt::CheckpointData D;
+  if (!captureCheckpoint(D))
+    return; // Warned already.
+  std::string Why;
+  uint64_t Bytes = 0;
+  if (ckpt::saveCheckpoint(Opts.CheckpointPath, D, Why, &Bytes)) {
+    CheckpointsWritten.fetch_add(1, std::memory_order_relaxed);
+    LastCheckpointBytes.store(Bytes, std::memory_order_relaxed);
+  } else if (!WarnedCkptFailure.exchange(true)) {
+    // A failing disk must not kill a running search; the previous
+    // checkpoint (if any) is still intact.
+    std::fprintf(stderr, "warning: could not write checkpoint: %s\n",
+                 Why.c_str());
+  }
+}
+
+bool ParallelSearch::restoreCheckpoint(ckpt::CheckpointData &&D,
+                                       std::string &Why) {
+  DistinctStates.store(D.DistinctStates, std::memory_order_relaxed);
+  NodesExplored.store(D.NodesExplored, std::memory_order_relaxed);
+  ErrorsFound.store(D.ErrorsFound, std::memory_order_relaxed);
+  FaultsInjected.store(D.FaultsInjected, std::memory_order_relaxed);
+  PrunedByIndependence.store(D.PrunedByIndependence,
+                             std::memory_order_relaxed);
+  SymmetryCollapsed.store(D.SymmetryCollapsed, std::memory_order_relaxed);
+  HashMismatches.store(D.HashMismatches, std::memory_order_relaxed);
+  Omission.store(D.OmissionPossible, std::memory_order_relaxed);
+  Exhausted.store(D.Exhausted, std::memory_order_relaxed);
+  CheckpointsWritten.store(D.CheckpointsWritten,
+                           std::memory_order_relaxed);
+  PriorSeconds = D.ElapsedSeconds;
+  PriorSpilledNodes = D.FrontierSpilledNodes;
+  PriorSpillBytes = D.FrontierSpillBytes;
+
+  // Worker-local accumulators all land on worker 0; merges are sums,
+  // so placement does not matter.
+  Worker &W0 = *Workers[0];
+  W0.Slices.store(D.Slices, std::memory_order_relaxed);
+  W0.Terminals.store(D.Terminals, std::memory_order_relaxed);
+  W0.StealCount.store(D.StealCount, std::memory_order_relaxed);
+  W0.ContentionNs.store(D.ContentionNs, std::memory_order_relaxed);
+  W0.MaxDepth.store(D.MaxDepth, std::memory_order_relaxed);
+  W0.TerminalHashes = std::move(D.TerminalHashes);
+  if (Opts.TrackCoverage)
+    for (size_t M = 0; M != D.Coverage.Machines.size() &&
+                       M != W0.Coverage.Machines.size();
+         ++M) {
+      auto &Into = W0.Coverage.Machines[M];
+      auto &From = D.Coverage.Machines[M];
+      Into.StatesVisited.insert(From.StatesVisited.begin(),
+                                From.StatesVisited.end());
+      Into.TransitionsFired.insert(From.TransitionsFired.begin(),
+                                   From.TransitionsFired.end());
+    }
+
+  // Visited tables, re-sharded by the same key-hash the engine uses
+  // (byte accounting mirrors the insert-time formulas).
+  for (const auto &[Key, Delays] : D.Hashed) {
+    VisitedShard &S = Visited[shardOf(Key)];
+    if (S.Hashed.emplace(Key, Delays).second)
+      S.Bytes += HashedEntryBytes;
+  }
+  for (auto &P : D.Exact) {
+    VisitedShard &S =
+        Visited[shardOf(hashBytes(P.first.data(), P.first.size()))];
+    auto [It, Inserted] = S.Exact.emplace(std::move(P.first), P.second);
+    if (Inserted)
+      S.Bytes += exactEntryBytes(It->first);
+  }
+  for (auto &P : D.HashedSleep) {
+    VisitedShard &S = Visited[shardOf(P.first)];
+    auto [It, Inserted] = S.HashedSleep.try_emplace(P.first);
+    if (Inserted)
+      S.Bytes += HashedEntryBytes + sizeof(It->second);
+    for (const auto &E : P.second) {
+      It->second.push_back({E.Delays, E.Mask});
+      S.Bytes += sizeof(SleepDomEntry);
+    }
+  }
+  for (auto &P : D.ExactSleep) {
+    VisitedShard &S =
+        Visited[shardOf(hashBytes(P.first.data(), P.first.size()))];
+    auto [It, Inserted] = S.ExactSleep.try_emplace(std::move(P.first));
+    if (Inserted)
+      S.Bytes += exactEntryBytes(It->first) + sizeof(It->second);
+    for (const auto &E : P.second) {
+      It->second.push_back({E.Delays, E.Mask});
+      S.Bytes += sizeof(SleepDomEntry);
+    }
+  }
+  for (uint64_t H : D.Seen) {
+    ConfigShard &S = Configs[shardOf(H)];
+    if (S.Seen.insert(H).second)
+      S.Bytes += HashedEntryBytes;
+  }
+  for (uint64_t H : D.TerminalSet) {
+    ConfigShard &S = Configs[shardOf(H)];
+    if (S.Terminals.insert(H).second)
+      S.Bytes += HashedEntryBytes;
+  }
+  if (Mode == VisitedMode::Compact &&
+      (!CompactDedup.importImage(D.CompactDedup) ||
+       !CompactSeen.importImage(D.CompactSeen))) {
+    Why = "checkpoint's compact visited tables do not match this run's "
+          "table shape";
+    return false;
+  }
+
+  if (D.BestFound) {
+    Best.Found = true;
+    Best.Kind = D.BestKind;
+    Best.Message = std::move(D.BestMessage);
+    Best.DelaysUsed = D.BestDelays;
+    Best.FaultsUsed = D.BestFaults;
+    Best.Schedule = std::move(D.BestSchedule);
+    // The stored verdict is final under StopOnFirstError: do not
+    // re-explore the pending frontier just to re-find it.
+    if (Opts.StopOnFirstError)
+      Stop.store(true, std::memory_order_relaxed);
+  }
+
+  // Frontier: serial runs take every node on worker 0 in capture order
+  // (the exact DFS stack resumes); parallel runs deal round-robin.
+  InFlight.store(static_cast<int64_t>(D.Frontier.size()),
+                 std::memory_order_relaxed);
+  size_t Next = 0;
+  for (ckpt::FrontierNode &FN : D.Frontier) {
+    Worker &W = *Workers[NumWorkers == 1 ? 0 : Next++ % NumWorkers];
+    W.Frontier.push_back(fromFrontierNode(W, std::move(FN)));
+  }
+  if (Spill)
+    InMemNodes.store(static_cast<int64_t>(D.Frontier.size()),
+                     std::memory_order_relaxed);
+  DidResume = true;
+  return true;
+}
+
+void ParallelSearch::maybeSpill(Worker &W) {
+  const int64_t InMem = InMemNodes.load(std::memory_order_relaxed);
+  if (InMem <= 0 || static_cast<uint64_t>(InMem) * NodeBytesEstimate <=
+                        Opts.FrontierMemLimitBytes)
+    return;
+  // Spill the cold half of our own frontier — the *front*, the oldest
+  // breadth, which our DFS will not revisit for the longest and which
+  // thieves can live without.
+  constexpr size_t MinResident = 16;
+  std::vector<Node> Victims;
+  {
+    auto L = lockTimed(W.FrontierMu, W);
+    if (W.Frontier.size() < 2 * MinResident)
+      return;
+    size_t Take = W.Frontier.size() / 2;
+    Victims.reserve(Take);
+    for (size_t I = 0; I != Take; ++I) {
+      Victims.push_back(std::move(W.Frontier.front()));
+      W.Frontier.pop_front();
+    }
+  }
+  std::vector<ckpt::FrontierNode> Batch;
+  Batch.reserve(Victims.size());
+  for (const Node &N : Victims)
+    Batch.push_back(toFrontierNode(N));
+  std::string Why;
+  if (Spill->spill(Batch, &Why)) {
+    InMemNodes.fetch_sub(static_cast<int64_t>(Victims.size()),
+                         std::memory_order_relaxed);
+    return;
+  }
+  // Disk refused: put the victims back in their original order and
+  // keep searching in memory.
+  if (!WarnedSpillFailure.exchange(true))
+    std::fprintf(stderr,
+                 "warning: frontier spill failed (%s); continuing "
+                 "in-memory\n",
+                 Why.c_str());
+  auto L = lockTimed(W.FrontierMu, W);
+  for (size_t I = Victims.size(); I-- > 0;)
+    W.Frontier.push_front(std::move(Victims[I]));
+}
+
+bool ParallelSearch::tryReloadSpill(Worker &W, Node &N) {
+  std::vector<ckpt::FrontierNode> Seg;
+  std::string Why;
+  uint64_t Dropped = 0;
+  if (!Spill->reload(Seg, &Why, &Dropped)) {
+    if (Dropped) {
+      // An unreadable segment is permanently lost work: account for it
+      // so InFlight still drains and the run reports incompleteness
+      // instead of hanging or over-claiming.
+      if (!WarnedSpillFailure.exchange(true))
+        std::fprintf(stderr,
+                     "warning: dropped %llu spilled frontier nodes "
+                     "(%s); results will be incomplete\n",
+                     static_cast<unsigned long long>(Dropped),
+                     Why.c_str());
+      Exhausted.store(false, std::memory_order_relaxed);
+      InFlight.fetch_sub(static_cast<int64_t>(Dropped),
+                         std::memory_order_acq_rel);
+    }
+    return false;
+  }
+  if (Seg.empty())
+    return false;
+  // The youngest node of the segment comes back in hand; the rest
+  // rejoin the in-memory frontier.
+  Node Last = fromFrontierNode(W, std::move(Seg.back()));
+  Seg.pop_back();
+  if (!Seg.empty()) {
+    std::vector<Node> Rest;
+    Rest.reserve(Seg.size());
+    for (ckpt::FrontierNode &FN : Seg)
+      Rest.push_back(fromFrontierNode(W, std::move(FN)));
+    auto L = lockTimed(W.FrontierMu, W);
+    for (Node &B : Rest)
+      W.Frontier.push_back(std::move(B));
+  }
+  InMemNodes.fetch_add(static_cast<int64_t>(Seg.size()),
+                       std::memory_order_relaxed);
+  N = std::move(Last);
+  return true;
+}
+
 CheckResult ParallelSearch::run() {
   StartTime = std::chrono::steady_clock::now();
   resetPeakRss(); // PeakRssBytes reports this run, not process history.
@@ -1793,13 +2378,79 @@ CheckResult ParallelSearch::run() {
     }
   }
 
-  Node Root;
-  Root.Cfg = BaseExec.makeInitialConfig();
-  Root.Cfg.MaxQueue = Opts.MaxQueue;
-  Root.Cfg.Overflow = Opts.Overflow;
-  Root.Sched.push_back(0);
-  InFlight.store(1, std::memory_order_relaxed);
-  Workers[0]->Frontier.push_back(std::move(Root));
+  if (!Opts.CheckpointPath.empty() || Opts.Resume)
+    Fingerprint = ckpt::searchFingerprint(Prog, Opts);
+
+  if (Opts.FrontierMemLimitBytes > 0) {
+    std::string SpillPath;
+    if (!Opts.SpillDir.empty())
+      SpillPath = Opts.SpillDir + "/p-frontier-" +
+                  std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                  ".spill";
+    else if (!Opts.CheckpointPath.empty())
+      SpillPath = Opts.CheckpointPath + ".spill";
+    else {
+      const char *Tmp = std::getenv("TMPDIR");
+      SpillPath = std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/p-frontier-" +
+                  std::to_string(reinterpret_cast<uintptr_t>(this)) +
+                  ".spill";
+    }
+    auto Store = std::make_unique<FrontierStore>(std::move(SpillPath));
+    if (Store->ok())
+      Spill = std::move(Store);
+    else
+      std::fprintf(stderr,
+                   "warning: cannot create frontier spill file %s; "
+                   "running fully in-memory\n",
+                   Store->path().c_str());
+  }
+
+  ActiveWorkers = NumWorkers; // Threads are not running yet.
+
+  if (Opts.Resume) {
+    std::string Why;
+    bool Ok = false;
+    if (Opts.CheckpointPath.empty()) {
+      Why = "resume requested but no checkpoint path given";
+    } else {
+      ckpt::CheckpointData D;
+      D.Fingerprint = Fingerprint; // What the file must match.
+      Ok = ckpt::loadCheckpoint(Opts.CheckpointPath, D, Why) &&
+           restoreCheckpoint(std::move(D), Why);
+    }
+    if (!Ok) {
+      // Never fall back to a fresh search: silently restarting from
+      // scratch is exactly the surprise a corrupt checkpoint should
+      // not cause.
+      CheckResult Failed;
+      Failed.ResumeError = Why;
+      Failed.Stats.WorkersUsed = static_cast<int>(NumWorkers);
+      return Failed;
+    }
+  } else {
+    Node Root;
+    Root.Cfg = BaseExec.makeInitialConfig();
+    Root.Cfg.MaxQueue = Opts.MaxQueue;
+    Root.Cfg.Overflow = Opts.Overflow;
+    Root.Sched.push_back(0);
+    InFlight.store(1, std::memory_order_relaxed);
+    Workers[0]->Frontier.push_back(std::move(Root));
+    if (Spill)
+      InMemNodes.store(1, std::memory_order_relaxed);
+  }
+
+  if (Spill) {
+    // Size the spill trigger from a real node rather than a guess; the
+    // slack term covers deque/trace bookkeeping the blob omits.
+    for (const auto &WP : Workers)
+      if (!WP->Frontier.empty()) {
+        std::string Probe;
+        ckpt::appendFrontierNode(toFrontierNode(WP->Frontier.front()),
+                                 Probe);
+        NodeBytesEstimate = std::max<uint64_t>(Probe.size() + 160, 256);
+        break;
+      }
+  }
 
   if (NumWorkers == 1) {
     workerLoop(*Workers[0]);
@@ -1813,8 +2464,18 @@ CheckResult ParallelSearch::run() {
       T.join();
   }
 
-  if (InFlight.load(std::memory_order_relaxed) != 0)
-    Exhausted.store(false, std::memory_order_relaxed);
+  // Work left in the frontier (interrupt, MaxNodes, error stop) means
+  // the search is not exhausted *yet* — but unlike a depth cut it is
+  // recoverable, so it must not poison the Exhausted flag that the
+  // final checkpoint persists for the resumed run.
+  const bool Pending = InFlight.load(std::memory_order_relaxed) != 0;
+
+  // Final checkpoint: every way the search ends — completion,
+  // interruption, MaxNodes, error stop — leaves the on-disk state
+  // matching it. Resuming a completed checkpoint is a no-op that
+  // reproduces the same final stats.
+  if (!Opts.CheckpointPath.empty())
+    performCheckpoint();
 
   CheckResult Result;
   CheckStats &Stats = Result.Stats;
@@ -1826,8 +2487,18 @@ CheckResult ParallelSearch::run() {
       SymmetryCollapsed.load(std::memory_order_relaxed);
   Stats.ErrorsFound = ErrorsFound.load(std::memory_order_relaxed);
   Stats.FaultsInjected = FaultsInjected.load(std::memory_order_relaxed);
-  Stats.Exhausted = Exhausted.load(std::memory_order_relaxed);
+  Stats.Exhausted = Exhausted.load(std::memory_order_relaxed) && !Pending;
   Stats.WorkersUsed = static_cast<int>(NumWorkers);
+  Stats.Interrupted = Interrupted.load(std::memory_order_relaxed);
+  Stats.Resumed = DidResume;
+  Stats.CheckpointsWritten =
+      CheckpointsWritten.load(std::memory_order_relaxed);
+  Stats.LastCheckpointBytes =
+      LastCheckpointBytes.load(std::memory_order_relaxed);
+  Stats.FrontierSpilledNodes =
+      PriorSpilledNodes + (Spill ? Spill->spilledNodes() : 0);
+  Stats.FrontierSpillBytes =
+      PriorSpillBytes + (Spill ? Spill->spilledBytes() : 0);
   for (const auto &W : Workers) {
     Stats.Slices += W->Slices.load(std::memory_order_relaxed);
     Stats.Terminals += W->Terminals.load(std::memory_order_relaxed);
@@ -1878,7 +2549,8 @@ CheckResult ParallelSearch::run() {
     Result.Trace = renderTrace(Best.Schedule);
   }
 
-  Stats.Seconds = std::chrono::duration<double>(
+  Stats.Seconds = PriorSeconds +
+                  std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - StartTime)
                       .count();
 
@@ -1924,6 +2596,23 @@ CheckResult ParallelSearch::run() {
     M.counter("p_check_symmetry_collapsed_total",
               "Nodes collapsed onto a symmetric representative")
         .inc(Stats.SymmetryCollapsed);
+    M.counter("p_check_checkpoints_total",
+              "Checkpoints written across the logical run")
+        .inc(Stats.CheckpointsWritten);
+    M.gauge("p_check_checkpoint_bytes",
+            "Size of the most recently written checkpoint")
+        .set(static_cast<double>(Stats.LastCheckpointBytes));
+    M.gauge("p_check_interrupted",
+            "1 when the run stopped on an interrupt request")
+        .set(Stats.Interrupted ? 1 : 0);
+    M.gauge("p_check_resumed", "1 when the run resumed from a checkpoint")
+        .set(Stats.Resumed ? 1 : 0);
+    M.counter("p_check_frontier_spilled_nodes_total",
+              "Frontier nodes spilled to disk across the logical run")
+        .inc(Stats.FrontierSpilledNodes);
+    M.counter("p_check_frontier_spill_bytes_total",
+              "Bytes of frontier segments written to disk")
+        .inc(Stats.FrontierSpillBytes);
   }
 
   return Result;

@@ -59,9 +59,36 @@ Host::Host(const CompiledProgram &Prog, HostOptions Options)
   });
 }
 
+namespace {
+/// The last API verdict, per (thread, host). A plain member — even an
+/// atomic one — races semantically: with the reactor running, two
+/// threads calling addEvent concurrently would each read whichever
+/// verdict last won the store race instead of their own call's.
+struct ThreadErrorSlot {
+  const void *H = nullptr;
+  HostError E = HostError::None;
+};
+thread_local ThreadErrorSlot LastErrorSlot;
+} // namespace
+
+void Host::setLastError(HostError E) const {
+  LastErrorSlot.H = this;
+  LastErrorSlot.E = E;
+}
+
+HostError Host::lastHostError() const {
+  // A slot written by a call on a different host — or never written on
+  // this thread — reads as None.
+  return LastErrorSlot.H == this ? LastErrorSlot.E : HostError::None;
+}
+
 Host::~Host() {
   if (R)
     R->stop();
+  // Best-effort: keep a future host constructed at this address from
+  // inheriting this thread's stale verdict.
+  if (LastErrorSlot.H == this)
+    LastErrorSlot = ThreadErrorSlot{};
 }
 
 void Host::noteEnqueue(int32_t Target, int32_t Event) {
@@ -153,7 +180,7 @@ int32_t Host::createMachine(
   std::lock_guard<std::mutex> Lock(PumpMutex);
   int MachineIndex = Prog.findMachine(MachineName);
   if (MachineIndex < 0) {
-    LastError = HostError::UnknownMachine;
+    setLastError(HostError::UnknownMachine);
     return -1;
   }
   const MachineInfo &Info = Prog.Machines[MachineIndex];
@@ -174,14 +201,14 @@ int32_t Host::createMachine(
   if (ReactorOn.load(std::memory_order_acquire)) {
     CreationInits[Id] = Resolved; // Pre-sized by startReactor.
     bumpStat(Stats.MachinesCreated);
-    LastError = HostError::None;
+    setLastError(HostError::None);
     return Id;
   }
   Contexts.resize(Cfg.Machines.size(), nullptr);
   CreationInits.resize(Cfg.Machines.size());
   CreationInits[Id] = Resolved;
   ++Stats.MachinesCreated;
-  LastError = HostError::None;
+  setLastError(HostError::None);
   arm(Id);
   drain();
   QueueCv.notify_all();
@@ -217,7 +244,7 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
   if (ReactorOn.load(std::memory_order_acquire)) {
     int Event = Prog.findEvent(EventName);
     if (Event < 0) {
-      LastError = HostError::UnknownEvent;
+      setLastError(HostError::UnknownEvent);
       return false;
     }
     return addEventReactor(Target, Event, Arg);
@@ -225,7 +252,7 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
   std::unique_lock<std::mutex> Lock(PumpMutex);
   int Event = Prog.findEvent(EventName);
   if (Event < 0) {
-    LastError = HostError::UnknownEvent;
+    setLastError(HostError::UnknownEvent);
     return false;
   }
   // Classify API misuse and reject it before the semantics can raise an
@@ -233,14 +260,14 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
   // not a P program error, so the configuration stays healthy and the
   // boolean result no longer conflates the two.
   if (Target < 0 || Target >= static_cast<int32_t>(Cfg.Machines.size())) {
-    LastError = HostError::UnknownMachine;
+    setLastError(HostError::UnknownMachine);
     return false;
   }
   if (!Cfg.Machines[Target]->Alive && !Cfg.Machines[Target]->Crashed) {
-    LastError = HostError::DeadTarget;
+    setLastError(HostError::DeadTarget);
     return false;
   }
-  LastError = HostError::None;
+  setLastError(HostError::None);
 
   // Back-pressure (OverflowPolicy::Block): wait until the full queue
   // has room, the target dies, or the system errors. Another thread
@@ -339,15 +366,15 @@ bool Host::addEvent(int32_t Target, const std::string &EventName,
 bool Host::addEventReactor(int32_t Target, int32_t Event,
                            const Value &Arg) {
   if (Target < 0 || Target >= R->machineCount()) {
-    LastError = HostError::UnknownMachine;
+    setLastError(HostError::UnknownMachine);
     return false;
   }
   Reactor::Life L = R->life(Target);
   if (L == Reactor::Life::Dead) {
-    LastError = HostError::DeadTarget;
+    setLastError(HostError::DeadTarget);
     return false;
   }
-  LastError = HostError::None;
+  setLastError(HostError::None);
   std::atomic_ref<uint64_t>(AddEventCalls)
       .fetch_add(1, std::memory_order_relaxed);
   if (HasPlan) {
@@ -410,30 +437,30 @@ bool Host::addEventAfter(int32_t Target, const std::string &EventName,
     Lock.lock();
   int Event = Prog.findEvent(EventName);
   if (Event < 0) {
-    LastError = HostError::UnknownEvent;
+    setLastError(HostError::UnknownEvent);
     return false;
   }
   if (OnReactor) {
     if (Target < 0 || Target >= R->machineCount()) {
-      LastError = HostError::UnknownMachine;
+      setLastError(HostError::UnknownMachine);
       return false;
     }
     if (R->life(Target) == Reactor::Life::Dead) {
-      LastError = HostError::DeadTarget;
+      setLastError(HostError::DeadTarget);
       return false;
     }
   } else {
     if (Target < 0 ||
         Target >= static_cast<int32_t>(Cfg.Machines.size())) {
-      LastError = HostError::UnknownMachine;
+      setLastError(HostError::UnknownMachine);
       return false;
     }
     if (!Cfg.Machines[Target]->Alive && !Cfg.Machines[Target]->Crashed) {
-      LastError = HostError::DeadTarget;
+      setLastError(HostError::DeadTarget);
       return false;
     }
   }
-  LastError = HostError::None;
+  setLastError(HostError::None);
   TimerEntry E;
   E.Target = Target;
   E.Event = Event;
@@ -514,10 +541,6 @@ bool Host::runToCompletion() {
   drain();
   QueueCv.notify_all();
   return !Cfg.hasError();
-}
-
-HostError Host::lastHostError() const {
-  return LastError.load(std::memory_order_acquire);
 }
 
 void Host::setFaultPlan(FaultPlan P) {

@@ -181,7 +181,9 @@ public:
   /// Why the most recent createMachine/addEvent call was rejected
   /// (HostError::None after a call that reached the program). Unified
   /// API misuse reporting: callers no longer have to guess between the
-  /// boolean result and the error configuration.
+  /// boolean result and the error configuration. The verdict is per
+  /// calling thread: each thread reads the outcome of its *own* most
+  /// recent call on this host, never a concurrent caller's.
   HostError lastHostError() const;
 
   /// Installs a seeded fault plan (see fault/FaultPlan.h): every
@@ -306,7 +308,12 @@ private:
   /// Block) whenever a pump ran or a machine crashed/restarted.
   std::condition_variable QueueCv;
 
-  std::atomic<HostError> LastError{HostError::None};
+  /// Records the calling thread's verdict for its most recent
+  /// createMachine/addEvent on *this* host (thread-local storage; see
+  /// Host.cpp). A shared field would race: with the reactor on, two
+  /// threads adding events concurrently would each read whichever
+  /// verdict last won the race instead of their own.
+  void setLastError(HostError E) const;
   FaultPlan Plan;
   bool HasPlan = false;
   uint64_t AddEventCalls = 0; ///< Accepted calls; the plan's ordinal.

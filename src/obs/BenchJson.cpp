@@ -8,6 +8,7 @@
 
 #include "checker/Checker.h"
 #include "obs/Report.h"
+#include "support/AtomicFile.h"
 
 #include <cstdio>
 #include <fstream>
@@ -34,6 +35,12 @@ Json p::obs::checkStatsToJson(const CheckStats &Stats) {
   J.set("faults_injected", Stats.FaultsInjected);
   J.set("pruned_by_independence", Stats.PrunedByIndependence);
   J.set("symmetry_collapsed", Stats.SymmetryCollapsed);
+  J.set("interrupted", Stats.Interrupted);
+  J.set("resumed", Stats.Resumed);
+  J.set("checkpoints_written", Stats.CheckpointsWritten);
+  J.set("checkpoint_bytes", Stats.LastCheckpointBytes);
+  J.set("frontier_spilled_nodes", Stats.FrontierSpilledNodes);
+  J.set("frontier_spill_bytes", Stats.FrontierSpillBytes);
   return J;
 }
 
@@ -75,11 +82,9 @@ bool BenchReport::writeTo(const std::string &PathOrDash) const {
     std::cout.flush();
     return true;
   }
-  std::ofstream Out(PathOrDash);
-  if (!Out)
-    return false;
-  Out << str();
-  return static_cast<bool>(Out);
+  // Temp+rename so an interrupted bench leaves either the previous
+  // report or the complete new one, never a torn prefix.
+  return writeFileAtomic(PathOrDash, str());
 }
 
 bool p::obs::validateBenchReport(const Json &Report, std::string &Why,

@@ -12,6 +12,7 @@
 #include "obs/Metrics.h"
 #include "pir/Program.h"
 #include "runtime/Errors.h"
+#include "support/AtomicFile.h"
 
 #include <cstdio>
 #include <fstream>
@@ -422,22 +423,13 @@ bool RunReport::writeTo(const std::string &Base, std::string *Why) const {
     return false;
   }
   const std::string Stem = stripReportExt(Base);
-  {
-    std::ofstream Out(Stem + ".json");
-    if (!(Out << J.str(2) << "\n")) {
-      if (Why)
-        *Why = "cannot write " + Stem + ".json";
-      return false;
-    }
-  }
-  {
-    std::ofstream Out(Stem + ".html");
-    if (!(Out << html())) {
-      if (Why)
-        *Why = "cannot write " + Stem + ".html";
-      return false;
-    }
-  }
+  // Atomic temp+rename emission: a reader (or a crash — reports are
+  // written right when interrupted runs wind down) never observes a
+  // half-written report, only the old file or the new one.
+  if (!writeFileAtomic(Stem + ".json", J.str(2) + "\n", Why))
+    return false;
+  if (!writeFileAtomic(Stem + ".html", html(), Why))
+    return false;
   if (Why)
     Why->clear();
   return true;

@@ -1,0 +1,66 @@
+//===- support/AtomicFile.cpp ------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace p;
+
+bool p::writeFileAtomic(const std::string &Path, const std::string &Content,
+                        std::string *Why) {
+  auto Fail = [&](const std::string &What, const std::string &Temp) {
+    if (Why)
+      *Why = What + " " + (Temp.empty() ? Path : Temp) + ": " +
+             std::strerror(errno);
+    if (!Temp.empty())
+      std::remove(Temp.c_str());
+    return false;
+  };
+
+  // Sibling temp name: same directory, so the final rename cannot cross
+  // a filesystem boundary (rename is only atomic within one).
+  const std::string Temp =
+      Path + ".tmp." + std::to_string(static_cast<unsigned long>(
+#if defined(__unix__) || defined(__APPLE__)
+                           ::getpid()
+#else
+                           0
+#endif
+                               ));
+
+  std::FILE *F = std::fopen(Temp.c_str(), "wb");
+  if (!F)
+    return Fail("cannot open", Temp);
+  if (!Content.empty() &&
+      std::fwrite(Content.data(), 1, Content.size(), F) != Content.size()) {
+    std::fclose(F);
+    return Fail("cannot write", Temp);
+  }
+  if (std::fflush(F) != 0) {
+    std::fclose(F);
+    return Fail("cannot flush", Temp);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Push the bytes to stable storage before the rename publishes them:
+  // without this, a crash can leave a *renamed* but empty file.
+  if (::fsync(::fileno(F)) != 0) {
+    std::fclose(F);
+    return Fail("cannot fsync", Temp);
+  }
+#endif
+  if (std::fclose(F) != 0)
+    return Fail("cannot close", Temp);
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0)
+    return Fail("cannot rename into", Temp);
+  return true;
+}

@@ -1,0 +1,32 @@
+//===- support/AtomicFile.h - Crash-safe file replacement ------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic whole-file writes: write a sibling temp file, flush it to
+/// stable storage (fsync where the platform has it), then rename over
+/// the destination. A reader — or a resumed run — therefore sees either
+/// the complete previous contents or the complete new contents, never a
+/// truncated artifact, even when the writer dies mid-write. Used by the
+/// checkpoint layer and by every JSON report emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_SUPPORT_ATOMICFILE_H
+#define P_SUPPORT_ATOMICFILE_H
+
+#include <string>
+
+namespace p {
+
+/// Replaces the file at \p Path with \p Content atomically (temp file +
+/// fsync + rename). On failure returns false, fills \p Why when given,
+/// and removes the temp file — the destination is never left truncated.
+bool writeFileAtomic(const std::string &Path, const std::string &Content,
+                     std::string *Why = nullptr);
+
+} // namespace p
+
+#endif // P_SUPPORT_ATOMICFILE_H

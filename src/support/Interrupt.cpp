@@ -1,0 +1,63 @@
+//===- support/Interrupt.cpp -------------------------------------------------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interrupt.h"
+
+#include "checker/Checker.h"
+
+#include <csignal>
+#include <cstdio>
+
+using namespace p;
+
+namespace {
+
+std::atomic<bool> Requested{false};
+std::atomic<int> Signal{0};
+
+extern "C" void onSignal(int Sig) {
+  Requested.store(true, std::memory_order_relaxed);
+  Signal.store(Sig, std::memory_order_relaxed);
+  // One cooperative chance: a repeat of the same signal gets the
+  // default (fatal) disposition, so a search wedged before its next
+  // poll point can still be killed.
+  std::signal(Sig, SIG_DFL);
+}
+
+} // namespace
+
+void interrupt::installHandlers() {
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+}
+
+const std::atomic<bool> &interrupt::flag() { return Requested; }
+
+bool interrupt::requested() {
+  return Requested.load(std::memory_order_relaxed);
+}
+
+int interrupt::signalNumber() {
+  return Signal.load(std::memory_order_relaxed);
+}
+
+int interrupt::exitCode() { return 128 + signalNumber(); }
+
+void interrupt::printInterruptedStats(const CheckStats &Stats) {
+  std::fprintf(
+      stderr,
+      "interrupted (%s): partial results — states=%llu nodes=%llu "
+      "terminals=%llu max_depth=%d elapsed=%.3fs omission_possible=%d "
+      "checkpoints_written=%llu\n",
+      signalNumber() == SIGTERM ? "SIGTERM"
+      : signalNumber() == SIGINT ? "SIGINT"
+                                 : "interrupt flag",
+      static_cast<unsigned long long>(Stats.DistinctStates),
+      static_cast<unsigned long long>(Stats.NodesExplored),
+      static_cast<unsigned long long>(Stats.Terminals), Stats.MaxDepth,
+      Stats.Seconds, Stats.OmissionPossible ? 1 : 0,
+      static_cast<unsigned long long>(Stats.CheckpointsWritten));
+}

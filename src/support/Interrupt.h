@@ -1,0 +1,56 @@
+//===- support/Interrupt.h - Cooperative SIGINT/SIGTERM handling -----------===//
+//
+// Part of the P-language reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide cooperative interruption. Benches and verifiers install
+/// the handlers once; SIGINT/SIGTERM then merely set an atomic flag that
+/// long-running work (CheckOptions::InterruptFlag) polls, so a Ctrl-C
+/// ends a multi-hour search with a final checkpoint and a partial-stats
+/// report instead of silent data loss. A second signal of the same kind
+/// restores the default disposition, so a wedged process can still be
+/// killed the ordinary way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef P_SUPPORT_INTERRUPT_H
+#define P_SUPPORT_INTERRUPT_H
+
+#include <atomic>
+
+namespace p {
+
+struct CheckStats;
+
+namespace interrupt {
+
+/// Installs SIGINT and SIGTERM handlers that set the flag below.
+/// Idempotent; async-signal-safe by construction (the handler only
+/// stores to an atomic and re-arms the default disposition).
+void installHandlers();
+
+/// The flag the handlers set. Pass `&interrupt::flag()` as
+/// CheckOptions::InterruptFlag so a search can end cooperatively.
+const std::atomic<bool> &flag();
+
+/// True once a handled signal arrived.
+bool requested();
+
+/// The last signal number delivered (0 when none); exit with
+/// 128 + this, the shell convention for death-by-signal.
+int signalNumber();
+
+/// Standard partial-results report for an interrupted check() run:
+/// one stderr block naming the snapshot (states, nodes, elapsed,
+/// OmissionPossible) so an interrupted bench never dies silently.
+void printInterruptedStats(const CheckStats &Stats);
+
+/// 128 + signalNumber(), the conventional exit code after cleanup.
+int exitCode();
+
+} // namespace interrupt
+} // namespace p
+
+#endif // P_SUPPORT_INTERRUPT_H

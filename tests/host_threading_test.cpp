@@ -116,6 +116,54 @@ main machine Target {
   EXPECT_EQ(H.stats().MachinesCreated, 4u);
 }
 
+TEST(HostThreading, LastHostErrorIsPerThread) {
+  CompiledProgram Prog = compileErased(R"(
+event Ping;
+main machine M {
+  var N: int;
+  state S {
+    entry { N = 0; }
+    on Ping do Note;
+  }
+  action Note { N = N + 1; }
+}
+)");
+  Host H(Prog);
+  int32_t Id = H.createMachine("M");
+  ASSERT_GE(Id, 0);
+
+  // One thread only ever makes valid calls, the other only invalid
+  // ones; each must read its *own* verdict every time. A shared
+  // last-error field (even an atomic) fails this: whichever store wins
+  // the race leaks one thread's verdict into the other's read.
+  constexpr int Iters = 500;
+  std::atomic<int> WrongNone{0}, WrongError{0};
+  std::thread Good([&] {
+    for (int I = 0; I != Iters; ++I) {
+      EXPECT_TRUE(H.addEvent(Id, "Ping"));
+      if (H.lastHostError() != HostError::None)
+        ++WrongNone;
+    }
+  });
+  std::thread Bad([&] {
+    for (int I = 0; I != Iters; ++I) {
+      EXPECT_FALSE(H.addEvent(Id, "NoSuchEvent"));
+      if (H.lastHostError() != HostError::UnknownEvent)
+        ++WrongError;
+    }
+  });
+  Good.join();
+  Bad.join();
+
+  EXPECT_EQ(WrongNone.load(), 0);
+  EXPECT_EQ(WrongError.load(), 0);
+  EXPECT_FALSE(H.hasError()) << H.errorMessage();
+  EXPECT_EQ(H.readVar(Id, "N"), Value::integer(Iters));
+  // The main thread never called addEvent/createMachine... except
+  // createMachine above, whose verdict is still ours: None.
+  EXPECT_EQ(H.lastHostError(), HostError::None);
+}
+
 //===----------------------------------------------------------------------===//
 // Reactor pump: the lock-free MPSC mailbox path (Host::startReactor).
 //===----------------------------------------------------------------------===//
